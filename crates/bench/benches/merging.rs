@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks for the merging pipeline's hot stages.
+//!
+//! These complement the per-figure binaries: where the binaries reproduce
+//! paper artefacts end to end, these isolate the primitives so regressions
+//! in any one stage are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use f3m_core::align::{linear_block_align, needleman_wunsch};
+use f3m_core::pass::{run_pass, PassConfig};
+use f3m_fingerprint::adaptive::MergeParams;
+use f3m_fingerprint::encode::encode_function;
+use f3m_fingerprint::lsh::LshIndex;
+use f3m_fingerprint::minhash::MinHashFingerprint;
+use f3m_fingerprint::opcode_freq::OpcodeFingerprint;
+use f3m_workloads::suite::{table1, WorkloadSpec};
+
+fn module_for(name: &str, scale: f64) -> f3m_ir::module::Module {
+    let spec: WorkloadSpec =
+        table1().into_iter().find(|s| s.name == name).expect("known workload");
+    f3m_workloads::suite::build_module(&spec.scaled(scale))
+}
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let m = module_for("401.bzip2", 1.0);
+    let funcs = m.defined_functions();
+    let encoded: Vec<Vec<u32>> =
+        funcs.iter().map(|&f| encode_function(&m.types, m.function(f))).collect();
+
+    let mut g = c.benchmark_group("fingerprint");
+    g.bench_function("opcode_freq/build_all", |b| {
+        b.iter(|| {
+            funcs
+                .iter()
+                .map(|&f| OpcodeFingerprint::of(m.function(f)))
+                .collect::<Vec<_>>()
+        })
+    });
+    for k in [25usize, 200] {
+        g.bench_with_input(BenchmarkId::new("minhash/build_all", k), &k, |b, &k| {
+            b.iter(|| {
+                encoded
+                    .iter()
+                    .map(|e| MinHashFingerprint::of_encoded(e, k))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let m = module_for("456.hmmer", 1.0);
+    let funcs = m.defined_functions();
+    let params = MergeParams::static_default();
+    let encoded: Vec<Vec<u32>> =
+        funcs.iter().map(|&f| encode_function(&m.types, m.function(f))).collect();
+    let minhash: Vec<MinHashFingerprint> =
+        encoded.iter().map(|e| MinHashFingerprint::of_encoded(e, params.k)).collect();
+    let opcode: Vec<OpcodeFingerprint> =
+        funcs.iter().map(|&f| OpcodeFingerprint::of(m.function(f))).collect();
+    let mut index = LshIndex::new(params.lsh);
+    for (i, fp) in minhash.iter().enumerate() {
+        index.insert(i, fp);
+    }
+
+    let mut g = c.benchmark_group("ranking");
+    g.bench_function("hyfm/exhaustive_nn", |b| {
+        b.iter(|| {
+            let mut best = (usize::MAX, f64::MIN);
+            for (j, fp) in opcode.iter().enumerate().skip(1) {
+                let s = opcode[0].similarity(fp);
+                if s > best.1 {
+                    best = (j, s);
+                }
+            }
+            best
+        })
+    });
+    g.bench_function("f3m/lsh_query", |b| {
+        b.iter(|| {
+            let (cands, _) = index.candidates(&minhash[0], 0);
+            let mut best = (usize::MAX, f64::MIN);
+            for j in cands {
+                let s = minhash[0].similarity(&minhash[j]);
+                if s > best.1 {
+                    best = (j, s);
+                }
+            }
+            best
+        })
+    });
+    g.finish();
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let m = module_for("444.namd", 1.0);
+    let funcs = m.defined_functions();
+    let a = encode_function(&m.types, m.function(funcs[0]));
+    let b2 = encode_function(&m.types, m.function(funcs[1]));
+    let mut g = c.benchmark_group("alignment");
+    g.bench_function("needleman_wunsch", |b| b.iter(|| needleman_wunsch(&a, &b2)));
+    g.bench_function("linear", |b| b.iter(|| linear_block_align(&a, &b2)));
+    g.finish();
+}
+
+fn bench_full_pass(c: &mut Criterion) {
+    let m = module_for("462.libquantum", 1.0);
+    let mut g = c.benchmark_group("pass");
+    g.sample_size(10);
+    for (label, config) in [
+        ("hyfm", PassConfig::hyfm()),
+        ("f3m", PassConfig::f3m()),
+        ("f3m_adaptive", PassConfig::f3m_adaptive()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || m.clone(),
+                |mut mm| run_pass(&mut mm, &config),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fingerprints,
+    bench_ranking,
+    bench_alignment,
+    bench_full_pass
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 3: breakdown of HyFM's runtime across pipeline stages.
+//!
+//! The paper shows three programs (400.perlbench, Linux, Chrome) where the
+//! ranking share grows from "small but not negligible" to "practically the
+//! whole compilation overhead" as function count rises — the quadratic
+//! ranking bottleneck that motivates F3M.
+
+use f3m_bench::{fmt_dur, print_table, BenchOpts};
+use f3m_core::pass::{run_pass, PassConfig};
+use f3m_workloads::suite::table1;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let picks = ["400.perlbench", "linux-scale", "chrome-scale"];
+    let mut rows = Vec::new();
+    for name in picks {
+        let spec = table1().into_iter().find(|s| s.name == name).unwrap();
+        let mut m = opts.build(&spec);
+        let funcs = m.defined_functions().len();
+        let report = run_pass(&mut m, &PassConfig::hyfm());
+        let s = &report.stats;
+        let total = s.total_time().as_secs_f64().max(1e-9);
+        let pct = |d: std::time::Duration| format!("{:.1}%", 100.0 * d.as_secs_f64() / total);
+        rows.push(vec![
+            name.to_string(),
+            funcs.to_string(),
+            fmt_dur(s.total_time()),
+            pct(s.preprocess),
+            pct(s.rank.success),
+            pct(s.rank.fail),
+            pct(s.align.success),
+            pct(s.align.fail),
+            pct(s.codegen.success),
+            pct(s.codegen.fail),
+        ]);
+    }
+    print_table(
+        "Figure 3: HyFM stage breakdown (share of merge-pass time)",
+        &[
+            "benchmark",
+            "functions",
+            "pass total",
+            "preprocess",
+            "rank ok",
+            "rank fail",
+            "align ok",
+            "align fail",
+            "codegen ok",
+            "codegen fail",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: ranking (ok+fail) dominates as the function count grows,\n\
+         and most ranking/codegen time is spent on pairs that never commit."
+    );
+}

@@ -1,0 +1,99 @@
+//! Figure 14: similarity-threshold sweep.
+//!
+//! Average compile-time reduction and object-size increase relative to
+//! `t = 0.0`, across the suite minus the three largest workloads, plus an
+//! oracle that picks the best threshold per benchmark (minimizing compile
+//! time subject to < 0.1% size loss).
+
+use f3m_bench::{backend_cost, print_table, BenchOpts};
+use f3m_core::pass::{run_pass, PassConfig, Strategy};
+use f3m_fingerprint::adaptive::MergeParams;
+use f3m_workloads::suite::table1;
+
+const THRESHOLDS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut specs = table1();
+    specs.sort_by_key(|s| s.functions);
+    specs.truncate(specs.len() - 3); // drop the three largest, as the paper does
+
+    // results[t][bench] = (total_time_secs, size_after)
+    let mut results: Vec<Vec<(f64, u64)>> = vec![Vec::new(); THRESHOLDS.len()];
+    let mut names = Vec::new();
+    for spec in &specs {
+        let m = opts.build(spec);
+        names.push(spec.name);
+        for (ti, &t) in THRESHOLDS.iter().enumerate() {
+            let mut params = MergeParams::static_default();
+            params.threshold = t;
+            let config =
+                PassConfig { strategy: Strategy::F3m(params), ..Default::default() };
+            let mut mm = m.clone();
+            let t0 = std::time::Instant::now();
+            let report = run_pass(&mut mm, &config);
+            let pass = t0.elapsed();
+            let total = pass + backend_cost(&mm);
+            results[ti].push((total.as_secs_f64(), report.stats.size_after));
+        }
+    }
+
+    let n = names.len() as f64;
+    let mut rows = Vec::new();
+    for (ti, &t) in THRESHOLDS.iter().enumerate() {
+        let mut time_red = 0.0;
+        let mut size_inc = 0.0;
+        for b in 0..names.len() {
+            let (t0_time, t0_size) = results[0][b];
+            let (tt, ts) = results[ti][b];
+            time_red += 100.0 * (1.0 - tt / t0_time);
+            size_inc += 100.0 * (ts as f64 / t0_size as f64 - 1.0);
+        }
+        rows.push(vec![
+            format!("{t:.1}"),
+            format!("{:+.2}%", time_red / n),
+            format!("{:+.3}%", size_inc / n),
+        ]);
+    }
+
+    // Oracle: per benchmark, the largest threshold whose size loss < 0.1%.
+    let mut oracle_time = 0.0;
+    let mut oracle_size = 0.0;
+    let mut oracle_choices = Vec::new();
+    for b in 0..names.len() {
+        let (t0_time, t0_size) = results[0][b];
+        let mut best = (0usize, 0.0f64);
+        for ti in 0..THRESHOLDS.len() {
+            let (tt, ts) = results[ti][b];
+            let size_loss = 100.0 * (ts as f64 / t0_size as f64 - 1.0);
+            let time_red = 100.0 * (1.0 - tt / t0_time);
+            if size_loss < 0.1 && time_red > best.1 {
+                best = (ti, time_red);
+            }
+        }
+        let (tt, ts) = results[best.0][b];
+        oracle_time += 100.0 * (1.0 - tt / t0_time);
+        oracle_size += 100.0 * (ts as f64 / t0_size as f64 - 1.0);
+        oracle_choices.push((names[b], THRESHOLDS[best.0]));
+    }
+    rows.push(vec![
+        "oracle".to_string(),
+        format!("{:+.2}%", oracle_time / n),
+        format!("{:+.3}%", oracle_size / n),
+    ]);
+
+    print_table(
+        "Figure 14: threshold sweep (relative to t = 0.0)",
+        &["threshold", "avg compile-time reduction", "avg size increase"],
+        &rows,
+    );
+    let mut histogram = std::collections::BTreeMap::new();
+    for (_, t) in &oracle_choices {
+        *histogram.entry(format!("{t:.1}")).or_insert(0u32) += 1;
+    }
+    println!("\noracle per-benchmark threshold choices: {histogram:?}");
+    println!(
+        "Paper: fixed t = 0.1 buys ~1.5% compile time at < 0.1% size cost;\n\
+         the oracle raises that to ~2.3% — motivating the adaptive policy."
+    );
+}

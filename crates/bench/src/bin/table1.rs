@@ -1,0 +1,31 @@
+//! Table I: the workload inventory.
+//!
+//! Prints each synthetic workload with its generated function count, total
+//! instructions and estimated text size, alongside the paper-scale target
+//! it mirrors. Run with `--full` to build at unscaled Table I sizes.
+
+use f3m_bench::{print_table, BenchOpts};
+use f3m_workloads::suite::{summarize, table1};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut rows = Vec::new();
+    for spec in table1() {
+        let scaled = spec.scaled(opts.factor_for(&spec));
+        let (_, s) = summarize(&scaled);
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:?}", spec.class),
+            spec.functions.to_string(),
+            s.functions.to_string(),
+            s.instructions.to_string(),
+            format!("{:.1} KiB", s.size_bytes as f64 / 1024.0),
+        ]);
+    }
+    print_table(
+        "Table I: workloads",
+        &["benchmark", "class", "paper-scale fns", "built fns", "instructions", "text size"],
+        &rows,
+    );
+    println!("\n(`built fns` includes the external @__driver; scale with --scale/--full)");
+}

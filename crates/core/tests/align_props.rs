@@ -1,0 +1,107 @@
+//! Property-based tests of the alignment algorithms.
+
+use proptest::prelude::*;
+
+use f3m_core::align::{linear_block_align, needleman_wunsch, AlignEntry};
+
+/// Reference LCS length by naive recursion (only for tiny inputs).
+fn lcs_brute(a: &[u32], b: &[u32]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    if a[0] == b[0] {
+        1 + lcs_brute(&a[1..], &b[1..])
+    } else {
+        lcs_brute(&a[1..], b).max(lcs_brute(a, &b[1..]))
+    }
+}
+
+fn small_seq() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..6, 0..9)
+}
+
+proptest! {
+    #[test]
+    fn nw_matches_equal_brute_force_lcs(a in small_seq(), b in small_seq()) {
+        let nw = needleman_wunsch(&a, &b);
+        prop_assert_eq!(nw.matches, lcs_brute(&a, &b));
+    }
+
+    #[test]
+    fn linear_never_beats_nw(a in small_seq(), b in small_seq()) {
+        let nw = needleman_wunsch(&a, &b);
+        let lin = linear_block_align(&a, &b);
+        prop_assert!(lin.matches <= nw.matches);
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_match_count(a in small_seq(), b in small_seq()) {
+        let ab = needleman_wunsch(&a, &b);
+        let ba = needleman_wunsch(&b, &a);
+        prop_assert_eq!(ab.matches, ba.matches);
+        prop_assert!((ab.ratio() - ba.ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entries_form_monotone_cover(a in small_seq(), b in small_seq()) {
+        for align in [needleman_wunsch(&a, &b), linear_block_align(&a, &b)] {
+            // Indices strictly increase per side and cover each exactly once.
+            let (mut li, mut rj) = (0usize, 0usize);
+            for e in &align.entries {
+                match *e {
+                    AlignEntry::Match(i, j) => {
+                        prop_assert_eq!(i, li);
+                        prop_assert_eq!(j, rj);
+                        prop_assert_eq!(a[i], b[j], "matched entries must be equal");
+                        li += 1;
+                        rj += 1;
+                    }
+                    AlignEntry::GapRight(i) => {
+                        prop_assert_eq!(i, li);
+                        li += 1;
+                    }
+                    AlignEntry::GapLeft(j) => {
+                        prop_assert_eq!(j, rj);
+                        rj += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(li, a.len());
+            prop_assert_eq!(rj, b.len());
+            prop_assert_eq!(align.total, a.len() + b.len());
+        }
+    }
+
+    #[test]
+    fn ratio_is_one_iff_identical_for_nonempty(a in prop::collection::vec(0u32..6, 1..9)) {
+        let self_align = needleman_wunsch(&a, &a);
+        prop_assert_eq!(self_align.ratio(), 1.0);
+        // A strictly different same-length sequence cannot reach ratio 1.
+        let mut b = a.clone();
+        b[0] = b[0].wrapping_add(100);
+        let other = needleman_wunsch(&a, &b);
+        prop_assert!(other.ratio() < 1.0);
+    }
+
+    #[test]
+    fn identical_prefix_and_suffix_always_match_in_linear(
+        prefix in prop::collection::vec(0u32..6, 1..5),
+        mid_a in 100u32..110,
+        mid_b in 200u32..210,
+        suffix in prop::collection::vec(0u32..6, 1..5),
+    ) {
+        // left = prefix ++ [mid_a] ++ suffix, right = prefix ++ [mid_b] ++ suffix.
+        let mut a = prefix.clone();
+        a.push(mid_a);
+        a.extend_from_slice(&suffix);
+        let mut b = prefix.clone();
+        b.push(mid_b);
+        b.extend_from_slice(&suffix);
+        let lin = linear_block_align(&a, &b);
+        prop_assert!(
+            lin.matches >= prefix.len() + suffix.len(),
+            "single substitution must not desync the linear aligner: {} < {}",
+            lin.matches, prefix.len() + suffix.len()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! `f3m` — command-line driver for the function-merging reproduction.
+//!
+//! ```text
+//! f3m merge <input.ir> [-o <out.ir>] [--strategy hyfm|f3m|adaptive]
+//!           [--threshold <t>] [--repair phi|stack|legacy] [--dce]
+//! f3m stats <input.ir>
+//! f3m run   <input.ir> <function> [int args...]
+//! f3m gen   <workload> [-o <out.ir>] [--scale <f>]
+//! f3m list
+//! ```
+
+use std::process::ExitCode;
+
+use f3m::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!(
+                "usage: f3m <merge|stats|run|gen|list> ...\n\
+                 \n\
+                 merge <input.ir> [-o out.ir] [--strategy hyfm|f3m|adaptive]\n\
+                 \x20      [--threshold t] [--repair phi|stack|legacy] [--dce]\n\
+                 stats <input.ir>\n\
+                 run   <input.ir> <function> [int args...]\n\
+                 gen   <workload> [-o out.ir] [--scale f]\n\
+                 list"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load(path: &str) -> Result<Module, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(f3m::ir::parser::parse_module(&text)?)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn cmd_merge(args: &[String]) -> CliResult {
+    let input = args.first().ok_or("merge needs an input file")?;
+    let mut m = load(input)?;
+    let before = f3m::ir::size::module_size(&m);
+
+    let mut config = match flag_value(args, "--strategy") {
+        None | Some("f3m") => PassConfig::f3m(),
+        Some("hyfm") => PassConfig::hyfm(),
+        Some("adaptive") => PassConfig::f3m_adaptive(),
+        Some(other) => return Err(format!("unknown strategy `{other}`").into()),
+    };
+    if let Some(t) = flag_value(args, "--threshold") {
+        let t: f64 = t.parse()?;
+        if let Strategy::F3m(params) = &mut config.strategy {
+            params.threshold = t;
+        } else {
+            return Err("--threshold only applies to --strategy f3m".into());
+        }
+    }
+    config.merge = MergeConfig {
+        repair: match flag_value(args, "--repair") {
+            None | Some("phi") => RepairMode::Phi,
+            Some("stack") => RepairMode::Stack,
+            Some("legacy") => RepairMode::LegacyBuggy,
+            Some(other) => return Err(format!("unknown repair mode `{other}`").into()),
+        },
+    };
+
+    let t0 = std::time::Instant::now();
+    let report = run_pass(&mut m, &config);
+    let elapsed = t0.elapsed();
+    if args.iter().any(|a| a == "--dce") {
+        let (insts, blocks) = f3m::core::dce::dce_module(&mut m);
+        eprintln!("dce: removed {insts} instructions, {blocks} unreachable blocks");
+    }
+    f3m::ir::verify::verify_module(&m)
+        .map_err(|e| format!("verification failed: {}", e[0]))?;
+
+    let after = f3m::ir::size::module_size(&m);
+    eprintln!(
+        "merged {} of {} attempted pairs in {:.1} ms; size {} -> {} bytes ({:.2}% reduction)",
+        report.stats.merges_committed,
+        report.stats.pairs_attempted,
+        elapsed.as_secs_f64() * 1e3,
+        before,
+        after,
+        report.stats.size_reduction() * 100.0
+    );
+    let text = f3m::ir::printer::print_module(&m);
+    match flag_value(args, "-o") {
+        Some(path) => std::fs::write(path, text)?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let input = args.first().ok_or("stats needs an input file")?;
+    let m = load(input)?;
+    let defs = m.defined_functions();
+    println!("module \"{}\"", m.name);
+    println!("  functions:     {} defined, {} total", defs.len(), m.num_functions());
+    println!("  instructions:  {}", m.total_insts());
+    println!("  globals:       {}", m.num_globals());
+    println!("  est. size:     {} bytes", f3m::ir::size::module_size(&m));
+    let mut sizes: Vec<(usize, String)> = defs
+        .iter()
+        .map(|&f| (m.function(f).num_linked_insts(), m.function(f).name.clone()))
+        .collect();
+    sizes.sort_by(|a, b| b.0.cmp(&a.0));
+    println!("  largest functions:");
+    for (n, name) in sizes.iter().take(5) {
+        println!("    {n:>6}  @{name}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let input = args.first().ok_or("run needs an input file")?;
+    let func = args.get(1).ok_or("run needs a function name")?;
+    let m = load(input)?;
+    let vals: Vec<Val> = args[2..]
+        .iter()
+        .map(|a| a.parse::<i64>().map(Val::Int))
+        .collect::<Result<_, _>>()?;
+    let mut interp = Interpreter::new(&m);
+    let out = interp.call_by_name(func, &vals)?;
+    println!(
+        "@{func}({vals:?}) -> {:?}   [{} steps, checksum {:#x}]",
+        out.ret, out.steps, out.checksum
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("gen needs a workload name (try `f3m list`)")?;
+    let spec = table1()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown workload `{name}` (try `f3m list`)"))?;
+    let scale: f64 = flag_value(args, "--scale").map(str::parse).transpose()?.unwrap_or(1.0);
+    let m = build_module(&spec.scaled(scale));
+    eprintln!(
+        "generated {} with {} functions, {} instructions",
+        spec.name,
+        m.defined_functions().len(),
+        m.total_insts()
+    );
+    let text = f3m::ir::printer::print_module(&m);
+    match flag_value(args, "-o") {
+        Some(path) => std::fs::write(path, text)?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_list() -> CliResult {
+    println!("{:<18} {:>10} {:>8}", "workload", "functions", "class");
+    for s in table1() {
+        println!("{:<18} {:>10} {:>8?}", s.name, s.functions, s.class);
+    }
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests of the `f3m` command-line tool, driving the real
+//! binary through its full workflow: generate → stats → merge → run.
+
+use std::process::Command;
+
+fn f3m() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_f3m"))
+}
+
+fn run_ok(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_shows_the_suite() {
+    let (stdout, _) = run_ok(&mut f3m().arg("list"));
+    assert!(stdout.contains("chrome-scale"));
+    assert!(stdout.contains("400.perlbench"));
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = f3m().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn full_workflow_gen_stats_merge_run() {
+    let dir = std::env::temp_dir().join(format!("f3m-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.ir");
+    let merged = dir.join("out.ir");
+
+    // gen
+    let (_, stderr) = run_ok(f3m()
+        .args(["gen", "429.mcf", "--scale", "0.5", "-o"])
+        .arg(&input));
+    assert!(stderr.contains("generated 429.mcf"), "{stderr}");
+
+    // stats
+    let (stdout, _) = run_ok(f3m().arg("stats").arg(&input));
+    assert!(stdout.contains("functions:"), "{stdout}");
+    assert!(stdout.contains("est. size:"), "{stdout}");
+
+    // run the original driver
+    let (orig_out, _) = run_ok(f3m().arg("run").arg(&input).args(["__driver", "42"]));
+
+    // merge with DCE
+    let (_, stderr) = run_ok(f3m()
+        .arg("merge")
+        .arg(&input)
+        .arg("-o")
+        .arg(&merged)
+        .args(["--strategy", "adaptive", "--dce"]));
+    assert!(stderr.contains("reduction"), "{stderr}");
+
+    // run the merged driver: same return value
+    let (merged_out, _) = run_ok(f3m().arg("run").arg(&merged).args(["__driver", "42"]));
+    let ret = |s: &str| s.split("->").nth(1).unwrap().split('[').next().unwrap().trim().to_string();
+    assert_eq!(ret(&orig_out), ret(&merged_out), "{orig_out} vs {merged_out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_unknown_strategy() {
+    let dir = std::env::temp_dir().join(format!("f3m-cli-test2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.ir");
+    run_ok(f3m().args(["gen", "429.mcf", "--scale", "0.3", "-o"]).arg(&input));
+    let out = f3m()
+        .arg("merge")
+        .arg(&input)
+        .args(["--strategy", "nonsense"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_rejects_unknown_workload() {
+    let out = f3m().args(["gen", "999.nothing"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn run_reports_traps_as_errors() {
+    let dir = std::env::temp_dir().join(format!("f3m-cli-test3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.ir");
+    std::fs::write(
+        &input,
+        r#"
+module "t" {
+define @boom(i32 %0) -> i32 {
+bb0:
+  %1 = sdiv i32 %0, 0
+  ret i32 %1
+}
+}
+"#,
+    )
+    .unwrap();
+    let out = f3m().arg("run").arg(&input).args(["boom", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("division by zero"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,27 @@
+//! # f3m-fingerprint — function fingerprints and LSH candidate search
+//!
+//! Implements both fingerprints compared by the paper:
+//!
+//! - [`opcode_freq::OpcodeFingerprint`] — the HyFM baseline: a vector of
+//!   instruction opcode frequencies compared by Manhattan distance;
+//! - [`minhash::MinHashFingerprint`] — F3M's contribution: MinHash over
+//!   shingles of [encoded instructions](encode), whose slot-equality ratio
+//!   estimates the Jaccard index of the functions' instruction
+//!   subsequences.
+//!
+//! [`lsh::LshIndex`] provides the banded approximate nearest-neighbour
+//! search with the per-bucket comparison cap, and [`adaptive`] implements
+//! the paper's Equations 3 and 4 for scaling the similarity threshold and
+//! band count with program size.
+
+pub mod adaptive;
+pub mod encode;
+pub mod fnv;
+pub mod lsh;
+pub mod minhash;
+pub mod opcode_freq;
+
+pub use adaptive::MergeParams;
+pub use lsh::{LshIndex, LshParams};
+pub use minhash::MinHashFingerprint;
+pub use opcode_freq::OpcodeFingerprint;

@@ -1,0 +1,271 @@
+//! Locality Sensitive Hashing over MinHash fingerprints.
+//!
+//! Section III-C of the paper: a fingerprint of `k` hashes is split into
+//! `b` non-overlapping bands of `r` rows (`k = b × r`); each band is hashed
+//! into a bucket. Two functions are compared only if at least one band
+//! matches. The probability of comparison at Jaccard similarity `s` is
+//! `1 - (1 - s^r)^b` ([`collision_probability`]).
+//!
+//! Over-populated buckets (caused by very common instruction subsequences)
+//! are tamed by capping the number of comparisons per bucket
+//! (Section III-C / Figure 16); the cap is applied in
+//! [`LshIndex::candidates`].
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::fnv::fnv1a_u64s;
+use crate::minhash::MinHashFingerprint;
+
+/// Banding parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LshParams {
+    /// Rows per band (`r`). The paper's adaptive policy always uses 2.
+    pub rows: usize,
+    /// Number of bands (`b`).
+    pub bands: usize,
+    /// Maximum candidates taken from any single bucket (paper: 100).
+    /// `usize::MAX` disables the cap.
+    pub bucket_cap: usize,
+}
+
+impl LshParams {
+    /// The fingerprint size `k = b × r` implied by these parameters.
+    pub fn fingerprint_size(&self) -> usize {
+        self.rows * self.bands
+    }
+}
+
+/// Probability that two items with Jaccard similarity `s` share at least
+/// one band (Equation 2 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use f3m_fingerprint::lsh::collision_probability;
+/// // Highly similar pairs are almost always discovered with the static
+/// // configuration (r = 2, b = 100).
+/// assert!(collision_probability(0.8, 2, 100) > 0.999);
+/// // Dissimilar pairs rarely collide.
+/// assert!(collision_probability(0.05, 2, 100) < 0.3);
+/// ```
+pub fn collision_probability(s: f64, rows: usize, bands: usize) -> f64 {
+    1.0 - (1.0 - s.powi(rows as i32)).powi(bands as i32)
+}
+
+/// An LSH index mapping band hashes to buckets of items.
+#[derive(Clone, Debug)]
+pub struct LshIndex<T> {
+    params: LshParams,
+    buckets: HashMap<u64, Vec<T>>,
+}
+
+impl<T: Copy + Eq + Hash> LshIndex<T> {
+    /// Creates an empty index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `bands` is zero.
+    pub fn new(params: LshParams) -> LshIndex<T> {
+        assert!(params.rows > 0 && params.bands > 0, "rows/bands must be positive");
+        LshIndex { params, buckets: HashMap::new() }
+    }
+
+    /// The banding parameters.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// Band bucket keys of a fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fingerprint is smaller than `k = rows × bands`.
+    pub fn band_keys<'a>(
+        &'a self,
+        fp: &'a MinHashFingerprint,
+    ) -> impl Iterator<Item = u64> + 'a {
+        let r = self.params.rows;
+        assert!(
+            fp.len() >= self.params.fingerprint_size(),
+            "fingerprint too small for banding"
+        );
+        (0..self.params.bands).map(move |j| {
+            let band = &fp.hashes()[j * r..(j + 1) * r];
+            // Mix the band index in so identical sub-vectors in different
+            // bands do not alias.
+            fnv1a_u64s(band).wrapping_add((j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        })
+    }
+
+    /// Inserts an item under all its bands.
+    pub fn insert(&mut self, id: T, fp: &MinHashFingerprint) {
+        let keys: Vec<u64> = self.band_keys(fp).collect();
+        for key in keys {
+            self.buckets.entry(key).or_default().push(id);
+        }
+    }
+
+    /// Removes an item from all its bands (no-op for absent entries).
+    pub fn remove(&mut self, id: T, fp: &MinHashFingerprint) {
+        let keys: Vec<u64> = self.band_keys(fp).collect();
+        for key in keys {
+            if let Some(v) = self.buckets.get_mut(&key) {
+                v.retain(|&x| x != id);
+                if v.is_empty() {
+                    self.buckets.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Collects the distinct candidates sharing at least one band with
+    /// `fp`, skipping `exclude` (the query item itself). At most
+    /// `bucket_cap` entries are taken from each bucket; the total number of
+    /// *entries examined* (the paper's "fingerprint comparisons") is
+    /// returned alongside the candidates.
+    pub fn candidates(&self, fp: &MinHashFingerprint, exclude: T) -> (Vec<T>, usize) {
+        let mut seen: HashMap<T, ()> = HashMap::new();
+        let mut out = Vec::new();
+        let mut examined = 0usize;
+        for key in self.band_keys(fp) {
+            if let Some(bucket) = self.buckets.get(&key) {
+                for &item in bucket.iter().take(self.params.bucket_cap) {
+                    if item == exclude {
+                        continue;
+                    }
+                    examined += 1;
+                    if seen.insert(item, ()).is_none() {
+                        out.push(item);
+                    }
+                }
+            }
+        }
+        (out, examined)
+    }
+
+    /// Sizes of all non-empty buckets (for the Figure 16 style analysis of
+    /// over-populated buckets).
+    pub fn bucket_sizes(&self) -> Vec<usize> {
+        self.buckets.values().map(|v| v.len()).collect()
+    }
+
+    /// Number of non-empty buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHashFingerprint;
+
+    fn fp(stream: &[u32], k: usize) -> MinHashFingerprint {
+        MinHashFingerprint::of_encoded(stream, k)
+    }
+
+    fn params() -> LshParams {
+        LshParams { rows: 2, bands: 16, bucket_cap: 100 }
+    }
+
+    #[test]
+    fn identical_items_share_all_bands() {
+        let mut idx = LshIndex::new(params());
+        let s: Vec<u32> = (0..20).collect();
+        let f1 = fp(&s, 32);
+        idx.insert(1u32, &f1);
+        let (cands, _) = idx.candidates(&f1, 0);
+        assert_eq!(cands, vec![1]);
+    }
+
+    #[test]
+    fn query_excludes_self() {
+        let mut idx = LshIndex::new(params());
+        let s: Vec<u32> = (0..20).collect();
+        let f1 = fp(&s, 32);
+        idx.insert(7u32, &f1);
+        let (cands, _) = idx.candidates(&f1, 7);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn similar_items_likely_share_a_band() {
+        let mut idx = LshIndex::new(params());
+        let a: Vec<u32> = (0..40).collect();
+        let mut b = a.clone();
+        b[39] = 999; // tiny difference
+        let fa = fp(&a, 32);
+        let fb = fp(&b, 32);
+        idx.insert(1u32, &fa);
+        let (cands, _) = idx.candidates(&fb, 2);
+        assert_eq!(cands, vec![1], "near-identical functions must collide");
+    }
+
+    #[test]
+    fn dissimilar_items_rarely_collide() {
+        let mut idx = LshIndex::new(params());
+        let a: Vec<u32> = (0..40).collect();
+        let b: Vec<u32> = (1000..1040).collect();
+        idx.insert(1u32, &fp(&a, 32));
+        let (cands, _) = idx.candidates(&fp(&b, 32), 2);
+        assert!(cands.is_empty(), "disjoint shingle sets must not collide");
+    }
+
+    #[test]
+    fn remove_makes_item_unfindable() {
+        let mut idx = LshIndex::new(params());
+        let s: Vec<u32> = (0..20).collect();
+        let f1 = fp(&s, 32);
+        idx.insert(1u32, &f1);
+        idx.remove(1u32, &f1);
+        let (cands, _) = idx.candidates(&f1, 0);
+        assert!(cands.is_empty());
+        assert_eq!(idx.num_buckets(), 0, "empty buckets are reclaimed");
+    }
+
+    #[test]
+    fn bucket_cap_limits_examined_entries() {
+        let mut idx = LshIndex::new(LshParams { rows: 2, bands: 1, bucket_cap: 5 });
+        let s: Vec<u32> = (0..10).collect();
+        let f1 = fp(&s, 2);
+        for id in 0..50u32 {
+            idx.insert(id, &f1);
+        }
+        let (cands, examined) = idx.candidates(&f1, u32::MAX);
+        assert!(cands.len() <= 5);
+        assert!(examined <= 5);
+    }
+
+    #[test]
+    fn candidates_are_deduplicated_across_bands() {
+        let mut idx = LshIndex::new(params());
+        let s: Vec<u32> = (0..20).collect();
+        let f1 = fp(&s, 32);
+        idx.insert(1u32, &f1);
+        let (cands, examined) = idx.candidates(&f1, 0);
+        assert_eq!(cands, vec![1]);
+        assert!(examined >= 16, "entry examined once per matching band");
+    }
+
+    #[test]
+    fn collision_probability_matches_montecarlo_shape() {
+        // p is monotone in s, and steeper with more bands.
+        let p1 = collision_probability(0.3, 2, 10);
+        let p2 = collision_probability(0.6, 2, 10);
+        assert!(p2 > p1);
+        let few = collision_probability(0.3, 2, 5);
+        let many = collision_probability(0.3, 2, 50);
+        assert!(many > few);
+        // Equation check: r=1, b=1 -> p = s.
+        assert!((collision_probability(0.42, 1, 1) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn banding_requires_large_enough_fingerprint() {
+        let idx: LshIndex<u32> = LshIndex::new(LshParams { rows: 4, bands: 10, bucket_cap: 100 });
+        let f = fp(&[1, 2, 3], 8); // needs 40 slots
+        let _ = idx.band_keys(&f).count();
+    }
+}

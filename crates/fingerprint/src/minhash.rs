@@ -1,0 +1,223 @@
+//! MinHash fingerprints over instruction shingles.
+//!
+//! Section III-B of the paper: the encoded instruction stream is split into
+//! overlapping shingles of length `K = 2`; each shingle is hashed with
+//! FNV-1a, and `k` hash functions are derived by xor-ing the single FNV
+//! value with `k` fixed random constants. The fingerprint keeps the minimum
+//! of each derived hash over all shingles. The fraction of equal fingerprint
+//! slots estimates the Jaccard index of the shingle sets within
+//! `O(1/sqrt(k))`.
+
+use std::collections::HashSet;
+
+use crate::fnv::{fnv1a_u32s, xor_constants};
+
+/// Shingle length used throughout the paper (`K = 2`).
+pub const SHINGLE_LEN: usize = 2;
+
+/// Default fingerprint size (`k = 200`).
+pub const DEFAULT_K: usize = 200;
+
+/// A MinHash fingerprint: `k` minima, one per derived hash function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinHashFingerprint {
+    hashes: Vec<u64>,
+}
+
+impl MinHashFingerprint {
+    /// Builds a fingerprint of size `k` from an encoded instruction stream.
+    ///
+    /// Functions shorter than [`SHINGLE_LEN`] contribute a single shingle
+    /// covering the whole stream, so every non-empty function has a
+    /// well-defined fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn of_encoded(encoded: &[u32], k: usize) -> MinHashFingerprint {
+        assert!(k > 0, "fingerprint size must be positive");
+        let consts = xor_constants(k);
+        let mut hashes = vec![u64::MAX; k];
+        for base in shingle_hashes(encoded) {
+            for (slot, &c) in hashes.iter_mut().zip(consts.iter()) {
+                let h = base ^ c;
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        MinHashFingerprint { hashes }
+    }
+
+    /// Fingerprint size `k`.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the fingerprint has no slots (never true for `k > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Raw fingerprint slots (used by the LSH banding scheme).
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Estimated Jaccard similarity: the fraction of equal slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fingerprints have different sizes.
+    pub fn similarity(&self, other: &MinHashFingerprint) -> f64 {
+        assert_eq!(self.hashes.len(), other.hashes.len(), "fingerprint size mismatch");
+        let equal = self
+            .hashes
+            .iter()
+            .zip(other.hashes.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        equal as f64 / self.hashes.len() as f64
+    }
+
+    /// Estimated Jaccard distance (`1 - similarity`).
+    pub fn distance(&self, other: &MinHashFingerprint) -> f64 {
+        1.0 - self.similarity(other)
+    }
+}
+
+/// The FNV-1a hash of every shingle in the stream (multiset, in order).
+pub fn shingle_hashes(encoded: &[u32]) -> Vec<u64> {
+    if encoded.is_empty() {
+        return Vec::new();
+    }
+    if encoded.len() < SHINGLE_LEN {
+        return vec![fnv1a_u32s(encoded)];
+    }
+    encoded
+        .windows(SHINGLE_LEN)
+        .map(fnv1a_u32s)
+        .collect()
+}
+
+/// Exact Jaccard index of the two functions' shingle *sets* — the quantity
+/// MinHash estimates. Linear in the function sizes; used by tests and the
+/// Figure 10 ground-truth comparison, not by the merging pass itself.
+pub fn exact_jaccard(a: &[u32], b: &[u32]) -> f64 {
+    let sa: HashSet<u64> = shingle_hashes(a).into_iter().collect();
+    let sb: HashSet<u64> = shingle_hashes(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(vals: &[u32]) -> Vec<u32> {
+        vals.to_vec()
+    }
+
+    #[test]
+    fn identical_streams_have_similarity_one() {
+        let s = stream(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let a = MinHashFingerprint::of_encoded(&s, 64);
+        let b = MinHashFingerprint::of_encoded(&s, 64);
+        assert_eq!(a.similarity(&b), 1.0);
+        assert_eq!(a.distance(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_streams_have_similarity_near_zero() {
+        let a = MinHashFingerprint::of_encoded(&stream(&[1, 2, 3, 4, 5, 6]), 128);
+        let b = MinHashFingerprint::of_encoded(&stream(&[101, 102, 103, 104, 105, 106]), 128);
+        assert!(a.similarity(&b) < 0.1, "{}", a.similarity(&b));
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        // Two streams sharing half their shingles.
+        let mut a: Vec<u32> = (0..40).collect();
+        let mut b: Vec<u32> = (20..60).collect();
+        a.push(999);
+        b.push(999);
+        let exact = exact_jaccard(&a, &b);
+        let k = 400;
+        let fa = MinHashFingerprint::of_encoded(&a, k);
+        let fb = MinHashFingerprint::of_encoded(&b, k);
+        let est = fa.similarity(&fb);
+        // O(1/sqrt(k)) error bound, with slack for the shared-xor trick.
+        let tol = 3.0 / (k as f64).sqrt();
+        assert!(
+            (est - exact).abs() < tol,
+            "estimate {est:.3} vs exact {exact:.3} (tol {tol:.3})"
+        );
+    }
+
+    #[test]
+    fn single_instruction_functions_are_fingerprintable() {
+        let a = MinHashFingerprint::of_encoded(&stream(&[7]), 16);
+        let b = MinHashFingerprint::of_encoded(&stream(&[7]), 16);
+        let c = MinHashFingerprint::of_encoded(&stream(&[8]), 16);
+        assert_eq!(a.similarity(&b), 1.0);
+        assert!(a.similarity(&c) < 1.0);
+    }
+
+    #[test]
+    fn empty_stream_yields_max_slots() {
+        let a = MinHashFingerprint::of_encoded(&[], 8);
+        assert!(a.hashes().iter().all(|&h| h == u64::MAX));
+    }
+
+    #[test]
+    fn small_edit_small_similarity_drop() {
+        // Mirrors Figure 7: one extra "instruction" inside the stream only
+        // perturbs the shingles that overlap it.
+        let a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        b.insert(25, 999);
+        let fa = MinHashFingerprint::of_encoded(&a, 256);
+        let fb = MinHashFingerprint::of_encoded(&b, 256);
+        let sim = fa.similarity(&fb);
+        assert!(sim > 0.8, "one insertion keeps most shingles: {sim}");
+        assert!(sim < 1.0);
+    }
+
+    #[test]
+    fn exact_jaccard_bounds() {
+        let a: Vec<u32> = (0..10).collect();
+        assert_eq!(exact_jaccard(&a, &a), 1.0);
+        let b: Vec<u32> = (100..110).collect();
+        assert_eq!(exact_jaccard(&a, &b), 0.0);
+        assert_eq!(exact_jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let a = MinHashFingerprint::of_encoded(&[1, 2, 3], 8);
+        let b = MinHashFingerprint::of_encoded(&[1, 2, 3], 16);
+        let _ = a.similarity(&b);
+    }
+
+    #[test]
+    fn larger_k_reduces_estimation_error() {
+        let a: Vec<u32> = (0..60).collect();
+        let b: Vec<u32> = (30..90).collect();
+        let exact = exact_jaccard(&a, &b);
+        let err = |k: usize| {
+            let fa = MinHashFingerprint::of_encoded(&a, k);
+            let fb = MinHashFingerprint::of_encoded(&b, k);
+            (fa.similarity(&fb) - exact).abs()
+        };
+        // Average over a few ks to smooth noise; big-k family should be
+        // no worse than the small-k family.
+        let small = (err(16) + err(24) + err(32)) / 3.0;
+        let big = (err(512) + err(768) + err(1024)) / 3.0;
+        assert!(big <= small + 0.05, "big-k error {big:.3} vs small-k {small:.3}");
+    }
+}

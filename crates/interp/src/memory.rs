@@ -1,0 +1,201 @@
+//! Flat memory model.
+//!
+//! One linear byte array serves globals and the stack. Addresses below
+//! [`Memory::BASE`] are invalid (so null-pointer dereferences trap), and
+//! function "addresses" live in a disjoint high region
+//! ([`Memory::FUNC_SPACE`]) so indirect calls can be resolved.
+
+use crate::trap::Trap;
+
+/// Flat byte-addressed memory with bump allocation.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    /// Next free address (bump pointer).
+    top: u64,
+    limit: u64,
+}
+
+impl Memory {
+    /// Lowest valid data address; `0..BASE` traps (null page).
+    pub const BASE: u64 = 0x1000;
+    /// Function addresses are `FUNC_SPACE + func_index`.
+    pub const FUNC_SPACE: u64 = 1 << 48;
+
+    /// Creates a memory with the given capacity in bytes.
+    pub fn new(limit: u64) -> Memory {
+        Memory { bytes: Vec::new(), top: Self::BASE, limit: Self::BASE + limit }
+    }
+
+    /// Address of function `idx` in the function address space.
+    pub fn func_addr(idx: usize) -> u64 {
+        Self::FUNC_SPACE + idx as u64
+    }
+
+    /// Reverse of [`Memory::func_addr`].
+    pub fn addr_to_func(addr: u64) -> Option<usize> {
+        addr.checked_sub(Self::FUNC_SPACE).map(|i| i as usize)
+    }
+
+    /// Current bump pointer (used to roll back frames).
+    pub fn watermark(&self) -> u64 {
+        self.top
+    }
+
+    /// Rolls the bump pointer back to a previous watermark.
+    pub fn rollback(&mut self, mark: u64) {
+        debug_assert!(mark <= self.top);
+        self.top = mark;
+    }
+
+    /// Allocates `size` bytes (8-byte aligned), zero-initialized.
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`Trap::OutOfMemory`] if the limit would be exceeded.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, Trap> {
+        let addr = self.top;
+        let size = size.max(1).div_ceil(8) * 8;
+        let new_top = addr.checked_add(size).ok_or(Trap::OutOfMemory)?;
+        if new_top > self.limit {
+            return Err(Trap::OutOfMemory);
+        }
+        self.top = new_top;
+        let need = (new_top - Self::BASE) as usize;
+        if self.bytes.len() < need {
+            self.bytes.resize(need, 0);
+        }
+        // Always clear the allocation, including memory reused after a
+        // frame rollback: uninitialized reads must observe deterministic
+        // zeros regardless of execution history, or differential testing
+        // of transformed modules (whose stack layouts differ) would flag
+        // spurious mismatches.
+        let start = (addr - Self::BASE) as usize;
+        self.bytes[start..need].fill(0);
+        Ok(addr)
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<usize, Trap> {
+        if addr < Self::BASE || addr.saturating_add(len) > self.top {
+            return Err(Trap::MemoryFault { addr });
+        }
+        Ok((addr - Self::BASE) as usize)
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`Trap::MemoryFault`] on out-of-bounds access.
+    pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], Trap> {
+        let off = self.check(addr, len)?;
+        Ok(&self.bytes[off..off + len as usize])
+    }
+
+    /// Writes bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`Trap::MemoryFault`] on out-of-bounds access.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
+        let off = self.check(addr, data.len() as u64)?;
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a little-endian unsigned integer of `len` (≤ 8) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Traps on out-of-bounds access.
+    pub fn read_uint(&self, addr: u64, len: u64) -> Result<u64, Trap> {
+        let bytes = self.read(addr, len)?;
+        let mut buf = [0u8; 8];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian unsigned integer of `len` (≤ 8) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Traps on out-of-bounds access.
+    pub fn write_uint(&mut self, addr: u64, value: u64, len: u64) -> Result<(), Trap> {
+        let bytes = value.to_le_bytes();
+        self.write(addr, &bytes[..len as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw_round_trip() {
+        let mut mem = Memory::new(1 << 16);
+        let a = mem.alloc(16).unwrap();
+        assert!(a >= Memory::BASE);
+        mem.write_uint(a, 0xDEADBEEF, 8).unwrap();
+        assert_eq!(mem.read_uint(a, 8).unwrap(), 0xDEADBEEF);
+        mem.write_uint(a + 8, 0x42, 4).unwrap();
+        assert_eq!(mem.read_uint(a + 8, 4).unwrap(), 0x42);
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let mem = Memory::new(1 << 16);
+        assert!(matches!(mem.read_uint(0, 8), Err(Trap::MemoryFault { .. })));
+        assert!(matches!(mem.read_uint(8, 4), Err(Trap::MemoryFault { .. })));
+    }
+
+    #[test]
+    fn oob_read_traps() {
+        let mut mem = Memory::new(1 << 16);
+        let a = mem.alloc(8).unwrap();
+        assert!(mem.read_uint(a + 8, 8).is_err(), "reading past allocation end");
+    }
+
+    #[test]
+    fn out_of_memory_traps() {
+        let mut mem = Memory::new(64);
+        assert!(mem.alloc(32).is_ok());
+        assert!(matches!(mem.alloc(64), Err(Trap::OutOfMemory)));
+    }
+
+    #[test]
+    fn rollback_releases_stack() {
+        let mut mem = Memory::new(128);
+        let mark = mem.watermark();
+        mem.alloc(64).unwrap();
+        mem.rollback(mark);
+        assert!(mem.alloc(64).is_ok(), "space reusable after rollback");
+    }
+
+    #[test]
+    fn reused_stack_memory_is_rezeroed() {
+        let mut mem = Memory::new(128);
+        let mark = mem.watermark();
+        let a = mem.alloc(8).unwrap();
+        mem.write_uint(a, 0xFFFF_FFFF, 8).unwrap();
+        mem.rollback(mark);
+        let b = mem.alloc(8).unwrap();
+        assert_eq!(a, b, "same slot reused");
+        assert_eq!(mem.read_uint(b, 8).unwrap(), 0, "must not leak prior frame");
+    }
+
+    #[test]
+    fn func_addr_round_trip() {
+        let a = Memory::func_addr(17);
+        assert_eq!(Memory::addr_to_func(a), Some(17));
+        assert_eq!(Memory::addr_to_func(Memory::BASE), None);
+    }
+
+    #[test]
+    fn alignment_is_eight_bytes() {
+        let mut mem = Memory::new(1 << 12);
+        let a = mem.alloc(1).unwrap();
+        let b = mem.alloc(1).unwrap();
+        assert_eq!((b - a) % 8, 0);
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,74 @@
+//! Execution traps.
+
+use std::fmt;
+
+/// Abnormal termination of interpretation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trap {
+    /// The fuel budget ran out (probable infinite loop).
+    OutOfFuel,
+    /// Memory limit exceeded.
+    OutOfMemory,
+    /// Out-of-bounds or null memory access.
+    MemoryFault {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// A branch condition, address or callee was `undef`.
+    UndefUsed {
+        /// What kind of use trapped.
+        context: &'static str,
+    },
+    /// Indirect call to an address that is not a function.
+    BadIndirectCall {
+        /// The bad address.
+        addr: u64,
+    },
+    /// Call to an external function with no registered semantics.
+    UnknownExternal {
+        /// Function name.
+        name: String,
+    },
+    /// Call stack exceeded the depth limit.
+    StackOverflow,
+    /// `unreachable` was executed.
+    UnreachableExecuted,
+    /// Call arity/type mismatch detected at runtime.
+    CallMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::OutOfMemory => write!(f, "out of memory"),
+            Trap::MemoryFault { addr } => write!(f, "memory fault at {addr:#x}"),
+            Trap::DivideByZero => write!(f, "integer division by zero"),
+            Trap::UndefUsed { context } => write!(f, "undef used as {context}"),
+            Trap::BadIndirectCall { addr } => write!(f, "indirect call to non-function {addr:#x}"),
+            Trap::UnknownExternal { name } => write!(f, "unknown external function @{name}"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::UnreachableExecuted => write!(f, "executed unreachable"),
+            Trap::CallMismatch { detail } => write!(f, "call mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(Trap::MemoryFault { addr: 0x10 }.to_string().contains("0x10"));
+        assert!(Trap::UnknownExternal { name: "foo".into() }.to_string().contains("@foo"));
+        assert_eq!(Trap::DivideByZero.to_string(), "integer division by zero");
+    }
+}

@@ -1,0 +1,119 @@
+//! Runtime values.
+
+use f3m_ir::types::{TypeId, TypeKind, TypeStore};
+use f3m_ir::value::normalize_int;
+
+/// A runtime value held in a register or memory cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Val {
+    /// Integer of some width; payload normalized (sign-extended from the
+    /// type's width).
+    Int(i64),
+    /// Floating-point value (used for both `f32` and `f64`; `f32`
+    /// operations round through `f32`).
+    Float(f64),
+    /// Pointer (byte address in the interpreter's flat memory, or a
+    /// function address in the function address space).
+    Ptr(u64),
+    /// Undefined value. Using it in arithmetic yields `Undef`; branching or
+    /// addressing with it traps.
+    Undef,
+}
+
+impl Val {
+    /// The integer payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the value is not an integer.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Val::Int(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The float payload.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Val::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The pointer payload.
+    pub fn as_ptr(self) -> Option<u64> {
+        match self {
+            Val::Ptr(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Folds the value into a 64-bit checksum (used by `ext_sink`).
+    pub fn checksum(self) -> u64 {
+        match self {
+            Val::Int(x) => x as u64,
+            Val::Float(f) => f.to_bits(),
+            Val::Ptr(p) => p ^ 0x9E37_79B9_7F4A_7C15,
+            Val::Undef => 0xDEAD_BEEF_DEAD_BEEF,
+        }
+    }
+
+    /// Default zero value of a type.
+    pub fn zero_of(ts: &TypeStore, ty: TypeId) -> Val {
+        match ts.kind(ty) {
+            TypeKind::Int(_) => Val::Int(0),
+            TypeKind::F32 | TypeKind::F64 => Val::Float(0.0),
+            TypeKind::Ptr => Val::Ptr(0),
+            _ => Val::Undef,
+        }
+    }
+
+    /// Normalizes an integer value to the width of `ty`.
+    pub fn normalize(self, ts: &TypeStore, ty: TypeId) -> Val {
+        match (self, ts.int_bits(ty)) {
+            (Val::Int(x), Some(bits)) => Val::Int(normalize_int(x, bits)),
+            _ => self,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Val::Int(3).as_int(), Some(3));
+        assert_eq!(Val::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Val::Ptr(8).as_ptr(), Some(8));
+        assert_eq!(Val::Int(3).as_float(), None);
+        assert_eq!(Val::Undef.as_int(), None);
+    }
+
+    #[test]
+    fn normalize_wraps() {
+        let mut ts = TypeStore::new();
+        let i8t = ts.int(8);
+        assert_eq!(Val::Int(300).normalize(&ts, i8t), Val::Int(44));
+        assert_eq!(Val::Int(200).normalize(&ts, i8t), Val::Int(-56));
+    }
+
+    #[test]
+    fn checksums_are_stable_and_distinct() {
+        assert_ne!(Val::Int(1).checksum(), Val::Int(2).checksum());
+        assert_eq!(Val::Float(1.5).checksum(), Val::Float(1.5).checksum());
+        assert_ne!(Val::Undef.checksum(), Val::Int(0).checksum());
+    }
+
+    #[test]
+    fn zero_of_matches_type() {
+        let mut ts = TypeStore::new();
+        let i32t = ts.int(32);
+        let f64t = ts.f64();
+        let p = ts.ptr();
+        assert_eq!(Val::zero_of(&ts, i32t), Val::Int(0));
+        assert_eq!(Val::zero_of(&ts, f64t), Val::Float(0.0));
+        assert_eq!(Val::zero_of(&ts, p), Val::Ptr(0));
+    }
+}

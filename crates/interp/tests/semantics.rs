@@ -1,0 +1,265 @@
+//! Focused semantics tests for the interpreter: each documents one piece
+//! of the deterministic total semantics that differential testing of
+//! merged modules relies on.
+
+use f3m_interp::{Interpreter, Limits, Trap, Val};
+use f3m_ir::parser::parse_module;
+
+fn run1(body: &str, sig: &str, args: &[Val]) -> Result<Option<Val>, Trap> {
+    let src = format!("module \"t\" {{\ndefine @f{sig} {{\n{body}\n}}\n}}");
+    let m = parse_module(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut i = Interpreter::with_limits(
+        &m,
+        Limits { fuel: 100_000, memory: 1 << 16, max_depth: 16 },
+    );
+    i.call_by_name("f", args).map(|o| o.ret)
+}
+
+#[test]
+fn wrapping_add_at_width() {
+    let r = run1(
+        "bb0:\n  %1 = add i8 %0, 1\n  ret i8 %1",
+        "(i8 %0) -> i8",
+        &[Val::Int(127)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(-128))), "i8 overflow wraps");
+}
+
+#[test]
+fn unsigned_division_uses_width() {
+    // -1 as u8 is 255; 255 / 2 = 127.
+    let r = run1(
+        "bb0:\n  %1 = udiv i8 %0, 2\n  ret i8 %1",
+        "(i8 %0) -> i8",
+        &[Val::Int(-1)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(127))));
+}
+
+#[test]
+fn signed_division_truncates_toward_zero() {
+    let r = run1(
+        "bb0:\n  %1 = sdiv i32 %0, 4\n  ret i32 %1",
+        "(i32 %0) -> i32",
+        &[Val::Int(-7)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(-1))));
+}
+
+#[test]
+fn srem_sign_follows_dividend() {
+    let r = run1(
+        "bb0:\n  %1 = srem i32 %0, 4\n  ret i32 %1",
+        "(i32 %0) -> i32",
+        &[Val::Int(-7)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(-3))));
+}
+
+#[test]
+fn shifts_take_amount_modulo_width() {
+    // Documented total semantics: shift amounts reduce mod bit width.
+    let r = run1(
+        "bb0:\n  %1 = shl i32 %0, 33\n  ret i32 %1",
+        "(i32 %0) -> i32",
+        &[Val::Int(3)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(6))), "33 % 32 == 1");
+}
+
+#[test]
+fn lshr_is_logical_at_width() {
+    let r = run1(
+        "bb0:\n  %1 = lshr i8 %0, 1\n  ret i8 %1",
+        "(i8 %0) -> i8",
+        &[Val::Int(-2)], // 0xFE
+    );
+    assert_eq!(r, Ok(Some(Val::Int(127)))); // 0x7F
+}
+
+#[test]
+fn unsigned_comparison_at_width() {
+    let r = run1(
+        "bb0:\n  %1 = icmp ugt i8 %0, 1\n  %2 = zext i1 %1 to i32\n  ret i32 %2",
+        "(i8 %0) -> i32",
+        &[Val::Int(-1)], // 255 unsigned
+    );
+    assert_eq!(r, Ok(Some(Val::Int(1))));
+}
+
+#[test]
+fn f32_arithmetic_rounds_through_f32() {
+    // 1e8 + 1 is not representable in f32; f64 would keep the +1.
+    let r = run1(
+        "bb0:\n  %1 = fptrunc f64 %0 to f32\n  %2 = fadd f32 %1, 0f3FF0000000000000\n  %3 = fpext f32 %2 to f64\n  ret f64 %3",
+        "(f64 %0) -> f64",
+        &[Val::Float(1e8)],
+    );
+    assert_eq!(r, Ok(Some(Val::Float(1e8))), "f32 rounding applied");
+}
+
+#[test]
+fn fptosi_saturates_nan_to_zero() {
+    let r = run1(
+        "bb0:\n  %1 = fdiv f64 %0, %0\n  %2 = fptosi f64 %1 to i32\n  ret i32 %2",
+        "(f64 %0) -> i32",
+        &[Val::Float(0.0)], // 0/0 = NaN
+    );
+    assert_eq!(r, Ok(Some(Val::Int(0))));
+}
+
+#[test]
+fn float_division_by_zero_is_infinite_not_trapping() {
+    let r = run1(
+        "bb0:\n  %1 = fdiv f64 0f3FF0000000000000, %0\n  %2 = fcmp ogt f64 %1, 0f4059000000000000\n  %3 = zext i1 %2 to i32\n  ret i32 %3",
+        "(f64 %0) -> i32",
+        &[Val::Float(0.0)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(1))), "+inf compares greater");
+}
+
+#[test]
+fn ptrtoint_inttoptr_round_trip() {
+    let r = run1(
+        "bb0:\n  %1 = alloca i64\n  store i64 %0, %1\n  %2 = ptrtoint ptr %1 to i64\n  %3 = inttoptr i64 %2 to ptr\n  %4 = load i64, %3\n  ret i64 %4",
+        "(i64 %0) -> i64",
+        &[Val::Int(0x1234_5678)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(0x1234_5678))));
+}
+
+#[test]
+fn bitcast_between_int_and_float_preserves_bits() {
+    let r = run1(
+        "bb0:\n  %1 = bitcast i64 %0 to f64\n  %2 = bitcast f64 %1 to i64\n  ret i64 %2",
+        "(i64 %0) -> i64",
+        &[Val::Int(0x4037_0000_0000_0000)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(0x4037_0000_0000_0000))));
+}
+
+#[test]
+fn gep_with_negative_index_moves_backwards() {
+    let r = run1(
+        "bb0:\n  %1 = alloca [4 x i32]\n  %2 = gep i32, %1, i64 2\n  store i32 %0, %2\n  %3 = gep i32, %2, i64 -1\n  %4 = gep i32, %3, i64 1\n  %5 = load i32, %4\n  ret i32 %5",
+        "(i32 %0) -> i32",
+        &[Val::Int(91)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(91))));
+}
+
+#[test]
+fn select_evaluates_lazily_ignoring_undef_arm() {
+    let r = run1(
+        "bb0:\n  %1 = icmp sgt i32 %0, 0\n  %2 = select %1, i32 7, undef\n  ret i32 %2",
+        "(i32 %0) -> i32",
+        &[Val::Int(5)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(7))), "untaken undef arm is harmless");
+}
+
+#[test]
+fn branching_on_undef_traps() {
+    let r = run1(
+        "bb0:\n  condbr undef, bb1, bb2\nbb1:\n  ret i32 1\nbb2:\n  ret i32 2",
+        "(i32 %0) -> i32",
+        &[Val::Int(0)],
+    );
+    assert_eq!(r, Err(Trap::UndefUsed { context: "branch condition" }));
+}
+
+#[test]
+fn stores_of_undef_write_zero() {
+    let r = run1(
+        "bb0:\n  %1 = alloca i32\n  store i32 77, %1\n  store i32 undef, %1\n  %2 = load i32, %1\n  ret i32 %2",
+        "(i32 %0) -> i32",
+        &[Val::Int(0)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(0))), "undef stores canonicalize to zero");
+}
+
+#[test]
+fn phi_chooses_by_incoming_edge_not_block_order() {
+    let r = run1(
+        "bb0:\n  %1 = icmp sgt i32 %0, 0\n  condbr %1, bb2, bb1\nbb1:\n  br bb3\nbb2:\n  br bb3\nbb3:\n  %2 = phi i32 [ 10, bb1 ], [ 20, bb2 ]\n  ret i32 %2",
+        "(i32 %0) -> i32",
+        &[Val::Int(5)],
+    );
+    assert_eq!(r, Ok(Some(Val::Int(20))));
+}
+
+#[test]
+fn call_through_wrong_address_traps() {
+    let r = run1(
+        "bb0:\n  %1 = inttoptr i64 12345 to ptr\n  %2 = call i32 %1(i32 %0)\n  ret i32 %2",
+        "(i32 %0) -> i32",
+        &[Val::Int(0)],
+    );
+    assert!(matches!(r, Err(Trap::MemoryFault { .. }) | Err(Trap::BadIndirectCall { .. })));
+}
+
+#[test]
+fn per_function_step_attribution_is_exclusive() {
+    let m = parse_module(
+        r#"
+module "t" {
+define @leaf(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 1
+  %2 = mul i32 %1, 2
+  ret i32 %2
+}
+define @mid(i32 %0) -> i32 {
+bb0:
+  %1 = call i32 @leaf(i32 %0)
+  ret i32 %1
+}
+define @top(i32 %0) -> i32 {
+bb0:
+  %1 = call i32 @mid(i32 %0)
+  %2 = call i32 @mid(i32 %1)
+  ret i32 %2
+}
+}
+"#,
+    )
+    .unwrap();
+    let mut i = Interpreter::new(&m);
+    let out = i.call_by_name("top", &[Val::Int(1)]).unwrap();
+    let leaf = m.lookup_function("leaf").unwrap();
+    let mid = m.lookup_function("mid").unwrap();
+    let top = m.lookup_function("top").unwrap();
+    assert_eq!(i.func_steps(top), 3);
+    assert_eq!(i.func_steps(mid), 4, "two invocations of @mid");
+    assert_eq!(i.func_steps(leaf), 6, "two invocations of @leaf");
+    assert_eq!(out.steps, 13);
+}
+
+#[test]
+fn fuel_is_shared_across_calls_of_one_interpreter() {
+    let m = parse_module(
+        r#"
+module "t" {
+define @burn(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 1
+  %2 = add i32 %1, 1
+  %3 = add i32 %2, 1
+  ret i32 %3
+}
+}
+"#,
+    )
+    .unwrap();
+    let mut i = Interpreter::with_limits(
+        &m,
+        Limits { fuel: 10, memory: 1 << 12, max_depth: 4 },
+    );
+    assert!(i.call_by_name("burn", &[Val::Int(0)]).is_ok()); // 4 steps
+    assert!(i.call_by_name("burn", &[Val::Int(0)]).is_ok()); // 8 steps
+    assert_eq!(
+        i.call_by_name("burn", &[Val::Int(0)]).unwrap_err(),
+        Trap::OutOfFuel,
+        "third call exceeds the shared budget"
+    );
+}

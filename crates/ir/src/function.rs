@@ -1,0 +1,487 @@
+//! Functions and basic blocks.
+//!
+//! A [`Function`] owns three arenas — values, instructions and blocks — plus
+//! the ordered list of its blocks (entry first). All mutation goes through
+//! methods that keep the auxiliary indices (constant dedup map, result
+//! links) consistent.
+
+use std::collections::HashMap;
+
+use crate::ids::{BlockId, FuncId, GlobalId, InstId, ValueId};
+use crate::inst::{Instruction, Opcode};
+use crate::types::{TypeId, TypeStore};
+use crate::value::{normalize_int, ConstKey, Value, ValueKind};
+
+/// Linkage of a function, which decides whether the merging pass may delete
+/// or rewrite it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// Visible outside the module; body may be replaced by a thunk but the
+    /// symbol must survive.
+    #[default]
+    External,
+    /// Module-private; may be removed entirely once unused.
+    Internal,
+}
+
+/// A basic block: a label plus an ordered list of instructions, the last of
+/// which is a terminator (once the function is complete).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// Name used by the printer (`bb0`, `entry.merged`, ...). Not
+    /// semantically meaningful; uniqueness is by [`BlockId`].
+    pub name: String,
+    /// Instructions in execution order.
+    pub insts: Vec<InstId>,
+}
+
+/// A function definition or declaration.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Symbol name, unique within the module.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<TypeId>,
+    /// Return type (`void` allowed).
+    pub ret_ty: TypeId,
+    /// Linkage.
+    pub linkage: Linkage,
+    /// `true` if the function has no body (external declaration).
+    pub is_declaration: bool,
+    /// Ordered blocks; the first is the entry block.
+    pub block_order: Vec<BlockId>,
+    values: Vec<Value>,
+    insts: Vec<Instruction>,
+    blocks: Vec<Block>,
+    arg_values: Vec<ValueId>,
+    const_map: HashMap<ConstKey, ValueId>,
+}
+
+impl Function {
+    /// Creates an empty function definition with one value per parameter.
+    pub fn new(name: impl Into<String>, params: Vec<TypeId>, ret_ty: TypeId) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            params: params.clone(),
+            ret_ty,
+            linkage: Linkage::External,
+            is_declaration: false,
+            block_order: Vec::new(),
+            values: Vec::new(),
+            insts: Vec::new(),
+            blocks: Vec::new(),
+            arg_values: Vec::new(),
+            const_map: HashMap::new(),
+        };
+        for (i, &ty) in params.iter().enumerate() {
+            let v = f.push_value(Value { kind: ValueKind::Arg(i as u32), ty });
+            f.arg_values.push(v);
+        }
+        f
+    }
+
+    /// Creates an external declaration (no body).
+    pub fn new_declaration(name: impl Into<String>, params: Vec<TypeId>, ret_ty: TypeId) -> Self {
+        let mut f = Function::new(name, params, ret_ty);
+        f.is_declaration = true;
+        f
+    }
+
+    // ---- values ---------------------------------------------------------
+
+    fn push_value(&mut self, v: Value) -> ValueId {
+        let id = ValueId::from_index(self.values.len());
+        self.values.push(v);
+        id
+    }
+
+    /// The value representing the `i`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg(&self, i: usize) -> ValueId {
+        self.arg_values[i]
+    }
+
+    /// Number of parameters.
+    pub fn num_args(&self) -> usize {
+        self.arg_values.len()
+    }
+
+    /// Looks up a value.
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Number of values in the arena (including dead ones).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(id, value)` pairs.
+    pub fn values(&self) -> impl Iterator<Item = (ValueId, &Value)> {
+        self.values.iter().enumerate().map(|(i, v)| (ValueId::from_index(i), v))
+    }
+
+    /// Interns an integer constant of type `ty` (an integer or pointer
+    /// type), normalizing the payload to the type's width.
+    pub fn const_int(&mut self, ts: &TypeStore, ty: TypeId, value: i64) -> ValueId {
+        let value = match ts.int_bits(ty) {
+            Some(bits) => normalize_int(value, bits),
+            None => value,
+        };
+        self.intern_const(Value { kind: ValueKind::ConstInt(value), ty })
+    }
+
+    /// Interns a floating-point constant of type `ty`.
+    pub fn const_float(&mut self, ty: TypeId, value: f64) -> ValueId {
+        self.intern_const(Value { kind: ValueKind::ConstFloat(value.to_bits()), ty })
+    }
+
+    /// Interns `undef` of type `ty`.
+    pub fn undef(&mut self, ty: TypeId) -> ValueId {
+        self.intern_const(Value { kind: ValueKind::Undef, ty })
+    }
+
+    /// Interns a reference to a function (always of pointer type `ptr_ty`).
+    pub fn func_ref(&mut self, f: FuncId, ptr_ty: TypeId) -> ValueId {
+        self.intern_const(Value { kind: ValueKind::FuncRef(f), ty: ptr_ty })
+    }
+
+    /// Interns a reference to a global (always of pointer type `ptr_ty`).
+    pub fn global_ref(&mut self, g: GlobalId, ptr_ty: TypeId) -> ValueId {
+        self.intern_const(Value { kind: ValueKind::GlobalRef(g), ty: ptr_ty })
+    }
+
+    /// Interns an arbitrary constant-like value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not constant-like.
+    pub fn intern_const(&mut self, v: Value) -> ValueId {
+        let key = ConstKey::of(&v).expect("intern_const on non-constant value");
+        if let Some(&id) = self.const_map.get(&key) {
+            return id;
+        }
+        let id = self.push_value(v);
+        self.const_map.insert(key, id);
+        id
+    }
+
+    // ---- blocks -----------------------------------------------------------
+
+    /// Appends a new empty block at the end of the block order.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(Block { name: name.into(), insts: Vec::new() });
+        self.block_order.push(id);
+        id
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable block access. Callers must keep instruction parents in sync.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks (a declaration).
+    pub fn entry(&self) -> BlockId {
+        self.block_order[0]
+    }
+
+    /// Number of blocks linked into the function (the executable ones).
+    pub fn num_blocks(&self) -> usize {
+        self.block_order.len()
+    }
+
+    /// Size of the block arena, including blocks that were unlinked (e.g.
+    /// by unreachable-block pruning). Analyses that index tables by
+    /// [`BlockId`] must size them with this, not [`Function::num_blocks`].
+    pub fn block_arena_len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    // ---- instructions ----------------------------------------------------
+
+    /// Appends `inst` to block `bb`, creating a result value if the result
+    /// type is first-class. Returns the result value (or `None`).
+    pub fn append_inst(
+        &mut self,
+        ts: &TypeStore,
+        bb: BlockId,
+        mut inst: Instruction,
+    ) -> (InstId, Option<ValueId>) {
+        inst.parent = bb;
+        let id = InstId::from_index(self.insts.len());
+        let result = if ts.is_first_class(inst.ty) && inst.op != Opcode::Store {
+            Some(self.push_value(Value { kind: ValueKind::Inst(id), ty: inst.ty }))
+        } else {
+            None
+        };
+        inst.result = result;
+        self.insts.push(inst);
+        self.blocks[bb.index()].insts.push(id);
+        (id, result)
+    }
+
+    /// Inserts `inst` into block `bb` at position `pos` (0 = front).
+    /// Used by the dominance-repair machinery of the merged code generator.
+    pub fn insert_inst(
+        &mut self,
+        ts: &TypeStore,
+        bb: BlockId,
+        pos: usize,
+        mut inst: Instruction,
+    ) -> (InstId, Option<ValueId>) {
+        inst.parent = bb;
+        let id = InstId::from_index(self.insts.len());
+        let result = if ts.is_first_class(inst.ty) && inst.op != Opcode::Store {
+            Some(self.push_value(Value { kind: ValueKind::Inst(id), ty: inst.ty }))
+        } else {
+            None
+        };
+        inst.result = result;
+        self.insts.push(inst);
+        self.blocks[bb.index()].insts.insert(pos, id);
+        (id, result)
+    }
+
+    /// Looks up an instruction.
+    pub fn inst(&self, id: InstId) -> &Instruction {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable instruction access.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Instruction {
+        &mut self.insts[id.index()]
+    }
+
+    /// Total number of instructions in the arena (including any that were
+    /// unlinked from their blocks).
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of instructions currently linked into blocks — the size used
+    /// for fingerprints and the paper's "number of instructions" counts.
+    pub fn num_linked_insts(&self) -> usize {
+        self.block_order.iter().map(|&b| self.block(b).insts.len()).sum()
+    }
+
+    /// Iterates over instructions of a block in order.
+    pub fn block_insts(&self, bb: BlockId) -> impl Iterator<Item = (InstId, &Instruction)> {
+        self.blocks[bb.index()].insts.iter().map(move |&i| (i, self.inst(i)))
+    }
+
+    /// Iterates over all instructions in block order.
+    pub fn linked_insts(&self) -> impl Iterator<Item = (InstId, &Instruction)> {
+        self.block_order.iter().flat_map(move |&b| self.block_insts(b))
+    }
+
+    /// The terminator of `bb`, if the block is non-empty and ends in one.
+    pub fn terminator(&self, bb: BlockId) -> Option<(InstId, &Instruction)> {
+        let last = *self.block(bb).insts.last()?;
+        let inst = self.inst(last);
+        inst.is_terminator().then_some((last, inst))
+    }
+
+    /// Position of the first non-phi instruction in `bb` — the "first legal
+    /// point after the definition" for phi-defined values (Section III-E
+    /// bug fix #1).
+    pub fn first_non_phi(&self, bb: BlockId) -> usize {
+        self.block(bb)
+            .insts
+            .iter()
+            .position(|&i| self.inst(i).op != Opcode::Phi)
+            .unwrap_or(self.block(bb).insts.len())
+    }
+
+    /// Replaces every use of `from` with `to` across all instructions.
+    pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) {
+        for inst in &mut self.insts {
+            for op in &mut inst.operands {
+                if *op == from {
+                    *op = to;
+                }
+            }
+        }
+    }
+
+    /// The linear instruction stream of the function, in block order — the
+    /// representation fingerprints and whole-function alignment work on.
+    pub fn linearize(&self) -> Vec<InstId> {
+        self.linked_insts().map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TypeStore, Function) {
+        let mut ts = TypeStore::new();
+        let i32t = ts.int(32);
+        let f = Function::new("test", vec![i32t, i32t], i32t);
+        (ts, f)
+    }
+
+    #[test]
+    fn args_have_values() {
+        let (_, f) = setup();
+        assert_eq!(f.num_args(), 2);
+        let a0 = f.value(f.arg(0));
+        assert_eq!(a0.kind, ValueKind::Arg(0));
+    }
+
+    #[test]
+    fn const_interning_dedups() {
+        let (mut ts, mut f) = setup();
+        let i32t = ts.int(32);
+        let a = f.const_int(&ts, i32t, 7);
+        let b = f.const_int(&ts, i32t, 7);
+        assert_eq!(a, b);
+        let c = f.const_int(&ts, i32t, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn const_int_normalizes_to_width() {
+        let mut ts = TypeStore::new();
+        let i8t = ts.int(8);
+        let mut f = Function::new("t", vec![], i8t);
+        let a = f.const_int(&ts, i8t, 255);
+        let b = f.const_int(&ts, i8t, -1);
+        assert_eq!(a, b, "255 and -1 are the same i8 pattern");
+    }
+
+    #[test]
+    fn append_creates_results_for_first_class_types() {
+        let (mut ts, mut f) = setup();
+        let i32t = ts.int(32);
+        let void = ts.void();
+        let bb = f.add_block("entry");
+        let (a, b) = (f.arg(0), f.arg(1));
+        let (_, res) = f.append_inst(
+            &ts,
+            bb,
+            Instruction {
+                op: Opcode::Add,
+                ty: i32t,
+                operands: vec![a, b],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: bb,
+                result: None,
+            },
+        );
+        assert!(res.is_some());
+        let (_, no_res) = f.append_inst(
+            &ts,
+            bb,
+            Instruction {
+                op: Opcode::Ret,
+                ty: void,
+                operands: vec![res.unwrap()],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: bb,
+                result: None,
+            },
+        );
+        assert!(no_res.is_none());
+        assert_eq!(f.num_linked_insts(), 2);
+        assert!(f.terminator(bb).is_some());
+    }
+
+    #[test]
+    fn first_non_phi_skips_leading_phis() {
+        let (mut ts, mut f) = setup();
+        let i32t = ts.int(32);
+        let bb = f.add_block("bb");
+        let a = f.arg(0);
+        let mk = |op: Opcode, ty: TypeId, bb: BlockId| Instruction {
+            op,
+            ty,
+            operands: vec![a, a],
+            blocks: if op == Opcode::Phi { vec![bb, bb] } else { vec![] },
+            pred: None,
+            aux_ty: None,
+            parent: bb,
+            result: None,
+        };
+        f.append_inst(&ts, bb, mk(Opcode::Phi, i32t, bb));
+        f.append_inst(&ts, bb, mk(Opcode::Phi, i32t, bb));
+        f.append_inst(&ts, bb, mk(Opcode::Add, i32t, bb));
+        assert_eq!(f.first_non_phi(bb), 2);
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands() {
+        let (mut ts, mut f) = setup();
+        let i32t = ts.int(32);
+        let bb = f.add_block("entry");
+        let (a, b) = (f.arg(0), f.arg(1));
+        let (i, res) = f.append_inst(
+            &ts,
+            bb,
+            Instruction {
+                op: Opcode::Add,
+                ty: i32t,
+                operands: vec![a, a],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: bb,
+                result: None,
+            },
+        );
+        f.replace_all_uses(a, b);
+        assert_eq!(f.inst(i).operands, vec![b, b]);
+        let _ = res;
+    }
+
+    #[test]
+    fn linearize_follows_block_order() {
+        let (mut ts, mut f) = setup();
+        let void = ts.void();
+        let bb0 = f.add_block("a");
+        let bb1 = f.add_block("b");
+        let mk_br = |target: BlockId| Instruction {
+            op: Opcode::Br,
+            ty: void,
+            operands: vec![],
+            blocks: vec![target],
+            pred: None,
+            aux_ty: None,
+            parent: bb0,
+            result: None,
+        };
+        let (i0, _) = f.append_inst(&ts, bb0, mk_br(bb1));
+        let (i1, _) = f.append_inst(
+            &ts,
+            bb1,
+            Instruction {
+                op: Opcode::Unreachable,
+                ty: void,
+                operands: vec![],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: bb1,
+                result: None,
+            },
+        );
+        assert_eq!(f.linearize(), vec![i0, i1]);
+    }
+}

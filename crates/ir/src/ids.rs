@@ -1,0 +1,79 @@
+//! Lightweight entity handles.
+//!
+//! All IR entities live in per-function or per-module arenas and are referred
+//! to by dense `u32` indices. Handles are only meaningful together with the
+//! arena that produced them; mixing handles across functions is a logic error
+//! that the verifier will catch (operand out of range / wrong parent).
+
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Constructs a handle from a raw index.
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("arena index overflow"))
+            }
+
+            /// Raw index of this handle inside its arena.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Handle to a [`crate::value::Value`] inside a function.
+    ValueId,
+    "v"
+);
+entity_id!(
+    /// Handle to an [`crate::inst::Instruction`] inside a function.
+    InstId,
+    "inst"
+);
+entity_id!(
+    /// Handle to a basic block inside a function.
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// Handle to a function inside a [`crate::module::Module`].
+    FuncId,
+    "fn"
+);
+entity_id!(
+    /// Handle to a global variable inside a [`crate::module::Module`].
+    GlobalId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let v = ValueId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v:?}"), "v42");
+        let b = BlockId::from_index(7);
+        assert_eq!(format!("{b:?}"), "bb7");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(InstId::from_index(1) < InstId::from_index(2));
+    }
+}

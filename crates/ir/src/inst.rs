@@ -1,0 +1,526 @@
+//! Instructions and opcodes.
+//!
+//! The opcode set mirrors the LLVM instructions that occur in the programs
+//! the F3M paper evaluates on. Each instruction has a result type (possibly
+//! `void`), a flat operand list, an optional list of target blocks (for
+//! terminators and for phi incoming blocks), an optional comparison
+//! predicate and an optional auxiliary type (`alloca`'s allocated type,
+//! `load`'s loaded type, `gep`'s element type, casts' source type is implied
+//! by the operand).
+
+use crate::ids::{BlockId, InstId, ValueId};
+use crate::types::TypeId;
+
+/// Instruction opcodes.
+///
+/// The discriminant doubles as the "integer LLVM associates with each
+/// opcode" in the paper's instruction-encoding scheme (Section III-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Opcode {
+    // Terminators.
+    Ret = 1,
+    Br,
+    CondBr,
+    Invoke,
+    Unreachable,
+    // Integer arithmetic.
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+    // Bitwise.
+    Shl,
+    LShr,
+    AShr,
+    And,
+    Or,
+    Xor,
+    // Floating point arithmetic.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FRem,
+    FNeg,
+    // Memory.
+    Alloca,
+    Load,
+    Store,
+    Gep,
+    // Casts.
+    Trunc,
+    ZExt,
+    SExt,
+    FPTrunc,
+    FPExt,
+    FPToUI,
+    FPToSI,
+    UIToFP,
+    SIToFP,
+    PtrToInt,
+    IntToPtr,
+    BitCast,
+    // Other.
+    ICmp,
+    FCmp,
+    Phi,
+    Select,
+    Call,
+}
+
+impl Opcode {
+    /// Numeric code used by the fingerprint encoding.
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+
+    /// Number of distinct opcodes (the dimensionality of the opcode
+    /// frequency fingerprint used by HyFM).
+    pub const COUNT: usize = 45;
+
+    /// True for instructions that must terminate a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::Ret | Opcode::Br | Opcode::CondBr | Opcode::Invoke | Opcode::Unreachable
+        )
+    }
+
+    /// True for two-operand integer arithmetic/bitwise operations.
+    pub fn is_int_binary(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::UDiv
+                | Opcode::SDiv
+                | Opcode::URem
+                | Opcode::SRem
+                | Opcode::Shl
+                | Opcode::LShr
+                | Opcode::AShr
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+        )
+    }
+
+    /// True for two-operand floating-point operations.
+    pub fn is_float_binary(self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FRem
+        )
+    }
+
+    /// True for any two-operand arithmetic/bitwise operation.
+    pub fn is_binary(self) -> bool {
+        self.is_int_binary() || self.is_float_binary()
+    }
+
+    /// True for cast operations (single operand, result type differs).
+    pub fn is_cast(self) -> bool {
+        matches!(
+            self,
+            Opcode::Trunc
+                | Opcode::ZExt
+                | Opcode::SExt
+                | Opcode::FPTrunc
+                | Opcode::FPExt
+                | Opcode::FPToUI
+                | Opcode::FPToSI
+                | Opcode::UIToFP
+                | Opcode::SIToFP
+                | Opcode::PtrToInt
+                | Opcode::IntToPtr
+                | Opcode::BitCast
+        )
+    }
+
+    /// True if the instruction may access memory.
+    pub fn touches_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store | Opcode::Alloca)
+    }
+
+    /// Textual mnemonic as used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Ret => "ret",
+            Opcode::Br => "br",
+            Opcode::CondBr => "condbr",
+            Opcode::Invoke => "invoke",
+            Opcode::Unreachable => "unreachable",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::UDiv => "udiv",
+            Opcode::SDiv => "sdiv",
+            Opcode::URem => "urem",
+            Opcode::SRem => "srem",
+            Opcode::Shl => "shl",
+            Opcode::LShr => "lshr",
+            Opcode::AShr => "ashr",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FRem => "frem",
+            Opcode::FNeg => "fneg",
+            Opcode::Alloca => "alloca",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Gep => "gep",
+            Opcode::Trunc => "trunc",
+            Opcode::ZExt => "zext",
+            Opcode::SExt => "sext",
+            Opcode::FPTrunc => "fptrunc",
+            Opcode::FPExt => "fpext",
+            Opcode::FPToUI => "fptoui",
+            Opcode::FPToSI => "fptosi",
+            Opcode::UIToFP => "uitofp",
+            Opcode::SIToFP => "sitofp",
+            Opcode::PtrToInt => "ptrtoint",
+            Opcode::IntToPtr => "inttoptr",
+            Opcode::BitCast => "bitcast",
+            Opcode::ICmp => "icmp",
+            Opcode::FCmp => "fcmp",
+            Opcode::Phi => "phi",
+            Opcode::Select => "select",
+            Opcode::Call => "call",
+        }
+    }
+
+    /// Parses a mnemonic back into an opcode.
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Opcode::iter().find(|op| op.mnemonic() == s)
+    }
+
+    /// Iterates over every opcode.
+    pub fn iter() -> impl Iterator<Item = Opcode> {
+        [
+            Opcode::Ret,
+            Opcode::Br,
+            Opcode::CondBr,
+            Opcode::Invoke,
+            Opcode::Unreachable,
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::UDiv,
+            Opcode::SDiv,
+            Opcode::URem,
+            Opcode::SRem,
+            Opcode::Shl,
+            Opcode::LShr,
+            Opcode::AShr,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::FAdd,
+            Opcode::FSub,
+            Opcode::FMul,
+            Opcode::FDiv,
+            Opcode::FRem,
+            Opcode::FNeg,
+            Opcode::Alloca,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::Gep,
+            Opcode::Trunc,
+            Opcode::ZExt,
+            Opcode::SExt,
+            Opcode::FPTrunc,
+            Opcode::FPExt,
+            Opcode::FPToUI,
+            Opcode::FPToSI,
+            Opcode::UIToFP,
+            Opcode::SIToFP,
+            Opcode::PtrToInt,
+            Opcode::IntToPtr,
+            Opcode::BitCast,
+            Opcode::ICmp,
+            Opcode::FCmp,
+            Opcode::Phi,
+            Opcode::Select,
+            Opcode::Call,
+        ]
+        .into_iter()
+    }
+}
+
+/// Integer comparison predicates (subset of LLVM's `icmp`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntPredicate {
+    Eq,
+    Ne,
+    Ugt,
+    Uge,
+    Ult,
+    Ule,
+    Sgt,
+    Sge,
+    Slt,
+    Sle,
+}
+
+impl IntPredicate {
+    /// Textual form (`eq`, `slt`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntPredicate::Eq => "eq",
+            IntPredicate::Ne => "ne",
+            IntPredicate::Ugt => "ugt",
+            IntPredicate::Uge => "uge",
+            IntPredicate::Ult => "ult",
+            IntPredicate::Ule => "ule",
+            IntPredicate::Sgt => "sgt",
+            IntPredicate::Sge => "sge",
+            IntPredicate::Slt => "slt",
+            IntPredicate::Sle => "sle",
+        }
+    }
+
+    /// Parses a predicate mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "eq" => IntPredicate::Eq,
+            "ne" => IntPredicate::Ne,
+            "ugt" => IntPredicate::Ugt,
+            "uge" => IntPredicate::Uge,
+            "ult" => IntPredicate::Ult,
+            "ule" => IntPredicate::Ule,
+            "sgt" => IntPredicate::Sgt,
+            "sge" => IntPredicate::Sge,
+            "slt" => IntPredicate::Slt,
+            "sle" => IntPredicate::Sle,
+            _ => return None,
+        })
+    }
+
+    /// Small integer used by the fingerprint encoding to distinguish
+    /// predicates.
+    pub fn code(self) -> u32 {
+        self as u32 + 1
+    }
+}
+
+/// Floating-point comparison predicates (ordered subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FloatPredicate {
+    Oeq,
+    One,
+    Ogt,
+    Oge,
+    Olt,
+    Ole,
+}
+
+impl FloatPredicate {
+    /// Textual form (`oeq`, `olt`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FloatPredicate::Oeq => "oeq",
+            FloatPredicate::One => "one",
+            FloatPredicate::Ogt => "ogt",
+            FloatPredicate::Oge => "oge",
+            FloatPredicate::Olt => "olt",
+            FloatPredicate::Ole => "ole",
+        }
+    }
+
+    /// Parses a predicate mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "oeq" => FloatPredicate::Oeq,
+            "one" => FloatPredicate::One,
+            "ogt" => FloatPredicate::Ogt,
+            "oge" => FloatPredicate::Oge,
+            "olt" => FloatPredicate::Olt,
+            "ole" => FloatPredicate::Ole,
+            _ => return None,
+        })
+    }
+
+    /// Small integer used by the fingerprint encoding.
+    pub fn code(self) -> u32 {
+        self as u32 + 1
+    }
+}
+
+/// Comparison predicate attached to `icmp`/`fcmp` instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// Integer predicate for [`Opcode::ICmp`].
+    Int(IntPredicate),
+    /// Float predicate for [`Opcode::FCmp`].
+    Float(FloatPredicate),
+}
+
+impl Predicate {
+    /// Small integer used by the fingerprint encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            Predicate::Int(p) => p.code(),
+            Predicate::Float(p) => 16 + p.code(),
+        }
+    }
+}
+
+/// A single IR instruction.
+///
+/// Operand conventions by opcode:
+///
+/// | opcode      | operands                                   | blocks                      |
+/// |-------------|--------------------------------------------|-----------------------------|
+/// | `ret`       | `[]` (void) or `[value]`                   | —                           |
+/// | `br`        | `[]`                                       | `[target]`                  |
+/// | `condbr`    | `[cond]`                                   | `[then, else]`              |
+/// | `invoke`    | `[callee, args...]`                        | `[normal, unwind]`          |
+/// | binary ops  | `[lhs, rhs]`                               | —                           |
+/// | `fneg`      | `[x]`                                      | —                           |
+/// | `alloca`    | `[]` (`aux_ty` = allocated type)           | —                           |
+/// | `load`      | `[ptr]`                                    | —                           |
+/// | `store`     | `[value, ptr]`                             | —                           |
+/// | `gep`       | `[ptr, index]` (`aux_ty` = element type)   | —                           |
+/// | casts       | `[x]`                                      | —                           |
+/// | `icmp/fcmp` | `[lhs, rhs]` + `pred`                      | —                           |
+/// | `phi`       | `[v0, v1, ...]`                            | `[bb0, bb1, ...]` (parallel)|
+/// | `select`    | `[cond, if_true, if_false]`                | —                           |
+/// | `call`      | `[callee, args...]`                        | —                           |
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instruction {
+    /// What the instruction does.
+    pub op: Opcode,
+    /// Result type (`void` for `store`, `br`, etc.).
+    pub ty: TypeId,
+    /// Value operands (see table above).
+    pub operands: Vec<ValueId>,
+    /// Block operands: branch targets, or phi incoming blocks.
+    pub blocks: Vec<BlockId>,
+    /// Comparison predicate for `icmp`/`fcmp`.
+    pub pred: Option<Predicate>,
+    /// Auxiliary type: allocated type for `alloca`, element type for `gep`.
+    pub aux_ty: Option<TypeId>,
+    /// Block that contains this instruction.
+    pub parent: BlockId,
+    /// The SSA value holding this instruction's result, if it produces one.
+    pub result: Option<ValueId>,
+}
+
+impl Instruction {
+    /// True if this instruction ends its block.
+    pub fn is_terminator(&self) -> bool {
+        self.op.is_terminator()
+    }
+
+    /// Successor blocks if this is a terminator (empty for `ret` and
+    /// `unreachable`). Phi incoming blocks are *not* successors.
+    pub fn successors(&self) -> &[BlockId] {
+        if self.is_terminator() {
+            &self.blocks
+        } else {
+            &[]
+        }
+    }
+
+    /// For `phi` instructions, the `(incoming block, incoming value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not a phi.
+    pub fn phi_incomings(&self) -> impl Iterator<Item = (BlockId, ValueId)> + '_ {
+        assert_eq!(self.op, Opcode::Phi, "phi_incomings on non-phi");
+        self.blocks.iter().copied().zip(self.operands.iter().copied())
+    }
+}
+
+/// An instruction paired with its id; convenient return type for iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct InstRef<'a> {
+    /// Handle of the instruction.
+    pub id: InstId,
+    /// The instruction itself.
+    pub inst: &'a Instruction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_round_trip_all_opcodes() {
+        for op in Opcode::iter() {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn opcode_codes_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::iter() {
+            assert!(seen.insert(op.code()), "duplicate code for {op:?}");
+        }
+        assert_eq!(seen.len(), 45);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Ret.is_terminator());
+        assert!(Opcode::CondBr.is_terminator());
+        assert!(Opcode::Invoke.is_terminator());
+        assert!(!Opcode::Call.is_terminator());
+        assert!(!Opcode::Phi.is_terminator());
+    }
+
+    #[test]
+    fn binary_classification() {
+        assert!(Opcode::Add.is_int_binary());
+        assert!(Opcode::FMul.is_float_binary());
+        assert!(Opcode::Add.is_binary());
+        assert!(!Opcode::FNeg.is_binary());
+        assert!(!Opcode::ICmp.is_binary());
+    }
+
+    #[test]
+    fn predicate_mnemonics_round_trip() {
+        for p in [
+            IntPredicate::Eq,
+            IntPredicate::Ne,
+            IntPredicate::Ugt,
+            IntPredicate::Uge,
+            IntPredicate::Ult,
+            IntPredicate::Ule,
+            IntPredicate::Sgt,
+            IntPredicate::Sge,
+            IntPredicate::Slt,
+            IntPredicate::Sle,
+        ] {
+            assert_eq!(IntPredicate::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        for p in [
+            FloatPredicate::Oeq,
+            FloatPredicate::One,
+            FloatPredicate::Ogt,
+            FloatPredicate::Oge,
+            FloatPredicate::Olt,
+            FloatPredicate::Ole,
+        ] {
+            assert_eq!(FloatPredicate::from_mnemonic(p.mnemonic()), Some(p));
+        }
+    }
+
+    #[test]
+    fn predicate_codes_distinct_between_int_and_float() {
+        let i = Predicate::Int(IntPredicate::Eq).code();
+        let f = Predicate::Float(FloatPredicate::Oeq).code();
+        assert_ne!(i, f);
+    }
+}

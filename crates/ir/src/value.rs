@@ -1,0 +1,147 @@
+//! SSA values.
+//!
+//! A [`Value`] is anything that can appear as an instruction operand:
+//! function arguments, instruction results, constants, `undef`, and
+//! references to module-level entities (functions, globals). Values are
+//! stored in a per-function arena; constants are deduplicated per function.
+
+use crate::ids::{FuncId, GlobalId, InstId};
+use crate::types::TypeId;
+
+/// What a value is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueKind {
+    /// The `i`-th formal parameter of the enclosing function.
+    Arg(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+    /// Integer constant. The payload is the two's-complement bit pattern
+    /// truncated to the type's width; stored sign-extended to 64 bits.
+    ConstInt(i64),
+    /// Floating-point constant, stored as the IEEE-754 bit pattern of the
+    /// `f64` value (also used for `f32` constants, converted on use).
+    ConstFloat(u64),
+    /// An undefined value of the given type.
+    Undef,
+    /// Address of a function in the enclosing module.
+    FuncRef(FuncId),
+    /// Address of a global variable in the enclosing module.
+    GlobalRef(GlobalId),
+}
+
+/// A value in a function's value arena.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Value {
+    /// Structure of the value.
+    pub kind: ValueKind,
+    /// Type of the value.
+    pub ty: TypeId,
+}
+
+impl Value {
+    /// True if this value is a constant, `undef`, or a module-entity
+    /// reference — i.e. anything that does not depend on control flow and
+    /// can be freely rematerialized in a merged function.
+    pub fn is_constant_like(&self) -> bool {
+        matches!(
+            self.kind,
+            ValueKind::ConstInt(_)
+                | ValueKind::ConstFloat(_)
+                | ValueKind::Undef
+                | ValueKind::FuncRef(_)
+                | ValueKind::GlobalRef(_)
+        )
+    }
+
+    /// True if this value is the result of an instruction.
+    pub fn is_inst(&self) -> bool {
+        matches!(self.kind, ValueKind::Inst(_))
+    }
+
+    /// The defining instruction, if any.
+    pub fn def_inst(&self) -> Option<InstId> {
+        match self.kind {
+            ValueKind::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// Key used to deduplicate constant values within a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConstKey {
+    /// Integer constant of a type.
+    Int(TypeId, i64),
+    /// Float constant of a type (bit pattern).
+    Float(TypeId, u64),
+    /// `undef` of a type.
+    Undef(TypeId),
+    /// Function reference.
+    Func(FuncId),
+    /// Global reference.
+    Global(GlobalId),
+}
+
+impl ConstKey {
+    /// Builds the dedup key for a constant-like value, or `None` if the
+    /// value is not constant-like.
+    pub fn of(v: &Value) -> Option<ConstKey> {
+        Some(match v.kind {
+            ValueKind::ConstInt(x) => ConstKey::Int(v.ty, x),
+            ValueKind::ConstFloat(b) => ConstKey::Float(v.ty, b),
+            ValueKind::Undef => ConstKey::Undef(v.ty),
+            ValueKind::FuncRef(f) => ConstKey::Func(f),
+            ValueKind::GlobalRef(g) => ConstKey::Global(g),
+            _ => return None,
+        })
+    }
+}
+
+/// Truncates a 64-bit pattern to `bits` and sign-extends back; the canonical
+/// representation used for [`ValueKind::ConstInt`] payloads.
+pub fn normalize_int(value: i64, bits: u32) -> i64 {
+    if bits >= 64 {
+        return value;
+    }
+    let shift = 64 - bits;
+    (value << shift) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ValueId;
+
+    #[test]
+    fn normalize_int_wraps_to_width() {
+        assert_eq!(normalize_int(255, 8), -1);
+        assert_eq!(normalize_int(127, 8), 127);
+        assert_eq!(normalize_int(128, 8), -128);
+        assert_eq!(normalize_int(1, 1), -1);
+        assert_eq!(normalize_int(0, 1), 0);
+        assert_eq!(normalize_int(i64::MAX, 64), i64::MAX);
+    }
+
+    #[test]
+    fn constant_likeness() {
+        let ty = TypeId(4);
+        let c = Value { kind: ValueKind::ConstInt(3), ty };
+        assert!(c.is_constant_like());
+        assert!(!c.is_inst());
+        let a = Value { kind: ValueKind::Arg(0), ty };
+        assert!(!a.is_constant_like());
+        let i = Value { kind: ValueKind::Inst(InstId::from_index(0)), ty };
+        assert!(i.is_inst());
+        assert_eq!(i.def_inst(), Some(InstId::from_index(0)));
+    }
+
+    #[test]
+    fn const_keys_distinguish_types() {
+        let a = Value { kind: ValueKind::ConstInt(1), ty: TypeId(4) };
+        let b = Value { kind: ValueKind::ConstInt(1), ty: TypeId(5) };
+        assert_ne!(ConstKey::of(&a), ConstKey::of(&b));
+        let arg = Value { kind: ValueKind::Arg(0), ty: TypeId(4) };
+        assert_eq!(ConstKey::of(&arg), None);
+        let _ = ValueId::from_index(0);
+    }
+}

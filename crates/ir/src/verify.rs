@@ -1,0 +1,808 @@
+//! IR verifier: structural, type and SSA-dominance checks.
+//!
+//! The verifier is the safety net for the merged-function code generator.
+//! The paper (Section III-E) describes how HyFM's dominance repair had two
+//! bugs that produced invalid SSA and silently broke binaries; in this
+//! reproduction, every merged function is verified, so such bugs surface as
+//! [`VerifyError::DominanceViolation`] instead of miscompiles.
+
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ids::{BlockId, FuncId, InstId, ValueId};
+use crate::inst::{Opcode, Predicate};
+use crate::function::Function;
+use crate::module::Module;
+use crate::types::TypeKind;
+use crate::value::ValueKind;
+
+/// A single verification failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// A function definition has no blocks.
+    EmptyFunction { func: String },
+    /// A block has no terminator, or has one before its end.
+    BadTerminator { func: String, block: BlockId, detail: String },
+    /// A phi is not in the leading phi group of its block.
+    MisplacedPhi { func: String, inst: InstId },
+    /// Phi incoming blocks disagree with the CFG predecessors.
+    PhiIncomingMismatch { func: String, inst: InstId, detail: String },
+    /// An operand's definition does not dominate its use.
+    DominanceViolation { func: String, inst: InstId, operand: ValueId },
+    /// An instruction is badly typed.
+    TypeError { func: String, inst: InstId, detail: String },
+    /// Malformed operand/target counts for an opcode.
+    Malformed { func: String, inst: InstId, detail: String },
+    /// The entry block has predecessors.
+    EntryHasPreds { func: String },
+    /// A call or invoke references a callee with a mismatched signature.
+    SignatureMismatch { func: String, inst: InstId, detail: String },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyFunction { func } => write!(f, "{func}: definition has no blocks"),
+            VerifyError::BadTerminator { func, block, detail } => {
+                write!(f, "{func}/{block:?}: bad terminator: {detail}")
+            }
+            VerifyError::MisplacedPhi { func, inst } => {
+                write!(f, "{func}/{inst:?}: phi after non-phi instruction")
+            }
+            VerifyError::PhiIncomingMismatch { func, inst, detail } => {
+                write!(f, "{func}/{inst:?}: phi incoming mismatch: {detail}")
+            }
+            VerifyError::DominanceViolation { func, inst, operand } => {
+                write!(f, "{func}/{inst:?}: operand {operand:?} does not dominate use")
+            }
+            VerifyError::TypeError { func, inst, detail } => {
+                write!(f, "{func}/{inst:?}: type error: {detail}")
+            }
+            VerifyError::Malformed { func, inst, detail } => {
+                write!(f, "{func}/{inst:?}: malformed: {detail}")
+            }
+            VerifyError::EntryHasPreds { func } => {
+                write!(f, "{func}: entry block has predecessors")
+            }
+            VerifyError::SignatureMismatch { func, inst, detail } => {
+                write!(f, "{func}/{inst:?}: signature mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns every problem found across all function definitions.
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for (id, f) in m.functions() {
+        if f.is_declaration {
+            continue;
+        }
+        if let Err(mut e) = verify_function(m, id) {
+            errs.append(&mut e);
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verifies one function definition.
+///
+/// # Errors
+///
+/// Returns every problem found. An empty function body is reported as a
+/// single [`VerifyError::EmptyFunction`].
+pub fn verify_function(m: &Module, id: FuncId) -> Result<(), Vec<VerifyError>> {
+    let f = m.function(id);
+    let fname = f.name.clone();
+    let mut errs: Vec<VerifyError> = Vec::new();
+
+    if f.block_order.is_empty() {
+        return Err(vec![VerifyError::EmptyFunction { func: fname }]);
+    }
+
+    // Structural checks per block.
+    for &bb in &f.block_order {
+        let insts = &f.block(bb).insts;
+        if insts.is_empty() {
+            errs.push(VerifyError::BadTerminator {
+                func: fname.clone(),
+                block: bb,
+                detail: "empty block".into(),
+            });
+            continue;
+        }
+        for (pos, &i) in insts.iter().enumerate() {
+            let inst = f.inst(i);
+            let last = pos + 1 == insts.len();
+            if inst.is_terminator() && !last {
+                errs.push(VerifyError::BadTerminator {
+                    func: fname.clone(),
+                    block: bb,
+                    detail: format!("terminator {:?} not at block end", inst.op),
+                });
+            }
+            if last && !inst.is_terminator() {
+                errs.push(VerifyError::BadTerminator {
+                    func: fname.clone(),
+                    block: bb,
+                    detail: format!("block ends with non-terminator {:?}", inst.op),
+                });
+            }
+        }
+        // Phi grouping.
+        let first_non_phi = f.first_non_phi(bb);
+        for &i in &insts[first_non_phi..] {
+            if f.inst(i).op == Opcode::Phi {
+                errs.push(VerifyError::MisplacedPhi { func: fname.clone(), inst: i });
+            }
+        }
+    }
+
+    if !errs.is_empty() {
+        // CFG-derived checks below assume structural sanity.
+        return Err(errs);
+    }
+
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+
+    if !cfg.preds(f.entry()).is_empty() {
+        errs.push(VerifyError::EntryHasPreds { func: fname.clone() });
+    }
+
+    for &bb in &f.block_order {
+        if !cfg.is_reachable(bb) {
+            continue; // unreachable code is tolerated, like in LLVM
+        }
+        for (iid, inst) in f.block_insts(bb) {
+            check_shape(m, f, &fname, iid, inst, &mut errs);
+            check_types(m, f, &fname, iid, inst, &mut errs);
+            if inst.op == Opcode::Phi {
+                check_phi(f, &cfg, &dt, &fname, iid, bb, &mut errs);
+            } else {
+                // Dominance for ordinary uses.
+                for &op in &inst.operands {
+                    if let ValueKind::Inst(def) = f.value(op).kind {
+                        if !dt.dominates_inst(f, def, iid) {
+                            errs.push(VerifyError::DominanceViolation {
+                                func: fname.clone(),
+                                inst: iid,
+                                operand: op,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+fn check_phi(
+    f: &Function,
+    cfg: &Cfg,
+    dt: &DomTree,
+    fname: &str,
+    iid: InstId,
+    bb: BlockId,
+    errs: &mut Vec<VerifyError>,
+) {
+    let inst = f.inst(iid);
+    if inst.operands.len() != inst.blocks.len() {
+        errs.push(VerifyError::PhiIncomingMismatch {
+            func: fname.to_string(),
+            inst: iid,
+            detail: format!(
+                "{} values vs {} blocks",
+                inst.operands.len(),
+                inst.blocks.len()
+            ),
+        });
+        return;
+    }
+    // One incoming entry per distinct predecessor (duplicate edges from a
+    // conditional branch with identical targets count once).
+    let mut preds: Vec<BlockId> = cfg.preds(bb).to_vec();
+    preds.sort();
+    preds.dedup();
+    let mut incoming: Vec<BlockId> = inst.blocks.clone();
+    incoming.sort();
+    incoming.dedup();
+    if preds != incoming {
+        errs.push(VerifyError::PhiIncomingMismatch {
+            func: fname.to_string(),
+            inst: iid,
+            detail: format!("incoming blocks {incoming:?} != preds {preds:?}"),
+        });
+    }
+    // Dominance of each incoming value at the end of its incoming block.
+    for (block, val) in inst.phi_incomings() {
+        if let ValueKind::Inst(def) = f.value(val).kind {
+            if !dt.dominates_phi_use(f, def, block) {
+                errs.push(VerifyError::DominanceViolation {
+                    func: fname.to_string(),
+                    inst: iid,
+                    operand: val,
+                });
+            }
+        }
+    }
+}
+
+fn check_shape(
+    m: &Module,
+    f: &Function,
+    fname: &str,
+    iid: InstId,
+    inst: &crate::inst::Instruction,
+    errs: &mut Vec<VerifyError>,
+) {
+    let mut bad = |detail: String| {
+        errs.push(VerifyError::Malformed { func: fname.to_string(), inst: iid, detail });
+    };
+    let nops = inst.operands.len();
+    let nblocks = inst.blocks.len();
+    match inst.op {
+        Opcode::Ret => {
+            if nops > 1 || nblocks != 0 {
+                bad(format!("ret with {nops} operands / {nblocks} targets"));
+            }
+        }
+        Opcode::Br => {
+            if nops != 0 || nblocks != 1 {
+                bad(format!("br with {nops} operands / {nblocks} targets"));
+            }
+        }
+        Opcode::CondBr => {
+            if nops != 1 || nblocks != 2 {
+                bad(format!("condbr with {nops} operands / {nblocks} targets"));
+            }
+        }
+        Opcode::Invoke => {
+            if nops < 1 || nblocks != 2 {
+                bad(format!("invoke with {nops} operands / {nblocks} targets"));
+            }
+        }
+        Opcode::Unreachable => {
+            if nops != 0 || nblocks != 0 {
+                bad("unreachable with operands".into());
+            }
+        }
+        Opcode::Alloca => {
+            if nops != 0 || inst.aux_ty.is_none() {
+                bad("alloca needs zero operands and an allocated type".into());
+            }
+        }
+        Opcode::Load => {
+            if nops != 1 {
+                bad(format!("load with {nops} operands"));
+            }
+        }
+        Opcode::Store => {
+            if nops != 2 {
+                bad(format!("store with {nops} operands"));
+            }
+        }
+        Opcode::Gep => {
+            if nops != 2 || inst.aux_ty.is_none() {
+                bad("gep needs [ptr, index] and an element type".into());
+            }
+        }
+        Opcode::ICmp | Opcode::FCmp => {
+            if nops != 2 || inst.pred.is_none() {
+                bad("cmp needs two operands and a predicate".into());
+            }
+            match (inst.op, inst.pred) {
+                (Opcode::ICmp, Some(Predicate::Float(_))) => {
+                    bad("icmp with float predicate".into())
+                }
+                (Opcode::FCmp, Some(Predicate::Int(_))) => bad("fcmp with int predicate".into()),
+                _ => {}
+            }
+        }
+        Opcode::Select => {
+            if nops != 3 {
+                bad(format!("select with {nops} operands"));
+            }
+        }
+        Opcode::Call => {
+            if nops < 1 {
+                bad("call without callee".into());
+            }
+        }
+        Opcode::Phi => {
+            if nops == 0 {
+                bad("phi with no incomings".into());
+            }
+        }
+        Opcode::FNeg => {
+            if nops != 1 {
+                bad(format!("fneg with {nops} operands"));
+            }
+        }
+        op if op.is_binary() => {
+            if nops != 2 {
+                bad(format!("{op:?} with {nops} operands"));
+            }
+        }
+        op if op.is_cast() => {
+            if nops != 1 {
+                bad(format!("{op:?} with {nops} operands"));
+            }
+        }
+        _ => {}
+    }
+    // Call/invoke signature checks against direct callees.
+    if matches!(inst.op, Opcode::Call | Opcode::Invoke) && !inst.operands.is_empty() {
+        if let ValueKind::FuncRef(callee) = f.value(inst.operands[0]).kind {
+            let callee_f = m.function(callee);
+            let args = &inst.operands[1..];
+            if args.len() != callee_f.params.len() {
+                errs.push(VerifyError::SignatureMismatch {
+                    func: fname.to_string(),
+                    inst: iid,
+                    detail: format!(
+                        "{} args to @{} expecting {}",
+                        args.len(),
+                        callee_f.name,
+                        callee_f.params.len()
+                    ),
+                });
+            } else {
+                for (k, (&a, &p)) in args.iter().zip(callee_f.params.iter()).enumerate() {
+                    if f.value(a).ty != p {
+                        errs.push(VerifyError::SignatureMismatch {
+                            func: fname.to_string(),
+                            inst: iid,
+                            detail: format!("arg {k} type mismatch calling @{}", callee_f.name),
+                        });
+                    }
+                }
+                if inst.ty != callee_f.ret_ty {
+                    errs.push(VerifyError::SignatureMismatch {
+                        func: fname.to_string(),
+                        inst: iid,
+                        detail: format!("return type mismatch calling @{}", callee_f.name),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_types(
+    m: &Module,
+    f: &Function,
+    fname: &str,
+    iid: InstId,
+    inst: &crate::inst::Instruction,
+    errs: &mut Vec<VerifyError>,
+) {
+    let ts = &m.types;
+    let mut bad = |detail: String| {
+        errs.push(VerifyError::TypeError { func: fname.to_string(), inst: iid, detail });
+    };
+    let vty = |v: ValueId| f.value(v).ty;
+    match inst.op {
+        op if op.is_int_binary() => {
+            if inst.operands.len() == 2 {
+                let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
+                if a != b || a != inst.ty {
+                    bad("int binary operand/result types differ".into());
+                } else if !ts.is_int(a) {
+                    bad("int binary on non-integer type".into());
+                }
+            }
+        }
+        op if op.is_float_binary() => {
+            if inst.operands.len() == 2 {
+                let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
+                if a != b || a != inst.ty {
+                    bad("float binary operand/result types differ".into());
+                } else if !ts.is_float(a) {
+                    bad("float binary on non-float type".into());
+                }
+            }
+        }
+        Opcode::FNeg => {
+            if inst.operands.len() == 1 {
+                let a = vty(inst.operands[0]);
+                if a != inst.ty || !ts.is_float(a) {
+                    bad("fneg type mismatch".into());
+                }
+            }
+        }
+        Opcode::ICmp => {
+            if inst.operands.len() == 2 {
+                let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
+                if a != b {
+                    bad("icmp operand types differ".into());
+                } else if !(ts.is_int(a) || ts.is_ptr(a)) {
+                    bad("icmp on non-integer/pointer type".into());
+                }
+                if !ts.is_bool(inst.ty) {
+                    bad("icmp result must be i1".into());
+                }
+            }
+        }
+        Opcode::FCmp => {
+            if inst.operands.len() == 2 {
+                let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
+                if a != b || !ts.is_float(a) {
+                    bad("fcmp operand types invalid".into());
+                }
+                if !ts.is_bool(inst.ty) {
+                    bad("fcmp result must be i1".into());
+                }
+            }
+        }
+        Opcode::Select => {
+            if inst.operands.len() == 3 {
+                if !ts.is_bool(vty(inst.operands[0])) {
+                    bad("select condition must be i1".into());
+                }
+                let (t, e) = (vty(inst.operands[1]), vty(inst.operands[2]));
+                if t != e || t != inst.ty {
+                    bad("select arm/result types differ".into());
+                }
+            }
+        }
+        Opcode::CondBr => {
+            if inst.operands.len() == 1 && !ts.is_bool(vty(inst.operands[0])) {
+                bad("condbr condition must be i1".into());
+            }
+        }
+        Opcode::Ret => {
+            let want_void = ts.is_void(f.ret_ty);
+            match (inst.operands.first(), want_void) {
+                (None, true) => {}
+                (None, false) => bad("ret void in non-void function".into()),
+                (Some(_), true) => bad("ret value in void function".into()),
+                (Some(&v), false) => {
+                    if vty(v) != f.ret_ty {
+                        bad("ret value type != function return type".into());
+                    }
+                }
+            }
+        }
+        Opcode::Load => {
+            if inst.operands.len() == 1 && !ts.is_ptr(vty(inst.operands[0])) {
+                bad("load address must be ptr".into());
+            }
+        }
+        Opcode::Store => {
+            if inst.operands.len() == 2 && !ts.is_ptr(vty(inst.operands[1])) {
+                bad("store address must be ptr".into());
+            }
+        }
+        Opcode::Gep => {
+            if inst.operands.len() == 2 {
+                if !ts.is_ptr(vty(inst.operands[0])) {
+                    bad("gep base must be ptr".into());
+                }
+                if !ts.is_int(vty(inst.operands[1])) {
+                    bad("gep index must be an integer".into());
+                }
+            }
+        }
+        Opcode::Phi => {
+            for &v in &inst.operands {
+                if vty(v) != inst.ty {
+                    bad("phi incoming value type mismatch".into());
+                    break;
+                }
+            }
+        }
+        op if op.is_cast() => {
+            if inst.operands.len() == 1 {
+                let from = vty(inst.operands[0]);
+                let to = inst.ty;
+                let valid = match op {
+                    Opcode::Trunc => int_widths(ts, from, to).is_some_and(|(a, b)| a > b),
+                    Opcode::ZExt | Opcode::SExt => {
+                        int_widths(ts, from, to).is_some_and(|(a, b)| a < b)
+                    }
+                    Opcode::FPTrunc | Opcode::FPExt => {
+                        ts.is_float(from) && ts.is_float(to) && from != to
+                    }
+                    Opcode::FPToUI | Opcode::FPToSI => ts.is_float(from) && ts.is_int(to),
+                    Opcode::UIToFP | Opcode::SIToFP => ts.is_int(from) && ts.is_float(to),
+                    Opcode::PtrToInt => ts.is_ptr(from) && ts.is_int(to),
+                    Opcode::IntToPtr => ts.is_int(from) && ts.is_ptr(to),
+                    Opcode::BitCast => ts.size_of(from) == ts.size_of(to) && from != to,
+                    _ => true,
+                };
+                if !valid {
+                    bad(format!(
+                        "invalid {} from {} to {}",
+                        op.mnemonic(),
+                        ts.display(from),
+                        ts.display(to)
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+    let _ = m;
+}
+
+fn int_widths(
+    ts: &crate::types::TypeStore,
+    from: crate::types::TypeId,
+    to: crate::types::TypeId,
+) -> Option<(u32, u32)> {
+    match (ts.kind(from), ts.kind(to)) {
+        (TypeKind::Int(a), TypeKind::Int(b)) => Some((*a, *b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Function;
+    use crate::inst::{Instruction, IntPredicate};
+    use crate::module::Module;
+
+    fn simple_module() -> Module {
+        let mut m = Module::new("t");
+        let i32t = m.types.int(32);
+        let mut f = Function::new("ok", vec![i32t, i32t], i32t);
+        {
+            let mut b = FunctionBuilder::new(&mut m.types, &mut f);
+            let entry = b.create_block("entry");
+            b.position_at_end(entry);
+            let s = b.add(b.func().arg(0), b.func().arg(1));
+            b.ret(Some(s));
+        }
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let m = simple_module();
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = Module::new("t");
+        let i32t = m.types.int(32);
+        let mut f = Function::new("bad", vec![i32t], i32t);
+        {
+            let mut b = FunctionBuilder::new(&mut m.types, &mut f);
+            let entry = b.create_block("entry");
+            b.position_at_end(entry);
+            b.add(b.func().arg(0), b.func().arg(0));
+            // no ret
+        }
+        let id = m.add_function(f);
+        let errs = verify_function(&m, id).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadTerminator { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_ret() {
+        let mut m = Module::new("t");
+        let i32t = m.types.int(32);
+        let i64t = m.types.int(64);
+        let mut f = Function::new("bad", vec![i64t], i32t);
+        {
+            let mut b = FunctionBuilder::new(&mut m.types, &mut f);
+            let entry = b.create_block("entry");
+            b.position_at_end(entry);
+            let a = b.func().arg(0);
+            b.ret(Some(a));
+        }
+        let id = m.add_function(f);
+        let errs = verify_function(&m, id).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::TypeError { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_dominance_violation() {
+        let mut m = Module::new("t");
+        let i32t = m.types.int(32);
+        let void = m.types.void();
+        let mut f = Function::new("bad", vec![i32t], i32t);
+        let entry = f.add_block("entry");
+        let other = f.add_block("other");
+        // entry: ret uses a value defined in `other`, which does not
+        // dominate entry.
+        let arg = f.arg(0);
+        let (_, late) = f.append_inst(
+            &m.types,
+            other,
+            Instruction {
+                op: Opcode::Add,
+                ty: i32t,
+                operands: vec![arg, arg],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: other,
+                result: None,
+            },
+        );
+        // Make `other` reachable: entry condbr -> other / exit path.
+        f.append_inst(
+            &m.types,
+            entry,
+            Instruction {
+                op: Opcode::Ret,
+                ty: void,
+                operands: vec![late.unwrap()],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: entry,
+                result: None,
+            },
+        );
+        f.append_inst(
+            &m.types,
+            other,
+            Instruction {
+                op: Opcode::Unreachable,
+                ty: void,
+                operands: vec![],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: other,
+                result: None,
+            },
+        );
+        let id = m.add_function(f);
+        let errs = verify_function(&m, id).unwrap_err();
+        assert!(
+            errs.iter().any(|e| matches!(e, VerifyError::DominanceViolation { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_phi_incoming_mismatch() {
+        let mut m = Module::new("t");
+        let i32t = m.types.int(32);
+        let mut f = Function::new("bad", vec![i32t], i32t);
+        {
+            let mut b = FunctionBuilder::new(&mut m.types, &mut f);
+            let entry = b.create_block("entry");
+            let next = b.create_block("next");
+            b.position_at_end(entry);
+            b.br(next);
+            b.position_at_end(next);
+            // Phi claims an incoming from `next` itself, but the only pred
+            // is `entry`.
+            let a = b.func().arg(0);
+            let p = b.phi(i32t, &[(a, next)]);
+            b.ret(Some(p));
+        }
+        let id = m.add_function(f);
+        let errs = verify_function(&m, id).unwrap_err();
+        assert!(
+            errs.iter().any(|e| matches!(e, VerifyError::PhiIncomingMismatch { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_misplaced_phi() {
+        let mut m = Module::new("t");
+        let i32t = m.types.int(32);
+        let void = m.types.void();
+        let mut f = Function::new("bad", vec![i32t], i32t);
+        let entry = f.add_block("entry");
+        let arg = f.arg(0);
+        let mk = |op, ty, operands: Vec<ValueId>, blocks: Vec<BlockId>| Instruction {
+            op,
+            ty,
+            operands,
+            blocks,
+            pred: None,
+            aux_ty: None,
+            parent: entry,
+            result: None,
+        };
+        let (_, add) = f.append_inst(&m.types, entry, mk(Opcode::Add, i32t, vec![arg, arg], vec![]));
+        // Phi after a non-phi; also give it a bogus incoming to keep shape valid.
+        f.append_inst(&m.types, entry, mk(Opcode::Phi, i32t, vec![arg], vec![entry]));
+        f.append_inst(&m.types, entry, mk(Opcode::Ret, void, vec![add.unwrap()], vec![]));
+        let id = m.add_function(f);
+        let errs = verify_function(&m, id).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::MisplacedPhi { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_signature_mismatch() {
+        let mut m = simple_module();
+        let i32t = m.types.int(32);
+        let i64t = m.types.int(64);
+        let ptr = m.types.ptr();
+        let callee = m.lookup_function("ok").unwrap();
+        let mut f = Function::new("caller", vec![i64t], i32t);
+        let fr = f.func_ref(callee, ptr);
+        {
+            let mut b = FunctionBuilder::new(&mut m.types, &mut f);
+            let entry = b.create_block("entry");
+            b.position_at_end(entry);
+            // Pass an i64 where `ok` expects two i32 params: both an arity
+            // and a type mismatch.
+            let v = b.func().arg(0);
+            let _ = b.call(fr, &[v], i32t);
+            let z = b.const_int(i32t, 0);
+            b.ret(Some(z));
+        }
+        let id = m.add_function(f);
+        let errs = verify_function(&m, id).unwrap_err();
+        assert!(
+            errs.iter().any(|e| matches!(e, VerifyError::SignatureMismatch { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn icmp_result_must_be_bool() {
+        // Constructed via the builder, icmp is always well-typed; build a raw
+        // one to check the verifier path.
+        let mut m = Module::new("t");
+        let i32t = m.types.int(32);
+        let void = m.types.void();
+        let mut f = Function::new("bad", vec![i32t], i32t);
+        let entry = f.add_block("entry");
+        let arg = f.arg(0);
+        let (_, c) = f.append_inst(
+            &m.types,
+            entry,
+            Instruction {
+                op: Opcode::ICmp,
+                ty: i32t, // should be i1
+                operands: vec![arg, arg],
+                blocks: vec![],
+                pred: Some(Predicate::Int(IntPredicate::Eq)),
+                aux_ty: None,
+                parent: entry,
+                result: None,
+            },
+        );
+        f.append_inst(
+            &m.types,
+            entry,
+            Instruction {
+                op: Opcode::Ret,
+                ty: void,
+                operands: vec![c.unwrap()],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: entry,
+                result: None,
+            },
+        );
+        let id = m.add_function(f);
+        let errs = verify_function(&m, id).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::TypeError { .. })), "{errs:?}");
+    }
+}

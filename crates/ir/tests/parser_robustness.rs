@@ -1,0 +1,108 @@
+//! Robustness tests: the parser must never panic, only return errors, no
+//! matter how mangled its input is.
+
+use proptest::prelude::*;
+
+use f3m_ir::parser::parse_module;
+
+const VALID: &str = r#"
+module "t" {
+declare @ext(i32) -> i32
+define @f(i32 %0, i32 %1) -> i32 {
+bb0:
+  %2 = add i32 %0, %1
+  %3 = icmp slt i32 %2, 10
+  condbr %3, bb1, bb2
+bb1:
+  %4 = call i32 @ext(i32 %2)
+  ret i32 %4
+bb2:
+  %5 = phi i32 [ %2, bb0 ]
+  ret i32 %5
+}
+}
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_ascii_never_panics(input in "[ -~\n]{0,200}") {
+        let _ = parse_module(&input);
+    }
+
+    #[test]
+    fn truncated_valid_module_never_panics(cut in 0usize..400) {
+        let cut = cut.min(VALID.len());
+        // Cut at a char boundary.
+        let mut c = cut;
+        while !VALID.is_char_boundary(c) {
+            c -= 1;
+        }
+        let _ = parse_module(&VALID[..c]);
+    }
+
+    #[test]
+    fn single_token_mutations_never_panic(pos in 0usize..400, replacement in "[ -~]{1,3}") {
+        let pos = pos.min(VALID.len().saturating_sub(1));
+        let mut s = String::with_capacity(VALID.len() + 3);
+        let mut p = pos;
+        while !VALID.is_char_boundary(p) {
+            p -= 1;
+        }
+        s.push_str(&VALID[..p]);
+        s.push_str(&replacement);
+        let mut q = p + 1;
+        while q < VALID.len() && !VALID.is_char_boundary(q) {
+            q += 1;
+        }
+        if q < VALID.len() {
+            s.push_str(&VALID[q..]);
+        }
+        let _ = parse_module(&s);
+    }
+
+    #[test]
+    fn line_deletions_never_panic(skip in 0usize..24) {
+        let lines: Vec<&str> = VALID.lines().collect();
+        let skip = skip.min(lines.len().saturating_sub(1));
+        let mutated: Vec<&str> = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, l)| *l)
+            .collect();
+        let _ = parse_module(&mutated.join("\n"));
+    }
+}
+
+#[test]
+fn helpful_errors_for_common_mistakes() {
+    let cases = [
+        ("module \"t\" { define @f() -> void {\nbb0:\n  retx\n}\n}", "unknown mnemonic"),
+        ("module \"t\" { define @f() -> void {\nbb0:\n  %1 = add i99999 1, 2\n  ret\n}\n}", "bad int width"),
+        ("module \"t\" { define @f() -> void {\nbb0:\n  br nowhere\n  ret\n}\n}", "unknown label"),
+        ("module \"t\" { define @f(i32 %0) -> i32 {\nbb0:\n  ret i32 %7\n}\n}", "undefined value"),
+    ];
+    for (src, needle) in cases {
+        let err = parse_module(src).unwrap_err();
+        assert!(
+            err.msg.contains(needle),
+            "expected `{needle}` in error for {src:?}, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_types_do_not_overflow() {
+    // [1 x [1 x [1 x ... i32]]] — recursion in the type parser should be
+    // fine at reasonable depths.
+    let mut ty = String::from("i32");
+    for _ in 0..64 {
+        ty = format!("[1 x {ty}]");
+    }
+    let src = format!(
+        "module \"t\" {{\ndefine @f() -> i32 {{\nbb0:\n  %1 = alloca {ty}\n  %2 = load i32, %1\n  ret i32 %2\n}}\n}}"
+    );
+    assert!(parse_module(&src).is_ok());
+}

@@ -1,0 +1,74 @@
+//! Deep-dive into one merging run: per-stage timings, the attempt log,
+//! the best merges by savings, and a differential execution check of the
+//! workload driver.
+//!
+//! Run with: `cargo run --release -p f3m --example merge_report`
+
+use f3m::prelude::*;
+
+fn main() {
+    let spec = table1()
+        .into_iter()
+        .find(|s| s.name == "456.hmmer")
+        .expect("known workload");
+    let mut module = build_module(&spec);
+    println!(
+        "workload {} — {} functions, {} instructions",
+        spec.name,
+        module.defined_functions().len(),
+        module.total_insts()
+    );
+
+    // Baseline behaviour of the driver.
+    let mut interp = Interpreter::new(&module);
+    let before = interp.call_by_name("__driver", &[Val::Int(7)]).expect("driver runs");
+
+    let report = run_pass(&mut module, &PassConfig::f3m_adaptive());
+    f3m::ir::verify::verify_module(&module).expect("verifies");
+
+    let s = &report.stats;
+    println!("\nstage times:");
+    println!("  preprocess  {:?}", s.preprocess);
+    println!("  rank        {:?} ok / {:?} fail", s.rank.success, s.rank.fail);
+    println!("  align       {:?} ok / {:?} fail", s.align.success, s.align.fail);
+    println!("  codegen     {:?} ok / {:?} fail", s.codegen.success, s.codegen.fail);
+    println!(
+        "\n{} attempts, {} committed; {} fingerprint comparisons",
+        s.pairs_attempted, s.merges_committed, s.fingerprint_comparisons
+    );
+    println!(
+        "size: {} -> {} bytes ({:.2}% reduction)",
+        s.size_before,
+        s.size_after,
+        s.size_reduction() * 100.0
+    );
+
+    // Top merges by savings.
+    let mut committed: Vec<_> = report.attempts.iter().filter(|a| a.committed).collect();
+    committed.sort_by_key(|a| -a.size_delta);
+    println!("\ntop merges by size savings:");
+    for a in committed.iter().take(8) {
+        println!(
+            "  @{} + @{}  sim={:.3} align={:.2} saved {} bytes",
+            module.function(a.f1).name,
+            module.function(a.f2).name,
+            a.similarity,
+            a.align_ratio,
+            a.size_delta
+        );
+    }
+    let rejected = report.attempts.iter().filter(|a| !a.committed).count();
+    println!("  ({rejected} candidate pairs were aligned but rejected)");
+
+    // Differential check: the driver must behave identically.
+    let mut interp = Interpreter::new(&module);
+    let after = interp.call_by_name("__driver", &[Val::Int(7)]).expect("driver runs");
+    assert_eq!(before.ret, after.ret, "return value preserved");
+    assert_eq!(before.checksum, after.checksum, "side effects preserved");
+    println!(
+        "\ndifferential check passed; dynamic instructions {} -> {} ({:+.2}%)",
+        before.steps,
+        after.steps,
+        100.0 * (after.steps as f64 / before.steps as f64 - 1.0)
+    );
+}

@@ -1,0 +1,121 @@
+//! Property-based differential testing of the whole stack.
+//!
+//! For randomly drawn workload parameters, the merged module must be
+//! observationally equivalent to the original: same driver return values,
+//! same `ext_sink` checksums, for every strategy and repair mode. Also
+//! checks the printer/parser round-trip and the MinHash estimation bound
+//! on generated (not hand-picked) functions.
+
+use proptest::prelude::*;
+
+use f3m::fingerprint::encode::encode_function;
+use f3m::fingerprint::minhash::exact_jaccard;
+use f3m::prelude::*;
+
+fn spec(seed: u64, functions: usize, mean_insts: usize) -> WorkloadSpec {
+    let mut s = table1()[0].clone();
+    s.functions = functions;
+    s.mean_insts = mean_insts;
+    s.seed = seed;
+    s
+}
+
+fn driver_outcome(m: &Module, arg: i64) -> (Option<Val>, u64) {
+    let mut i = Interpreter::with_limits(
+        m,
+        Limits { fuel: 50_000_000, memory: 1 << 24, max_depth: 256 },
+    );
+    let out = i.call_by_name("__driver", &[Val::Int(arg)]).expect("driver runs");
+    (out.ret, out.checksum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merging_preserves_driver_behaviour(
+        seed in 0u64..10_000,
+        functions in 12usize..60,
+        mean_insts in 12usize..40,
+        strategy in 0usize..3,
+    ) {
+        let s = spec(seed, functions, mean_insts);
+        let base = build_module(&s);
+        let before: Vec<_> = [1i64, -9, 4242].iter().map(|&a| driver_outcome(&base, a)).collect();
+        let config = match strategy {
+            0 => PassConfig::hyfm(),
+            1 => PassConfig::f3m(),
+            _ => PassConfig::f3m_adaptive(),
+        };
+        let mut m = base.clone();
+        run_pass(&mut m, &config);
+        f3m::ir::verify::verify_module(&m).unwrap();
+        let after: Vec<_> = [1i64, -9, 4242].iter().map(|&a| driver_outcome(&m, a)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn stack_repair_mode_also_preserves_behaviour(
+        seed in 0u64..10_000,
+        functions in 12usize..40,
+    ) {
+        let s = spec(seed, functions, 24);
+        let base = build_module(&s);
+        let before = driver_outcome(&base, 17);
+        let mut config = PassConfig::f3m();
+        config.merge = MergeConfig { repair: RepairMode::Stack };
+        let mut m = base.clone();
+        run_pass(&mut m, &config);
+        f3m::ir::verify::verify_module(&m).unwrap();
+        prop_assert_eq!(driver_outcome(&m, 17), before);
+    }
+
+    #[test]
+    fn printer_parser_round_trip_on_generated_modules(
+        seed in 0u64..10_000,
+        functions in 8usize..30,
+    ) {
+        let s = spec(seed, functions, 20);
+        let m1 = build_module(&s);
+        let p1 = f3m::ir::printer::print_module(&m1);
+        let m2 = f3m::ir::parser::parse_module(&p1).expect("reparses");
+        let p2 = f3m::ir::printer::print_module(&m2);
+        prop_assert_eq!(p1, p2, "printer must be a fixpoint under reparsing");
+    }
+
+    #[test]
+    fn minhash_estimates_jaccard_within_bound(
+        seed in 0u64..10_000,
+        member in 1u64..5,
+    ) {
+        let mut m = Module::new("prop");
+        let ext = f3m::workloads::declare_externals(&mut m);
+        let shape = ShapeParams { target_insts: 50, ..Default::default() };
+        let f1 = f3m::workloads::generate_function(
+            &mut m.types, &ext, "a", &shape, seed, 0, &MutationProfile::identical(),
+            Linkage::External);
+        let f2 = f3m::workloads::generate_function(
+            &mut m.types, &ext, "b", &shape, seed, member, &MutationProfile::medium(),
+            Linkage::External);
+        let e1 = encode_function(&m.types, &f1);
+        let e2 = encode_function(&m.types, &f2);
+        let exact = exact_jaccard(&e1, &e2);
+        let k = 400;
+        let fp1 = MinHashFingerprint::of_encoded(&e1, k);
+        let fp2 = MinHashFingerprint::of_encoded(&e2, k);
+        let est = fp1.similarity(&fp2);
+        // O(1/sqrt(k)) with generous slack for the shared-xor variant.
+        prop_assert!((est - exact).abs() < 4.0 / (k as f64).sqrt(),
+            "estimate {} vs exact {}", est, exact);
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(
+        seed in 0u64..10_000,
+        arg in -1000i64..1000,
+    ) {
+        let s = spec(seed, 16, 20);
+        let m = build_module(&s);
+        prop_assert_eq!(driver_outcome(&m, arg), driver_outcome(&m, arg));
+    }
+}

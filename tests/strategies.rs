@@ -1,0 +1,146 @@
+//! Cross-strategy behavioural contracts: the scaling and filtering claims
+//! the paper's evaluation rests on, checked as assertions.
+
+use f3m::fingerprint::adaptive::MergeParams;
+use f3m::prelude::*;
+
+fn spec_with(functions: usize, seed: u64) -> WorkloadSpec {
+    let mut s = table1()[0].clone();
+    s.functions = functions;
+    s.seed = seed;
+    s
+}
+
+/// HyFM's ranking comparisons grow quadratically; F3M's just above
+/// linearly. Doubling the function count should roughly quadruple HyFM's
+/// comparisons while F3M's grow far slower — the paper's core claim.
+#[test]
+fn ranking_cost_scaling_hyfm_quadratic_f3m_subquadratic() {
+    let counts = [100usize, 400];
+    let mut hyfm_cmps = Vec::new();
+    let mut f3m_cmps = Vec::new();
+    for &n in &counts {
+        let mut m = build_module(&spec_with(n, 11));
+        let r = run_pass(&mut m, &PassConfig::hyfm());
+        hyfm_cmps.push(r.stats.fingerprint_comparisons as f64);
+        let mut m = build_module(&spec_with(n, 11));
+        let r = run_pass(&mut m, &PassConfig::f3m());
+        f3m_cmps.push(r.stats.fingerprint_comparisons as f64);
+    }
+    let hyfm_growth = hyfm_cmps[1] / hyfm_cmps[0];
+    // 4x the functions: HyFM ~16x (quadratic, minus committed-pair
+    // attrition).
+    assert!(hyfm_growth > 8.0, "hyfm growth {hyfm_growth}");
+    // F3M compares several-fold fewer fingerprints at every size (LSH
+    // filters most pairs), and its advantage must not shrink as the
+    // program grows. (True linearity only appears once the bucket caps
+    // saturate, beyond what a unit test can afford to build.)
+    let ratio_small = hyfm_cmps[0] / f3m_cmps[0];
+    let ratio_large = hyfm_cmps[1] / f3m_cmps[1];
+    assert!(ratio_small > 2.0, "F3M should filter at n=100: {ratio_small:.2}");
+    assert!(ratio_large > 2.0, "F3M should filter at n=400: {ratio_large:.2}");
+    assert!(
+        ratio_large >= ratio_small * 0.9,
+        "F3M's advantage must not degrade with size: {ratio_small:.2} -> {ratio_large:.2}"
+    );
+}
+
+/// Higher similarity thresholds can only reduce the pairs attempted.
+#[test]
+fn threshold_monotonically_filters_attempts() {
+    let base = build_module(&spec_with(150, 5));
+    let mut prev = usize::MAX;
+    for t in [0.0, 0.2, 0.4, 0.6] {
+        let mut params = MergeParams::static_default();
+        params.threshold = t;
+        let mut m = base.clone();
+        let r = run_pass(
+            &mut m,
+            &PassConfig { strategy: Strategy::F3m(params), ..Default::default() },
+        );
+        assert!(
+            r.stats.pairs_attempted <= prev,
+            "t={t}: {} > {}",
+            r.stats.pairs_attempted,
+            prev
+        );
+        prev = r.stats.pairs_attempted;
+    }
+}
+
+/// Tighter bucket caps can only reduce fingerprint comparisons, and (per
+/// Figure 16) should barely affect the achieved reduction.
+#[test]
+fn bucket_cap_cuts_comparisons_not_quality() {
+    let base = build_module(&spec_with(300, 9));
+    let mut results = Vec::new();
+    for cap in [2usize, 100, usize::MAX] {
+        let mut params = MergeParams::static_default();
+        params.lsh.bucket_cap = cap;
+        let mut m = base.clone();
+        let r = run_pass(
+            &mut m,
+            &PassConfig { strategy: Strategy::F3m(params), ..Default::default() },
+        );
+        results.push((cap, r.stats.fingerprint_comparisons, r.stats.size_reduction()));
+    }
+    assert!(results[0].1 <= results[1].1);
+    assert!(results[1].1 <= results[2].1);
+    let (uncapped_red, capped_red) = (results[2].2, results[1].2);
+    assert!(
+        (uncapped_red - capped_red).abs() < 0.02,
+        "cap=100 must not change reduction materially: {capped_red} vs {uncapped_red}"
+    );
+}
+
+/// Fewer bands must discover at most as many candidate pairs.
+#[test]
+fn fewer_bands_find_fewer_candidates() {
+    let base = build_module(&spec_with(200, 3));
+    let mut prev_cmps = 0;
+    for bands in [10usize, 50, 100] {
+        let params = MergeParams::custom(bands * 2, 2, 0.0, 100);
+        let mut m = base.clone();
+        let r = run_pass(
+            &mut m,
+            &PassConfig { strategy: Strategy::F3m(params), ..Default::default() },
+        );
+        assert!(
+            r.stats.fingerprint_comparisons >= prev_cmps,
+            "bands={bands}: comparisons should grow with bands"
+        );
+        prev_cmps = r.stats.fingerprint_comparisons;
+    }
+}
+
+/// The legacy (buggy) repair mode must never produce an invalid module —
+/// the paper stresses the bug was a silent miscompile, caught only by
+/// running the programs.
+#[test]
+fn legacy_mode_still_verifies() {
+    let mut m = build_module(&spec_with(80, 21));
+    let mut config = PassConfig::f3m();
+    config.merge = MergeConfig { repair: RepairMode::LegacyBuggy };
+    run_pass(&mut m, &config);
+    f3m::ir::verify::verify_module(&m).unwrap();
+}
+
+/// Repair-mode ablation: phi reconstruction should give at least as much
+/// size reduction as stack demotion (loads/stores cost bytes; phis are
+/// nearly free after register allocation).
+#[test]
+fn phi_repair_beats_stack_repair_on_size() {
+    let base = build_module(&spec_with(200, 13));
+    let run_mode = |repair| {
+        let mut m = base.clone();
+        let mut config = PassConfig::f3m();
+        config.merge = MergeConfig { repair };
+        run_pass(&mut m, &config).stats.size_reduction()
+    };
+    let phi = run_mode(RepairMode::Phi);
+    let stack = run_mode(RepairMode::Stack);
+    assert!(
+        phi >= stack - 1e-9,
+        "phi repair {phi:.4} must not lose to stack repair {stack:.4}"
+    );
+}
