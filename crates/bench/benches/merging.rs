@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks for the merging pipeline's hot stages.
+//! Microbenchmarks for the merging pipeline's hot stages.
 //!
 //! These complement the per-figure binaries: where the binaries reproduce
 //! paper artefacts end to end, these isolate the primitives so regressions
-//! in any one stage are visible.
+//! in any one stage are visible. The harness is hand-rolled (`harness =
+//! false`, manual wall-clock timing) so the workspace builds offline with
+//! no external bench framework; it reports median and mean ns/iter over a
+//! fixed number of timed batches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use f3m_core::align::{linear_block_align, needleman_wunsch};
 use f3m_core::pass::{run_pass, PassConfig};
@@ -15,41 +18,51 @@ use f3m_fingerprint::minhash::MinHashFingerprint;
 use f3m_fingerprint::opcode_freq::OpcodeFingerprint;
 use f3m_workloads::suite::{table1, WorkloadSpec};
 
+/// Times `f` over `batches` batches of `iters_per_batch` calls and prints
+/// per-iteration statistics. A `std::hint::black_box` on each result keeps
+/// the optimizer honest.
+fn bench<T>(name: &str, batches: usize, iters_per_batch: usize, mut f: impl FnMut() -> T) {
+    // Warm-up batch, untimed.
+    for _ in 0..iters_per_batch {
+        std::hint::black_box(f());
+    }
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        for _ in 0..iters_per_batch {
+            std::hint::black_box(f());
+        }
+        per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!("{name:<40} median {median:>12.0} ns/iter   mean {mean:>12.0} ns/iter");
+}
+
 fn module_for(name: &str, scale: f64) -> f3m_ir::module::Module {
     let spec: WorkloadSpec =
         table1().into_iter().find(|s| s.name == name).expect("known workload");
     f3m_workloads::suite::build_module(&spec.scaled(scale))
 }
 
-fn bench_fingerprints(c: &mut Criterion) {
+fn bench_fingerprints() {
     let m = module_for("401.bzip2", 1.0);
     let funcs = m.defined_functions();
     let encoded: Vec<Vec<u32>> =
         funcs.iter().map(|&f| encode_function(&m.types, m.function(f))).collect();
 
-    let mut g = c.benchmark_group("fingerprint");
-    g.bench_function("opcode_freq/build_all", |b| {
-        b.iter(|| {
-            funcs
-                .iter()
-                .map(|&f| OpcodeFingerprint::of(m.function(f)))
-                .collect::<Vec<_>>()
-        })
+    bench("fingerprint/opcode_freq/build_all", 20, 10, || {
+        funcs.iter().map(|&f| OpcodeFingerprint::of(m.function(f))).collect::<Vec<_>>()
     });
     for k in [25usize, 200] {
-        g.bench_with_input(BenchmarkId::new("minhash/build_all", k), &k, |b, &k| {
-            b.iter(|| {
-                encoded
-                    .iter()
-                    .map(|e| MinHashFingerprint::of_encoded(e, k))
-                    .collect::<Vec<_>>()
-            })
+        bench(&format!("fingerprint/minhash/build_all/{k}"), 20, 5, || {
+            encoded.iter().map(|e| MinHashFingerprint::of_encoded(e, k)).collect::<Vec<_>>()
         });
     }
-    g.finish();
 }
 
-fn bench_ranking(c: &mut Criterion) {
+fn bench_ranking() {
     let m = module_for("456.hmmer", 1.0);
     let funcs = m.defined_functions();
     let params = MergeParams::static_default();
@@ -64,71 +77,68 @@ fn bench_ranking(c: &mut Criterion) {
         index.insert(i, fp);
     }
 
-    let mut g = c.benchmark_group("ranking");
-    g.bench_function("hyfm/exhaustive_nn", |b| {
-        b.iter(|| {
-            let mut best = (usize::MAX, f64::MIN);
-            for (j, fp) in opcode.iter().enumerate().skip(1) {
-                let s = opcode[0].similarity(fp);
-                if s > best.1 {
-                    best = (j, s);
-                }
+    bench("ranking/hyfm/exhaustive_nn", 20, 50, || {
+        let mut best = (usize::MAX, f64::MIN);
+        for (j, fp) in opcode.iter().enumerate().skip(1) {
+            let s = opcode[0].similarity(fp);
+            if s > best.1 {
+                best = (j, s);
             }
-            best
-        })
+        }
+        best
     });
-    g.bench_function("f3m/lsh_query", |b| {
-        b.iter(|| {
-            let (cands, _) = index.candidates(&minhash[0], 0);
-            let mut best = (usize::MAX, f64::MIN);
-            for j in cands {
-                let s = minhash[0].similarity(&minhash[j]);
-                if s > best.1 {
-                    best = (j, s);
-                }
+    bench("ranking/f3m/lsh_query", 20, 50, || {
+        let (cands, _) = index.candidates(&minhash[0], 0);
+        let mut best = (usize::MAX, f64::MIN);
+        for j in cands {
+            let s = minhash[0].similarity(&minhash[j]);
+            if s > best.1 {
+                best = (j, s);
             }
-            best
-        })
+        }
+        best
     });
-    g.finish();
 }
 
-fn bench_alignment(c: &mut Criterion) {
+fn bench_alignment() {
     let m = module_for("444.namd", 1.0);
     let funcs = m.defined_functions();
     let a = encode_function(&m.types, m.function(funcs[0]));
     let b2 = encode_function(&m.types, m.function(funcs[1]));
-    let mut g = c.benchmark_group("alignment");
-    g.bench_function("needleman_wunsch", |b| b.iter(|| needleman_wunsch(&a, &b2)));
-    g.bench_function("linear", |b| b.iter(|| linear_block_align(&a, &b2)));
-    g.finish();
+    bench("alignment/needleman_wunsch", 20, 20, || needleman_wunsch(&a, &b2));
+    bench("alignment/linear", 20, 200, || linear_block_align(&a, &b2));
 }
 
-fn bench_full_pass(c: &mut Criterion) {
+fn bench_full_pass() {
     let m = module_for("462.libquantum", 1.0);
-    let mut g = c.benchmark_group("pass");
-    g.sample_size(10);
     for (label, config) in [
         ("hyfm", PassConfig::hyfm()),
         ("f3m", PassConfig::f3m()),
         ("f3m_adaptive", PassConfig::f3m_adaptive()),
     ] {
-        g.bench_function(label, |b| {
-            b.iter_batched(
-                || m.clone(),
-                |mut mm| run_pass(&mut mm, &config),
-                criterion::BatchSize::LargeInput,
-            )
+        bench(&format!("pass/{label}"), 5, 1, || {
+            let mut mm = m.clone();
+            run_pass(&mut mm, &config)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fingerprints,
-    bench_ranking,
-    bench_alignment,
-    bench_full_pass
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` runs only groups whose name contains the
+    // filter string.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    let groups: [(&str, fn()); 4] = [
+        ("fingerprint", bench_fingerprints),
+        ("ranking", bench_ranking),
+        ("alignment", bench_alignment),
+        ("pass", bench_full_pass),
+    ];
+    for (name, f) in groups {
+        if filter.is_empty() || name.contains(&filter) {
+            f();
+        }
+    }
+}

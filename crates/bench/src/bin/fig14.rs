@@ -43,9 +43,7 @@ fn main() {
     for (ti, &t) in THRESHOLDS.iter().enumerate() {
         let mut time_red = 0.0;
         let mut size_inc = 0.0;
-        for b in 0..names.len() {
-            let (t0_time, t0_size) = results[0][b];
-            let (tt, ts) = results[ti][b];
+        for (&(t0_time, t0_size), &(tt, ts)) in results[0].iter().zip(&results[ti]) {
             time_red += 100.0 * (1.0 - tt / t0_time);
             size_inc += 100.0 * (ts as f64 / t0_size as f64 - 1.0);
         }
@@ -63,8 +61,8 @@ fn main() {
     for b in 0..names.len() {
         let (t0_time, t0_size) = results[0][b];
         let mut best = (0usize, 0.0f64);
-        for ti in 0..THRESHOLDS.len() {
-            let (tt, ts) = results[ti][b];
+        for (ti, per_bench) in results.iter().enumerate() {
+            let (tt, ts) = per_bench[b];
             let size_loss = 100.0 * (ts as f64 / t0_size as f64 - 1.0);
             let time_red = 100.0 * (1.0 - tt / t0_time);
             if size_loss < 0.1 && time_red > best.1 {

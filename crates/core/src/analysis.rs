@@ -51,7 +51,7 @@ pub fn sample_pairs(m: &Module, k: usize, stride: usize) -> Vec<PairSample> {
     for i in 0..funcs.len() {
         for j in (i + 1)..funcs.len() {
             counter += 1;
-            if counter % stride != 0 {
+            if !counter.is_multiple_of(stride) {
                 continue;
             }
             let align = needleman_wunsch(&encoded[i], &encoded[j]);

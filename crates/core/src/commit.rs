@@ -1,0 +1,246 @@
+//! Commit bookkeeping: the module-wide reference index and the
+//! profitability-checked commit of a planned merge.
+//!
+//! Splitting a pair out of the module is the only stage that mutates it:
+//! the merged function is appended, every call site of the originals is
+//! redirected, and each original is replaced by a thunk (or dropped to a
+//! declaration when module-private and never address-taken). [`Committer`]
+//! owns all of that state so the pass driver stays a pure pipeline over
+//! immutable queries.
+
+use std::collections::{HashMap, HashSet};
+
+use f3m_fingerprint::par::par_map_indexed;
+use f3m_ir::function::{Function, Linkage};
+use f3m_ir::ids::{FuncId, InstId};
+use f3m_ir::inst::Opcode;
+use f3m_ir::module::Module;
+use f3m_ir::size::function_size;
+use f3m_ir::value::ValueKind;
+use f3m_ir::verify::verify_function;
+
+use crate::block_pairing::PairPlan;
+use crate::codegen::{build_merged, build_thunk, MergeConfig};
+
+/// Module-wide reference index, maintained incrementally across commits so
+/// that call-site redirection does not rescan the whole module per merge
+/// (which would reintroduce a quadratic term the paper works to remove).
+struct RefIndex {
+    /// callee -> call/invoke sites `(owner function, instruction, owner
+    /// version at recording time)`.
+    call_sites: HashMap<FuncId, Vec<(FuncId, InstId, u32)>>,
+    /// Functions whose address escapes a direct-call position; these must
+    /// keep a thunk.
+    address_taken: HashSet<FuncId>,
+    /// Version per function; bumped when a body is replaced wholesale,
+    /// invalidating recorded sites inside it.
+    versions: HashMap<FuncId, u32>,
+}
+
+/// Function references found in one function body: direct-call sites and
+/// address-escaping uses. The per-owner scan is side-effect free so the
+/// initial index build can fan out across threads.
+struct ScanResult {
+    owner: FuncId,
+    sites: Vec<(FuncId, InstId)>,
+    address_taken: Vec<FuncId>,
+}
+
+fn scan_one(m: &Module, owner: FuncId) -> ScanResult {
+    let mut res = ScanResult { owner, sites: Vec::new(), address_taken: Vec::new() };
+    let f = m.function(owner);
+    if f.is_declaration {
+        return res;
+    }
+    for (iid, inst) in f.linked_insts() {
+        for (slot, &op) in inst.operands.iter().enumerate() {
+            if let ValueKind::FuncRef(target) = f.value(op).kind {
+                let is_callee = slot == 0 && matches!(inst.op, Opcode::Call | Opcode::Invoke);
+                if is_callee {
+                    res.sites.push((target, iid));
+                } else {
+                    res.address_taken.push(target);
+                }
+            }
+        }
+    }
+    res
+}
+
+impl RefIndex {
+    /// Scans every function body, using up to `jobs` threads. The partial
+    /// results are merged in function order, so the index is identical for
+    /// any job count.
+    fn build(m: &Module, jobs: usize) -> RefIndex {
+        let owners: Vec<FuncId> = m.functions().map(|(id, _)| id).collect();
+        let partials = par_map_indexed(owners.len(), jobs, |i| scan_one(m, owners[i]));
+        let mut idx = RefIndex {
+            call_sites: HashMap::new(),
+            address_taken: HashSet::new(),
+            versions: HashMap::new(),
+        };
+        for p in partials {
+            // All versions are 0 at build time.
+            for (target, iid) in p.sites {
+                idx.call_sites.entry(target).or_default().push((p.owner, iid, 0));
+            }
+            idx.address_taken.extend(p.address_taken);
+        }
+        idx
+    }
+
+    fn version(&self, f: FuncId) -> u32 {
+        self.versions.get(&f).copied().unwrap_or(0)
+    }
+
+    /// Records every function reference inside `owner`'s current body.
+    fn scan_function(&mut self, m: &Module, owner: FuncId) {
+        let res = scan_one(m, owner);
+        let version = self.version(owner);
+        for (target, iid) in res.sites {
+            self.call_sites.entry(target).or_default().push((owner, iid, version));
+        }
+        self.address_taken.extend(res.address_taken);
+    }
+
+    /// Invalidates all recorded sites inside `owner` (its body is being
+    /// replaced).
+    fn invalidate_owner(&mut self, owner: FuncId) {
+        *self.versions.entry(owner).or_insert(0) += 1;
+    }
+
+    /// Rewrites every live call site of `target` to call `merged` with the
+    /// function identifier and remapped arguments, re-registering the
+    /// rewritten sites under `merged`.
+    fn redirect(
+        &mut self,
+        m: &mut Module,
+        target: FuncId,
+        merged: FuncId,
+        fid_value: bool,
+        param_map: &[usize],
+    ) {
+        let mut scratch = f3m_ir::types::TypeStore::new();
+        let ptr_ty = scratch.ptr();
+        let bool_ty = scratch.bool();
+        let merged_params = m.function(merged).params.clone();
+        let sites = self.call_sites.remove(&target).unwrap_or_default();
+        let mut moved = Vec::with_capacity(sites.len());
+        for (owner, iid, version) in sites {
+            if version != self.version(owner) {
+                continue; // stale: the owner's body was replaced
+            }
+            let old_args: Vec<f3m_ir::ids::ValueId> =
+                m.function(owner).inst(iid).operands[1..].to_vec();
+            let (f, types) = m.func_mut_and_types(owner);
+            let callee = f.func_ref(merged, ptr_ty);
+            let fid_const = f.const_int(types, bool_ty, i64::from(fid_value));
+            let mut new_ops = vec![callee, fid_const];
+            for (slot, &ty) in merged_params.iter().enumerate().skip(1) {
+                match param_map.iter().position(|&s| s == slot) {
+                    Some(orig_idx) => new_ops.push(old_args[orig_idx]),
+                    None => {
+                        let u = f.undef(ty);
+                        new_ops.push(u);
+                    }
+                }
+            }
+            f.inst_mut(iid).operands = new_ops;
+            moved.push((owner, iid, version));
+        }
+        self.call_sites.entry(merged).or_default().extend(moved);
+    }
+}
+
+/// Fixed size overhead of committing a merge: merged-function overhead +
+/// entry dispatch + one thunk per non-droppable original, minus the two
+/// eliminated original-function overheads. Used by the pass's
+/// alignment-profitability gate before any code is generated.
+pub fn fixed_overhead(drop1: bool, drop2: bool) -> i64 {
+    let thunk_cost = |dropped: bool| if dropped { 0i64 } else { 18 };
+    14 + thunk_cost(drop1) + thunk_cost(drop2) - 24
+}
+
+/// Owns the reference index and performs profitability-checked commits.
+pub struct Committer {
+    refs: RefIndex,
+}
+
+impl Committer {
+    /// Builds the initial reference index over `m` (parallel across up to
+    /// `jobs` threads, deterministic for any job count).
+    pub fn build(m: &Module, jobs: usize) -> Committer {
+        Committer { refs: RefIndex::build(m, jobs) }
+    }
+
+    /// Whether `f`'s original symbol can disappear entirely after a merge:
+    /// module-private and never referenced outside a direct-call position.
+    pub fn droppable(&self, m: &Module, f: FuncId) -> bool {
+        m.function(f).linkage == Linkage::Internal && !self.refs.address_taken.contains(&f)
+    }
+
+    /// Generates the merged function for `(f1, f2)` under `plan`, verifies
+    /// it, and commits it if the post-merge size (merged body + surviving
+    /// thunks) beats the pair's current size. On success the module is
+    /// rewritten (call sites redirected, originals replaced) and the size
+    /// saving `size_before - size_after` is returned; on any failure the
+    /// module is left unchanged and `None` is returned.
+    pub fn try_commit(
+        &mut self,
+        m: &mut Module,
+        f1: FuncId,
+        f2: FuncId,
+        plan: &PairPlan,
+        config: MergeConfig,
+    ) -> Option<i64> {
+        let drop1 = self.droppable(m, f1);
+        let drop2 = self.droppable(m, f2);
+        let name = m.fresh_name("__merged");
+        let mf = build_merged(m, f1, f2, plan, config, name).ok()?;
+        let size_before = function_size(m.function(f1)) + function_size(m.function(f2));
+        let merged_size = function_size(&mf.func);
+        let merged_id = m.add_function(mf.func);
+        if verify_function(m, merged_id).is_err() {
+            // A verifier failure here is a code generator bug; drop the
+            // candidate rather than corrupt the module.
+            m.remove_last_function(merged_id);
+            return None;
+        }
+        // A function whose address is never taken has all its call sites
+        // redirected into the merged body; if it is also module-private,
+        // the original symbol disappears entirely. Otherwise a thunk
+        // preserves the symbol.
+        let thunk1 = build_thunk(m, f1, merged_id, false, &mf.param_map1);
+        let thunk2 = build_thunk(m, f2, merged_id, true, &mf.param_map2);
+        let after1 = if drop1 { 0 } else { function_size(&thunk1) };
+        let after2 = if drop2 { 0 } else { function_size(&thunk2) };
+        let size_after = merged_size + after1 + after2;
+        if size_after >= size_before {
+            m.remove_last_function(merged_id);
+            return None;
+        }
+        // Register the merged body's own call sites first so recursive
+        // references to f1/f2 get redirected too.
+        self.refs.scan_function(m, merged_id);
+        self.refs.redirect(m, f1, merged_id, false, &mf.param_map1);
+        self.refs.redirect(m, f2, merged_id, true, &mf.param_map2);
+        self.refs.invalidate_owner(f1);
+        self.refs.invalidate_owner(f2);
+        for (f, dropped, thunk) in [(f1, drop1, thunk1), (f2, drop2, thunk2)] {
+            if dropped {
+                let old = m.function(f);
+                m.replace_function(
+                    f,
+                    Function::new_declaration(old.name.clone(), old.params.clone(), old.ret_ty),
+                );
+            } else {
+                m.replace_function(f, thunk);
+            }
+        }
+        // Thunk bodies call the merged function; register those new sites
+        // under the bumped versions.
+        self.refs.scan_function(m, f1);
+        self.refs.scan_function(m, f2);
+        Some(size_before as i64 - size_after as i64)
+    }
+}

@@ -9,8 +9,13 @@
 //! - [`codegen`] — merged-function generation with `%fid` guards,
 //!   operand selects, per-edge dispatch, phi reconstruction and SSA
 //!   dominance repair (including the Section III-E bug fixes),
-//! - [`pass`] — the driver with HyFM / F3M-static / F3M-adaptive
-//!   strategies and per-stage timing,
+//! - [`rank`] — the [`CandidateSearch`](rank::CandidateSearch) seam with
+//!   the exhaustive (HyFM) and LSH (F3M) search structures,
+//! - [`commit`] — the incremental reference index and profitability-checked
+//!   commit of a planned merge,
+//! - [`report`] — per-stage timing, counters and the JSON report,
+//! - [`pass`] — the thin driver looping rank → align → codegen/commit over
+//!   HyFM / F3M-static / F3M-adaptive strategies,
 //! - [`analysis`] — exhaustive pairwise metrics behind Figures 4/6/10.
 //!
 //! # Examples
@@ -60,10 +65,14 @@ pub mod align;
 pub mod analysis;
 pub mod block_pairing;
 pub mod codegen;
+pub mod commit;
 pub mod dce;
 pub mod pass;
 pub mod profile;
+pub mod rank;
+pub mod report;
 
 pub use codegen::{MergeConfig, MergeError, RepairMode};
 pub use pass::{run_pass, MergeReport, MergeStats, PassConfig, Strategy};
 pub use profile::Profile;
+pub use rank::{CandidateSearch, ExhaustiveOpcodeSearch, LshMinHashSearch};

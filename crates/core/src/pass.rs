@@ -1,9 +1,14 @@
 //! The function-merging pass.
 //!
-//! Drives the full pipeline of Figure 1 of the paper: fingerprint
-//! generation (*preprocess*), candidate pairing (*rank*), block-level
-//! alignment (*align*), merged-function generation and profitability
-//! checking (*codegen*). Three strategies are provided:
+//! Drives the full pipeline of Figure 1 of the paper as a staged loop:
+//!
+//! ```text
+//! preprocess (build CandidateSearch + Committer, in parallel for jobs>1)
+//! for each function: rank (best_candidates) -> align -> codegen+commit
+//! ```
+//!
+//! Three strategies are provided, all running through the
+//! [`CandidateSearch`](crate::rank::CandidateSearch) seam:
 //!
 //! - [`Strategy::Hyfm`] — the baseline: opcode-frequency fingerprints with
 //!   an exhaustive nearest-neighbour scan (quadratic ranking),
@@ -13,137 +18,24 @@
 //!   scaled to the program size (Equations 3 and 4).
 //!
 //! Timing is recorded per stage, split into *success* and *fail* buckets
-//! exactly as in the paper's Figures 3 and 13.
+//! exactly as in the paper's Figures 3 and 13. The merged module is
+//! byte-identical for every `jobs` setting: parallelism only accelerates
+//! the preprocess stage.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use f3m_fingerprint::adaptive::MergeParams;
-use f3m_fingerprint::encode::encode_function;
-use f3m_fingerprint::lsh::LshIndex;
-use f3m_fingerprint::minhash::MinHashFingerprint;
-use f3m_fingerprint::opcode_freq::OpcodeFingerprint;
 use f3m_ir::ids::FuncId;
 use f3m_ir::module::Module;
-use f3m_ir::size::{function_size, module_size};
-use f3m_ir::verify::verify_function;
-
-use f3m_ir::function::{Function, Linkage};
-
-use std::collections::{HashMap, HashSet};
-
-use f3m_ir::ids::InstId;
-use f3m_ir::inst::Opcode;
-use f3m_ir::value::ValueKind;
+use f3m_ir::size::module_size;
 
 use crate::block_pairing::plan_blocks;
-use crate::profile::{CandidateSet, Profile};
-use crate::codegen::{build_merged, build_thunk, MergeConfig};
+use crate::codegen::MergeConfig;
+use crate::commit::{fixed_overhead, Committer};
+use crate::profile::Profile;
+use crate::rank::{build_search, QueryCounters};
 
-/// Module-wide reference index, maintained incrementally across commits so
-/// that call-site redirection does not rescan the whole module per merge
-/// (which would reintroduce a quadratic term the paper works to remove).
-struct RefIndex {
-    /// callee -> call/invoke sites `(owner function, instruction, owner
-    /// version at recording time)`.
-    call_sites: HashMap<FuncId, Vec<(FuncId, InstId, u32)>>,
-    /// Functions whose address escapes a direct-call position; these must
-    /// keep a thunk.
-    address_taken: HashSet<FuncId>,
-    /// Version per function; bumped when a body is replaced wholesale,
-    /// invalidating recorded sites inside it.
-    versions: HashMap<FuncId, u32>,
-}
-
-impl RefIndex {
-    fn build(m: &Module) -> RefIndex {
-        let mut idx = RefIndex {
-            call_sites: HashMap::new(),
-            address_taken: HashSet::new(),
-            versions: HashMap::new(),
-        };
-        for (owner, _) in m.functions() {
-            idx.scan_function(m, owner);
-        }
-        idx
-    }
-
-    fn version(&self, f: FuncId) -> u32 {
-        self.versions.get(&f).copied().unwrap_or(0)
-    }
-
-    /// Records every function reference inside `owner`'s current body.
-    fn scan_function(&mut self, m: &Module, owner: FuncId) {
-        let f = m.function(owner);
-        if f.is_declaration {
-            return;
-        }
-        let version = self.version(owner);
-        for (iid, inst) in f.linked_insts() {
-            for (slot, &op) in inst.operands.iter().enumerate() {
-                if let ValueKind::FuncRef(target) = f.value(op).kind {
-                    let is_callee =
-                        slot == 0 && matches!(inst.op, Opcode::Call | Opcode::Invoke);
-                    if is_callee {
-                        self.call_sites
-                            .entry(target)
-                            .or_default()
-                            .push((owner, iid, version));
-                    } else {
-                        self.address_taken.insert(target);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Invalidates all recorded sites inside `owner` (its body is being
-    /// replaced).
-    fn invalidate_owner(&mut self, owner: FuncId) {
-        *self.versions.entry(owner).or_insert(0) += 1;
-    }
-
-    /// Rewrites every live call site of `target` to call `merged` with the
-    /// function identifier and remapped arguments, re-registering the
-    /// rewritten sites under `merged`.
-    fn redirect(
-        &mut self,
-        m: &mut Module,
-        target: FuncId,
-        merged: FuncId,
-        fid_value: bool,
-        param_map: &[usize],
-    ) {
-        let mut scratch = f3m_ir::types::TypeStore::new();
-        let ptr_ty = scratch.ptr();
-        let bool_ty = scratch.bool();
-        let merged_params = m.function(merged).params.clone();
-        let sites = self.call_sites.remove(&target).unwrap_or_default();
-        let mut moved = Vec::with_capacity(sites.len());
-        for (owner, iid, version) in sites {
-            if version != self.version(owner) {
-                continue; // stale: the owner's body was replaced
-            }
-            let old_args: Vec<f3m_ir::ids::ValueId> =
-                m.function(owner).inst(iid).operands[1..].to_vec();
-            let (f, types) = m.func_mut_and_types(owner);
-            let callee = f.func_ref(merged, ptr_ty);
-            let fid_const = f.const_int(types, bool_ty, i64::from(fid_value));
-            let mut new_ops = vec![callee, fid_const];
-            for (slot, &ty) in merged_params.iter().enumerate().skip(1) {
-                match param_map.iter().position(|&s| s == slot) {
-                    Some(orig_idx) => new_ops.push(old_args[orig_idx]),
-                    None => {
-                        let u = f.undef(ty);
-                        new_ops.push(u);
-                    }
-                }
-            }
-            f.inst_mut(iid).operands = new_ops;
-            moved.push((owner, iid, version));
-        }
-        self.call_sites.entry(merged).or_default().extend(moved);
-    }
-}
+pub use crate::report::{AttemptRecord, MergeReport, MergeStats, StageTime};
 
 /// Candidate-selection strategy.
 #[derive(Clone, Debug, Default)]
@@ -169,6 +61,10 @@ pub struct PassConfig {
     /// Optional execution profile: near-tied candidates are resolved
     /// toward the coldest function (the paper's Section IV-F proposal).
     pub profile: Option<Profile>,
+    /// Worker threads for the preprocess stage (fingerprints, reference
+    /// index). `0` and `1` both mean fully sequential; any value produces
+    /// the same merged module.
+    pub jobs: usize,
 }
 
 impl PassConfig {
@@ -195,93 +91,12 @@ impl PassConfig {
         self.profile = Some(profile);
         self
     }
-}
 
-/// Wall-clock cost of a pipeline stage, split by eventual outcome.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct StageTime {
-    /// Time attributed to attempts that ended in a committed merge.
-    pub success: Duration,
-    /// Time attributed to attempts that did not.
-    pub fail: Duration,
-}
-
-impl StageTime {
-    /// Total time in the stage.
-    pub fn total(&self) -> Duration {
-        self.success + self.fail
+    /// Sets the preprocess worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> PassConfig {
+        self.jobs = jobs;
+        self
     }
-}
-
-/// Aggregate statistics of one pass run.
-#[derive(Clone, Debug, Default)]
-pub struct MergeStats {
-    /// Function definitions considered.
-    pub functions: usize,
-    /// Candidate pairs for which alignment was attempted.
-    pub pairs_attempted: usize,
-    /// Merges committed (pairs replaced by thunks + merged function).
-    pub merges_committed: usize,
-    /// Fingerprint construction time.
-    pub preprocess: Duration,
-    /// Candidate search time.
-    pub rank: StageTime,
-    /// Block pairing / alignment time.
-    pub align: StageTime,
-    /// Merged-function generation, verification and profitability time.
-    pub codegen: StageTime,
-    /// Number of fingerprint-to-fingerprint similarity computations.
-    pub fingerprint_comparisons: u64,
-    /// Estimated module text size before the pass.
-    pub size_before: u64,
-    /// Estimated module text size after the pass.
-    pub size_after: u64,
-}
-
-impl MergeStats {
-    /// Total time spent in the merging pass.
-    pub fn total_time(&self) -> Duration {
-        self.preprocess + self.rank.total() + self.align.total() + self.codegen.total()
-    }
-
-    /// Code-size reduction as a fraction of the original size
-    /// (positive = smaller module).
-    pub fn size_reduction(&self) -> f64 {
-        if self.size_before == 0 {
-            return 0.0;
-        }
-        1.0 - self.size_after as f64 / self.size_before as f64
-    }
-}
-
-/// One ranked candidate pair and what happened to it.
-#[derive(Clone, Debug)]
-pub struct AttemptRecord {
-    /// The candidate function.
-    pub f1: FuncId,
-    /// Its selected nearest neighbour.
-    pub f2: FuncId,
-    /// Fingerprint similarity under the active strategy's metric
-    /// (normalized opcode similarity for HyFM, estimated Jaccard for F3M).
-    pub similarity: f64,
-    /// Fraction of instructions matched by the block-level alignment.
-    pub align_ratio: f64,
-    /// Whether the merge was size-profitable and committed.
-    pub committed: bool,
-    /// `size_before - size_after` for this pair (positive = savings);
-    /// meaningful only when committed.
-    pub size_delta: i64,
-    /// Wall-clock spent on this pair after ranking (align + codegen).
-    pub time: Duration,
-}
-
-/// Full report of a pass run.
-#[derive(Clone, Debug, Default)]
-pub struct MergeReport {
-    /// Aggregate statistics.
-    pub stats: MergeStats,
-    /// Per-pair attempt log, in processing order.
-    pub attempts: Vec<AttemptRecord>,
 }
 
 /// Runs the function-merging pass over `m`, mutating it in place
@@ -290,6 +105,7 @@ pub struct MergeReport {
 pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
     let mut report = MergeReport::default();
     report.stats.size_before = module_size(m);
+    let jobs = config.jobs.max(1);
 
     let funcs: Vec<FuncId> = m
         .defined_functions()
@@ -298,83 +114,26 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
         .collect();
     report.stats.functions = funcs.len();
 
-    let params = match &config.strategy {
-        Strategy::Hyfm => None,
-        Strategy::F3m(p) => Some(*p),
-        Strategy::F3mAdaptive => Some(MergeParams::adaptive(funcs.len())),
-    };
-
-    // ---- preprocess: fingerprints ------------------------------------
+    // ---- preprocess: fingerprints + search structure + reference index --
     let t0 = Instant::now();
-    let mut opcode_fps: Vec<OpcodeFingerprint> = Vec::new();
-    let mut minhash_fps: Vec<MinHashFingerprint> = Vec::new();
-    let mut lsh: Option<LshIndex<usize>> = None;
-    match &params {
-        None => {
-            opcode_fps = funcs.iter().map(|&f| OpcodeFingerprint::of(m.function(f))).collect();
-        }
-        Some(p) => {
-            minhash_fps = funcs
-                .iter()
-                .map(|&f| {
-                    let enc = encode_function(&m.types, m.function(f));
-                    MinHashFingerprint::of_encoded(&enc, p.k)
-                })
-                .collect();
-            let mut index = LshIndex::new(p.lsh);
-            for (i, fp) in minhash_fps.iter().enumerate() {
-                index.insert(i, fp);
-            }
-            lsh = Some(index);
-        }
-    }
+    let mut search = build_search(m, &funcs, &config.strategy, jobs);
+    let mut committer = Committer::build(m, jobs);
     report.stats.preprocess = t0.elapsed();
 
-    // Module-wide reference index for call-site redirection.
-    let mut refs = RefIndex::build(m);
-
-    // ---- main loop ------------------------------------------------------
+    // ---- main loop: rank -> align -> codegen+commit per function --------
     let mut available = vec![true; funcs.len()];
     for i in 0..funcs.len() {
         if !available[i] {
             continue;
         }
-        // Rank: find the nearest available candidate.
+        // Rank: the best available near-tie candidates under the strategy.
         let t_rank = Instant::now();
-        // Near-tie tolerance for profile-guided selection (no effect
-        // without a profile: the plain maximum is chosen).
-        let mut cands_set = CandidateSet::new(0.05);
-        match &params {
-            None => {
-                for (j, av) in available.iter().enumerate() {
-                    if !*av || j == i {
-                        continue;
-                    }
-                    report.stats.fingerprint_comparisons += 1;
-                    let sim = opcode_fps[i].similarity(&opcode_fps[j]);
-                    cands_set.push(j, sim);
-                }
-            }
-            Some(p) => {
-                let index = lsh.as_ref().expect("lsh built");
-                let (cands, _examined) = index.candidates(&minhash_fps[i], i);
-                // One Jaccard computation per distinct candidate — the
-                // quantity the paper's bucket cap bounds.
-                report.stats.fingerprint_comparisons += cands.len() as u64;
-                for j in cands {
-                    if !available[j] {
-                        continue;
-                    }
-                    let sim = minhash_fps[i].similarity(&minhash_fps[j]);
-                    if sim < p.threshold {
-                        continue;
-                    }
-                    cands_set.push(j, sim);
-                }
-            }
-        }
-        let best: Option<(usize, f64)> =
-            cands_set.choose(config.profile.as_ref(), |idx| funcs[idx]);
+        let mut counters = QueryCounters::default();
+        let cands_set = search.best_candidates(i, &available, &mut counters);
+        report.stats.fingerprint_comparisons += counters.comparisons;
+        report.stats.candidates_examined += counters.examined;
+        report.stats.candidates_returned += counters.returned;
+        let best = cands_set.choose(config.profile.as_ref(), |idx| funcs[idx]);
         let rank_elapsed = t_rank.elapsed();
         let Some((j, similarity)) = best else {
             report.stats.rank.fail += rank_elapsed;
@@ -396,14 +155,8 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
         // even an optimistic estimate (every matched instruction shared,
         // ignoring operand selects) cannot pay for the fixed costs. This
         // is where most unprofitable pairs die cheaply.
-        let drop1 = m.function(f1).linkage == Linkage::Internal
-            && !refs.address_taken.contains(&f1);
-        let drop2 = m.function(f2).linkage == Linkage::Internal
-            && !refs.address_taken.contains(&f2);
-        let thunk_cost = |dropped: bool| if dropped { 0i64 } else { 18 };
-        // Merged-function overhead + entry dispatch + thunks, minus the two
-        // eliminated original-function overheads.
-        let fixed = 14 + thunk_cost(drop1) + thunk_cost(drop2) - 24;
+        let fixed =
+            fixed_overhead(committer.droppable(m, f1), committer.droppable(m, f2));
         if matched == 0 || plan.estimated_savings(fixed) <= 0 {
             report.stats.rank.fail += rank_elapsed;
             report.stats.align.fail += align_elapsed;
@@ -419,111 +172,44 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
             continue;
         }
 
-        // Codegen + profitability.
+        // Codegen + profitability + commit.
         let t_cg = Instant::now();
-        let name = m.fresh_name("__merged");
-        let committed = match build_merged(m, f1, f2, &plan, config.merge, name) {
-            Err(_) => false,
-            Ok(mf) => {
-                let size_before = function_size(m.function(f1)) + function_size(m.function(f2));
-                let merged_size = function_size(&mf.func);
-                let merged_id = m.add_function(mf.func);
-                if verify_function(m, merged_id).is_err() {
-                    // A verifier failure here is a code generator bug; drop
-                    // the candidate rather than corrupt the module.
-                    m.remove_last_function(merged_id);
-                    false
-                } else {
-                    // A function whose address is never taken has all its
-                    // call sites redirected into the merged body; if it is
-                    // also module-private, the original symbol disappears
-                    // entirely. Otherwise a thunk preserves the symbol.
-                    let thunk1 = build_thunk(m, f1, merged_id, false, &mf.param_map1);
-                    let thunk2 = build_thunk(m, f2, merged_id, true, &mf.param_map2);
-                    let after1 = if drop1 { 0 } else { function_size(&thunk1) };
-                    let after2 = if drop2 { 0 } else { function_size(&thunk2) };
-                    let size_after = merged_size + after1 + after2;
-                    if size_after < size_before {
-                        // Register the merged body's own call sites first so
-                        // recursive references to f1/f2 get redirected too.
-                        refs.scan_function(m, merged_id);
-                        refs.redirect(m, f1, merged_id, false, &mf.param_map1);
-                        refs.redirect(m, f2, merged_id, true, &mf.param_map2);
-                        refs.invalidate_owner(f1);
-                        refs.invalidate_owner(f2);
-                        if drop1 {
-                            let old = m.function(f1);
-                            m.replace_function(
-                                f1,
-                                Function::new_declaration(
-                                    old.name.clone(),
-                                    old.params.clone(),
-                                    old.ret_ty,
-                                ),
-                            );
-                        } else {
-                            m.replace_function(f1, thunk1);
-                        }
-                        if drop2 {
-                            let old = m.function(f2);
-                            m.replace_function(
-                                f2,
-                                Function::new_declaration(
-                                    old.name.clone(),
-                                    old.params.clone(),
-                                    old.ret_ty,
-                                ),
-                            );
-                        } else {
-                            m.replace_function(f2, thunk2);
-                        }
-                        // Thunk bodies call the merged function; register
-                        // those new sites under the bumped versions.
-                        refs.scan_function(m, f1);
-                        refs.scan_function(m, f2);
-                        if let (Some(p), Some(index)) = (&params, lsh.as_mut()) {
-                            let _ = p;
-                            index.remove(i, &minhash_fps[i]);
-                            index.remove(j, &minhash_fps[j]);
-                        }
-                        available[i] = false;
-                        available[j] = false;
-                        report.stats.merges_committed += 1;
-                        report.attempts.push(AttemptRecord {
-                            f1,
-                            f2,
-                            similarity,
-                            align_ratio,
-                            committed: true,
-                            size_delta: size_before as i64 - size_after as i64,
-                            time: align_elapsed + t_cg.elapsed(),
-                        });
-                        true
-                    } else {
-                        m.remove_last_function(merged_id);
-                        false
-                    }
-                }
-            }
-        };
+        let outcome = committer.try_commit(m, f1, f2, &plan, config.merge);
         let cg_elapsed = t_cg.elapsed();
-        if committed {
-            report.stats.rank.success += rank_elapsed;
-            report.stats.align.success += align_elapsed;
-            report.stats.codegen.success += cg_elapsed;
-        } else {
-            report.stats.rank.fail += rank_elapsed;
-            report.stats.align.fail += align_elapsed;
-            report.stats.codegen.fail += cg_elapsed;
-            report.attempts.push(AttemptRecord {
-                f1,
-                f2,
-                similarity,
-                align_ratio,
-                committed: false,
-                size_delta: 0,
-                time: align_elapsed + cg_elapsed,
-            });
+        match outcome {
+            Some(size_delta) => {
+                search.invalidate(i);
+                search.invalidate(j);
+                available[i] = false;
+                available[j] = false;
+                report.stats.merges_committed += 1;
+                report.stats.rank.success += rank_elapsed;
+                report.stats.align.success += align_elapsed;
+                report.stats.codegen.success += cg_elapsed;
+                report.attempts.push(AttemptRecord {
+                    f1,
+                    f2,
+                    similarity,
+                    align_ratio,
+                    committed: true,
+                    size_delta,
+                    time: align_elapsed + cg_elapsed,
+                });
+            }
+            None => {
+                report.stats.rank.fail += rank_elapsed;
+                report.stats.align.fail += align_elapsed;
+                report.stats.codegen.fail += cg_elapsed;
+                report.attempts.push(AttemptRecord {
+                    f1,
+                    f2,
+                    similarity,
+                    align_ratio,
+                    committed: false,
+                    size_delta: 0,
+                    time: align_elapsed + cg_elapsed,
+                });
+            }
         }
     }
 

@@ -1,0 +1,201 @@
+//! Candidate search behind a strategy seam.
+//!
+//! The *preprocess* and *rank* stages of the pipeline differ per strategy
+//! (HyFM scans opcode-frequency fingerprints exhaustively; F3M queries an
+//! LSH index over MinHash fingerprints) but the driver does not care: it
+//! asks a [`CandidateSearch`] for the best available candidates of one
+//! function and tells it when a pair leaves the pool. Each implementation
+//! owns its fingerprints, its query structure, and its post-commit
+//! invalidation, and builds them in parallel across `jobs` threads with
+//! deterministic (job-count-independent) results.
+
+use f3m_fingerprint::adaptive::MergeParams;
+use f3m_fingerprint::encode::encode_function;
+use f3m_fingerprint::fnv::xor_constants;
+use f3m_fingerprint::lsh::{band_keys_for, LshIndex};
+use f3m_fingerprint::minhash::MinHashFingerprint;
+use f3m_fingerprint::opcode_freq::OpcodeFingerprint;
+use f3m_fingerprint::par::par_map_indexed;
+use f3m_ir::ids::FuncId;
+use f3m_ir::module::Module;
+
+use crate::pass::Strategy;
+use crate::profile::CandidateSet;
+
+/// Near-tie tolerance for profile-guided selection (no effect without a
+/// profile: the plain maximum is chosen).
+const NEAR_TIE_EPS: f64 = 0.05;
+
+/// Counters for one ranking query, accumulated into
+/// [`MergeStats`](crate::report::MergeStats) by the driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryCounters {
+    /// Fingerprint-to-fingerprint similarity computations.
+    pub comparisons: u64,
+    /// Search-structure entries examined (bucket entries for LSH, scan
+    /// length for the exhaustive baseline).
+    pub examined: u64,
+    /// Distinct candidates the structure returned, before availability and
+    /// threshold filtering.
+    pub returned: u64,
+}
+
+/// Strategy seam between the pass driver and a candidate-search structure.
+///
+/// Implementations are built once per pass over the function list (the
+/// *preprocess* stage) and queried once per unmerged function (the *rank*
+/// stage). After a commit the driver calls [`invalidate`] for both merged
+/// functions so later queries no longer surface them.
+///
+/// [`invalidate`]: CandidateSearch::invalidate
+pub trait CandidateSearch {
+    /// Number of functions indexed.
+    fn num_functions(&self) -> usize;
+
+    /// Collects the best available merge candidates for function `i` as a
+    /// near-tie [`CandidateSet`] (so a profile can bias the final choice).
+    /// `available[j]` is false for functions already consumed by a merge;
+    /// implementations must never return such candidates, nor `i` itself.
+    fn best_candidates(
+        &self,
+        i: usize,
+        available: &[bool],
+        counters: &mut QueryCounters,
+    ) -> CandidateSet;
+
+    /// Removes function `idx` from the search structure after its pair was
+    /// committed. (The driver additionally masks it in `available`; for
+    /// structures with no retained state this may be a no-op.)
+    fn invalidate(&mut self, idx: usize);
+}
+
+/// Builds the search structure for `strategy` over `funcs`, fanning the
+/// per-function fingerprint work out across up to `jobs` threads.
+pub fn build_search(
+    m: &Module,
+    funcs: &[FuncId],
+    strategy: &Strategy,
+    jobs: usize,
+) -> Box<dyn CandidateSearch> {
+    match strategy {
+        Strategy::Hyfm => Box::new(ExhaustiveOpcodeSearch::build(m, funcs, jobs)),
+        Strategy::F3m(p) => Box::new(LshMinHashSearch::build(m, funcs, *p, jobs)),
+        Strategy::F3mAdaptive => {
+            let p = MergeParams::adaptive(funcs.len());
+            Box::new(LshMinHashSearch::build(m, funcs, p, jobs))
+        }
+    }
+}
+
+/// HyFM baseline: opcode-frequency fingerprints, exhaustive quadratic
+/// nearest-neighbour ranking.
+pub struct ExhaustiveOpcodeSearch {
+    fps: Vec<OpcodeFingerprint>,
+}
+
+impl ExhaustiveOpcodeSearch {
+    /// Fingerprints every function (in parallel for `jobs > 1`).
+    pub fn build(m: &Module, funcs: &[FuncId], jobs: usize) -> ExhaustiveOpcodeSearch {
+        let fps = par_map_indexed(funcs.len(), jobs, |i| {
+            OpcodeFingerprint::of(m.function(funcs[i]))
+        });
+        ExhaustiveOpcodeSearch { fps }
+    }
+}
+
+impl CandidateSearch for ExhaustiveOpcodeSearch {
+    fn num_functions(&self) -> usize {
+        self.fps.len()
+    }
+
+    fn best_candidates(
+        &self,
+        i: usize,
+        available: &[bool],
+        counters: &mut QueryCounters,
+    ) -> CandidateSet {
+        let mut set = CandidateSet::new(NEAR_TIE_EPS);
+        for (j, av) in available.iter().enumerate() {
+            if !*av || j == i {
+                continue;
+            }
+            counters.comparisons += 1;
+            counters.examined += 1;
+            counters.returned += 1;
+            set.push(j, self.fps[i].similarity(&self.fps[j]));
+        }
+        set
+    }
+
+    fn invalidate(&mut self, _idx: usize) {
+        // The exhaustive scan consults `available` directly; there is no
+        // retained structure to update.
+    }
+}
+
+/// F3M: MinHash fingerprints queried through a banded LSH index, with the
+/// similarity threshold applied after the bucket lookup.
+pub struct LshMinHashSearch {
+    params: MergeParams,
+    fps: Vec<MinHashFingerprint>,
+    index: LshIndex<usize>,
+}
+
+impl LshMinHashSearch {
+    /// Encodes, fingerprints and band-hashes every function (in parallel
+    /// for `jobs > 1`; the xor constants are derived once and shared), then
+    /// populates the index sequentially in function order so bucket
+    /// contents are identical for any job count.
+    pub fn build(m: &Module, funcs: &[FuncId], params: MergeParams, jobs: usize) -> LshMinHashSearch {
+        let consts = xor_constants(params.k);
+        let per_func = par_map_indexed(funcs.len(), jobs, |i| {
+            let enc = encode_function(&m.types, m.function(funcs[i]));
+            let fp = MinHashFingerprint::of_encoded_with(&consts, &enc);
+            let keys = band_keys_for(params.lsh, &fp);
+            (fp, keys)
+        });
+        let mut index = LshIndex::new(params.lsh);
+        let mut fps = Vec::with_capacity(per_func.len());
+        for (i, (fp, keys)) in per_func.into_iter().enumerate() {
+            index.insert_with_keys(i, &keys);
+            fps.push(fp);
+        }
+        LshMinHashSearch { params, fps, index }
+    }
+}
+
+impl CandidateSearch for LshMinHashSearch {
+    fn num_functions(&self) -> usize {
+        self.fps.len()
+    }
+
+    fn best_candidates(
+        &self,
+        i: usize,
+        available: &[bool],
+        counters: &mut QueryCounters,
+    ) -> CandidateSet {
+        let (cands, examined) = self.index.candidates(&self.fps[i], i);
+        counters.examined += examined as u64;
+        counters.returned += cands.len() as u64;
+        // One Jaccard computation per distinct candidate — the quantity
+        // the paper's bucket cap bounds.
+        counters.comparisons += cands.len() as u64;
+        let mut set = CandidateSet::new(NEAR_TIE_EPS);
+        for j in cands {
+            if !available[j] {
+                continue;
+            }
+            let sim = self.fps[i].similarity(&self.fps[j]);
+            if sim < self.params.threshold {
+                continue;
+            }
+            set.push(j, sim);
+        }
+        set
+    }
+
+    fn invalidate(&mut self, idx: usize) {
+        self.index.remove(idx, &self.fps[idx]);
+    }
+}

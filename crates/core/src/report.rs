@@ -1,0 +1,231 @@
+//! Pass reporting: per-stage timing, aggregate statistics and the per-pair
+//! attempt log, plus a machine-readable JSON rendering.
+//!
+//! The stage split (*preprocess* / *rank* / *align* / *codegen*, each with
+//! success and fail buckets) mirrors the paper's Figures 3 and 13, and the
+//! figure-reproduction binaries in `f3m-bench` consume these fields
+//! directly — their semantics are part of the crate's stable surface.
+//! Every strategy populates them identically through the
+//! [`CandidateSearch`](crate::rank::CandidateSearch) seam.
+
+use std::time::Duration;
+
+use f3m_ir::ids::FuncId;
+
+/// Wall-clock cost of a pipeline stage, split by eventual outcome.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTime {
+    /// Time attributed to attempts that ended in a committed merge.
+    pub success: Duration,
+    /// Time attributed to attempts that did not.
+    pub fail: Duration,
+}
+
+impl StageTime {
+    /// Total time in the stage.
+    pub fn total(&self) -> Duration {
+        self.success + self.fail
+    }
+}
+
+/// Aggregate statistics of one pass run.
+#[derive(Clone, Debug, Default)]
+pub struct MergeStats {
+    /// Function definitions considered.
+    pub functions: usize,
+    /// Candidate pairs for which alignment was attempted.
+    pub pairs_attempted: usize,
+    /// Merges committed (pairs replaced by thunks + merged function).
+    pub merges_committed: usize,
+    /// Fingerprint construction time.
+    pub preprocess: Duration,
+    /// Candidate search time.
+    pub rank: StageTime,
+    /// Block pairing / alignment time.
+    pub align: StageTime,
+    /// Merged-function generation, verification and profitability time.
+    pub codegen: StageTime,
+    /// Number of fingerprint-to-fingerprint similarity computations.
+    pub fingerprint_comparisons: u64,
+    /// Search-structure entries examined across all queries: bucket
+    /// entries for LSH (what the paper's bucket cap bounds), scan length
+    /// for the exhaustive baseline.
+    pub candidates_examined: u64,
+    /// Distinct candidates the search structure returned across all
+    /// queries, before availability/threshold filtering.
+    pub candidates_returned: u64,
+    /// Estimated module text size before the pass.
+    pub size_before: u64,
+    /// Estimated module text size after the pass.
+    pub size_after: u64,
+}
+
+impl MergeStats {
+    /// Total time spent in the merging pass.
+    pub fn total_time(&self) -> Duration {
+        self.preprocess + self.rank.total() + self.align.total() + self.codegen.total()
+    }
+
+    /// Code-size reduction as a fraction of the original size
+    /// (positive = smaller module).
+    pub fn size_reduction(&self) -> f64 {
+        if self.size_before == 0 {
+            return 0.0;
+        }
+        1.0 - self.size_after as f64 / self.size_before as f64
+    }
+}
+
+/// One ranked candidate pair and what happened to it.
+#[derive(Clone, Debug)]
+pub struct AttemptRecord {
+    /// The candidate function.
+    pub f1: FuncId,
+    /// Its selected nearest neighbour.
+    pub f2: FuncId,
+    /// Fingerprint similarity under the active strategy's metric
+    /// (normalized opcode similarity for HyFM, estimated Jaccard for F3M).
+    pub similarity: f64,
+    /// Fraction of instructions matched by the block-level alignment.
+    pub align_ratio: f64,
+    /// Whether the merge was size-profitable and committed.
+    pub committed: bool,
+    /// `size_before - size_after` for this pair (positive = savings);
+    /// meaningful only when committed.
+    pub size_delta: i64,
+    /// Wall-clock spent on this pair after ranking (align + codegen).
+    pub time: Duration,
+}
+
+/// Full report of a pass run.
+#[derive(Clone, Debug, Default)]
+pub struct MergeReport {
+    /// Aggregate statistics.
+    pub stats: MergeStats,
+    /// Per-pair attempt log, in processing order.
+    pub attempts: Vec<AttemptRecord>,
+}
+
+impl MergeReport {
+    /// Renders the report as a JSON object (two keys: `stats` and
+    /// `attempts`). Durations are reported in nanoseconds as integers;
+    /// floats use shortest-roundtrip formatting. The serializer is
+    /// hand-rolled: every value emitted here is a number, boolean or
+    /// array, so no string escaping is required.
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let stage = |st: &StageTime| {
+            format!(
+                "{{\"success_ns\":{},\"fail_ns\":{}}}",
+                st.success.as_nanos(),
+                st.fail.as_nanos()
+            )
+        };
+        let mut out = String::with_capacity(1024 + self.attempts.len() * 128);
+        out.push_str("{\"stats\":{");
+        out.push_str(&format!("\"functions\":{},", s.functions));
+        out.push_str(&format!("\"pairs_attempted\":{},", s.pairs_attempted));
+        out.push_str(&format!("\"merges_committed\":{},", s.merges_committed));
+        out.push_str(&format!("\"preprocess_ns\":{},", s.preprocess.as_nanos()));
+        out.push_str(&format!("\"rank\":{},", stage(&s.rank)));
+        out.push_str(&format!("\"align\":{},", stage(&s.align)));
+        out.push_str(&format!("\"codegen\":{},", stage(&s.codegen)));
+        out.push_str(&format!("\"total_ns\":{},", s.total_time().as_nanos()));
+        out.push_str(&format!("\"fingerprint_comparisons\":{},", s.fingerprint_comparisons));
+        out.push_str(&format!("\"candidates_examined\":{},", s.candidates_examined));
+        out.push_str(&format!("\"candidates_returned\":{},", s.candidates_returned));
+        out.push_str(&format!("\"size_before\":{},", s.size_before));
+        out.push_str(&format!("\"size_after\":{},", s.size_after));
+        out.push_str(&format!("\"size_reduction\":{}", json_f64(s.size_reduction())));
+        out.push_str("},\"attempts\":[");
+        for (n, a) in self.attempts.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"f1\":{},\"f2\":{},\"similarity\":{},\"align_ratio\":{},\
+                 \"committed\":{},\"size_delta\":{},\"time_ns\":{}}}",
+                a.f1.index(),
+                a.f2.index(),
+                json_f64(a.similarity),
+                json_f64(a.align_ratio),
+                a.committed,
+                a.size_delta,
+                a.time.as_nanos()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON has no NaN/Infinity literals; clamp them to null-free sentinels.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_has_expected_keys_and_balanced_braces() {
+        let mut report = MergeReport::default();
+        report.stats.functions = 3;
+        report.stats.merges_committed = 1;
+        report.stats.preprocess = Duration::from_nanos(1500);
+        report.attempts.push(AttemptRecord {
+            f1: FuncId::from_index(0),
+            f2: FuncId::from_index(2),
+            similarity: 0.75,
+            align_ratio: 0.5,
+            committed: true,
+            size_delta: 42,
+            time: Duration::from_nanos(900),
+        });
+        let j = report.to_json();
+        for key in [
+            "\"stats\"",
+            "\"functions\":3",
+            "\"merges_committed\":1",
+            "\"preprocess_ns\":1500",
+            "\"candidates_examined\"",
+            "\"candidates_returned\"",
+            "\"attempts\"",
+            "\"f1\":0",
+            "\"f2\":2",
+            "\"similarity\":0.75",
+            "\"committed\":true",
+            "\"size_delta\":42",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_floats_are_sanitized() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn stage_and_total_time_arithmetic() {
+        let mut s = MergeStats {
+            preprocess: Duration::from_millis(2),
+            rank: StageTime { success: Duration::from_millis(3), fail: Duration::from_millis(1) },
+            ..Default::default()
+        };
+        assert_eq!(s.rank.total(), Duration::from_millis(4));
+        assert_eq!(s.total_time(), Duration::from_millis(6));
+        s.size_before = 200;
+        s.size_after = 150;
+        assert!((s.size_reduction() - 0.25).abs() < 1e-12);
+    }
+}

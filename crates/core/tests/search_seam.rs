@@ -1,0 +1,188 @@
+//! Tests of the `CandidateSearch` seam: both strategy implementations must
+//! agree where their semantics overlap, and the parallel preprocess path
+//! must be invisible in the results.
+
+use f3m_core::pass::{run_pass, PassConfig, Strategy};
+use f3m_core::rank::{build_search, QueryCounters};
+use f3m_fingerprint::adaptive::MergeParams;
+use f3m_ir::parser::parse_module;
+use f3m_ir::printer::print_module;
+use f3m_workloads::suite::{build_module, table1};
+
+/// Three two-clone families with pairwise distinct opcode mixes. Every
+/// function's unique best candidate is its exact twin under *any* sane
+/// similarity metric, and the module is small enough that LSH (threshold 0,
+/// identical fingerprints collide on every band) degenerates to an
+/// exhaustive search.
+const FAMILIES: &str = r#"
+module "seam" {
+define @a0(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 1
+  %2 = mul i32 %1, 3
+  %3 = xor i32 %2, 255
+  %4 = sub i32 %3, %0
+  %5 = add i32 %4, 10
+  %6 = mul i32 %5, 7
+  %7 = xor i32 %6, 17
+  %8 = sub i32 %7, %1
+  ret i32 %8
+}
+define @a1(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 1
+  %2 = mul i32 %1, 3
+  %3 = xor i32 %2, 255
+  %4 = sub i32 %3, %0
+  %5 = add i32 %4, 10
+  %6 = mul i32 %5, 7
+  %7 = xor i32 %6, 17
+  %8 = sub i32 %7, %1
+  ret i32 %8
+}
+define @b0(i32 %0) -> i32 {
+bb0:
+  %1 = and i32 %0, 4095
+  %2 = or i32 %1, 5
+  %3 = shl i32 %2, 2
+  %4 = lshr i32 %3, 1
+  %5 = and i32 %4, 255
+  %6 = or i32 %5, 64
+  %7 = shl i32 %6, 1
+  %8 = lshr i32 %7, 3
+  ret i32 %8
+}
+define @b1(i32 %0) -> i32 {
+bb0:
+  %1 = and i32 %0, 4095
+  %2 = or i32 %1, 5
+  %3 = shl i32 %2, 2
+  %4 = lshr i32 %3, 1
+  %5 = and i32 %4, 255
+  %6 = or i32 %5, 64
+  %7 = shl i32 %6, 1
+  %8 = lshr i32 %7, 3
+  ret i32 %8
+}
+define @c0(i32 %0) -> i32 {
+bb0:
+  %1 = ashr i32 %0, 1
+  %2 = sub i32 %1, 9
+  %3 = ashr i32 %2, 2
+  %4 = sub i32 %3, 4
+  %5 = ashr i32 %4, 1
+  %6 = sub i32 %5, 2
+  %7 = ashr i32 %6, 1
+  %8 = sub i32 %7, 1
+  ret i32 %8
+}
+define @c1(i32 %0) -> i32 {
+bb0:
+  %1 = ashr i32 %0, 1
+  %2 = sub i32 %1, 9
+  %3 = ashr i32 %2, 2
+  %4 = sub i32 %3, 4
+  %5 = ashr i32 %4, 1
+  %6 = sub i32 %5, 2
+  %7 = ashr i32 %6, 1
+  %8 = sub i32 %7, 1
+  ret i32 %8
+}
+}
+"#;
+
+#[test]
+fn both_strategies_pick_the_same_best_candidate_when_lsh_is_exhaustive() {
+    let m = parse_module(FAMILIES).unwrap();
+    let funcs = m.defined_functions();
+    assert_eq!(funcs.len(), 6);
+    let available = vec![true; funcs.len()];
+
+    let exhaustive = build_search(&m, &funcs, &Strategy::Hyfm, 1);
+    let lsh =
+        build_search(&m, &funcs, &Strategy::F3m(MergeParams::static_default()), 1);
+    assert_eq!(exhaustive.num_functions(), 6);
+    assert_eq!(lsh.num_functions(), 6);
+
+    for i in 0..funcs.len() {
+        let mut ce = QueryCounters::default();
+        let mut cl = QueryCounters::default();
+        let from_exhaustive = exhaustive
+            .best_candidates(i, &available, &mut ce)
+            .choose(None, |idx| funcs[idx]);
+        let from_lsh =
+            lsh.best_candidates(i, &available, &mut cl).choose(None, |idx| funcs[idx]);
+        // The twin of function 2m is 2m+1 and vice versa.
+        let twin = i ^ 1;
+        assert_eq!(from_exhaustive.map(|(j, _)| j), Some(twin), "exhaustive, query {i}");
+        assert_eq!(from_lsh.map(|(j, _)| j), Some(twin), "lsh, query {i}");
+        // Exact clones score 1.0 under both metrics.
+        assert_eq!(from_exhaustive.map(|(_, s)| s), Some(1.0));
+        assert_eq!(from_lsh.map(|(_, s)| s), Some(1.0));
+        // The exhaustive baseline scans everyone else; LSH examines at
+        // least the twin (identical fingerprints share every band).
+        assert_eq!(ce.examined, (funcs.len() - 1) as u64);
+        assert_eq!(ce.comparisons, (funcs.len() - 1) as u64);
+        assert!(cl.returned >= 1, "query {i} returned nothing from LSH");
+        assert!(cl.comparisons >= 1);
+    }
+}
+
+#[test]
+fn invalidated_candidates_stop_appearing() {
+    let m = parse_module(FAMILIES).unwrap();
+    let funcs = m.defined_functions();
+    let mut lsh =
+        build_search(&m, &funcs, &Strategy::F3m(MergeParams::static_default()), 1);
+    let mut available = vec![true; funcs.len()];
+    // Simulate committing the (0, 1) pair.
+    lsh.invalidate(0);
+    lsh.invalidate(1);
+    available[0] = false;
+    available[1] = false;
+    let mut c = QueryCounters::default();
+    let best = lsh.best_candidates(2, &available, &mut c).choose(None, |idx| funcs[idx]);
+    assert_eq!(best.map(|(j, _)| j), Some(3), "twin of 2 is still available");
+    // The removed pair left the index itself, so it can never resurface —
+    // even with the availability mask fully open, a query from inside the
+    // pair no longer finds its (removed) twin.
+    let all_on = vec![true; funcs.len()];
+    let mut c2 = QueryCounters::default();
+    let resurfaced = lsh.best_candidates(0, &all_on, &mut c2).choose(None, |idx| funcs[idx]);
+    assert_ne!(resurfaced.map(|(j, _)| j), Some(1), "1 was removed from the index");
+    assert_ne!(resurfaced.map(|(j, _)| j), Some(0));
+}
+
+#[test]
+fn job_count_is_invisible_in_merged_modules_and_counters() {
+    let mut spec = table1()
+        .into_iter()
+        .find(|s| s.name == "429.mcf")
+        .expect("known workload")
+        .scaled(0.5);
+    spec.seed ^= 0x5EA7;
+    let base = build_module(&spec);
+    for make in [PassConfig::hyfm, PassConfig::f3m, PassConfig::f3m_adaptive] {
+        let mut reference = None;
+        for jobs in [1usize, 4] {
+            let mut m = base.clone();
+            let report = run_pass(&mut m, &make().with_jobs(jobs));
+            let key = (
+                print_module(&m),
+                report.stats.merges_committed,
+                report.stats.pairs_attempted,
+                report.stats.fingerprint_comparisons,
+                report.stats.candidates_examined,
+                report.stats.candidates_returned,
+            );
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(
+                    *r, key,
+                    "jobs={jobs} diverged from jobs=1 (strategy {:?})",
+                    make().strategy
+                ),
+            }
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! f3m merge <input.ir> [-o <out.ir>] [--strategy hyfm|f3m|adaptive]
-//!           [--threshold <t>] [--repair phi|stack|legacy] [--dce]
+//!           [--threshold <t>] [--bands <b>] [--rows <r>] [-k <k>]
+//!           [--bucket-cap <c>] [--jobs <n>] [--report json]
+//!           [--repair phi|stack|legacy] [--dce]
 //! f3m stats <input.ir>
 //! f3m run   <input.ir> <function> [int args...]
 //! f3m gen   <workload> [-o <out.ir>] [--scale <f>]
@@ -26,7 +28,8 @@ fn main() -> ExitCode {
                 "usage: f3m <merge|stats|run|gen|list> ...\n\
                  \n\
                  merge <input.ir> [-o out.ir] [--strategy hyfm|f3m|adaptive]\n\
-                 \x20      [--threshold t] [--repair phi|stack|legacy] [--dce]\n\
+                 \x20      [--threshold t] [--bands b] [--rows r] [-k k] [--bucket-cap c]\n\
+                 \x20      [--jobs n] [--report json] [--repair phi|stack|legacy] [--dce]\n\
                  stats <input.ir>\n\
                  run   <input.ir> <function> [int args...]\n\
                  gen   <workload> [-o out.ir] [--scale f]\n\
@@ -74,6 +77,49 @@ fn cmd_merge(args: &[String]) -> CliResult {
             return Err("--threshold only applies to --strategy f3m".into());
         }
     }
+    let lsh_knobs = ["--bands", "--rows", "--bucket-cap", "-k"];
+    if lsh_knobs.iter().any(|f| flag_value(args, f).is_some()) {
+        let Strategy::F3m(params) = &mut config.strategy else {
+            return Err("--bands/--rows/--bucket-cap/-k only apply to --strategy f3m".into());
+        };
+        let rows: usize =
+            flag_value(args, "--rows").map(str::parse).transpose()?.unwrap_or(params.lsh.rows);
+        let bands: usize =
+            flag_value(args, "--bands").map(str::parse).transpose()?.unwrap_or(params.lsh.bands);
+        if rows == 0 || bands == 0 {
+            return Err("--rows and --bands must be positive".into());
+        }
+        let k: usize = match flag_value(args, "-k") {
+            Some(k) => k.parse()?,
+            None => rows * bands,
+        };
+        if k != rows * bands {
+            return Err(format!(
+                "-k {k} must equal --rows × --bands ({rows} × {bands} = {})",
+                rows * bands
+            )
+            .into());
+        }
+        let bucket_cap: usize = flag_value(args, "--bucket-cap")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(params.lsh.bucket_cap);
+        params.k = k;
+        params.lsh = f3m::fingerprint::lsh::LshParams { rows, bands, bucket_cap };
+    }
+    if let Some(jobs) = flag_value(args, "--jobs") {
+        config.jobs = jobs.parse()?;
+    }
+    let json_report = match flag_value(args, "--report") {
+        None => false,
+        Some("json") => {
+            if flag_value(args, "-o").is_none() {
+                return Err("--report json requires -o (the JSON report goes to stdout)".into());
+            }
+            true
+        }
+        Some(other) => return Err(format!("unknown report format `{other}`").into()),
+    };
     config.merge = MergeConfig {
         repair: match flag_value(args, "--repair") {
             None | Some("phi") => RepairMode::Phi,
@@ -103,6 +149,9 @@ fn cmd_merge(args: &[String]) -> CliResult {
         after,
         report.stats.size_reduction() * 100.0
     );
+    if json_report {
+        println!("{}", report.to_json());
+    }
     let text = f3m::ir::printer::print_module(&m);
     match flag_value(args, "-o") {
         Some(path) => std::fs::write(path, text)?,
@@ -124,7 +173,7 @@ fn cmd_stats(args: &[String]) -> CliResult {
         .iter()
         .map(|&f| (m.function(f).num_linked_insts(), m.function(f).name.clone()))
         .collect();
-    sizes.sort_by(|a, b| b.0.cmp(&a.0));
+    sizes.sort_by_key(|s| std::cmp::Reverse(s.0));
     println!("  largest functions:");
     for (n, name) in sizes.iter().take(5) {
         println!("    {n:>6}  @{name}");

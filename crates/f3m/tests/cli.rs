@@ -24,7 +24,7 @@ fn run_ok(cmd: &mut Command) -> (String, String) {
 
 #[test]
 fn list_shows_the_suite() {
-    let (stdout, _) = run_ok(&mut f3m().arg("list"));
+    let (stdout, _) = run_ok(f3m().arg("list"));
     assert!(stdout.contains("chrome-scale"));
     assert!(stdout.contains("400.perlbench"));
 }
@@ -88,6 +88,80 @@ fn merge_rejects_unknown_strategy() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_lsh_knobs_and_json_report() {
+    let dir = std::env::temp_dir().join(format!("f3m-cli-test4-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.ir");
+    let merged = dir.join("out.ir");
+    run_ok(f3m().args(["gen", "429.mcf", "--scale", "0.3", "-o"]).arg(&input));
+
+    // Explicit banding knobs with a consistent k, parallel preprocess, and
+    // a JSON report on stdout.
+    let (stdout, _) = run_ok(f3m()
+        .arg("merge")
+        .arg(&input)
+        .arg("-o")
+        .arg(&merged)
+        .args([
+            "--bands", "50", "--rows", "2", "-k", "100", "--bucket-cap", "64", "--jobs",
+            "4", "--report", "json",
+        ]));
+    for key in [
+        "\"stats\"",
+        "\"preprocess_ns\"",
+        "\"candidates_examined\"",
+        "\"candidates_returned\"",
+        "\"attempts\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in JSON report: {stdout}");
+    }
+    assert!(merged.exists(), "merged module written to -o");
+
+    // Inconsistent k is rejected with the constraint spelled out.
+    let out = f3m()
+        .arg("merge")
+        .arg(&input)
+        .args(["--bands", "50", "--rows", "2", "-k", "99"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("must equal --rows × --bands"));
+
+    // Banding knobs make no sense for the opcode-histogram baseline.
+    let out = f3m()
+        .arg("merge")
+        .arg(&input)
+        .args(["--strategy", "hyfm", "--bands", "50"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only apply to --strategy f3m"));
+
+    // JSON on stdout would collide with the module text.
+    let out = f3m().arg("merge").arg(&input).args(["--report", "json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires -o"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_jobs_produce_identical_modules() {
+    let dir = std::env::temp_dir().join(format!("f3m-cli-test5-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.ir");
+    run_ok(f3m().args(["gen", "433.milc", "--scale", "0.4", "-o"]).arg(&input));
+    let mut outputs = Vec::new();
+    for jobs in ["1", "4"] {
+        let out = dir.join(format!("out-{jobs}.ir"));
+        run_ok(f3m().arg("merge").arg(&input).arg("-o").arg(&out).args(["--jobs", jobs]));
+        outputs.push(std::fs::read_to_string(&out).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "merged module must not depend on --jobs");
     std::fs::remove_dir_all(&dir).ok();
 }
 

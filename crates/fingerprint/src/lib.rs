@@ -20,6 +20,7 @@ pub mod fnv;
 pub mod lsh;
 pub mod minhash;
 pub mod opcode_freq;
+pub mod par;
 
 pub use adaptive::MergeParams;
 pub use lsh::{LshIndex, LshParams};

@@ -11,7 +11,7 @@
 //! (Section III-C / Figure 16); the cap is applied in
 //! [`LshIndex::candidates`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
 use crate::fnv::fnv1a_u64s;
@@ -53,6 +53,26 @@ pub fn collision_probability(s: f64, rows: usize, bands: usize) -> f64 {
     1.0 - (1.0 - s.powi(rows as i32)).powi(bands as i32)
 }
 
+/// Band bucket keys of a fingerprint under `params`, as a standalone
+/// function so they can be computed off-index (e.g. on worker threads
+/// during a parallel bulk build) and fed to [`LshIndex::insert_with_keys`].
+///
+/// # Panics
+///
+/// Panics if the fingerprint is smaller than `k = rows × bands`.
+pub fn band_keys_for(params: LshParams, fp: &MinHashFingerprint) -> Vec<u64> {
+    let r = params.rows;
+    assert!(fp.len() >= params.fingerprint_size(), "fingerprint too small for banding");
+    (0..params.bands)
+        .map(|j| {
+            let band = &fp.hashes()[j * r..(j + 1) * r];
+            // Mix the band index in so identical sub-vectors in different
+            // bands do not alias.
+            fnv1a_u64s(band).wrapping_add((j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        })
+        .collect()
+}
+
 /// An LSH index mapping band hashes to buckets of items.
 #[derive(Clone, Debug)]
 pub struct LshIndex<T> {
@@ -85,23 +105,22 @@ impl<T: Copy + Eq + Hash> LshIndex<T> {
         &'a self,
         fp: &'a MinHashFingerprint,
     ) -> impl Iterator<Item = u64> + 'a {
-        let r = self.params.rows;
-        assert!(
-            fp.len() >= self.params.fingerprint_size(),
-            "fingerprint too small for banding"
-        );
-        (0..self.params.bands).map(move |j| {
-            let band = &fp.hashes()[j * r..(j + 1) * r];
-            // Mix the band index in so identical sub-vectors in different
-            // bands do not alias.
-            fnv1a_u64s(band).wrapping_add((j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        })
+        band_keys_for(self.params, fp).into_iter()
     }
 
     /// Inserts an item under all its bands.
     pub fn insert(&mut self, id: T, fp: &MinHashFingerprint) {
         let keys: Vec<u64> = self.band_keys(fp).collect();
-        for key in keys {
+        self.insert_with_keys(id, &keys);
+    }
+
+    /// Inserts an item under pre-computed band keys (as produced by
+    /// [`band_keys_for`] with the same parameters). This is the
+    /// parallel-friendly half of a bulk build: worker threads hash bands,
+    /// then a single sequential loop populates the buckets in item order
+    /// so the bucket contents are identical to one-by-one insertion.
+    pub fn insert_with_keys(&mut self, id: T, keys: &[u64]) {
+        for &key in keys {
             self.buckets.entry(key).or_default().push(id);
         }
     }
@@ -125,8 +144,11 @@ impl<T: Copy + Eq + Hash> LshIndex<T> {
     /// *entries examined* (the paper's "fingerprint comparisons") is
     /// returned alongside the candidates.
     pub fn candidates(&self, fp: &MinHashFingerprint, exclude: T) -> (Vec<T>, usize) {
-        let mut seen: HashMap<T, ()> = HashMap::new();
-        let mut out = Vec::new();
+        // Every band contributes at least one entry when it collides at
+        // all, so the band count is a cheap lower-bound capacity hint that
+        // avoids rehash churn in the common sparse-bucket case.
+        let mut seen: HashSet<T> = HashSet::with_capacity(self.params.bands);
+        let mut out = Vec::with_capacity(self.params.bands);
         let mut examined = 0usize;
         for key in self.band_keys(fp) {
             if let Some(bucket) = self.buckets.get(&key) {
@@ -135,7 +157,7 @@ impl<T: Copy + Eq + Hash> LshIndex<T> {
                         continue;
                     }
                     examined += 1;
-                    if seen.insert(item, ()).is_none() {
+                    if seen.insert(item) {
                         out.push(item);
                     }
                 }
@@ -259,6 +281,19 @@ mod tests {
         assert!(many > few);
         // Equation check: r=1, b=1 -> p = s.
         assert!((collision_probability(0.42, 1, 1) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_key_insertion_matches_direct_insertion() {
+        let s: Vec<u32> = (0..30).collect();
+        let f1 = fp(&s, 32);
+        let mut direct = LshIndex::new(params());
+        direct.insert(4u32, &f1);
+        let mut bulk = LshIndex::new(params());
+        let keys = band_keys_for(params(), &f1);
+        bulk.insert_with_keys(4u32, &keys);
+        assert_eq!(direct.num_buckets(), bulk.num_buckets());
+        assert_eq!(direct.candidates(&f1, 0), bulk.candidates(&f1, 0));
     }
 
     #[test]

@@ -36,7 +36,21 @@ impl MinHashFingerprint {
     /// Panics if `k` is zero.
     pub fn of_encoded(encoded: &[u32], k: usize) -> MinHashFingerprint {
         assert!(k > 0, "fingerprint size must be positive");
-        let consts = xor_constants(k);
+        Self::of_encoded_with(&xor_constants(k), encoded)
+    }
+
+    /// Like [`MinHashFingerprint::of_encoded`] but with the xor constants
+    /// supplied by the caller. Building fingerprints for a whole module
+    /// derives the constants once and shares them across every function
+    /// (and every worker thread) instead of re-deriving `k` constants per
+    /// fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consts` is empty.
+    pub fn of_encoded_with(consts: &[u64], encoded: &[u32]) -> MinHashFingerprint {
+        let k = consts.len();
+        assert!(k > 0, "fingerprint size must be positive");
         let mut hashes = vec![u64::MAX; k];
         for base in shingle_hashes(encoded) {
             for (slot, &c) in hashes.iter_mut().zip(consts.iter()) {
@@ -202,6 +216,17 @@ mod tests {
         let a = MinHashFingerprint::of_encoded(&[1, 2, 3], 8);
         let b = MinHashFingerprint::of_encoded(&[1, 2, 3], 16);
         let _ = a.similarity(&b);
+    }
+
+    #[test]
+    fn shared_constants_constructor_is_equivalent() {
+        let s = stream(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let k = 64;
+        let consts = crate::fnv::xor_constants(k);
+        assert_eq!(
+            MinHashFingerprint::of_encoded(&s, k),
+            MinHashFingerprint::of_encoded_with(&consts, &s)
+        );
     }
 
     #[test]

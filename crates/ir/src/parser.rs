@@ -501,10 +501,7 @@ impl Parser {
         // Header already registered during predeclare; skip to `{`.
         self.expect(Tok::LParen)?;
         loop {
-            match self.next()? {
-                (Tok::RParen, _) => break,
-                _ => {}
-            }
+            if let (Tok::RParen, _) = self.next()? { break }
         }
         self.expect(Tok::Arrow)?;
         self.ty(m)?;

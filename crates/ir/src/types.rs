@@ -142,7 +142,7 @@ impl TypeStore {
     ///
     /// Panics if `bits` is zero or greater than 128.
     pub fn int(&mut self, bits: u32) -> TypeId {
-        assert!(bits >= 1 && bits <= 128, "unsupported integer width {bits}");
+        assert!((1..=128).contains(&bits), "unsupported integer width {bits}");
         self.intern(TypeKind::Int(bits))
     }
 

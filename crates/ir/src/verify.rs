@@ -259,51 +259,42 @@ fn check_shape(
     let nops = inst.operands.len();
     let nblocks = inst.blocks.len();
     match inst.op {
-        Opcode::Ret => {
-            if nops > 1 || nblocks != 0 {
+        Opcode::Ret
+            if (nops > 1 || nblocks != 0) => {
                 bad(format!("ret with {nops} operands / {nblocks} targets"));
             }
-        }
-        Opcode::Br => {
-            if nops != 0 || nblocks != 1 {
+        Opcode::Br
+            if (nops != 0 || nblocks != 1) => {
                 bad(format!("br with {nops} operands / {nblocks} targets"));
             }
-        }
-        Opcode::CondBr => {
-            if nops != 1 || nblocks != 2 {
+        Opcode::CondBr
+            if (nops != 1 || nblocks != 2) => {
                 bad(format!("condbr with {nops} operands / {nblocks} targets"));
             }
-        }
-        Opcode::Invoke => {
-            if nops < 1 || nblocks != 2 {
+        Opcode::Invoke
+            if (nops < 1 || nblocks != 2) => {
                 bad(format!("invoke with {nops} operands / {nblocks} targets"));
             }
-        }
-        Opcode::Unreachable => {
-            if nops != 0 || nblocks != 0 {
+        Opcode::Unreachable
+            if (nops != 0 || nblocks != 0) => {
                 bad("unreachable with operands".into());
             }
-        }
-        Opcode::Alloca => {
-            if nops != 0 || inst.aux_ty.is_none() {
+        Opcode::Alloca
+            if (nops != 0 || inst.aux_ty.is_none()) => {
                 bad("alloca needs zero operands and an allocated type".into());
             }
-        }
-        Opcode::Load => {
-            if nops != 1 {
+        Opcode::Load
+            if nops != 1 => {
                 bad(format!("load with {nops} operands"));
             }
-        }
-        Opcode::Store => {
-            if nops != 2 {
+        Opcode::Store
+            if nops != 2 => {
                 bad(format!("store with {nops} operands"));
             }
-        }
-        Opcode::Gep => {
-            if nops != 2 || inst.aux_ty.is_none() {
+        Opcode::Gep
+            if (nops != 2 || inst.aux_ty.is_none()) => {
                 bad("gep needs [ptr, index] and an element type".into());
             }
-        }
         Opcode::ICmp | Opcode::FCmp => {
             if nops != 2 || inst.pred.is_none() {
                 bad("cmp needs two operands and a predicate".into());
@@ -316,36 +307,30 @@ fn check_shape(
                 _ => {}
             }
         }
-        Opcode::Select => {
-            if nops != 3 {
+        Opcode::Select
+            if nops != 3 => {
                 bad(format!("select with {nops} operands"));
             }
-        }
-        Opcode::Call => {
-            if nops < 1 {
+        Opcode::Call
+            if nops < 1 => {
                 bad("call without callee".into());
             }
-        }
-        Opcode::Phi => {
-            if nops == 0 {
+        Opcode::Phi
+            if nops == 0 => {
                 bad("phi with no incomings".into());
             }
-        }
-        Opcode::FNeg => {
-            if nops != 1 {
+        Opcode::FNeg
+            if nops != 1 => {
                 bad(format!("fneg with {nops} operands"));
             }
-        }
-        op if op.is_binary() => {
-            if nops != 2 {
+        op if op.is_binary()
+            && nops != 2 => {
                 bad(format!("{op:?} with {nops} operands"));
             }
-        }
-        op if op.is_cast() => {
-            if nops != 1 {
+        op if op.is_cast()
+            && nops != 1 => {
                 bad(format!("{op:?} with {nops} operands"));
             }
-        }
         _ => {}
     }
     // Call/invoke signature checks against direct callees.
@@ -400,8 +385,8 @@ fn check_types(
     };
     let vty = |v: ValueId| f.value(v).ty;
     match inst.op {
-        op if op.is_int_binary() => {
-            if inst.operands.len() == 2 {
+        op if op.is_int_binary()
+            && inst.operands.len() == 2 => {
                 let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
                 if a != b || a != inst.ty {
                     bad("int binary operand/result types differ".into());
@@ -409,9 +394,8 @@ fn check_types(
                     bad("int binary on non-integer type".into());
                 }
             }
-        }
-        op if op.is_float_binary() => {
-            if inst.operands.len() == 2 {
+        op if op.is_float_binary()
+            && inst.operands.len() == 2 => {
                 let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
                 if a != b || a != inst.ty {
                     bad("float binary operand/result types differ".into());
@@ -419,17 +403,15 @@ fn check_types(
                     bad("float binary on non-float type".into());
                 }
             }
-        }
-        Opcode::FNeg => {
-            if inst.operands.len() == 1 {
+        Opcode::FNeg
+            if inst.operands.len() == 1 => {
                 let a = vty(inst.operands[0]);
                 if a != inst.ty || !ts.is_float(a) {
                     bad("fneg type mismatch".into());
                 }
             }
-        }
-        Opcode::ICmp => {
-            if inst.operands.len() == 2 {
+        Opcode::ICmp
+            if inst.operands.len() == 2 => {
                 let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
                 if a != b {
                     bad("icmp operand types differ".into());
@@ -440,9 +422,8 @@ fn check_types(
                     bad("icmp result must be i1".into());
                 }
             }
-        }
-        Opcode::FCmp => {
-            if inst.operands.len() == 2 {
+        Opcode::FCmp
+            if inst.operands.len() == 2 => {
                 let (a, b) = (vty(inst.operands[0]), vty(inst.operands[1]));
                 if a != b || !ts.is_float(a) {
                     bad("fcmp operand types invalid".into());
@@ -451,9 +432,8 @@ fn check_types(
                     bad("fcmp result must be i1".into());
                 }
             }
-        }
-        Opcode::Select => {
-            if inst.operands.len() == 3 {
+        Opcode::Select
+            if inst.operands.len() == 3 => {
                 if !ts.is_bool(vty(inst.operands[0])) {
                     bad("select condition must be i1".into());
                 }
@@ -462,12 +442,10 @@ fn check_types(
                     bad("select arm/result types differ".into());
                 }
             }
-        }
-        Opcode::CondBr => {
-            if inst.operands.len() == 1 && !ts.is_bool(vty(inst.operands[0])) {
+        Opcode::CondBr
+            if inst.operands.len() == 1 && !ts.is_bool(vty(inst.operands[0])) => {
                 bad("condbr condition must be i1".into());
             }
-        }
         Opcode::Ret => {
             let want_void = ts.is_void(f.ret_ty);
             match (inst.operands.first(), want_void) {
@@ -481,18 +459,16 @@ fn check_types(
                 }
             }
         }
-        Opcode::Load => {
-            if inst.operands.len() == 1 && !ts.is_ptr(vty(inst.operands[0])) {
+        Opcode::Load
+            if inst.operands.len() == 1 && !ts.is_ptr(vty(inst.operands[0])) => {
                 bad("load address must be ptr".into());
             }
-        }
-        Opcode::Store => {
-            if inst.operands.len() == 2 && !ts.is_ptr(vty(inst.operands[1])) {
+        Opcode::Store
+            if inst.operands.len() == 2 && !ts.is_ptr(vty(inst.operands[1])) => {
                 bad("store address must be ptr".into());
             }
-        }
-        Opcode::Gep => {
-            if inst.operands.len() == 2 {
+        Opcode::Gep
+            if inst.operands.len() == 2 => {
                 if !ts.is_ptr(vty(inst.operands[0])) {
                     bad("gep base must be ptr".into());
                 }
@@ -500,7 +476,6 @@ fn check_types(
                     bad("gep index must be an integer".into());
                 }
             }
-        }
         Opcode::Phi => {
             for &v in &inst.operands {
                 if vty(v) != inst.ty {
@@ -509,8 +484,8 @@ fn check_types(
                 }
             }
         }
-        op if op.is_cast() => {
-            if inst.operands.len() == 1 {
+        op if op.is_cast()
+            && inst.operands.len() == 1 => {
                 let from = vty(inst.operands[0]);
                 let to = inst.ty;
                 let valid = match op {
@@ -537,7 +512,6 @@ fn check_types(
                     ));
                 }
             }
-        }
         _ => {}
     }
     let _ = m;

@@ -1,11 +1,11 @@
-//! Property-based tests of the IR substrate.
+//! Randomized property tests of the IR substrate.
 //!
-//! Random programs are built through the public builder API from proptest-
-//! generated "recipes", then checked against the core invariants: the
-//! verifier accepts them, the printer/parser round-trips them, and the
-//! analyses agree with first-principles definitions.
-
-use proptest::prelude::*;
+//! Random programs are built through the public builder API from seeded
+//! "recipes", then checked against the core invariants: the verifier
+//! accepts them, the printer/parser round-trips them, and the analyses
+//! agree with first-principles definitions. Driven by `f3m-prng` (the
+//! workspace builds offline, so no proptest — each test sweeps a fixed
+//! number of deterministic random cases).
 
 use f3m_ir::builder::FunctionBuilder;
 use f3m_ir::cfg::Cfg;
@@ -18,6 +18,7 @@ use f3m_ir::printer::print_module;
 use f3m_ir::parser::parse_module;
 use f3m_ir::value::normalize_int;
 use f3m_ir::verify::verify_module;
+use f3m_prng::SmallRng;
 
 /// One step of a straight-line function recipe.
 #[derive(Clone, Debug)]
@@ -29,14 +30,20 @@ enum Step {
     Diamond(u8, u8),      // cond picks
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Step::Binary(a, b, c)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Step::Cmp(a, b, c)),
-        any::<i64>().prop_map(Step::Const),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::MemRoundTrip(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Diamond(a, b)),
-    ]
+fn random_step(rng: &mut SmallRng) -> Step {
+    let b = |rng: &mut SmallRng| rng.gen_range(0..=255u8);
+    match rng.gen_range(0..5u32) {
+        0 => Step::Binary(b(rng), b(rng), b(rng)),
+        1 => Step::Cmp(b(rng), b(rng), b(rng)),
+        2 => Step::Const(rng.next_u64() as i64),
+        3 => Step::MemRoundTrip(b(rng), b(rng)),
+        _ => Step::Diamond(b(rng), b(rng)),
+    }
+}
+
+fn random_recipe(rng: &mut SmallRng, max_len: usize) -> Vec<Step> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| random_step(rng)).collect()
 }
 
 const BIN_OPS: [Opcode; 9] = [
@@ -121,45 +128,55 @@ fn build_from_recipe(steps: &[Step]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn built_modules_always_verify(steps in prop::collection::vec(step_strategy(), 1..40)) {
+#[test]
+fn built_modules_always_verify() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    for _ in 0..64 {
+        let steps = random_recipe(&mut rng, 40);
         let m = build_from_recipe(&steps);
-        prop_assert!(verify_module(&m).is_ok());
+        assert!(verify_module(&m).is_ok(), "{steps:?}");
     }
+}
 
-    #[test]
-    fn print_parse_print_is_a_fixpoint(steps in prop::collection::vec(step_strategy(), 1..40)) {
+#[test]
+fn print_parse_print_is_a_fixpoint() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for _ in 0..64 {
+        let steps = random_recipe(&mut rng, 40);
         let m = build_from_recipe(&steps);
         let p1 = print_module(&m);
         let m2 = parse_module(&p1).expect("reparse");
         let p2 = print_module(&m2);
-        prop_assert_eq!(p1, p2);
+        assert_eq!(p1, p2);
     }
+}
 
-    #[test]
-    fn reparsed_module_has_same_shape(steps in prop::collection::vec(step_strategy(), 1..40)) {
+#[test]
+fn reparsed_module_has_same_shape() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    for _ in 0..64 {
+        let steps = random_recipe(&mut rng, 40);
         let m = build_from_recipe(&steps);
         let m2 = parse_module(&print_module(&m)).unwrap();
         let f1 = m.function(m.lookup_function("f").unwrap());
         let f2 = m2.function(m2.lookup_function("f").unwrap());
-        prop_assert_eq!(f1.num_blocks(), f2.num_blocks());
-        prop_assert_eq!(f1.num_linked_insts(), f2.num_linked_insts());
-        prop_assert_eq!(
+        assert_eq!(f1.num_blocks(), f2.num_blocks());
+        assert_eq!(f1.num_linked_insts(), f2.num_linked_insts());
+        assert_eq!(
             f3m_ir::size::function_size(f1),
             f3m_ir::size::function_size(f2),
             "size model stable across round trip"
         );
     }
+}
 
-    #[test]
-    fn dominator_tree_matches_first_principles(
-        steps in prop::collection::vec(step_strategy(), 1..25)
-    ) {
-        // First-principles dominance: A dominates B iff removing A from
-        // the graph disconnects B from the entry.
+#[test]
+fn dominator_tree_matches_first_principles() {
+    // First-principles dominance: A dominates B iff removing A from
+    // the graph disconnects B from the entry.
+    let mut rng = SmallRng::seed_from_u64(13);
+    for _ in 0..48 {
+        let steps = random_recipe(&mut rng, 25);
         let m = build_from_recipe(&steps);
         let f = m.function(m.lookup_function("f").unwrap());
         let cfg = Cfg::compute(f);
@@ -185,32 +202,35 @@ proptest! {
                     }
                 }
                 let expected = a == b || !reach.contains(&b);
-                prop_assert_eq!(
-                    dt.dominates(a, b),
-                    expected,
-                    "dominates({:?}, {:?})", a, b
-                );
+                assert_eq!(dt.dominates(a, b), expected, "dominates({a:?}, {b:?})");
             }
         }
     }
+}
 
-    #[test]
-    fn normalize_int_is_idempotent_and_bounded(x in any::<i64>(), bits in 1u32..=64) {
+#[test]
+fn normalize_int_is_idempotent_and_bounded() {
+    let mut rng = SmallRng::seed_from_u64(14);
+    for _ in 0..512 {
+        let x = rng.next_u64() as i64;
+        let bits = rng.gen_range(1..=64u32);
         let once = normalize_int(x, bits);
-        prop_assert_eq!(normalize_int(once, bits), once, "idempotent");
+        assert_eq!(normalize_int(once, bits), once, "idempotent");
         if bits < 64 {
             let bound = 1i64 << (bits - 1);
-            prop_assert!(once >= -bound && once < bound, "{} not in i{} range", once, bits);
+            assert!(once >= -bound && once < bound, "{once} not in i{bits} range");
         }
     }
+}
 
-    #[test]
-    fn rpo_is_a_valid_topological_like_order(
-        steps in prop::collection::vec(step_strategy(), 1..25)
-    ) {
-        // Every block except the entry has at least one predecessor that
-        // appears earlier in RPO (true for reducible graphs, which the
-        // builder produces).
+#[test]
+fn rpo_is_a_valid_topological_like_order() {
+    // Every block except the entry has at least one predecessor that
+    // appears earlier in RPO (true for reducible graphs, which the
+    // builder produces).
+    let mut rng = SmallRng::seed_from_u64(15);
+    for _ in 0..64 {
+        let steps = random_recipe(&mut rng, 25);
         let m = build_from_recipe(&steps);
         let f = m.function(m.lookup_function("f").unwrap());
         let cfg = Cfg::compute(f);
@@ -220,16 +240,18 @@ proptest! {
                 .preds(bb)
                 .iter()
                 .any(|&p| cfg.rpo_index(p).is_some_and(|pi| pi < my_idx));
-            prop_assert!(has_earlier_pred, "{:?} has no earlier pred in RPO", bb);
+            assert!(has_earlier_pred, "{bb:?} has no earlier pred in RPO");
         }
     }
+}
 
-    #[test]
-    fn interpreter_agrees_across_round_trip(
-        steps in prop::collection::vec(step_strategy(), 1..30),
-        a in -100i64..100,
-        b in -100i64..100,
-    ) {
+#[test]
+fn interpreter_agrees_across_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(16);
+    for _ in 0..48 {
+        let steps = random_recipe(&mut rng, 30);
+        let a = rng.gen_range(-100..100i64);
+        let b = rng.gen_range(-100..100i64);
         // The parsed-back module must behave identically (uses the
         // interpreter crate through the dev-dependency).
         let m = build_from_recipe(&steps);
@@ -242,6 +264,6 @@ proptest! {
             i.call_by_name("f", &[f3m_interp::Val::Int(a), f3m_interp::Val::Int(b)])
                 .map(|o| o.ret)
         };
-        prop_assert_eq!(run(&m), run(&m2));
+        assert_eq!(run(&m), run(&m2));
     }
 }

@@ -15,8 +15,7 @@
 //! divergence exactly where mutations hit — mirroring how similar
 //! functions differ in real programs (cf. Figure 5 of the paper).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use f3m_prng::SmallRng;
 
 use f3m_ir::builder::FunctionBuilder;
 use f3m_ir::ids::{FuncId, ValueId};
@@ -30,7 +29,7 @@ use f3m_ir::types::{TypeId, TypeStore};
 /// Every draw advances the state by exactly one SplitMix64 step regardless
 /// of the requested range, so two generation runs stay in lock-step even
 /// when mutation-induced pool-size differences change the *values* being
-/// requested. (`StdRng::gen_range` uses rejection sampling, whose draw
+/// requested. (`rand`'s `gen_range` uses rejection sampling, whose draw
 /// count depends on the range — that would let siblings slip out of
 /// alignment.)
 #[derive(Clone, Debug)]
@@ -237,7 +236,7 @@ struct Pool {
 struct GenCtx<'a, 'b> {
     b: &'a mut FunctionBuilder<'b>,
     srng: StreamRng,
-    mrng: StdRng,
+    mrng: SmallRng,
     profile: MutationProfile,
     pool: Pool,
     int_ty: TypeId,
@@ -579,7 +578,7 @@ pub fn generate_function(
         GenCtx {
             b: &mut b,
             srng: StreamRng::new(struct_seed),
-            mrng: StdRng::seed_from_u64(member_seed),
+            mrng: SmallRng::seed_from_u64(member_seed),
             profile: *profile,
             pool,
             int_ty,
@@ -728,7 +727,6 @@ pub fn generate_function(
         ctx.b.unreachable();
     }
 
-    drop(b);
     f
 }
 

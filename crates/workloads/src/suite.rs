@@ -14,8 +14,7 @@
 //! quadratic-vs-linear ranking contrast remains several orders of
 //! magnitude while staying runnable; every bench prints the actual counts.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use f3m_prng::SmallRng;
 
 use f3m_ir::builder::FunctionBuilder;
 use f3m_ir::inst::Opcode;
@@ -120,7 +119,7 @@ pub fn mini_suite() -> Vec<WorkloadSpec> {
 pub fn build_module(spec: &WorkloadSpec) -> Module {
     let mut m = Module::new(spec.name);
     let externals = declare_externals(&mut m);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
 
     let mut generated: Vec<f3m_ir::ids::FuncId> = Vec::new();
     let mut produced = 0usize;
@@ -128,7 +127,7 @@ pub fn build_module(spec: &WorkloadSpec) -> Module {
     while produced < spec.functions {
         let in_family = rng.gen_bool(spec.family_fraction);
         let members = if in_family {
-            let geometric = 2 + (rng.gen_range(0..spec.mean_family_size * 2) as usize);
+            let geometric = 2 + rng.gen_range(0..spec.mean_family_size * 2);
             geometric.min(spec.functions - produced).max(1)
         } else {
             1
@@ -136,8 +135,8 @@ pub fn build_module(spec: &WorkloadSpec) -> Module {
         let struct_seed = spec.seed ^ (family_idx as u64).wrapping_mul(0x9E37_79B9);
         let shape = ShapeParams {
             target_insts: sample_size(&mut rng, spec.mean_insts),
-            int_bits: *[16u32, 32, 32, 32, 64, 64].get(rng.gen_range(0..6)).unwrap(),
-            int_params: rng.gen_range(1..=3),
+            int_bits: *[16u32, 32, 32, 32, 64, 64].get(rng.gen_range(0..6usize)).unwrap(),
+            int_params: rng.gen_range(1..=3usize),
             float_params: usize::from(rng.gen_bool(0.2)),
             float_mix: if rng.gen_bool(0.25) { 0.4 } else { 0.1 },
             cfg_density: rng.gen_range(0.1..0.4),
@@ -201,7 +200,7 @@ pub fn build_module(spec: &WorkloadSpec) -> Module {
     m
 }
 
-fn sample_size(rng: &mut StdRng, mean: usize) -> usize {
+fn sample_size(rng: &mut SmallRng, mean: usize) -> usize {
     // Skewed distribution: many small functions, a long tail of large ones.
     let base = rng.gen_range(mean / 2..=mean + mean / 2);
     if rng.gen_bool(0.08) {
@@ -221,7 +220,7 @@ fn build_driver(m: &mut Module, generated: &[f3m_ir::ids::FuncId], seed: u64) {
     let void = m.types.void();
     let sink64 = m.lookup_function("ext_sink_i64").expect("externals declared");
 
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1E5_C0DE);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1E5_C0DE);
     let sample: Vec<f3m_ir::ids::FuncId> = if generated.len() <= 24 {
         generated.to_vec()
     } else {

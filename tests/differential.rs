@@ -1,16 +1,16 @@
-//! Property-based differential testing of the whole stack.
+//! Randomized differential testing of the whole stack.
 //!
 //! For randomly drawn workload parameters, the merged module must be
 //! observationally equivalent to the original: same driver return values,
 //! same `ext_sink` checksums, for every strategy and repair mode. Also
 //! checks the printer/parser round-trip and the MinHash estimation bound
-//! on generated (not hand-picked) functions.
-
-use proptest::prelude::*;
+//! on generated (not hand-picked) functions. Driven by `f3m-prng` seeded
+//! sweeps (the workspace builds offline, so no proptest).
 
 use f3m::fingerprint::encode::encode_function;
 use f3m::fingerprint::minhash::exact_jaccard;
 use f3m::prelude::*;
+use f3m_prng::SmallRng;
 
 fn spec(seed: u64, functions: usize, mean_insts: usize) -> WorkloadSpec {
     let mut s = table1()[0].clone();
@@ -29,19 +29,18 @@ fn driver_outcome(m: &Module, arg: i64) -> (Option<Val>, u64) {
     (out.ret, out.checksum)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    #[test]
-    fn merging_preserves_driver_behaviour(
-        seed in 0u64..10_000,
-        functions in 12usize..60,
-        mean_insts in 12usize..40,
-        strategy in 0usize..3,
-    ) {
+#[test]
+fn merging_preserves_driver_behaviour() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0001);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..10_000u64);
+        let functions = rng.gen_range(12..60usize);
+        let mean_insts = rng.gen_range(12..40usize);
+        let strategy = rng.gen_range(0..3usize);
         let s = spec(seed, functions, mean_insts);
         let base = build_module(&s);
-        let before: Vec<_> = [1i64, -9, 4242].iter().map(|&a| driver_outcome(&base, a)).collect();
+        let before: Vec<_> =
+            [1i64, -9, 4242].iter().map(|&a| driver_outcome(&base, a)).collect();
         let config = match strategy {
             0 => PassConfig::hyfm(),
             1 => PassConfig::f3m(),
@@ -50,15 +49,18 @@ proptest! {
         let mut m = base.clone();
         run_pass(&mut m, &config);
         f3m::ir::verify::verify_module(&m).unwrap();
-        let after: Vec<_> = [1i64, -9, 4242].iter().map(|&a| driver_outcome(&m, a)).collect();
-        prop_assert_eq!(before, after);
+        let after: Vec<_> =
+            [1i64, -9, 4242].iter().map(|&a| driver_outcome(&m, a)).collect();
+        assert_eq!(before, after, "seed {seed} functions {functions} strategy {strategy}");
     }
+}
 
-    #[test]
-    fn stack_repair_mode_also_preserves_behaviour(
-        seed in 0u64..10_000,
-        functions in 12usize..40,
-    ) {
+#[test]
+fn stack_repair_mode_also_preserves_behaviour() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0002);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..10_000u64);
+        let functions = rng.gen_range(12..40usize);
         let s = spec(seed, functions, 24);
         let base = build_module(&s);
         let before = driver_outcome(&base, 17);
@@ -67,27 +69,31 @@ proptest! {
         let mut m = base.clone();
         run_pass(&mut m, &config);
         f3m::ir::verify::verify_module(&m).unwrap();
-        prop_assert_eq!(driver_outcome(&m, 17), before);
+        assert_eq!(driver_outcome(&m, 17), before, "seed {seed} functions {functions}");
     }
+}
 
-    #[test]
-    fn printer_parser_round_trip_on_generated_modules(
-        seed in 0u64..10_000,
-        functions in 8usize..30,
-    ) {
+#[test]
+fn printer_parser_round_trip_on_generated_modules() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0003);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..10_000u64);
+        let functions = rng.gen_range(8..30usize);
         let s = spec(seed, functions, 20);
         let m1 = build_module(&s);
         let p1 = f3m::ir::printer::print_module(&m1);
         let m2 = f3m::ir::parser::parse_module(&p1).expect("reparses");
         let p2 = f3m::ir::printer::print_module(&m2);
-        prop_assert_eq!(p1, p2, "printer must be a fixpoint under reparsing");
+        assert_eq!(p1, p2, "printer must be a fixpoint under reparsing (seed {seed})");
     }
+}
 
-    #[test]
-    fn minhash_estimates_jaccard_within_bound(
-        seed in 0u64..10_000,
-        member in 1u64..5,
-    ) {
+#[test]
+fn minhash_estimates_jaccard_within_bound() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0004);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..10_000u64);
+        let member = rng.gen_range(1..5u64);
         let mut m = Module::new("prop");
         let ext = f3m::workloads::declare_externals(&mut m);
         let shape = ShapeParams { target_insts: 50, ..Default::default() };
@@ -105,17 +111,21 @@ proptest! {
         let fp2 = MinHashFingerprint::of_encoded(&e2, k);
         let est = fp1.similarity(&fp2);
         // O(1/sqrt(k)) with generous slack for the shared-xor variant.
-        prop_assert!((est - exact).abs() < 4.0 / (k as f64).sqrt(),
-            "estimate {} vs exact {}", est, exact);
+        assert!(
+            (est - exact).abs() < 4.0 / (k as f64).sqrt(),
+            "estimate {est} vs exact {exact} (seed {seed} member {member})"
+        );
     }
+}
 
-    #[test]
-    fn interpreter_is_deterministic(
-        seed in 0u64..10_000,
-        arg in -1000i64..1000,
-    ) {
+#[test]
+fn interpreter_is_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0005);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..10_000u64);
+        let arg = rng.gen_range(-1000..1000i64);
         let s = spec(seed, 16, 20);
         let m = build_module(&s);
-        prop_assert_eq!(driver_outcome(&m, arg), driver_outcome(&m, arg));
+        assert_eq!(driver_outcome(&m, arg), driver_outcome(&m, arg));
     }
 }

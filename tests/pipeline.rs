@@ -76,7 +76,7 @@ fn second_pass_is_safe_and_converging() {
 #[test]
 fn thunks_keep_external_symbols_alive() {
     let spec = &mini_specs()[1];
-    let base = build_module(&spec);
+    let base = build_module(spec);
     let external_defs: Vec<String> = base
         .functions()
         .filter(|(_, f)| !f.is_declaration && f.linkage == Linkage::External)
@@ -100,7 +100,7 @@ fn adaptive_strategy_uses_size_scaled_parameters() {
     // a conservative threshold, i.e. be no less effective than static F3M
     // by more than a small margin.
     let spec = &mini_specs()[1];
-    let base = build_module(&spec);
+    let base = build_module(spec);
     let mut m1 = base.clone();
     let static_report = run_pass(&mut m1, &PassConfig::f3m());
     let mut m2 = base.clone();
