@@ -6,10 +6,23 @@
 //! false`, manual wall-clock timing) so the workspace builds offline with
 //! no external bench framework; it reports median and mean ns/iter over a
 //! fixed number of timed batches.
+//!
+//! The `pass_json` group additionally sweeps the full pass across `--jobs`
+//! levels and writes `results/BENCH_pass.json` — per-stage wall time, wave
+//! and cache counters per jobs level — so the perf trajectory is tracked
+//! machine-readably across PRs (CI runs it in `--smoke` mode on the
+//! smallest workload). The `alloc` group counts heap allocations through a
+//! counting global allocator to pin the alignment hot path's
+//! allocation-freedom.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use f3m_core::align::{linear_block_align, needleman_wunsch};
+use f3m_core::align::{
+    linear_block_align, linear_block_align_with, needleman_wunsch, needleman_wunsch_with,
+    AlignScratch,
+};
 use f3m_core::pass::{run_pass, PassConfig};
 use f3m_fingerprint::adaptive::MergeParams;
 use f3m_fingerprint::encode::encode_function;
@@ -17,6 +30,40 @@ use f3m_fingerprint::lsh::LshIndex;
 use f3m_fingerprint::minhash::MinHashFingerprint;
 use f3m_fingerprint::opcode_freq::OpcodeFingerprint;
 use f3m_workloads::suite::{table1, WorkloadSpec};
+
+/// Counts every heap allocation so the `alloc` group can report
+/// allocations-per-call for the scratch-buffered alignment paths.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed while running `f`.
+fn count_allocs<T>(mut f: impl FnMut() -> T) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    std::hint::black_box(f());
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
 
 /// Times `f` over `batches` batches of `iters_per_batch` calls and prints
 /// per-iteration statistics. A `std::hint::black_box` on each result keeps
@@ -123,22 +170,128 @@ fn bench_full_pass() {
     }
 }
 
+/// Allocation counts for the alignment hot path, before (allocating
+/// wrappers) vs after (scratch reuse) the `AlignScratch` change. Printed
+/// per call, averaged over a batch so one-off buffer growth amortizes out.
+fn bench_allocations() {
+    let m = module_for("444.namd", 0.5);
+    let funcs = m.defined_functions();
+    let a = encode_function(&m.types, m.function(funcs[0]));
+    let b = encode_function(&m.types, m.function(funcs[1]));
+    const CALLS: u64 = 100;
+
+    let allocating_nw = count_allocs(|| {
+        for _ in 0..CALLS {
+            std::hint::black_box(needleman_wunsch(&a, &b));
+        }
+    });
+    let mut scratch = AlignScratch::new();
+    let scratch_nw = count_allocs(|| {
+        for _ in 0..CALLS {
+            std::hint::black_box(needleman_wunsch_with(&mut scratch, &a, &b).matches);
+        }
+    });
+    let allocating_lin = count_allocs(|| {
+        for _ in 0..CALLS {
+            std::hint::black_box(linear_block_align(&a, &b));
+        }
+    });
+    let scratch_lin = count_allocs(|| {
+        for _ in 0..CALLS {
+            std::hint::black_box(linear_block_align_with(&mut scratch, &a, &b).matches);
+        }
+    });
+    let per_call = |n: u64| n as f64 / CALLS as f64;
+    println!("alloc/needleman_wunsch/allocating       {:>8.2} allocs/call", per_call(allocating_nw));
+    println!("alloc/needleman_wunsch/scratch          {:>8.2} allocs/call", per_call(scratch_nw));
+    println!("alloc/linear_block_align/allocating     {:>8.2} allocs/call", per_call(allocating_lin));
+    println!("alloc/linear_block_align/scratch        {:>8.2} allocs/call", per_call(scratch_lin));
+}
+
+/// Runs the full pass across `--jobs` levels and strategies, printing a
+/// summary and writing machine-readable per-stage timings, wave counters
+/// and cache hit rates to `results/BENCH_pass.json`.
+fn bench_pass_json(smoke: bool) {
+    let (workload, scale, jobs_levels, reps): (&str, f64, &[usize], usize) = if smoke {
+        ("470.lbm", 1.0, &[1, 2], 1)
+    } else {
+        ("chrome-scale", 0.05, &[1, 2, 4, 8], 3)
+    };
+    let m = module_for(workload, scale);
+    type StrategyRow = (&'static str, fn() -> PassConfig);
+    let strategies: &[StrategyRow] = &[
+        ("hyfm", PassConfig::hyfm),
+        ("f3m", PassConfig::f3m),
+        ("f3m_adaptive", PassConfig::f3m_adaptive),
+    ];
+    let mut runs = Vec::new();
+    for (label, make) in strategies {
+        for &jobs in jobs_levels {
+            // Keep the fastest rep per configuration (standard practice for
+            // wall-clock medians of a deterministic computation).
+            let mut best: Option<(u128, f3m_core::pass::MergeReport)> = None;
+            for _ in 0..reps {
+                let mut mm = m.clone();
+                let t0 = Instant::now();
+                let report = run_pass(&mut mm, &make().with_jobs(jobs));
+                let wall = t0.elapsed().as_nanos();
+                if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                    best = Some((wall, report));
+                }
+            }
+            let (wall_ns, report) = best.expect("at least one rep");
+            let s = &report.stats;
+            let spec_total = s.aligns_speculative.max(1);
+            println!(
+                "pass_json/{label}/jobs={jobs:<2} wall {:>9.1} ms  waves {:>3}  wasted {:>4.1}%  cache-hit {:>5.1}%",
+                wall_ns as f64 / 1e6,
+                s.waves,
+                100.0 * s.aligns_wasted as f64 / spec_total as f64,
+                100.0 * s.block_parts_cache_hits as f64
+                    / (s.block_parts_cache_hits + s.block_parts_cache_misses).max(1) as f64,
+            );
+            runs.push(format!(
+                "{{\"strategy\":\"{label}\",\"jobs\":{jobs},\"wall_ns\":{wall_ns},\"stats\":{}}}",
+                s.to_json()
+            ));
+        }
+    }
+    let json = format!(
+        "{{\"workload\":\"{workload}\",\"scale\":{scale},\"functions\":{},\"smoke\":{smoke},\"runs\":[{}]}}",
+        m.defined_functions().len(),
+        runs.join(",")
+    );
+    // Anchor at the workspace root's results/ dir (cargo runs benches with
+    // the package dir as cwd, which would scatter the artefact).
+    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let out_path = out_dir.join("BENCH_pass.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_pass.json");
+    println!("pass_json: wrote {}", out_path.display());
+}
+
 fn main() {
-    // `cargo bench -- <filter>` runs only groups whose name contains the
-    // filter string.
-    let filter = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .unwrap_or_default();
-    let groups: [(&str, fn()); 4] = [
+    // `cargo bench -- <filter> [--smoke]` runs only groups whose name
+    // contains the filter string; `--smoke` shrinks the pass_json sweep to
+    // the smallest workload (the CI bench-smoke configuration).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let filter = args.into_iter().find(|a| !a.starts_with('-')).unwrap_or_default();
+    let groups: [(&str, fn()); 5] = [
         ("fingerprint", bench_fingerprints),
         ("ranking", bench_ranking),
         ("alignment", bench_alignment),
+        ("alloc", bench_allocations),
         ("pass", bench_full_pass),
     ];
     for (name, f) in groups {
         if filter.is_empty() || name.contains(&filter) {
             f();
         }
+    }
+    if filter.is_empty() || "pass_json".contains(&filter) {
+        bench_pass_json(smoke);
     }
 }

@@ -8,6 +8,13 @@
 //!   "alignment ratio" plotted in Figures 4 and 10.
 //! - [`linear_block_align`] is HyFM's cheap linear pass over two blocks'
 //!   instruction sequences; the code generator merges the aligned runs.
+//!
+//! Both have allocation-free variants ([`needleman_wunsch_with`] /
+//! [`linear_block_align_with`]) that reuse an [`AlignScratch`]'s DP table
+//! and entries buffer across calls and return a borrowed [`AlignRef`];
+//! the owning signatures are thin wrappers over a fresh scratch. The
+//! merge loop holds one scratch per worker thread, so the alignment hot
+//! path performs no per-call allocation.
 
 use f3m_ir::ids::InstId;
 
@@ -44,15 +51,73 @@ impl Alignment {
     }
 }
 
+/// Reusable alignment working memory: the Needleman–Wunsch DP table and a
+/// staging buffer for alignment entries. One scratch per worker thread
+/// makes the alignment hot path allocation-free: candidate alignments are
+/// scored through the borrowed [`AlignRef`] view and discarded, and only
+/// the winning alignment is materialized with [`AlignRef::to_owned`].
+#[derive(Debug, Default)]
+pub struct AlignScratch {
+    dp: Vec<u32>,
+    entries: Vec<AlignEntry>,
+}
+
+impl AlignScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused across calls.
+    pub fn new() -> AlignScratch {
+        AlignScratch::default()
+    }
+}
+
+/// An alignment whose entries live in an [`AlignScratch`], valid until the
+/// scratch's next alignment call.
+#[derive(Debug)]
+pub struct AlignRef<'a> {
+    /// Alignment columns in order, borrowed from the scratch.
+    pub entries: &'a [AlignEntry],
+    /// Number of matched pairs.
+    pub matches: usize,
+    /// `len(left) + len(right)`.
+    pub total: usize,
+}
+
+impl AlignRef<'_> {
+    /// Copies the borrowed alignment into an owned [`Alignment`].
+    pub fn to_owned(&self) -> Alignment {
+        Alignment { entries: self.entries.to_vec(), matches: self.matches, total: self.total }
+    }
+
+    /// Same as [`Alignment::ratio`].
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        2.0 * self.matches as f64 / self.total as f64
+    }
+}
+
 /// Global alignment maximizing the number of matched (equal-encoding)
 /// pairs — Needleman–Wunsch with unit match score and zero gap penalty,
 /// i.e. a longest-common-subsequence alignment.
 ///
 /// Quadratic in the sequence lengths; use on function-sized inputs only.
 pub fn needleman_wunsch(left: &[u32], right: &[u32]) -> Alignment {
+    needleman_wunsch_with(&mut AlignScratch::new(), left, right).to_owned()
+}
+
+/// [`needleman_wunsch`] into reusable buffers: no allocation once the
+/// scratch has grown to the working-set size.
+pub fn needleman_wunsch_with<'a>(
+    scratch: &'a mut AlignScratch,
+    left: &[u32],
+    right: &[u32],
+) -> AlignRef<'a> {
     let (n, m) = (left.len(), right.len());
     // dp[i][j] = best matches aligning left[i..] with right[j..].
-    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    scratch.dp.clear();
+    scratch.dp.resize((n + 1) * (m + 1), 0);
+    let dp = &mut scratch.dp;
     let idx = |i: usize, j: usize| i * (m + 1) + j;
     for i in (0..n).rev() {
         for j in (0..m).rev() {
@@ -64,7 +129,8 @@ pub fn needleman_wunsch(left: &[u32], right: &[u32]) -> Alignment {
         }
     }
     // Traceback.
-    let mut entries = Vec::with_capacity(n + m);
+    scratch.entries.clear();
+    let entries = &mut scratch.entries;
     let (mut i, mut j) = (0, 0);
     let mut matches = 0usize;
     while i < n && j < m {
@@ -89,7 +155,7 @@ pub fn needleman_wunsch(left: &[u32], right: &[u32]) -> Alignment {
         entries.push(AlignEntry::GapLeft(j));
         j += 1;
     }
-    Alignment { entries, matches, total: n + m }
+    AlignRef { entries: &scratch.entries, matches, total: n + m }
 }
 
 /// HyFM's linear block alignment: a single greedy pass that matches equal
@@ -101,8 +167,19 @@ pub fn needleman_wunsch(left: &[u32], right: &[u32]) -> Alignment {
 /// one ahead), which handles single insertions/deletions — the dominant
 /// mutation between similar functions.
 pub fn linear_block_align(left: &[u32], right: &[u32]) -> Alignment {
+    linear_block_align_with(&mut AlignScratch::new(), left, right).to_owned()
+}
+
+/// [`linear_block_align`] into a reusable entries buffer: no allocation
+/// once the scratch has grown to the working-set size.
+pub fn linear_block_align_with<'a>(
+    scratch: &'a mut AlignScratch,
+    left: &[u32],
+    right: &[u32],
+) -> AlignRef<'a> {
     let (n, m) = (left.len(), right.len());
-    let mut entries = Vec::with_capacity(n + m);
+    scratch.entries.clear();
+    let entries = &mut scratch.entries;
     let (mut i, mut j) = (0, 0);
     let mut matches = 0usize;
     while i < n && j < m {
@@ -138,7 +215,7 @@ pub fn linear_block_align(left: &[u32], right: &[u32]) -> Alignment {
         entries.push(AlignEntry::GapLeft(j));
         j += 1;
     }
-    Alignment { entries, matches, total: n + m }
+    AlignRef { entries: &scratch.entries, matches, total: n + m }
 }
 
 /// Convenience: the matched pairs of an alignment as instruction-id pairs,
@@ -236,6 +313,34 @@ mod tests {
         let b = needleman_wunsch(&[1, 2], &[]);
         assert_eq!(b.matches, 0);
         assert_eq!(b.entries.len(), 2);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_variants_across_reuse() {
+        // One scratch reused over inputs of varying sizes (including
+        // shrinking ones) must produce identical results to fresh calls.
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 2, 3, 4, 5], &[1, 2, 9, 3, 4, 5]),
+            (&[1, 2], &[]),
+            (&[], &[]),
+            (&[7, 8, 9, 1, 2, 3, 4], &[9, 1, 2, 4]),
+            (&[5], &[5]),
+        ];
+        let mut scratch = AlignScratch::new();
+        for (l, r) in cases {
+            let owned_nw = needleman_wunsch(l, r);
+            let view_nw = needleman_wunsch_with(&mut scratch, l, r);
+            assert_eq!(view_nw.entries, owned_nw.entries.as_slice());
+            assert_eq!(view_nw.matches, owned_nw.matches);
+            assert_eq!(view_nw.total, owned_nw.total);
+            assert_eq!(view_nw.to_owned().entries, owned_nw.entries);
+
+            let owned_lin = linear_block_align(l, r);
+            let view_lin = linear_block_align_with(&mut scratch, l, r);
+            assert_eq!(view_lin.entries, owned_lin.entries.as_slice());
+            assert_eq!(view_lin.matches, owned_lin.matches);
+            assert!((view_lin.ratio() - owned_lin.ratio()).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -5,14 +5,21 @@
 //! strategy ([`crate::align::linear_block_align`]). Blocks with no good
 //! counterpart stay unpaired and are cloned verbatim into the merged
 //! function, guarded by the function identifier.
+//!
+//! Encoding a function's blocks into [`BlockParts`] is pure per-function
+//! work, so the pass builds a [`BlockPartsCache`] once in the (parallel)
+//! preprocess stage and every alignment attempt reads from it instead of
+//! re-encoding both functions; entries are invalidated when a commit
+//! replaces the function body.
 
 use f3m_fingerprint::encode::encode_inst;
+use f3m_fingerprint::par::par_map_indexed;
 use f3m_ir::ids::{BlockId, FuncId, InstId};
 use f3m_ir::inst::Opcode;
 use f3m_ir::function::Function;
 use f3m_ir::module::Module;
 
-use crate::align::{linear_block_align, Alignment};
+use crate::align::{linear_block_align_with, AlignScratch, Alignment};
 
 /// Decomposition of one block into phi prefix / body / terminator.
 #[derive(Clone, Debug)]
@@ -54,6 +61,61 @@ pub fn block_parts(f: &Function, bb: BlockId) -> BlockParts {
         body_codes,
         term,
         term_code: encode_inst(f, f.inst(term)),
+    }
+}
+
+/// All of one function's blocks split into [`BlockParts`], in block order.
+#[derive(Clone, Debug)]
+pub struct FunctionParts {
+    /// `(block, parts)` for every block, in `block_order`.
+    pub blocks: Vec<(BlockId, BlockParts)>,
+}
+
+/// Splits every block of `f` (the per-function unit of work the
+/// [`BlockPartsCache`] parallelizes over).
+pub fn function_parts(f: &Function) -> FunctionParts {
+    FunctionParts {
+        blocks: f.block_order.iter().map(|&b| (b, block_parts(f, b))).collect(),
+    }
+}
+
+/// Per-function cache of encoded [`FunctionParts`], indexed by the pass's
+/// function index. Built once in the preprocess stage (in parallel across
+/// `jobs` threads), then shared read-only across alignment workers;
+/// entries are invalidated when a commit replaces the function body.
+pub struct BlockPartsCache {
+    slots: Vec<Option<FunctionParts>>,
+}
+
+impl BlockPartsCache {
+    /// Encodes every function's blocks, fanning out across up to `jobs`
+    /// threads (deterministic for any job count).
+    pub fn build(m: &Module, funcs: &[FuncId], jobs: usize) -> BlockPartsCache {
+        let slots =
+            par_map_indexed(funcs.len(), jobs, |i| Some(function_parts(m.function(funcs[i]))));
+        BlockPartsCache { slots }
+    }
+
+    /// The cached parts for function index `idx`, if still valid.
+    pub fn get(&self, idx: usize) -> Option<&FunctionParts> {
+        self.slots[idx].as_ref()
+    }
+
+    /// Drops the entry for function index `idx` (its body was replaced by
+    /// a commit; a consumed function is never aligned again, so the slot
+    /// stays empty).
+    pub fn invalidate(&mut self, idx: usize) {
+        self.slots[idx] = None;
+    }
+
+    /// Number of function slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
     }
 }
 
@@ -161,11 +223,13 @@ pub fn insts_mergeable(f1: &Function, a: InstId, f2: &Function, b: InstId) -> bo
 
 /// Similarity score used to rank candidate block pairs: matched
 /// instructions from a linear alignment of the bodies (plus terminator).
-fn pair_score(parts1: &BlockParts, parts2: &BlockParts) -> (Alignment, bool, usize) {
-    let body = linear_block_align(&parts1.body_codes, &parts2.body_codes);
+/// Scores through the scratch view, so no per-candidate allocation.
+fn pair_score(scratch: &mut AlignScratch, parts1: &BlockParts, parts2: &BlockParts) -> (bool, usize) {
+    let matches =
+        linear_block_align_with(scratch, &parts1.body_codes, &parts2.body_codes).matches;
     let term_match = parts1.term_code == parts2.term_code;
-    let score = body.matches * 2 + usize::from(term_match);
-    (body, term_match, score)
+    let score = matches * 2 + usize::from(term_match);
+    (term_match, score)
 }
 
 /// Builds a greedy block-level merge plan for `(f1, f2)`.
@@ -174,18 +238,34 @@ fn pair_score(parts1: &BlockParts, parts2: &BlockParts) -> (Alignment, bool, usi
 /// still-unpaired block of `f2` whose phi prefix is compatible, provided
 /// the pair shares at least one matched instruction.
 pub fn plan_blocks(m: &Module, f1: FuncId, f2: FuncId) -> PairPlan {
+    let parts1 = function_parts(m.function(f1));
+    let parts2 = function_parts(m.function(f2));
+    plan_blocks_with(m, f1, f2, &parts1, &parts2, &mut AlignScratch::new())
+}
+
+/// [`plan_blocks`] over precomputed [`FunctionParts`] and a reusable
+/// [`AlignScratch`]: the allocation- and encoding-free hot path used by
+/// the wave loop. Candidate block pairs are *scored* through the scratch
+/// (no entries materialized); only each winning pair's alignment is
+/// re-run and copied out into the plan.
+pub fn plan_blocks_with(
+    m: &Module,
+    f1: FuncId,
+    f2: FuncId,
+    parts1: &FunctionParts,
+    parts2: &FunctionParts,
+    scratch: &mut AlignScratch,
+) -> PairPlan {
     let fa = m.function(f1);
     let fb = m.function(f2);
-    let parts1: Vec<(BlockId, BlockParts)> =
-        fa.block_order.iter().map(|&b| (b, block_parts(fa, b))).collect();
-    let parts2: Vec<(BlockId, BlockParts)> =
-        fb.block_order.iter().map(|&b| (b, block_parts(fb, b))).collect();
+    let parts1 = &parts1.blocks;
+    let parts2 = &parts2.blocks;
 
     let mut taken2 = vec![false; parts2.len()];
     let mut plan = PairPlan::default();
 
-    for (b1, p1) in &parts1 {
-        let mut best: Option<(usize, Alignment, bool, usize)> = None; // (idx2, body, term, score)
+    for (b1, p1) in parts1 {
+        let mut best: Option<(usize, bool, usize)> = None; // (idx2, term, score)
         for (idx2, (_, p2)) in parts2.iter().enumerate() {
             if taken2[idx2] {
                 continue;
@@ -193,17 +273,26 @@ pub fn plan_blocks(m: &Module, f1: FuncId, f2: FuncId) -> PairPlan {
             if !phis_compatible(fa, &p1.phis, fb, &p2.phis) {
                 continue;
             }
-            let (body, term_match, score) = pair_score(p1, p2);
+            let (term_match, score) = pair_score(scratch, p1, p2);
             if score == 0 {
                 continue;
             }
-            if best.as_ref().is_none_or(|(_, _, _, s)| score > *s) {
-                best = Some((idx2, body, term_match, score));
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((idx2, term_match, score));
             }
         }
         match best {
-            Some((idx2, body, term_match, _)) => {
+            Some((idx2, term_match, _)) => {
                 taken2[idx2] = true;
+                // Re-align the winner to materialize its entries — one
+                // owned alignment per paired block instead of one per
+                // candidate considered.
+                let body = linear_block_align_with(
+                    scratch,
+                    &p1.body_codes,
+                    &parts2[idx2].1.body_codes,
+                )
+                .to_owned();
                 plan.pairs.push(BlockPairPlan {
                     b1: *b1,
                     b2: parts2[idx2].0,
@@ -365,6 +454,87 @@ bb0:
             "swapped argument types must not be mergeable even though the \
              encoding product collides"
         );
+    }
+
+    #[test]
+    fn cached_planner_matches_uncached_planner() {
+        let (m, f1, f2) = two_funcs(
+            r#"
+module "t" {
+define @a(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 1
+  %2 = icmp sgt i32 %1, 10
+  condbr %2, bb1, bb2
+bb1:
+  ret i32 %1
+bb2:
+  %3 = mul i32 %1, 2
+  %4 = xor i32 %3, 9
+  ret i32 %4
+}
+define @b(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 1
+  %2 = icmp sgt i32 %1, 10
+  condbr %2, bb1, bb2
+bb1:
+  ret i32 %1
+bb2:
+  %3 = mul i32 %1, 3
+  %4 = xor i32 %3, 9
+  ret i32 %4
+}
+}
+"#,
+        );
+        let funcs = [f1, f2];
+        let cache = BlockPartsCache::build(&m, &funcs, 2);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        let mut scratch = AlignScratch::new();
+        let cached = plan_blocks_with(
+            &m,
+            f1,
+            f2,
+            cache.get(0).unwrap(),
+            cache.get(1).unwrap(),
+            &mut scratch,
+        );
+        let fresh = plan_blocks(&m, f1, f2);
+        assert_eq!(cached.pairs.len(), fresh.pairs.len());
+        for (c, f) in cached.pairs.iter().zip(fresh.pairs.iter()) {
+            assert_eq!((c.b1, c.b2, c.phi_pairs, c.term_match), (f.b1, f.b2, f.phi_pairs, f.term_match));
+            assert_eq!(c.body.entries, f.body.entries);
+        }
+        assert_eq!(cached.unpaired1, fresh.unpaired1);
+        assert_eq!(cached.unpaired2, fresh.unpaired2);
+        assert_eq!(cached.matched_insts(), fresh.matched_insts());
+    }
+
+    #[test]
+    fn cache_invalidation_empties_the_slot() {
+        let (m, f1, f2) = two_funcs(
+            r#"
+module "t" {
+define @a(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 1
+  ret i32 %1
+}
+define @b(i32 %0) -> i32 {
+bb0:
+  %1 = add i32 %0, 2
+  ret i32 %1
+}
+}
+"#,
+        );
+        let mut cache = BlockPartsCache::build(&m, &[f1, f2], 1);
+        assert!(cache.get(0).is_some());
+        cache.invalidate(0);
+        assert!(cache.get(0).is_none());
+        assert!(cache.get(1).is_some());
     }
 
     #[test]

@@ -164,13 +164,22 @@ pub fn fixed_overhead(drop1: bool, drop2: bool) -> i64 {
 /// Owns the reference index and performs profitability-checked commits.
 pub struct Committer {
     refs: RefIndex,
+    epoch: u64,
 }
 
 impl Committer {
     /// Builds the initial reference index over `m` (parallel across up to
     /// `jobs` threads, deterministic for any job count).
     pub fn build(m: &Module, jobs: usize) -> Committer {
-        Committer { refs: RefIndex::build(m, jobs) }
+        Committer { refs: RefIndex::build(m, jobs), epoch: 0 }
+    }
+
+    /// Generation counter, bumped on every successful commit — the only
+    /// event that can change [`droppable`](Committer::droppable) answers
+    /// (new bodies may take addresses). Callers memoizing `droppable` use
+    /// this to invalidate their memo instead of re-querying per pair.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether `f`'s original symbol can disappear entirely after a merge:
@@ -241,6 +250,7 @@ impl Committer {
         // under the bumped versions.
         self.refs.scan_function(m, f1);
         self.refs.scan_function(m, f2);
+        self.epoch += 1;
         Some(size_before as i64 - size_after as i64)
     }
 }

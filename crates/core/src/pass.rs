@@ -1,11 +1,23 @@
 //! The function-merging pass.
 //!
-//! Drives the full pipeline of Figure 1 of the paper as a staged loop:
+//! Drives the full pipeline of Figure 1 of the paper as a wave-based loop:
 //!
 //! ```text
-//! preprocess (build CandidateSearch + Committer, in parallel for jobs>1)
-//! for each function: rank (best_candidates) -> align -> codegen+commit
+//! preprocess (CandidateSearch + Committer + BlockPartsCache, parallel)
+//! loop (wave):
+//!   rank + align every still-available function   (parallel, speculative)
+//!   walk the wave in fixed index order, committing serially
 //! ```
+//!
+//! Each wave snapshots the availability mask, then ranks every remaining
+//! function and aligns its chosen pair speculatively on the worker pool
+//! (`--jobs`). The serial walk then revisits the wave in index order: a
+//! pair whose member was consumed by an earlier commit in the same wave is
+//! discarded (the function itself was merged away) or deferred to the next
+//! wave for re-ranking (only its partner was taken). All module mutation
+//! and all counter accumulation happen in the walk, so the merged module
+//! and every [`MergeReport`] counter are **byte-identical for every
+//! `jobs` value** — parallelism changes wall-clock time only.
 //!
 //! Three strategies are provided, all running through the
 //! [`CandidateSearch`](crate::rank::CandidateSearch) seam:
@@ -18,18 +30,19 @@
 //!   scaled to the program size (Equations 3 and 4).
 //!
 //! Timing is recorded per stage, split into *success* and *fail* buckets
-//! exactly as in the paper's Figures 3 and 13. The merged module is
-//! byte-identical for every `jobs` setting: parallelism only accelerates
-//! the preprocess stage.
+//! exactly as in the paper's Figures 3 and 13 (stage times sum per-pair
+//! durations, so they exceed wall-clock when waves run wide).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use f3m_fingerprint::adaptive::MergeParams;
+use f3m_fingerprint::par::par_map_indexed_with;
 use f3m_ir::ids::FuncId;
 use f3m_ir::module::Module;
 use f3m_ir::size::module_size;
 
-use crate::block_pairing::plan_blocks;
+use crate::align::AlignScratch;
+use crate::block_pairing::{function_parts, plan_blocks_with, BlockPartsCache, PairPlan};
 use crate::codegen::MergeConfig;
 use crate::commit::{fixed_overhead, Committer};
 use crate::profile::Profile;
@@ -61,9 +74,9 @@ pub struct PassConfig {
     /// Optional execution profile: near-tied candidates are resolved
     /// toward the coldest function (the paper's Section IV-F proposal).
     pub profile: Option<Profile>,
-    /// Worker threads for the preprocess stage (fingerprints, reference
-    /// index). `0` and `1` both mean fully sequential; any value produces
-    /// the same merged module.
+    /// Worker threads for the preprocess stage *and* the wave loop's
+    /// speculative rank/align phase. `0` and `1` both mean fully
+    /// sequential; any value produces the same merged module.
     pub jobs: usize,
 }
 
@@ -99,6 +112,23 @@ impl PassConfig {
     }
 }
 
+/// One wave member's speculative result, produced on the worker pool and
+/// consumed by the serial commit walk.
+struct WaveOutcome {
+    /// Ranking counters for this query.
+    counters: QueryCounters,
+    /// Wall-clock of the rank query.
+    rank_time: Duration,
+    /// The chosen candidate `(index, similarity)`, if any.
+    best: Option<(usize, f64)>,
+    /// The speculative alignment plan and its matched-instruction count.
+    plan: Option<(PairPlan, usize)>,
+    /// Wall-clock of the speculative alignment.
+    align_time: Duration,
+    /// Cache slots that had to be re-encoded (0, 1 or 2).
+    cache_misses: u32,
+}
+
 /// Runs the function-merging pass over `m`, mutating it in place
 /// (committed merges replace the originals with thunks and append the
 /// merged function).
@@ -112,94 +142,155 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
         .into_iter()
         .filter(|&f| m.function(f).num_linked_insts() > 0)
         .collect();
-    report.stats.functions = funcs.len();
+    let n = funcs.len();
+    report.stats.functions = n;
 
-    // ---- preprocess: fingerprints + search structure + reference index --
+    // ---- preprocess: fingerprints + search structure + reference index
+    // ---- + encoded block parts, all fanned out across `jobs` threads ---
     let t0 = Instant::now();
     let mut search = build_search(m, &funcs, &config.strategy, jobs);
     let mut committer = Committer::build(m, jobs);
+    let mut parts_cache = BlockPartsCache::build(m, &funcs, jobs);
     report.stats.preprocess = t0.elapsed();
 
-    // ---- main loop: rank -> align -> codegen+commit per function --------
-    let mut available = vec![true; funcs.len()];
-    for i in 0..funcs.len() {
-        if !available[i] {
-            continue;
-        }
-        // Rank: the best available near-tie candidates under the strategy.
-        let t_rank = Instant::now();
-        let mut counters = QueryCounters::default();
-        let cands_set = search.best_candidates(i, &available, &mut counters);
-        report.stats.fingerprint_comparisons += counters.comparisons;
-        report.stats.candidates_examined += counters.examined;
-        report.stats.candidates_returned += counters.returned;
-        let best = cands_set.choose(config.profile.as_ref(), |idx| funcs[idx]);
-        let rank_elapsed = t_rank.elapsed();
-        let Some((j, similarity)) = best else {
-            report.stats.rank.fail += rank_elapsed;
-            continue;
-        };
+    // ---- wave loop: speculative parallel rank+align, serial commit ------
+    // `available[i]`: not yet consumed by a merge. `processed[i]`: the
+    // walk reached a final verdict for i (committed, failed, or candidate-
+    // less); deferred conflicts keep `processed` false and re-enter the
+    // next wave.
+    let mut available = vec![true; n];
+    let mut processed = vec![false; n];
+    // droppable() answers, memoized per function until a commit (epoch
+    // bump) can change them.
+    let mut droppable_memo: Vec<Option<bool>> = vec![None; n];
+    let mut memo_epoch = committer.epoch();
 
-        // Align.
-        let (f1, f2) = (funcs[i], funcs[j]);
-        let t_align = Instant::now();
-        let plan = plan_blocks(m, f1, f2);
-        let matched = plan.matched_insts();
-        let align_elapsed = t_align.elapsed();
-        report.stats.pairs_attempted += 1;
-        let total_insts =
-            m.function(f1).num_linked_insts() + m.function(f2).num_linked_insts();
-        let align_ratio =
-            if total_insts == 0 { 0.0 } else { 2.0 * matched as f64 / total_insts as f64 };
-        // HyFM's alignment-profitability gate: skip code generation when
-        // even an optimistic estimate (every matched instruction shared,
-        // ignoring operand selects) cannot pay for the fixed costs. This
-        // is where most unprofitable pairs die cheaply.
-        let fixed =
-            fixed_overhead(committer.droppable(m, f1), committer.droppable(m, f2));
-        if matched == 0 || plan.estimated_savings(fixed) <= 0 {
-            report.stats.rank.fail += rank_elapsed;
-            report.stats.align.fail += align_elapsed;
-            report.attempts.push(AttemptRecord {
-                f1,
-                f2,
-                similarity,
-                align_ratio,
-                committed: false,
-                size_delta: 0,
-                time: align_elapsed,
+    loop {
+        let members: Vec<usize> =
+            (0..n).filter(|&i| available[i] && !processed[i]).collect();
+        if members.is_empty() {
+            break;
+        }
+        report.stats.waves += 1;
+
+        // Speculative phase: rank every member against the wave-entry
+        // snapshot of `available`, then align its chosen pair, in index
+        // order across the worker pool. Everything here is read-only on
+        // the module and the search structure; each worker owns one
+        // reusable alignment scratch.
+        let m_ro: &Module = m;
+        let search_ro = &*search;
+        let members_ro = &members;
+        let available_ro = &available;
+        let parts_ro = &parts_cache;
+        let funcs_ro = &funcs;
+        let outcomes: Vec<WaveOutcome> =
+            par_map_indexed_with(members.len(), jobs, AlignScratch::new, |scratch, mi| {
+                let i = members_ro[mi];
+                let t_rank = Instant::now();
+                let mut counters = QueryCounters::default();
+                let set = search_ro.best_candidates(i, available_ro, &mut counters);
+                let best = set.choose(config.profile.as_ref(), |idx| funcs_ro[idx]);
+                let rank_time = t_rank.elapsed();
+                let (plan, align_time, cache_misses) = match best {
+                    Some((j, _)) => {
+                        let t_align = Instant::now();
+                        let mut misses = 0u32;
+                        let rebuilt1;
+                        let parts1 = match parts_ro.get(i) {
+                            Some(p) => p,
+                            None => {
+                                misses += 1;
+                                rebuilt1 = function_parts(m_ro.function(funcs_ro[i]));
+                                &rebuilt1
+                            }
+                        };
+                        let rebuilt2;
+                        let parts2 = match parts_ro.get(j) {
+                            Some(p) => p,
+                            None => {
+                                misses += 1;
+                                rebuilt2 = function_parts(m_ro.function(funcs_ro[j]));
+                                &rebuilt2
+                            }
+                        };
+                        let plan = plan_blocks_with(
+                            m_ro,
+                            funcs_ro[i],
+                            funcs_ro[j],
+                            parts1,
+                            parts2,
+                            scratch,
+                        );
+                        let matched = plan.matched_insts();
+                        (Some((plan, matched)), t_align.elapsed(), misses)
+                    }
+                    None => (None, Duration::ZERO, 0),
+                };
+                WaveOutcome { counters, rank_time, best, plan, align_time, cache_misses }
             });
-            continue;
-        }
 
-        // Codegen + profitability + commit.
-        let t_cg = Instant::now();
-        let outcome = committer.try_commit(m, f1, f2, &plan, config.merge);
-        let cg_elapsed = t_cg.elapsed();
-        match outcome {
-            Some(size_delta) => {
-                search.invalidate(i);
-                search.invalidate(j);
-                available[i] = false;
-                available[j] = false;
-                report.stats.merges_committed += 1;
-                report.stats.rank.success += rank_elapsed;
-                report.stats.align.success += align_elapsed;
-                report.stats.codegen.success += cg_elapsed;
-                report.attempts.push(AttemptRecord {
-                    f1,
-                    f2,
-                    similarity,
-                    align_ratio,
-                    committed: true,
-                    size_delta,
-                    time: align_elapsed + cg_elapsed,
-                });
+        // Serial commit walk in fixed index order: the only place that
+        // mutates the module, the masks, or the report — identical for
+        // every job count.
+        for (mi, out) in outcomes.into_iter().enumerate() {
+            let i = members[mi];
+            report.stats.fingerprint_comparisons += out.counters.comparisons;
+            report.stats.candidates_examined += out.counters.examined;
+            report.stats.candidates_returned += out.counters.returned;
+
+            let Some((j, similarity)) = out.best else {
+                report.stats.rank.fail += out.rank_time;
+                processed[i] = true;
+                continue;
+            };
+            report.stats.aligns_speculative += 1;
+            report.stats.block_parts_cache_misses += u64::from(out.cache_misses);
+            report.stats.block_parts_cache_hits += u64::from(2 - out.cache_misses);
+
+            if !available[i] {
+                // An earlier commit in this wave consumed i as a partner;
+                // its speculative work is wasted and i is done for good.
+                report.stats.aligns_wasted += 1;
+                report.stats.rank.fail += out.rank_time;
+                report.stats.align.fail += out.align_time;
+                processed[i] = true;
+                continue;
             }
-            None => {
-                report.stats.rank.fail += rank_elapsed;
-                report.stats.align.fail += align_elapsed;
-                report.stats.codegen.fail += cg_elapsed;
+            if !available[j] {
+                // Only the partner was consumed: defer i to the next wave,
+                // where it is re-ranked against the updated availability.
+                report.stats.aligns_wasted += 1;
+                report.stats.wave_conflicts += 1;
+                report.stats.rank.fail += out.rank_time;
+                report.stats.align.fail += out.align_time;
+                continue;
+            }
+            report.stats.aligns_reused += 1;
+
+            let (plan, matched) = out.plan.expect("aligned pair has a plan");
+            let (f1, f2) = (funcs[i], funcs[j]);
+            report.stats.pairs_attempted += 1;
+            let total_insts =
+                m.function(f1).num_linked_insts() + m.function(f2).num_linked_insts();
+            let align_ratio =
+                if total_insts == 0 { 0.0 } else { 2.0 * matched as f64 / total_insts as f64 };
+            // HyFM's alignment-profitability gate: skip code generation when
+            // even an optimistic estimate (every matched instruction shared,
+            // ignoring operand selects) cannot pay for the fixed costs. This
+            // is where most unprofitable pairs die cheaply.
+            if committer.epoch() != memo_epoch {
+                droppable_memo.fill(None);
+                memo_epoch = committer.epoch();
+            }
+            let drop1 =
+                *droppable_memo[i].get_or_insert_with(|| committer.droppable(m, f1));
+            let drop2 =
+                *droppable_memo[j].get_or_insert_with(|| committer.droppable(m, f2));
+            let fixed = fixed_overhead(drop1, drop2);
+            if matched == 0 || plan.estimated_savings(fixed) <= 0 {
+                report.stats.rank.fail += out.rank_time;
+                report.stats.align.fail += out.align_time;
                 report.attempts.push(AttemptRecord {
                     f1,
                     f2,
@@ -207,8 +298,53 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
                     align_ratio,
                     committed: false,
                     size_delta: 0,
-                    time: align_elapsed + cg_elapsed,
+                    time: out.align_time,
                 });
+                processed[i] = true;
+                continue;
+            }
+
+            // Codegen + profitability + commit.
+            let t_cg = Instant::now();
+            let outcome = committer.try_commit(m, f1, f2, &plan, config.merge);
+            let cg_elapsed = t_cg.elapsed();
+            processed[i] = true;
+            match outcome {
+                Some(size_delta) => {
+                    search.invalidate(i);
+                    search.invalidate(j);
+                    parts_cache.invalidate(i);
+                    parts_cache.invalidate(j);
+                    available[i] = false;
+                    available[j] = false;
+                    report.stats.merges_committed += 1;
+                    report.stats.rank.success += out.rank_time;
+                    report.stats.align.success += out.align_time;
+                    report.stats.codegen.success += cg_elapsed;
+                    report.attempts.push(AttemptRecord {
+                        f1,
+                        f2,
+                        similarity,
+                        align_ratio,
+                        committed: true,
+                        size_delta,
+                        time: out.align_time + cg_elapsed,
+                    });
+                }
+                None => {
+                    report.stats.rank.fail += out.rank_time;
+                    report.stats.align.fail += out.align_time;
+                    report.stats.codegen.fail += cg_elapsed;
+                    report.attempts.push(AttemptRecord {
+                        f1,
+                        f2,
+                        similarity,
+                        align_ratio,
+                        committed: false,
+                        size_delta: 0,
+                        time: out.align_time + cg_elapsed,
+                    });
+                }
             }
         }
     }

@@ -71,12 +71,17 @@ pub trait CandidateSearch {
 
 /// Builds the search structure for `strategy` over `funcs`, fanning the
 /// per-function fingerprint work out across up to `jobs` threads.
+///
+/// The returned structure is `Send + Sync`: queries take `&self`, so the
+/// wave loop can rank many functions concurrently against one snapshot of
+/// the availability mask (mutation — `invalidate` — stays confined to the
+/// serial commit walk).
 pub fn build_search(
     m: &Module,
     funcs: &[FuncId],
     strategy: &Strategy,
     jobs: usize,
-) -> Box<dyn CandidateSearch> {
+) -> Box<dyn CandidateSearch + Send + Sync> {
     match strategy {
         Strategy::Hyfm => Box::new(ExhaustiveOpcodeSearch::build(m, funcs, jobs)),
         Strategy::F3m(p) => Box::new(LshMinHashSearch::build(m, funcs, *p, jobs)),

@@ -45,6 +45,26 @@ pub struct MergeStats {
     pub align: StageTime,
     /// Merged-function generation, verification and profitability time.
     pub codegen: StageTime,
+    /// Waves executed by the merge loop (each wave speculatively ranks and
+    /// aligns every still-available function, then commits serially).
+    pub waves: u64,
+    /// Candidate pairs aligned speculatively on the worker pool.
+    pub aligns_speculative: u64,
+    /// Speculative alignments consumed by the serial commit walk (the pair
+    /// survived to the profitability gate / commit attempt).
+    pub aligns_reused: u64,
+    /// Speculative alignments discarded because one side of the pair was
+    /// consumed by an earlier commit in the same wave.
+    pub aligns_wasted: u64,
+    /// Wave conflicts: pairs whose *partner* was consumed earlier in the
+    /// wave; the function is deferred and re-ranked in the next wave.
+    pub wave_conflicts: u64,
+    /// Alignment attempts served from the per-function `BlockParts` cache
+    /// (two lookups per aligned pair).
+    pub block_parts_cache_hits: u64,
+    /// Alignment attempts that had to re-encode a function because its
+    /// cache slot was invalid.
+    pub block_parts_cache_misses: u64,
     /// Number of fingerprint-to-fingerprint similarity computations.
     pub fingerprint_comparisons: u64,
     /// Search-structure entries examined across all queries: bucket
@@ -73,6 +93,50 @@ impl MergeStats {
             return 0.0;
         }
         1.0 - self.size_after as f64 / self.size_before as f64
+    }
+
+    /// Renders the statistics as one JSON object (the `stats` value of
+    /// [`MergeReport::to_json`]; also emitted standalone by the bench
+    /// harness's `BENCH_pass.json`).
+    pub fn to_json(&self) -> String {
+        let stage = |st: &StageTime| {
+            format!(
+                "{{\"success_ns\":{},\"fail_ns\":{}}}",
+                st.success.as_nanos(),
+                st.fail.as_nanos()
+            )
+        };
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        out.push_str(&format!("\"functions\":{},", self.functions));
+        out.push_str(&format!("\"pairs_attempted\":{},", self.pairs_attempted));
+        out.push_str(&format!("\"merges_committed\":{},", self.merges_committed));
+        out.push_str(&format!("\"preprocess_ns\":{},", self.preprocess.as_nanos()));
+        out.push_str(&format!("\"rank\":{},", stage(&self.rank)));
+        out.push_str(&format!("\"align\":{},", stage(&self.align)));
+        out.push_str(&format!("\"codegen\":{},", stage(&self.codegen)));
+        out.push_str(&format!("\"total_ns\":{},", self.total_time().as_nanos()));
+        out.push_str(&format!("\"waves\":{},", self.waves));
+        out.push_str(&format!("\"aligns_speculative\":{},", self.aligns_speculative));
+        out.push_str(&format!("\"aligns_reused\":{},", self.aligns_reused));
+        out.push_str(&format!("\"aligns_wasted\":{},", self.aligns_wasted));
+        out.push_str(&format!("\"wave_conflicts\":{},", self.wave_conflicts));
+        out.push_str(&format!(
+            "\"block_parts_cache_hits\":{},",
+            self.block_parts_cache_hits
+        ));
+        out.push_str(&format!(
+            "\"block_parts_cache_misses\":{},",
+            self.block_parts_cache_misses
+        ));
+        out.push_str(&format!("\"fingerprint_comparisons\":{},", self.fingerprint_comparisons));
+        out.push_str(&format!("\"candidates_examined\":{},", self.candidates_examined));
+        out.push_str(&format!("\"candidates_returned\":{},", self.candidates_returned));
+        out.push_str(&format!("\"size_before\":{},", self.size_before));
+        out.push_str(&format!("\"size_after\":{},", self.size_after));
+        out.push_str(&format!("\"size_reduction\":{}", json_f64(self.size_reduction())));
+        out.push('}');
+        out
     }
 }
 
@@ -113,31 +177,10 @@ impl MergeReport {
     /// hand-rolled: every value emitted here is a number, boolean or
     /// array, so no string escaping is required.
     pub fn to_json(&self) -> String {
-        let s = &self.stats;
-        let stage = |st: &StageTime| {
-            format!(
-                "{{\"success_ns\":{},\"fail_ns\":{}}}",
-                st.success.as_nanos(),
-                st.fail.as_nanos()
-            )
-        };
         let mut out = String::with_capacity(1024 + self.attempts.len() * 128);
-        out.push_str("{\"stats\":{");
-        out.push_str(&format!("\"functions\":{},", s.functions));
-        out.push_str(&format!("\"pairs_attempted\":{},", s.pairs_attempted));
-        out.push_str(&format!("\"merges_committed\":{},", s.merges_committed));
-        out.push_str(&format!("\"preprocess_ns\":{},", s.preprocess.as_nanos()));
-        out.push_str(&format!("\"rank\":{},", stage(&s.rank)));
-        out.push_str(&format!("\"align\":{},", stage(&s.align)));
-        out.push_str(&format!("\"codegen\":{},", stage(&s.codegen)));
-        out.push_str(&format!("\"total_ns\":{},", s.total_time().as_nanos()));
-        out.push_str(&format!("\"fingerprint_comparisons\":{},", s.fingerprint_comparisons));
-        out.push_str(&format!("\"candidates_examined\":{},", s.candidates_examined));
-        out.push_str(&format!("\"candidates_returned\":{},", s.candidates_returned));
-        out.push_str(&format!("\"size_before\":{},", s.size_before));
-        out.push_str(&format!("\"size_after\":{},", s.size_after));
-        out.push_str(&format!("\"size_reduction\":{}", json_f64(s.size_reduction())));
-        out.push_str("},\"attempts\":[");
+        out.push_str("{\"stats\":");
+        out.push_str(&self.stats.to_json());
+        out.push_str(",\"attempts\":[");
         for (n, a) in self.attempts.iter().enumerate() {
             if n > 0 {
                 out.push(',');
@@ -187,6 +230,9 @@ mod tests {
             size_delta: 42,
             time: Duration::from_nanos(900),
         });
+        report.stats.waves = 2;
+        report.stats.aligns_speculative = 5;
+        report.stats.block_parts_cache_hits = 10;
         let j = report.to_json();
         for key in [
             "\"stats\"",
@@ -195,6 +241,13 @@ mod tests {
             "\"preprocess_ns\":1500",
             "\"candidates_examined\"",
             "\"candidates_returned\"",
+            "\"waves\":2",
+            "\"aligns_speculative\":5",
+            "\"aligns_reused\"",
+            "\"aligns_wasted\"",
+            "\"wave_conflicts\"",
+            "\"block_parts_cache_hits\":10",
+            "\"block_parts_cache_misses\"",
             "\"attempts\"",
             "\"f1\":0",
             "\"f2\":2",

@@ -153,6 +153,97 @@ fn invalidated_candidates_stop_appearing() {
     assert_ne!(resurfaced.map(|(j, _)| j), Some(0));
 }
 
+/// Everything the determinism contract covers for one pass run: the
+/// printed merged module, every non-timing `MergeStats` counter (including
+/// the wave and cache counters), and the full attempt log. Float fields
+/// are compared bit-exactly.
+type AttemptKey = (usize, usize, u64, u64, bool, i64);
+
+fn determinism_key(
+    m: &f3m_ir::module::Module,
+    report: &f3m_core::pass::MergeReport,
+) -> (String, Vec<u64>, Vec<AttemptKey>) {
+    let s = &report.stats;
+    let counters = vec![
+        s.functions as u64,
+        s.pairs_attempted as u64,
+        s.merges_committed as u64,
+        s.waves,
+        s.aligns_speculative,
+        s.aligns_reused,
+        s.aligns_wasted,
+        s.wave_conflicts,
+        s.block_parts_cache_hits,
+        s.block_parts_cache_misses,
+        s.fingerprint_comparisons,
+        s.candidates_examined,
+        s.candidates_returned,
+        s.size_before,
+        s.size_after,
+    ];
+    let attempts = report
+        .attempts
+        .iter()
+        .map(|a| {
+            (
+                a.f1.index(),
+                a.f2.index(),
+                a.similarity.to_bits(),
+                a.align_ratio.to_bits(),
+                a.committed,
+                a.size_delta,
+            )
+        })
+        .collect();
+    (print_module(m), counters, attempts)
+}
+
+/// Pass-level determinism suite: for every strategy and several workload
+/// modules, the merged module and all report counters must be
+/// byte-identical across `--jobs 1/2/8`. This is the enforcement of the
+/// wave loop's core contract (speculative parallel rank/align, serial
+/// deterministic commit).
+#[test]
+fn pass_is_byte_identical_across_jobs_for_all_strategies() {
+    let workloads = ["429.mcf", "462.libquantum", "433.milc"];
+    for name in workloads {
+        let spec = table1()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("known workload")
+            .scaled(0.5);
+        let base = build_module(&spec);
+        for make in [PassConfig::hyfm, PassConfig::f3m, PassConfig::f3m_adaptive] {
+            let mut reference = None;
+            for jobs in [1usize, 2, 8] {
+                let mut m = base.clone();
+                let report = run_pass(&mut m, &make().with_jobs(jobs));
+                let key = determinism_key(&m, &report);
+                match &reference {
+                    None => reference = Some((key, report)),
+                    Some((r, _)) => assert_eq!(
+                        *r, key,
+                        "jobs={jobs} diverged from jobs=1 on {name} (strategy {:?})",
+                        make().strategy
+                    ),
+                }
+            }
+            // Sanity on the wave bookkeeping itself: every speculative
+            // alignment is either reused or wasted, and cache traffic is
+            // two lookups per speculation.
+            let (_, report) = reference.unwrap();
+            let s = &report.stats;
+            assert!(s.waves >= 1, "{name}: at least one wave runs");
+            assert_eq!(s.aligns_speculative, s.aligns_reused + s.aligns_wasted);
+            assert_eq!(
+                s.block_parts_cache_hits + s.block_parts_cache_misses,
+                2 * s.aligns_speculative
+            );
+            assert_eq!(s.aligns_reused, s.pairs_attempted as u64);
+        }
+    }
+}
+
 #[test]
 fn job_count_is_invisible_in_merged_modules_and_counters() {
     let mut spec = table1()

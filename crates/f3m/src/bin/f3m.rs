@@ -1,5 +1,10 @@
 //! `f3m` — command-line driver for the function-merging reproduction.
 //!
+//! `--jobs <n>` parallelizes the whole pipeline: fingerprint construction
+//! and the merge loop's speculative rank/align waves both fan out across
+//! `n` threads, with a deterministic serial commit walk keeping the output
+//! byte-identical for every job count.
+//!
 //! ```text
 //! f3m merge <input.ir> [-o <out.ir>] [--strategy hyfm|f3m|adaptive]
 //!           [--threshold <t>] [--bands <b>] [--rows <r>] [-k <k>]
@@ -141,10 +146,12 @@ fn cmd_merge(args: &[String]) -> CliResult {
 
     let after = f3m::ir::size::module_size(&m);
     eprintln!(
-        "merged {} of {} attempted pairs in {:.1} ms; size {} -> {} bytes ({:.2}% reduction)",
+        "merged {} of {} attempted pairs in {:.1} ms ({} waves); \
+         size {} -> {} bytes ({:.2}% reduction)",
         report.stats.merges_committed,
         report.stats.pairs_attempted,
         elapsed.as_secs_f64() * 1e3,
+        report.stats.waves,
         before,
         after,
         report.stats.size_reduction() * 100.0
