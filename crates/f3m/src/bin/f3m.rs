@@ -13,6 +13,7 @@
 //! f3m stats <input.ir>
 //! f3m run   <input.ir> <function> [int args...]
 //! f3m gen   <workload> [-o <out.ir>] [--scale <f>]
+//! f3m fuzz  [--iterations <n>] [--seed <s>] [--corpus <dir>]
 //! f3m list
 //! ```
 
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
                  stats <input.ir>\n\
                  run   <input.ir> <function> [int args...]\n\
                  gen   <workload> [-o out.ir] [--scale f]\n\
+                 fuzz  [--iterations n] [--seed s] [--corpus dir]\n\
                  list"
             );
             return ExitCode::from(2);
@@ -225,6 +228,32 @@ fn cmd_gen(args: &[String]) -> CliResult {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    let iterations: usize =
+        flag_value(args, "--iterations").map(str::parse).transpose()?.unwrap_or(500);
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16)?,
+            None => s.parse()?,
+        },
+        None => 0xF3F3,
+    };
+    let corpus_dir = flag_value(args, "--corpus").map(std::path::PathBuf::from);
+    let cfg = f3m::fuzz::CampaignConfig {
+        iterations,
+        seed,
+        corpus_dir,
+        ..Default::default()
+    };
+    let summary = f3m::fuzz::run_campaign(&cfg);
+    println!("{}", summary.to_json());
+    if summary.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} oracle failure(s) found", summary.failures.len()).into())
+    }
 }
 
 fn cmd_list() -> CliResult {

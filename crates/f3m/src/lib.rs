@@ -9,7 +9,10 @@
 //!   LSH search, and the adaptive parameter equations,
 //! - [`core`]: alignment, merged-function code generation and the merging
 //!   pass itself,
-//! - [`workloads`]: the synthetic Table I benchmark-suite generator.
+//! - [`workloads`]: the synthetic Table I benchmark-suite generator,
+//! - [`fuzz`]: differential fuzzing of the whole pipeline — IR mutators,
+//!   a merge oracle, deterministic campaigns and a delta-debugging
+//!   reducer (`f3m fuzz` on the command line).
 //!
 //! # Quickstart
 //!
@@ -26,6 +29,7 @@
 
 pub use f3m_core as core;
 pub use f3m_fingerprint as fingerprint;
+pub use f3m_fuzz as fuzz;
 pub use f3m_interp as interp;
 pub use f3m_ir as ir;
 pub use f3m_workloads as workloads;

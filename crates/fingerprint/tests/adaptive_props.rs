@@ -1,0 +1,100 @@
+//! Property tests for the adaptive parameter equations (Section III-D,
+//! Equations 3 and 4). A seeded sweep over random module sizes checks the
+//! invariants the pass relies on: monotonicity, clamping, the derived
+//! parameter relations, and bit-level determinism.
+
+use f3m_fingerprint::adaptive::{adaptive_bands, adaptive_threshold, MergeParams};
+use f3m_fingerprint::lsh::collision_probability;
+use f3m_prng::SmallRng;
+
+/// Random module sizes spanning the interesting regimes: tiny, around the
+/// 10^3.5 and 5000 knees, the log-linear middle, and beyond the 10^7 cap.
+fn size_sweep(seed: u64, n: usize) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sizes: Vec<usize> = (0..n)
+        .map(|_| {
+            // log-uniform in [1, 10^8)
+            let exp = rng.gen_range(0.0..8.0f64);
+            10f64.powf(exp) as usize + 1
+        })
+        .collect();
+    // Pin the knees and endpoints so the sweep always crosses them.
+    sizes.extend([1, 2, 3161, 3163, 4999, 5000, 5001, 9_999_999, 10_000_001, 100_000_000]);
+    sizes.sort_unstable();
+    sizes
+}
+
+#[test]
+fn threshold_is_monotone_and_clamped() {
+    let sizes = size_sweep(0xADA7_0001, 400);
+    let mut prev = 0.0f64;
+    for &n in &sizes {
+        let t = adaptive_threshold(n);
+        assert!((0.05..=0.4).contains(&t), "n={n}: threshold {t} outside [0.05, 0.4]");
+        assert!(t.is_finite());
+        assert!(t >= prev, "threshold decreased at n={n}: {prev} -> {t}");
+        prev = t;
+    }
+    // The clamps engage exactly at the paper's knees.
+    assert_eq!(adaptive_threshold(1), 0.05);
+    assert_eq!(adaptive_threshold(3161), 0.05); // just under 10^3.5
+    assert_eq!(adaptive_threshold(100_000_000), 0.4); // above 10^7
+}
+
+#[test]
+fn bands_are_monotone_in_threshold_and_bounded() {
+    let sizes = size_sweep(0xADA7_0002, 400);
+    let mut prev_bands = usize::MAX;
+    for &n in &sizes {
+        let t = adaptive_threshold(n);
+        let b = adaptive_bands(t);
+        // Raw Equation 4 can ask for slightly more than 100 bands at the
+        // 0.05 threshold floor (102 with r = 2); `MergeParams::adaptive`
+        // never uses it there, so only a loose upper bound applies here.
+        assert!((1..=102).contains(&b), "n={n}: bands {b} outside [1, 102]");
+        // Higher thresholds mean likelier per-band collisions, so fewer
+        // bands suffice for the 90% discovery guarantee.
+        assert!(b <= prev_bands, "bands increased at n={n} (t={t}): {prev_bands} -> {b}");
+        prev_bands = b;
+        // The guarantee itself (Equation 4's derivation): a pair at
+        // similarity t + 0.1 collides with >= 90% probability.
+        let prob = collision_probability(t + 0.1, 2, b);
+        assert!(prob >= 0.9, "n={n}: discovery probability {prob} < 0.9");
+    }
+}
+
+#[test]
+fn adaptive_params_hold_their_invariants() {
+    let sizes = size_sweep(0xADA7_0003, 400);
+    for &n in &sizes {
+        let p = MergeParams::adaptive(n);
+        assert_eq!(p.lsh.rows, 2, "n={n}: the paper fixes r = 2");
+        assert_eq!(p.k, 2 * p.lsh.bands, "n={n}: k must equal r x b");
+        assert_eq!(p.lsh.bucket_cap, 100, "n={n}");
+        assert!((1..=100).contains(&p.lsh.bands), "n={n}: bands {}", p.lsh.bands);
+        if n < 5000 {
+            // Small programs keep the full static banding.
+            assert_eq!(p.lsh.bands, 100, "n={n}");
+            assert_eq!(p.k, 200, "n={n}");
+        }
+        assert_eq!(p.threshold.to_bits(), adaptive_threshold(n).to_bits(), "n={n}");
+    }
+}
+
+#[test]
+fn equations_are_bit_stable() {
+    // The pass compares and serializes these values, so they must be
+    // byte-identical across repeated evaluation, not merely approximately
+    // equal.
+    let sizes = size_sweep(0xADA7_0004, 200);
+    for &n in &sizes {
+        let a = adaptive_threshold(n);
+        let b = adaptive_threshold(n);
+        assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+        assert_eq!(adaptive_bands(a), adaptive_bands(b), "n={n}");
+        let p1 = MergeParams::adaptive(n);
+        let p2 = MergeParams::adaptive(n);
+        assert_eq!(p1.threshold.to_bits(), p2.threshold.to_bits(), "n={n}");
+        assert_eq!((p1.k, p1.lsh.rows, p1.lsh.bands), (p2.k, p2.lsh.rows, p2.lsh.bands));
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic fuzzing campaigns.
+//!
+//! Each iteration derives its own RNG from the campaign seed, generates a
+//! base workload module, stacks one to four random mutations on it, and
+//! runs the merge oracle over every configured (strategy, jobs) cell.
+//! Failures are delta-reduced and written to the corpus directory with
+//! enough metadata (`seed`, mutation trace, failing cell) to replay them.
+//!
+//! The whole campaign is a pure function of its configuration: same seed,
+//! same modules, same mutations, same verdicts.
+
+use std::fs;
+use std::path::PathBuf;
+
+use f3m_core::pass::{run_pass, PassConfig};
+use f3m_ir::module::Module;
+use f3m_ir::parser::parse_module;
+use f3m_ir::printer::print_module;
+use f3m_ir::verify::verify_module;
+use f3m_prng::SmallRng;
+use f3m_workloads::{build_module, table1};
+
+use crate::mutate::{apply_random, MUTATORS};
+use crate::oracle::{check_module_with, OracleConfig};
+use crate::reduce::reduce;
+
+/// Per-iteration seed derivation: golden-ratio stride over the campaign
+/// seed, so iteration streams are decorrelated but reproducible.
+pub fn iteration_seed(campaign_seed: u64, iteration: usize) -> u64 {
+    campaign_seed ^ (iteration as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of generate–mutate–check iterations.
+    pub iterations: usize,
+    /// Campaign seed; every module and mutation derives from it.
+    pub seed: u64,
+    /// Where to write reduced reproducers (`None` = don't write).
+    pub corpus_dir: Option<PathBuf>,
+    /// The oracle run on every mutated module.
+    pub oracle: OracleConfig,
+    /// Maximum mutations stacked per iteration (at least 1 is applied).
+    pub max_mutations: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            iterations: 500,
+            seed: 0xF3F3,
+            corpus_dir: None,
+            oracle: OracleConfig::default(),
+            max_mutations: 4,
+        }
+    }
+}
+
+/// One reduced oracle failure.
+#[derive(Clone, Debug)]
+pub struct FailureRecord {
+    /// Iteration index that produced the failure.
+    pub iteration: usize,
+    /// The iteration's derived seed (replays the module + mutations).
+    pub iter_seed: u64,
+    /// Failure kind name (`differential`, `round-trip`, ... or
+    /// `mutator-invalid` when a mutator itself broke validity).
+    pub kind: String,
+    /// Strategy cell that failed (`none` for mutator bugs).
+    pub strategy: String,
+    /// Jobs cell that failed (0 for mutator bugs).
+    pub jobs: usize,
+    /// Mismatch description.
+    pub detail: String,
+    /// Names of the mutations applied this iteration, in order.
+    pub mutations: Vec<&'static str>,
+    /// Function definitions before reduction.
+    pub functions_before: usize,
+    /// Function definitions in the reduced reproducer.
+    pub functions_after: usize,
+    /// Linked instructions before reduction.
+    pub insts_before: usize,
+    /// Linked instructions in the reduced reproducer.
+    pub insts_after: usize,
+    /// Path of the written `.ir` reproducer, if a corpus dir was set.
+    pub artifact: Option<String>,
+}
+
+/// Aggregate campaign result.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignSummary {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total mutations applied across all iterations.
+    pub mutations_applied: usize,
+    /// Times each mutator fired, in catalogue order.
+    pub histogram: Vec<(&'static str, usize)>,
+    /// Differential cells skipped on resource-limit observations.
+    pub resource_skips: usize,
+    /// All failures, reduced.
+    pub failures: Vec<FailureRecord>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl CampaignSummary {
+    /// Renders the summary as a JSON object (the `f3m fuzz` output).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        s.push_str(&format!("  \"mutations_applied\": {},\n", self.mutations_applied));
+        s.push_str("  \"mutator_histogram\": {");
+        for (i, (name, count)) in self.histogram.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {count}"));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!("  \"resource_skips\": {},\n", self.resource_skips));
+        s.push_str(&format!("  \"failure_count\": {},\n", self.failures.len()));
+        s.push_str("  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            s.push_str(&failure_json(f));
+        }
+        if self.failures.is_empty() {
+            s.push_str("]\n");
+        } else {
+            s.push_str("\n  ]\n");
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn failure_json(f: &FailureRecord) -> String {
+    let ratio = if f.insts_before == 0 {
+        1.0
+    } else {
+        f.insts_after as f64 / f.insts_before as f64
+    };
+    let mutations: Vec<String> = f.mutations.iter().map(|m| format!("\"{m}\"")).collect();
+    format!(
+        "{{\"iteration\": {}, \"seed\": \"{:#x}\", \"kind\": \"{}\", \
+         \"strategy\": \"{}\", \"jobs\": {}, \"detail\": \"{}\", \
+         \"mutations\": [{}], \"functions_before\": {}, \"functions_after\": {}, \
+         \"insts_before\": {}, \"insts_after\": {}, \"reduction_ratio\": {:.4}, \
+         \"artifact\": {}}}",
+        f.iteration,
+        f.iter_seed,
+        json_escape(&f.kind),
+        json_escape(&f.strategy),
+        f.jobs,
+        json_escape(&f.detail),
+        mutations.join(", "),
+        f.functions_before,
+        f.functions_after,
+        f.insts_before,
+        f.insts_after,
+        ratio,
+        match &f.artifact {
+            Some(p) => format!("\"{}\"", json_escape(p)),
+            None => "null".to_string(),
+        },
+    )
+}
+
+fn round_trips(m: &Module) -> bool {
+    let p1 = print_module(m);
+    match parse_module(&p1) {
+        Ok(m2) => print_module(&m2) == p1,
+        Err(_) => false,
+    }
+}
+
+/// Runs a campaign against the production merge pass.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    run_campaign_with(cfg, |m, c| {
+        run_pass(m, c);
+    })
+}
+
+/// Runs a campaign with an injectable merge step (used by the oracle's own
+/// self-test, which threads in a deliberately buggy merge).
+pub fn run_campaign_with<F: Fn(&mut Module, &PassConfig)>(
+    cfg: &CampaignConfig,
+    merge: F,
+) -> CampaignSummary {
+    let mut summary = CampaignSummary {
+        iterations: cfg.iterations,
+        histogram: MUTATORS.iter().map(|&(name, _)| (name, 0)).collect(),
+        ..Default::default()
+    };
+    if let Some(dir) = &cfg.corpus_dir {
+        let _ = fs::create_dir_all(dir);
+    }
+    for i in 0..cfg.iterations {
+        let iter_seed = iteration_seed(cfg.seed, i);
+        let mut rng = SmallRng::seed_from_u64(iter_seed);
+        let mut spec = table1()[0].clone();
+        spec.functions = rng.gen_range(8..=36usize);
+        spec.mean_insts = rng.gen_range(10..=28usize);
+        spec.seed = rng.next_u64() % 100_000;
+        let mut base = build_module(&spec);
+        let planned = rng.gen_range(1..=cfg.max_mutations.max(1));
+        let mut applied: Vec<&'static str> = Vec::new();
+        for _ in 0..planned {
+            if let Some(name) = apply_random(&mut base, &mut rng, 12) {
+                applied.push(name);
+                summary.mutations_applied += 1;
+                if let Some(slot) = summary.histogram.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 += 1;
+                }
+            }
+        }
+        // Mutator contract gate: the mutated base itself must stay
+        // verifier-clean and round-trippable, before any merging happens.
+        let base_broken = match verify_module(&base) {
+            Err(errs) => Some(format!("{:?}", errs[0])),
+            Ok(()) if !round_trips(&base) => {
+                Some("mutated base fails printer round-trip".to_string())
+            }
+            Ok(()) => None,
+        };
+        if let Some(detail) = base_broken {
+            let mut record = FailureRecord {
+                iteration: i,
+                iter_seed,
+                kind: "mutator-invalid".to_string(),
+                strategy: "none".to_string(),
+                jobs: 0,
+                detail,
+                mutations: applied,
+                functions_before: base.defined_functions().len(),
+                functions_after: base.defined_functions().len(),
+                insts_before: base.total_insts(),
+                insts_after: base.total_insts(),
+                artifact: None,
+            };
+            record.artifact = write_artifact(cfg, &record, &base);
+            summary.failures.push(record);
+            continue;
+        }
+        let outcome = check_module_with(&base, &cfg.oracle, |m, c| merge(m, c));
+        summary.resource_skips += outcome.resource_skips;
+        if let Some(failure) = outcome.failure {
+            let narrowed = cfg.oracle.narrowed(failure.strategy, failure.jobs);
+            let kind = failure.kind;
+            let predicate = |m: &Module| {
+                check_module_with(m, &narrowed, |mm, c| merge(mm, c))
+                    .failure
+                    .is_some_and(|g| g.kind == kind)
+            };
+            let (reduced, stats) = reduce(&base, &predicate);
+            let mut record = FailureRecord {
+                iteration: i,
+                iter_seed,
+                kind: kind.as_str().to_string(),
+                strategy: failure.strategy.name().to_string(),
+                jobs: failure.jobs,
+                detail: failure.detail,
+                mutations: applied,
+                functions_before: stats.functions_before,
+                functions_after: stats.functions_after,
+                insts_before: stats.insts_before,
+                insts_after: stats.insts_after,
+                artifact: None,
+            };
+            record.artifact = write_artifact(cfg, &record, &reduced);
+            summary.failures.push(record);
+        }
+    }
+    summary
+}
+
+/// Writes the reproducer plus a `.meta.json` sidecar (seed, mutation
+/// trace, failing cell — everything needed to replay) into the corpus
+/// directory. Returns the `.ir` path, or `None` when no corpus dir is
+/// configured.
+fn write_artifact(
+    cfg: &CampaignConfig,
+    record: &FailureRecord,
+    m: &Module,
+) -> Option<String> {
+    let dir = cfg.corpus_dir.as_ref()?;
+    let stem = format!("fail-{:05}-{}", record.iteration, record.kind);
+    let ir_path = dir.join(format!("{stem}.ir"));
+    let _ = fs::write(&ir_path, print_module(m));
+    let _ = fs::write(dir.join(format!("{stem}.meta.json")), failure_json(record));
+    Some(ir_path.display().to_string())
+}

@@ -1,0 +1,265 @@
+//! The merge oracle: decides whether one module survives merging intact.
+//!
+//! Three checks per (strategy, jobs) cell, in order:
+//!
+//! 1. **Verifier**: the merged module must pass `verify_module`.
+//! 2. **Round-trip**: printing the merged module must be a fixpoint under
+//!    reparse (`print(parse(print(m))) == print(m)`).
+//! 3. **Differential**: for each driver argument, the merged module must
+//!    observe identically to the base module — same return value (floats
+//!    compared bit-for-bit), same `ext_sink` checksum, or the same trap
+//!    class. Cells where either side hits a resource limit are skipped,
+//!    not failed: merging legitimately changes fuel/memory/depth use.
+//!
+//! A fourth cross-cell check catches scheduling bugs: within one strategy,
+//! every `--jobs` level must print the identical merged module
+//! (**jobs-divergence**), since the wave commit is documented to be
+//! deterministic.
+
+use f3m_core::pass::{run_pass, PassConfig};
+use f3m_interp::oracle::{observe, Observation};
+use f3m_interp::{Limits, Val};
+use f3m_ir::module::Module;
+use f3m_ir::parser::parse_module;
+use f3m_ir::printer::print_module;
+use f3m_ir::verify::verify_module;
+
+/// Candidate-selection strategies the oracle exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// HyFM opcode-frequency baseline.
+    Hyfm,
+    /// F3M with static MinHash parameters.
+    F3m,
+    /// F3M with size-adaptive parameters (Eqs. 3–4).
+    Adaptive,
+}
+
+impl StrategyKind {
+    /// Every strategy, in reporting order.
+    pub const ALL: [StrategyKind; 3] =
+        [StrategyKind::Hyfm, StrategyKind::F3m, StrategyKind::Adaptive];
+
+    /// Stable name used in failure records and corpus metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Hyfm => "hyfm",
+            StrategyKind::F3m => "f3m",
+            StrategyKind::Adaptive => "f3m-adaptive",
+        }
+    }
+
+    /// Parses a strategy name back (inverse of [`StrategyKind::name`]).
+    pub fn from_name(s: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The pass configuration for this strategy at a worker count.
+    pub fn config(self, jobs: usize) -> PassConfig {
+        let base = match self {
+            StrategyKind::Hyfm => PassConfig::hyfm(),
+            StrategyKind::F3m => PassConfig::f3m(),
+            StrategyKind::Adaptive => PassConfig::f3m_adaptive(),
+        };
+        base.with_jobs(jobs)
+    }
+}
+
+/// What the oracle runs per module.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Entry point called for the differential check.
+    pub driver: String,
+    /// Arguments fed to the driver, one observation each.
+    pub args: Vec<i64>,
+    /// Execution limits for every observation.
+    pub limits: Limits,
+    /// Strategies to exercise.
+    pub strategies: Vec<StrategyKind>,
+    /// Worker counts per strategy; all must produce identical output.
+    pub jobs_levels: Vec<usize>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            driver: "__driver".to_string(),
+            args: vec![1, -9, 4242],
+            limits: Limits::default(),
+            strategies: StrategyKind::ALL.to_vec(),
+            jobs_levels: vec![1, 8],
+        }
+    }
+}
+
+impl OracleConfig {
+    /// Narrows the oracle to a single (strategy, jobs) cell — the shape the
+    /// reducer uses so every probe re-checks only the failing
+    /// configuration.
+    pub fn narrowed(&self, strategy: StrategyKind, jobs: usize) -> OracleConfig {
+        OracleConfig {
+            strategies: vec![strategy],
+            jobs_levels: vec![jobs],
+            ..self.clone()
+        }
+    }
+}
+
+/// Which oracle check failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The merged module does not verify.
+    MergedInvalid,
+    /// Base and merged modules observed differently.
+    Differential,
+    /// The merged module's printed form is not a reparse fixpoint.
+    RoundTrip,
+    /// Two worker counts produced different merged modules.
+    JobsDivergence,
+}
+
+impl FailureKind {
+    /// Stable name used in JSON summaries and corpus metadata.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::MergedInvalid => "merged-invalid",
+            FailureKind::Differential => "differential",
+            FailureKind::RoundTrip => "round-trip",
+            FailureKind::JobsDivergence => "jobs-divergence",
+        }
+    }
+}
+
+/// A concrete oracle failure: what broke, where, and how.
+#[derive(Clone, Debug)]
+pub struct OracleFailure {
+    /// The check that failed.
+    pub kind: FailureKind,
+    /// Strategy under which it failed.
+    pub strategy: StrategyKind,
+    /// Worker count under which it failed.
+    pub jobs: usize,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+/// Result of running the oracle over one module.
+#[derive(Clone, Debug, Default)]
+pub struct OracleOutcome {
+    /// The first failure found, if any.
+    pub failure: Option<OracleFailure>,
+    /// Differential cells skipped because either side hit a resource limit.
+    pub resource_skips: usize,
+}
+
+/// `Val` equality with floats compared bit-for-bit, so a NaN result is
+/// equal to itself and the oracle never reports a false differential.
+fn val_eq(a: Val, b: Val) -> bool {
+    match (a, b) {
+        (Val::Float(x), Val::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn obs_eq(a: &Observation, b: &Observation) -> bool {
+    match (a, b) {
+        (
+            Observation::Completed { ret: r1, checksum: c1 },
+            Observation::Completed { ret: r2, checksum: c2 },
+        ) => {
+            c1 == c2
+                && match (r1, r2) {
+                    (Some(x), Some(y)) => val_eq(*x, *y),
+                    (None, None) => true,
+                    _ => false,
+                }
+        }
+        _ => a == b,
+    }
+}
+
+/// Runs the full oracle with the production merge pass.
+pub fn check_module(base: &Module, oc: &OracleConfig) -> OracleOutcome {
+    check_module_with(base, oc, |m, cfg| {
+        run_pass(m, cfg);
+    })
+}
+
+/// Runs the oracle with an injectable merge step. The campaign's
+/// self-test threads a deliberately buggy merge through here to prove the
+/// oracle catches real codegen bugs.
+pub fn check_module_with<F: Fn(&mut Module, &PassConfig)>(
+    base: &Module,
+    oc: &OracleConfig,
+    merge: F,
+) -> OracleOutcome {
+    let mut outcome = OracleOutcome::default();
+    let baseline: Vec<Observation> = oc
+        .args
+        .iter()
+        .map(|&a| observe(base, &oc.driver, &[Val::Int(a)], oc.limits))
+        .collect();
+    for &strategy in &oc.strategies {
+        let mut printed_per_jobs: Vec<(usize, String)> = Vec::new();
+        for &jobs in &oc.jobs_levels {
+            let fail = |kind, detail| OracleFailure { kind, strategy, jobs, detail };
+            let mut m = base.clone();
+            merge(&mut m, &strategy.config(jobs));
+            if let Err(errs) = verify_module(&m) {
+                outcome.failure =
+                    Some(fail(FailureKind::MergedInvalid, format!("{:?}", errs[0])));
+                return outcome;
+            }
+            let p1 = print_module(&m);
+            match parse_module(&p1) {
+                Ok(m2) => {
+                    let p2 = print_module(&m2);
+                    if p1 != p2 {
+                        outcome.failure = Some(fail(
+                            FailureKind::RoundTrip,
+                            "reprinted module differs from first printing".to_string(),
+                        ));
+                        return outcome;
+                    }
+                }
+                Err(e) => {
+                    outcome.failure =
+                        Some(fail(FailureKind::RoundTrip, format!("reparse failed: {e:?}")));
+                    return outcome;
+                }
+            }
+            for (i, base_obs) in baseline.iter().enumerate() {
+                let merged_obs = observe(&m, &oc.driver, &[Val::Int(oc.args[i])], oc.limits);
+                if base_obs.is_resource_limit() || merged_obs.is_resource_limit() {
+                    outcome.resource_skips += 1;
+                    continue;
+                }
+                if !obs_eq(base_obs, &merged_obs) {
+                    outcome.failure = Some(fail(
+                        FailureKind::Differential,
+                        format!(
+                            "driver({}) base {:?} vs merged {:?}",
+                            oc.args[i], base_obs, merged_obs
+                        ),
+                    ));
+                    return outcome;
+                }
+            }
+            printed_per_jobs.push((jobs, p1));
+        }
+        if let Some((j0, p0)) = printed_per_jobs.first() {
+            for (j, p) in &printed_per_jobs[1..] {
+                if p != p0 {
+                    outcome.failure = Some(OracleFailure {
+                        kind: FailureKind::JobsDivergence,
+                        strategy,
+                        jobs: *j,
+                        detail: format!("merged module differs between --jobs {j0} and {j}"),
+                    });
+                    return outcome;
+                }
+            }
+        }
+    }
+    outcome
+}

@@ -1,0 +1,30 @@
+//! A short campaign against the real pass must come back clean: every
+//! strategy, at one and eight workers, survives mutated modules with no
+//! oracle failures. The CI fuzz-smoke step runs the same thing at larger
+//! scale through `f3m fuzz`.
+
+use f3m_fuzz::campaign::{run_campaign, CampaignConfig};
+
+#[test]
+fn short_campaign_on_real_pass_is_clean() {
+    let cfg = CampaignConfig { iterations: 20, seed: 0xF3F3, ..Default::default() };
+    let summary = run_campaign(&cfg);
+    assert!(
+        summary.failures.is_empty(),
+        "real pass failed the oracle:\n{}",
+        summary.to_json()
+    );
+    assert_eq!(summary.iterations, 20);
+    assert!(summary.mutations_applied > 0, "no mutations fired in 20 iterations");
+    // Most of the catalogue should fire across 20 stacked-mutation draws.
+    let fired = summary.histogram.iter().filter(|(_, n)| *n > 0).count();
+    assert!(fired >= 5, "only {fired} distinct mutators fired: {:?}", summary.histogram);
+}
+
+#[test]
+fn campaigns_are_deterministic() {
+    let cfg = CampaignConfig { iterations: 4, seed: 1234, ..Default::default() };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a.to_json(), b.to_json());
+}

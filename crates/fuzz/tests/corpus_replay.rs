@@ -1,0 +1,41 @@
+//! Replay every `.ir` module in the repository's `corpus/` directory
+//! through the full oracle against the real pass. Seeds and previously
+//! minimized reproducers alike must stay green: a corpus module that
+//! fails here is a reintroduced bug.
+
+use std::path::PathBuf;
+
+use f3m_fuzz::oracle::{check_module, OracleConfig};
+use f3m_ir::parser::parse_module;
+use f3m_ir::verify::verify_module;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn corpus_modules_replay_clean() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} unreadable: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ir"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no .ir files under {}", dir.display());
+
+    let oc = OracleConfig::default();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let m = parse_module(&text).unwrap_or_else(|e| panic!("{name}: parse error {e:?}"));
+        verify_module(&m).unwrap_or_else(|e| panic!("{name}: verifier error {:?}", e[0]));
+        let outcome = check_module(&m, &oc);
+        assert!(
+            outcome.failure.is_none(),
+            "{name}: oracle failure {:?}",
+            outcome.failure
+        );
+    }
+}

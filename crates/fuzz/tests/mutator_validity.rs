@@ -1,0 +1,85 @@
+//! The mutator contract: every mutator, applied to any valid module, must
+//! leave it verifier-clean and printer/parser round-trippable. Behaviour
+//! may change; validity may not.
+
+use f3m_fuzz::mutate::MUTATORS;
+use f3m_ir::parser::parse_module;
+use f3m_ir::printer::print_module;
+use f3m_ir::verify::verify_module;
+use f3m_prng::SmallRng;
+use f3m_workloads::{build_module, table1};
+
+fn spec(seed: u64, functions: usize, mean_insts: usize) -> f3m_workloads::WorkloadSpec {
+    let mut s = table1()[0].clone();
+    s.functions = functions;
+    s.mean_insts = mean_insts;
+    s.seed = seed;
+    s
+}
+
+#[test]
+fn every_mutator_preserves_validity_and_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xF0CC_0001);
+    for round in 0..40 {
+        let s = spec(
+            rng.gen_range(0..50_000u64),
+            rng.gen_range(6..=24usize),
+            rng.gen_range(8..=26usize),
+        );
+        let base = build_module(&s);
+        for &(name, mutator) in MUTATORS {
+            let mut m = base.clone();
+            if !mutator(&mut m, &mut rng) {
+                continue;
+            }
+            if let Err(errs) = verify_module(&m) {
+                panic!("round {round}: mutator {name} broke the verifier: {:?}", errs[0]);
+            }
+            let p1 = print_module(&m);
+            let m2 = parse_module(&p1)
+                .unwrap_or_else(|e| panic!("round {round}: mutator {name} unparseable: {e:?}"));
+            assert_eq!(
+                p1,
+                print_module(&m2),
+                "round {round}: mutator {name} breaks the print fixpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn stacked_mutations_preserve_validity() {
+    let mut rng = SmallRng::seed_from_u64(0xF0CC_0002);
+    for round in 0..30 {
+        let s = spec(rng.gen_range(0..50_000u64), 10, 16);
+        let mut m = build_module(&s);
+        let mut trace: Vec<&'static str> = Vec::new();
+        for _ in 0..6 {
+            if let Some(name) = f3m_fuzz::apply_random(&mut m, &mut rng, 12) {
+                trace.push(name);
+            }
+            if let Err(errs) = verify_module(&m) {
+                panic!("round {round}: stack {trace:?} broke the verifier: {:?}", errs[0]);
+            }
+        }
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1)
+            .unwrap_or_else(|e| panic!("round {round}: stack {trace:?} unparseable: {e:?}"));
+        assert_eq!(p1, print_module(&m2), "round {round}: stack {trace:?}");
+    }
+}
+
+#[test]
+fn mutator_application_is_deterministic() {
+    for &(name, mutator) in MUTATORS {
+        let s = spec(7, 10, 18);
+        let mut m1 = build_module(&s);
+        let mut m2 = build_module(&s);
+        let mut r1 = SmallRng::seed_from_u64(0xF0CC_0003);
+        let mut r2 = SmallRng::seed_from_u64(0xF0CC_0003);
+        let a1 = mutator(&mut m1, &mut r1);
+        let a2 = mutator(&mut m2, &mut r2);
+        assert_eq!(a1, a2, "{name} applied differently across identical runs");
+        assert_eq!(print_module(&m1), print_module(&m2), "{name} is nondeterministic");
+    }
+}

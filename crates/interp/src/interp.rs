@@ -78,6 +78,9 @@ pub struct Interpreter<'m> {
     per_func: Vec<u64>,
     global_addrs: Vec<u64>,
     depth: usize,
+    /// Set when the globals did not fit the memory limit at construction;
+    /// every subsequent call reports this trap instead of running.
+    init_error: Option<Trap>,
 }
 
 impl<'m> Interpreter<'m> {
@@ -87,15 +90,23 @@ impl<'m> Interpreter<'m> {
         Self::with_limits(module, Limits::default())
     }
 
-    /// Creates an interpreter with explicit limits.
+    /// Creates an interpreter with explicit limits. If the module's globals
+    /// do not fit within `limits.memory`, construction still succeeds and
+    /// every call returns [`Trap::OutOfMemory`] (callers treat that like
+    /// any other resource trap instead of a panic).
     pub fn with_limits(module: &'m Module, limits: Limits) -> Self {
         let mut mem = Memory::new(limits.memory);
         let mut global_addrs = Vec::new();
+        let mut init_error = None;
         for (_, g) in module.globals() {
             let size = module.types.size_of(g.ty).max(g.init.len() as u64);
-            let addr = mem.alloc(size).expect("global allocation");
-            mem.write(addr, &g.init).expect("global init");
-            global_addrs.push(addr);
+            match mem.alloc(size).and_then(|addr| mem.write(addr, &g.init).map(|()| addr)) {
+                Ok(addr) => global_addrs.push(addr),
+                Err(t) => {
+                    init_error.get_or_insert(t);
+                    global_addrs.push(0);
+                }
+            }
         }
         Interpreter {
             module,
@@ -107,6 +118,7 @@ impl<'m> Interpreter<'m> {
             per_func: vec![0; module.num_functions()],
             global_addrs,
             depth: 0,
+            init_error,
         }
     }
 
@@ -139,6 +151,9 @@ impl<'m> Interpreter<'m> {
     ///
     /// Any [`Trap`] raised during execution.
     pub fn call(&mut self, fid: FuncId, args: &[Val]) -> Result<Outcome, Trap> {
+        if let Some(t) = &self.init_error {
+            return Err(t.clone());
+        }
         let steps_before = self.steps;
         let sum_before = self.checksum;
         let ret = self.run(fid, args)?;

@@ -15,9 +15,11 @@
 
 pub mod interp;
 pub mod memory;
+pub mod oracle;
 pub mod trap;
 pub mod value;
 
 pub use interp::{Interpreter, Limits, Outcome};
+pub use oracle::{observe, Observation};
 pub use trap::Trap;
 pub use value::Val;

@@ -1,0 +1,174 @@
+//! Resource-limit behaviour: every exhaustion path must surface as the
+//! right [`Trap`] variant, never a panic. The fuzz oracle depends on this
+//! taxonomy to tell resource limits (skipped) apart from genuine
+//! behavioural divergence (reported).
+
+use f3m_interp::{Interpreter, Limits, Trap, Val};
+use f3m_ir::parser::parse_module;
+
+fn module(text: &str) -> f3m_ir::module::Module {
+    let m = parse_module(text).expect("test module parses");
+    f3m_ir::verify::verify_module(&m).expect("test module verifies");
+    m
+}
+
+#[test]
+fn infinite_loop_exhausts_fuel() {
+    let m = module(
+        r#"
+module "t" {
+define @spin(i64 %0) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %1 = phi i64 [ %0, bb0 ], [ %2, bb1 ]
+  %2 = add i64 %1, 1
+  br bb1
+}
+}
+"#,
+    );
+    let mut i = Interpreter::with_limits(
+        &m,
+        Limits { fuel: 10_000, ..Limits::default() },
+    );
+    let err = i.call_by_name("spin", &[Val::Int(0)]).unwrap_err();
+    assert_eq!(err, Trap::OutOfFuel);
+}
+
+#[test]
+fn unbounded_recursion_overflows_the_stack() {
+    let m = module(
+        r#"
+module "t" {
+define @down(i64 %0) -> i64 {
+bb0:
+  %1 = icmp sle i64 %0, 0
+  condbr %1, bb1, bb2
+bb1:
+  ret i64 0
+bb2:
+  %2 = sub i64 %0, 1
+  %3 = call i64 @down(i64 %2)
+  ret i64 %3
+}
+}
+"#,
+    );
+    // Shallow recursion works; past the depth limit it must trap, not
+    // blow the host stack.
+    let mut ok = Interpreter::with_limits(&m, Limits { max_depth: 64, ..Limits::default() });
+    assert_eq!(ok.call_by_name("down", &[Val::Int(10)]).unwrap().ret, Some(Val::Int(0)));
+    let mut deep = Interpreter::with_limits(&m, Limits { max_depth: 64, ..Limits::default() });
+    let err = deep.call_by_name("down", &[Val::Int(1_000_000)]).unwrap_err();
+    assert_eq!(err, Trap::StackOverflow);
+}
+
+#[test]
+fn out_of_bounds_access_is_a_memory_fault() {
+    let m = module(
+        r#"
+module "t" {
+define @oob(i64 %0) -> i64 {
+bb0:
+  %1 = alloca [4 x i64]
+  %2 = gep i64, %1, i64 %0
+  %3 = load i64, %2
+  ret i64 %3
+}
+}
+"#,
+    );
+    let mut inb = Interpreter::new(&m);
+    assert!(inb.call_by_name("oob", &[Val::Int(3)]).is_ok());
+    let mut out = Interpreter::new(&m);
+    match out.call_by_name("oob", &[Val::Int(1 << 40)]).unwrap_err() {
+        Trap::MemoryFault { .. } => {}
+        other => panic!("expected MemoryFault, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_alloca_is_out_of_memory() {
+    let m = module(
+        r#"
+module "t" {
+define @big() -> i64 {
+bb0:
+  %1 = alloca [100000 x i64]
+  %2 = gep i64, %1, i64 0
+  store i64 7, %2
+  %3 = load i64, %2
+  ret i64 %3
+}
+}
+"#,
+    );
+    // Plenty of memory: runs fine.
+    let mut ok = Interpreter::with_limits(&m, Limits { memory: 1 << 24, ..Limits::default() });
+    assert_eq!(ok.call_by_name("big", &[]).unwrap().ret, Some(Val::Int(7)));
+    // 64 KiB budget cannot hold an 800 KB frame object.
+    let mut small = Interpreter::with_limits(&m, Limits { memory: 1 << 16, ..Limits::default() });
+    assert_eq!(small.call_by_name("big", &[]).unwrap_err(), Trap::OutOfMemory);
+}
+
+#[test]
+fn globals_beyond_the_memory_limit_trap_instead_of_panicking() {
+    // 2048 bytes of initializer: first word is 1 (little-endian), rest 0.
+    let mut text = String::from("module \"t\" {\nglobal @g : [256 x i64] = [");
+    for i in 0..2048 {
+        if i > 0 {
+            text.push_str(", ");
+        }
+        text.push(if i == 0 { '1' } else { '0' });
+    }
+    text.push_str(
+        "]\ndefine @get() -> i64 {\nbb0:\n  %1 = load i64, @g\n  ret i64 %1\n}\n}\n",
+    );
+    let m = module(&text);
+    // Construction must not panic even though the globals cannot fit; the
+    // failure is deferred to the first call as OutOfMemory.
+    let mut i = Interpreter::with_limits(&m, Limits { memory: 1024, ..Limits::default() });
+    assert_eq!(i.call_by_name("get", &[]).unwrap_err(), Trap::OutOfMemory);
+    // Every subsequent call keeps reporting the same trap.
+    assert_eq!(i.call_by_name("get", &[]).unwrap_err(), Trap::OutOfMemory);
+    // With enough memory the same module runs.
+    let mut ok = Interpreter::with_limits(&m, Limits { memory: 1 << 20, ..Limits::default() });
+    assert_eq!(ok.call_by_name("get", &[]).unwrap().ret, Some(Val::Int(1)));
+}
+
+#[test]
+fn fuel_is_shared_across_calls_in_one_interpreter() {
+    let m = module(
+        r#"
+module "t" {
+define @work(i64 %0) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %1 = phi i64 [ 0, bb0 ], [ %2, bb1 ]
+  %2 = add i64 %1, 1
+  %3 = icmp slt i64 %2, %0
+  condbr %3, bb1, bb2
+bb2:
+  ret i64 %2
+}
+}
+"#,
+    );
+    let mut i = Interpreter::with_limits(&m, Limits { fuel: 5_000, ..Limits::default() });
+    // Each call burns ~4 instructions per iteration; the budget survives a
+    // few rounds and then runs dry rather than resetting per call.
+    let mut saw_exhaustion = false;
+    for _ in 0..20 {
+        match i.call_by_name("work", &[Val::Int(100)]) {
+            Ok(out) => assert_eq!(out.ret, Some(Val::Int(100))),
+            Err(t) => {
+                assert_eq!(t, Trap::OutOfFuel);
+                saw_exhaustion = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_exhaustion, "20 x 100 iterations never exhausted 5000 fuel");
+}

@@ -305,6 +305,76 @@ impl Function {
             .unwrap_or(self.block(bb).insts.len())
     }
 
+    /// Removes `id` from its parent block's instruction list. The arena
+    /// entry remains (handles stay valid) but the instruction no longer
+    /// executes and is no longer printed. The caller must first redirect
+    /// any uses of its result, e.g. via [`Function::replace_all_uses`].
+    pub fn unlink_inst(&mut self, id: InstId) {
+        let parent = self.insts[id.index()].parent;
+        self.blocks[parent.index()].insts.retain(|&i| i != id);
+    }
+
+    /// Splits `bb` at instruction position `pos`: instructions from `pos`
+    /// onward (including the terminator) move to a new block appended at
+    /// the end of the block order, and `bb` is re-terminated with an
+    /// unconditional branch to it. Phi incoming entries anywhere in the
+    /// function that named `bb` are retargeted to the new block, since
+    /// every edge the old terminator carried now leaves from the tail.
+    ///
+    /// `void_ty` must be the interned `void` type (needed for the new
+    /// branch; this method only holds a shared [`TypeStore`] borrow).
+    /// Returns the new block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` falls inside the leading phi group or past the last
+    /// instruction (the split must leave a terminator to move).
+    pub fn split_block(
+        &mut self,
+        ts: &TypeStore,
+        void_ty: TypeId,
+        bb: BlockId,
+        pos: usize,
+    ) -> BlockId {
+        assert!(pos >= self.first_non_phi(bb), "cannot split inside the phi group");
+        assert!(pos < self.block(bb).insts.len(), "split must leave a terminator to move");
+        let tail = self.blocks[bb.index()].insts.split_off(pos);
+        let name = format!("{}.split", self.blocks[bb.index()].name);
+        let new_bb = self.add_block(name);
+        for &i in &tail {
+            self.insts[i.index()].parent = new_bb;
+        }
+        self.blocks[new_bb.index()].insts = tail;
+        // The moved terminator's edges now originate from `new_bb`; phis in
+        // its successors (including `bb` itself, for self-loops) track that.
+        // `new_bb` holds no phis (the phi group stayed behind), so a global
+        // rewrite of incoming-block entries is exact.
+        for inst in &mut self.insts {
+            if inst.op == Opcode::Phi {
+                for b in &mut inst.blocks {
+                    if *b == bb {
+                        *b = new_bb;
+                    }
+                }
+            }
+        }
+        self.append_inst(
+            ts,
+            bb,
+            Instruction {
+                op: Opcode::Br,
+                ty: void_ty,
+                operands: vec![],
+                blocks: vec![new_bb],
+                pred: None,
+                aux_ty: None,
+                parent: bb,
+                result: None,
+            },
+        );
+        new_bb
+    }
+
     /// Replaces every use of `from` with `to` across all instructions.
     pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) {
         for inst in &mut self.insts {
@@ -449,6 +519,169 @@ mod tests {
         f.replace_all_uses(a, b);
         assert_eq!(f.inst(i).operands, vec![b, b]);
         let _ = res;
+    }
+
+    #[test]
+    fn unlink_inst_removes_from_block_only() {
+        let (mut ts, mut f) = setup();
+        let i32t = ts.int(32);
+        let bb = f.add_block("entry");
+        let a = f.arg(0);
+        let mk = || Instruction {
+            op: Opcode::Add,
+            ty: i32t,
+            operands: vec![a, a],
+            blocks: vec![],
+            pred: None,
+            aux_ty: None,
+            parent: bb,
+            result: None,
+        };
+        let (i0, _) = f.append_inst(&ts, bb, mk());
+        let (i1, _) = f.append_inst(&ts, bb, mk());
+        f.unlink_inst(i0);
+        assert_eq!(f.block(bb).insts, vec![i1]);
+        assert_eq!(f.num_insts(), 2, "arena entry survives unlinking");
+    }
+
+    #[test]
+    fn split_block_moves_tail_and_rewires_phis() {
+        // bb0: v = add; condbr -> bb1 / bb0 (self loop).
+        // bb1 has a phi with incoming from bb0; after splitting bb0 past
+        // the add, the edge into bb1 (and the self-loop edge) must come
+        // from the new tail block.
+        let mut ts = TypeStore::new();
+        let i32t = ts.int(32);
+        let boolt = ts.bool();
+        let void = ts.void();
+        let mut f = Function::new("t", vec![i32t], i32t);
+        let bb0 = f.add_block("bb0");
+        let bb1 = f.add_block("bb1");
+        let a = f.arg(0);
+        let (_, add) = f.append_inst(
+            &ts,
+            bb0,
+            Instruction {
+                op: Opcode::Add,
+                ty: i32t,
+                operands: vec![a, a],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: bb0,
+                result: None,
+            },
+        );
+        let (_, cond) = f.append_inst(
+            &ts,
+            bb0,
+            Instruction {
+                op: Opcode::ICmp,
+                ty: boolt,
+                operands: vec![a, add.unwrap()],
+                blocks: vec![],
+                pred: Some(crate::inst::Predicate::Int(crate::inst::IntPredicate::Slt)),
+                aux_ty: None,
+                parent: bb0,
+                result: None,
+            },
+        );
+        f.append_inst(
+            &ts,
+            bb0,
+            Instruction {
+                op: Opcode::CondBr,
+                ty: void,
+                operands: vec![cond.unwrap()],
+                blocks: vec![bb1, bb0],
+                pred: None,
+                aux_ty: None,
+                parent: bb0,
+                result: None,
+            },
+        );
+        let (_, phi) = f.insert_inst(
+            &ts,
+            bb1,
+            0,
+            Instruction {
+                op: Opcode::Phi,
+                ty: i32t,
+                operands: vec![add.unwrap()],
+                blocks: vec![bb0],
+                pred: None,
+                aux_ty: None,
+                parent: bb1,
+                result: None,
+            },
+        );
+        f.append_inst(
+            &ts,
+            bb1,
+            Instruction {
+                op: Opcode::Ret,
+                ty: void,
+                operands: vec![phi.unwrap()],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: bb1,
+                result: None,
+            },
+        );
+        let new_bb = f.split_block(&ts, void, bb0, 1);
+        // bb0 keeps [add, br new_bb]; new_bb holds [icmp, condbr].
+        assert_eq!(f.block(bb0).insts.len(), 2);
+        assert_eq!(f.terminator(bb0).unwrap().1.blocks, vec![new_bb]);
+        assert_eq!(f.block(new_bb).insts.len(), 2);
+        for (_, inst) in f.block_insts(new_bb) {
+            assert_eq!(inst.parent, new_bb);
+        }
+        // The condbr's self-loop edge still points at bb0...
+        assert_eq!(f.terminator(new_bb).unwrap().1.blocks, vec![bb1, bb0]);
+        // ...and the phi in bb1 now names new_bb as its incoming.
+        let (_, phi_inst) = f.block_insts(bb1).next().unwrap();
+        assert_eq!(phi_inst.blocks, vec![new_bb]);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi group")]
+    fn split_block_rejects_phi_group_positions() {
+        let mut ts = TypeStore::new();
+        let i32t = ts.int(32);
+        let void = ts.void();
+        let mut f = Function::new("t", vec![i32t], i32t);
+        let bb = f.add_block("bb");
+        let a = f.arg(0);
+        f.append_inst(
+            &ts,
+            bb,
+            Instruction {
+                op: Opcode::Phi,
+                ty: i32t,
+                operands: vec![a],
+                blocks: vec![bb],
+                pred: None,
+                aux_ty: None,
+                parent: bb,
+                result: None,
+            },
+        );
+        f.append_inst(
+            &ts,
+            bb,
+            Instruction {
+                op: Opcode::Ret,
+                ty: void,
+                operands: vec![a],
+                blocks: vec![],
+                pred: None,
+                aux_ty: None,
+                parent: bb,
+                result: None,
+            },
+        );
+        f.split_block(&ts, void, bb, 0);
     }
 
     #[test]
