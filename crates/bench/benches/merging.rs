@@ -263,12 +263,11 @@ fn bench_pass_json(smoke: bool) {
     );
     // Anchor at the workspace root's results/ dir (cargo runs benches with
     // the package dir as cwd, which would scatter the artefact).
-    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("results");
-    std::fs::create_dir_all(&out_dir).expect("create results dir");
-    let out_path = out_dir.join("BENCH_pass.json");
-    std::fs::write(&out_path, &json).expect("write BENCH_pass.json");
+        .join("results")
+        .join("BENCH_pass.json");
+    f3m_trace::write_with_dirs(&out_path, &json).expect("write BENCH_pass.json");
     println!("pass_json: wrote {}", out_path.display());
 }
 

@@ -60,6 +60,24 @@ impl Alignment {
 pub struct AlignScratch {
     dp: Vec<u32>,
     entries: Vec<AlignEntry>,
+    stats: AlignScratchStats,
+}
+
+/// Work counters accumulated by a scratch across alignment calls.
+///
+/// `cells` is a pure function of the aligned sequence lengths, so summing
+/// it over all alignments of a pass is deterministic and job-count
+/// independent. `dp_grows` depends on which pairs a particular worker
+/// thread happened to process, so it is *per-scratch* telemetry only —
+/// never aggregate it into jobs-invariant stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlignScratchStats {
+    /// DP cells computed by [`needleman_wunsch_with`] plus positions
+    /// advanced by [`linear_block_align_with`] — the alignment work count.
+    pub cells: u64,
+    /// Times the DP buffer had to grow (capacity reallocation). A healthy
+    /// reuse pattern grows a handful of times then plateaus.
+    pub dp_grows: u64,
 }
 
 impl AlignScratch {
@@ -67,6 +85,16 @@ impl AlignScratch {
     /// reused across calls.
     pub fn new() -> AlignScratch {
         AlignScratch::default()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> AlignScratchStats {
+        self.stats
+    }
+
+    /// Resets the work counters (buffer capacity is retained).
+    pub fn reset_stats(&mut self) {
+        self.stats = AlignScratchStats::default();
     }
 }
 
@@ -114,8 +142,12 @@ pub fn needleman_wunsch_with<'a>(
     right: &[u32],
 ) -> AlignRef<'a> {
     let (n, m) = (left.len(), right.len());
+    scratch.stats.cells += (n as u64) * (m as u64);
     // dp[i][j] = best matches aligning left[i..] with right[j..].
     scratch.dp.clear();
+    if scratch.dp.capacity() < (n + 1) * (m + 1) {
+        scratch.stats.dp_grows += 1;
+    }
     scratch.dp.resize((n + 1) * (m + 1), 0);
     let dp = &mut scratch.dp;
     let idx = |i: usize, j: usize| i * (m + 1) + j;
@@ -178,6 +210,9 @@ pub fn linear_block_align_with<'a>(
     right: &[u32],
 ) -> AlignRef<'a> {
     let (n, m) = (left.len(), right.len());
+    // The linear pass touches each position once; count both sides as its
+    // work contribution, commensurable with the DP cell count.
+    scratch.stats.cells += (n + m) as u64;
     scratch.entries.clear();
     let entries = &mut scratch.entries;
     let (mut i, mut j) = (0, 0);
@@ -341,6 +376,25 @@ mod tests {
             assert_eq!(view_lin.matches, owned_lin.matches);
             assert!((view_lin.ratio() - owned_lin.ratio()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn scratch_counts_cells_and_grows() {
+        let mut scratch = AlignScratch::new();
+        assert_eq!(scratch.stats(), AlignScratchStats::default());
+        needleman_wunsch_with(&mut scratch, &[1, 2, 3], &[1, 2]);
+        let s1 = scratch.stats();
+        assert_eq!(s1.cells, 6, "3x2 DP cells");
+        assert_eq!(s1.dp_grows, 1, "first call grows the empty buffer");
+        // A smaller follow-up fits in the existing capacity.
+        needleman_wunsch_with(&mut scratch, &[1], &[1]);
+        assert_eq!(scratch.stats().cells, 7);
+        assert_eq!(scratch.stats().dp_grows, 1, "reuse must not re-grow");
+        // Linear alignment counts positions, not a DP product.
+        linear_block_align_with(&mut scratch, &[1, 2], &[1, 2, 3]);
+        assert_eq!(scratch.stats().cells, 12);
+        scratch.reset_stats();
+        assert_eq!(scratch.stats(), AlignScratchStats::default());
     }
 
     #[test]

@@ -161,17 +161,44 @@ pub fn fixed_overhead(drop1: bool, drop2: bool) -> i64 {
     14 + thunk_cost(drop1) + thunk_cost(drop2) - 24
 }
 
+/// Why commits were rejected, broken out by the stage that said no. All
+/// counts are deterministic for a fixed workload (the commit walk is
+/// serial), so they participate in the perf-regression gate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitRejects {
+    /// The code generator could not build a merged body for the plan.
+    pub build: u64,
+    /// The merged body failed verification (a codegen bug; the candidate
+    /// is dropped rather than corrupting the module).
+    pub verify: u64,
+    /// The merged body verified but did not shrink the module.
+    pub size: u64,
+}
+
+impl CommitRejects {
+    /// Total rejected commits across all causes.
+    pub fn total(&self) -> u64 {
+        self.build + self.verify + self.size
+    }
+}
+
 /// Owns the reference index and performs profitability-checked commits.
 pub struct Committer {
     refs: RefIndex,
     epoch: u64,
+    rejects: CommitRejects,
 }
 
 impl Committer {
     /// Builds the initial reference index over `m` (parallel across up to
     /// `jobs` threads, deterministic for any job count).
     pub fn build(m: &Module, jobs: usize) -> Committer {
-        Committer { refs: RefIndex::build(m, jobs), epoch: 0 }
+        Committer { refs: RefIndex::build(m, jobs), epoch: 0, rejects: CommitRejects::default() }
+    }
+
+    /// Commit rejections observed so far, by cause.
+    pub fn rejects(&self) -> CommitRejects {
+        self.rejects
     }
 
     /// Generation counter, bumped on every successful commit — the only
@@ -205,7 +232,10 @@ impl Committer {
         let drop1 = self.droppable(m, f1);
         let drop2 = self.droppable(m, f2);
         let name = m.fresh_name("__merged");
-        let mf = build_merged(m, f1, f2, plan, config, name).ok()?;
+        let Ok(mf) = build_merged(m, f1, f2, plan, config, name) else {
+            self.rejects.build += 1;
+            return None;
+        };
         let size_before = function_size(m.function(f1)) + function_size(m.function(f2));
         let merged_size = function_size(&mf.func);
         let merged_id = m.add_function(mf.func);
@@ -213,6 +243,7 @@ impl Committer {
             // A verifier failure here is a code generator bug; drop the
             // candidate rather than corrupt the module.
             m.remove_last_function(merged_id);
+            self.rejects.verify += 1;
             return None;
         }
         // A function whose address is never taken has all its call sites
@@ -226,6 +257,7 @@ impl Committer {
         let size_after = merged_size + after1 + after2;
         if size_after >= size_before {
             m.remove_last_function(merged_id);
+            self.rejects.size += 1;
             return None;
         }
         // Register the merged body's own call sites first so recursive

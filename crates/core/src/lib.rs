@@ -73,6 +73,7 @@ pub mod rank;
 pub mod report;
 
 pub use codegen::{MergeConfig, MergeError, RepairMode};
-pub use pass::{run_pass, MergeReport, MergeStats, PassConfig, Strategy};
+pub use pass::{run_pass, run_pass_traced, MergeReport, MergeStats, PassConfig, Strategy};
 pub use profile::Profile;
-pub use rank::{CandidateSearch, ExhaustiveOpcodeSearch, LshMinHashSearch};
+pub use rank::{CandidateSearch, ExhaustiveOpcodeSearch, IndexStats, LshMinHashSearch};
+pub use report::STATS_JSON_KEYS;

@@ -40,6 +40,7 @@ use f3m_fingerprint::par::par_map_indexed_with;
 use f3m_ir::ids::FuncId;
 use f3m_ir::module::Module;
 use f3m_ir::size::module_size;
+use f3m_trace::{span_on, Tracer};
 
 use crate::align::AlignScratch;
 use crate::block_pairing::{function_parts, plan_blocks_with, BlockPartsCache, PairPlan};
@@ -127,12 +128,38 @@ struct WaveOutcome {
     align_time: Duration,
     /// Cache slots that had to be re-encoded (0, 1 or 2).
     cache_misses: u32,
+    /// Alignment work (DP cells + linear positions) for this member. A
+    /// per-pair quantity, so summing it stays job-count independent.
+    align_cells: u64,
+    /// Scratch-buffer growths while aligning this member. Depends on what
+    /// the worker's scratch processed before, so jobs-DEPENDENT: exported
+    /// to the tracer only, never into [`MergeStats`].
+    scratch_grows: u64,
 }
 
 /// Runs the function-merging pass over `m`, mutating it in place
 /// (committed merges replace the originals with thunks and append the
 /// merged function).
 pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
+    run_pass_traced(m, config, None)
+}
+
+/// [`run_pass`] with optional structured tracing. With `Some(tracer)`,
+/// spans cover every stage seam (fingerprint/index build, per-pair rank
+/// and align, each commit, the serial walk) and one cumulative
+/// `wave_counters` sample is emitted per wave. With `None` every
+/// instrumentation point is skipped — the untraced path does no extra
+/// work beyond the counters [`MergeStats`] always carried.
+///
+/// Track layout: track 0 is the serial driver (preprocess, commit walk,
+/// commits); track 1 replays the speculative per-pair rank/align
+/// durations end-to-end in commit-walk order, since the real executions
+/// overlap on a worker pool and have no stable wall-clock placement.
+pub fn run_pass_traced(
+    m: &mut Module,
+    config: &PassConfig,
+    tracer: Option<&Tracer>,
+) -> MergeReport {
     let mut report = MergeReport::default();
     report.stats.size_before = module_size(m);
     let jobs = config.jobs.max(1);
@@ -148,9 +175,29 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
     // ---- preprocess: fingerprints + search structure + reference index
     // ---- + encoded block parts, all fanned out across `jobs` threads ---
     let t0 = Instant::now();
-    let mut search = build_search(m, &funcs, &config.strategy, jobs);
-    let mut committer = Committer::build(m, jobs);
-    let mut parts_cache = BlockPartsCache::build(m, &funcs, jobs);
+    let mut pre_span = span_on(tracer, "pass", "preprocess");
+    pre_span.arg("functions", n as u64);
+    let mut search = {
+        let mut s = span_on(tracer, "preprocess", "fingerprint");
+        s.arg("functions", n as u64);
+        let search = build_search(m, &funcs, &config.strategy, jobs);
+        let idx = search.index_stats();
+        s.arg("lsh_buckets", idx.buckets as u64);
+        s.arg("lsh_max_bucket", idx.max_bucket as u64);
+        report.stats.lsh_buckets = idx.buckets as u64;
+        report.stats.lsh_max_bucket = idx.max_bucket as u64;
+        report.lsh_bucket_sizes = idx.bucket_sizes;
+        search
+    };
+    let mut committer = {
+        let _s = span_on(tracer, "preprocess", "ref_index");
+        Committer::build(m, jobs)
+    };
+    let mut parts_cache = {
+        let _s = span_on(tracer, "preprocess", "block_parts");
+        BlockPartsCache::build(m, &funcs, jobs)
+    };
+    pre_span.finish();
     report.stats.preprocess = t0.elapsed();
 
     // ---- wave loop: speculative parallel rank+align, serial commit ------
@@ -172,6 +219,8 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
             break;
         }
         report.stats.waves += 1;
+        let mut wave_span = span_on(tracer, "pass", format!("wave {}", report.stats.waves));
+        wave_span.arg("members", members.len() as u64);
 
         // Speculative phase: rank every member against the wave-entry
         // snapshot of `available`, then align its chosen pair, in index
@@ -184,6 +233,7 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
         let available_ro = &available;
         let parts_ro = &parts_cache;
         let funcs_ro = &funcs;
+        let mut spec_span = span_on(tracer, "pass", "speculate");
         let outcomes: Vec<WaveOutcome> =
             par_map_indexed_with(members.len(), jobs, AlignScratch::new, |scratch, mi| {
                 let i = members_ro[mi];
@@ -192,6 +242,7 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
                 let set = search_ro.best_candidates(i, available_ro, &mut counters);
                 let best = set.choose(config.profile.as_ref(), |idx| funcs_ro[idx]);
                 let rank_time = t_rank.elapsed();
+                let stats_before = scratch.stats();
                 let (plan, align_time, cache_misses) = match best {
                     Some((j, _)) => {
                         let t_align = Instant::now();
@@ -227,8 +278,30 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
                     }
                     None => (None, Duration::ZERO, 0),
                 };
-                WaveOutcome { counters, rank_time, best, plan, align_time, cache_misses }
+                let delta = scratch.stats();
+                WaveOutcome {
+                    counters,
+                    rank_time,
+                    best,
+                    plan,
+                    align_time,
+                    cache_misses,
+                    align_cells: delta.cells - stats_before.cells,
+                    scratch_grows: delta.dp_grows - stats_before.dp_grows,
+                }
             });
+        spec_span.arg("members", members.len() as u64);
+        spec_span.arg(
+            "scratch_grows",
+            outcomes.iter().map(|o| o.scratch_grows).sum(),
+        );
+        spec_span.finish();
+
+        // Replay the speculative per-pair durations end-to-end on track 1
+        // (they ran concurrently; see the function docs for the layout).
+        let mut lane_cursor = tracer.map(|t| t.now_ns()).unwrap_or(0);
+        let mut walk_span = span_on(tracer, "pass", "commit_walk");
+        walk_span.arg("members", members.len() as u64);
 
         // Serial commit walk in fixed index order: the only place that
         // mutates the module, the masks, or the report — identical for
@@ -238,6 +311,37 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
             report.stats.fingerprint_comparisons += out.counters.comparisons;
             report.stats.candidates_examined += out.counters.examined;
             report.stats.candidates_returned += out.counters.returned;
+            report.stats.bucket_evictions += out.counters.evicted;
+            report.stats.align_cells += out.align_cells;
+            if let Some(t) = tracer {
+                let rank_ns = out.rank_time.as_nanos() as u64;
+                t.complete(
+                    "rank",
+                    "rank",
+                    1,
+                    lane_cursor,
+                    rank_ns,
+                    vec![
+                        ("member", i as u64),
+                        ("examined", out.counters.examined),
+                        ("returned", out.counters.returned),
+                        ("evicted", out.counters.evicted),
+                    ],
+                );
+                lane_cursor += rank_ns;
+                if out.plan.is_some() {
+                    let align_ns = out.align_time.as_nanos() as u64;
+                    t.complete(
+                        "align",
+                        "align",
+                        1,
+                        lane_cursor,
+                        align_ns,
+                        vec![("member", i as u64), ("cells", out.align_cells)],
+                    );
+                    lane_cursor += align_ns;
+                }
+            }
 
             let Some((j, similarity)) = out.best else {
                 report.stats.rank.fail += out.rank_time;
@@ -306,7 +410,12 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
 
             // Codegen + profitability + commit.
             let t_cg = Instant::now();
+            let mut commit_span = span_on(tracer, "commit", "commit");
+            commit_span.arg("f1", f1.index() as u64);
+            commit_span.arg("f2", f2.index() as u64);
             let outcome = committer.try_commit(m, f1, f2, &plan, config.merge);
+            commit_span.arg("committed", u64::from(outcome.is_some()));
+            commit_span.finish();
             let cg_elapsed = t_cg.elapsed();
             processed[i] = true;
             match outcome {
@@ -347,8 +456,30 @@ pub fn run_pass(m: &mut Module, config: &PassConfig) -> MergeReport {
                 }
             }
         }
+        walk_span.finish();
+        if let Some(t) = tracer {
+            // Cumulative samples: each series is monotone non-decreasing
+            // across waves (asserted by the observability tests).
+            t.counter(
+                "pass",
+                "wave_counters",
+                vec![
+                    ("merges_committed", report.stats.merges_committed as u64),
+                    ("aligns_speculative", report.stats.aligns_speculative),
+                    ("aligns_wasted", report.stats.aligns_wasted),
+                    ("wave_conflicts", report.stats.wave_conflicts),
+                    ("cache_hits", report.stats.block_parts_cache_hits),
+                    ("cache_misses", report.stats.block_parts_cache_misses),
+                ],
+            );
+        }
+        wave_span.finish();
     }
 
+    let rejects = committer.rejects();
+    report.stats.commits_rejected_build = rejects.build;
+    report.stats.commits_rejected_verify = rejects.verify;
+    report.stats.commits_rejected_size = rejects.size;
     report.stats.size_after = module_size(m);
     report
 }

@@ -38,6 +38,22 @@ pub struct QueryCounters {
     /// Distinct candidates the structure returned, before availability and
     /// threshold filtering.
     pub returned: u64,
+    /// Bucket entries skipped by the LSH `bucket_cap` (always zero for the
+    /// exhaustive baseline). Deterministic because buckets are sorted.
+    pub evicted: u64,
+}
+
+/// A point-in-time description of a search structure, for observability
+/// exports (metric registry, trace args). All values are deterministic for
+/// a fixed workload and strategy.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IndexStats {
+    /// Non-empty buckets in the structure (0 for the exhaustive baseline).
+    pub buckets: usize,
+    /// Population of the fullest bucket.
+    pub max_bucket: usize,
+    /// Sizes of all non-empty buckets, for occupancy histograms.
+    pub bucket_sizes: Vec<usize>,
 }
 
 /// Strategy seam between the pass driver and a candidate-search structure.
@@ -67,6 +83,12 @@ pub trait CandidateSearch {
     /// committed. (The driver additionally masks it in `available`; for
     /// structures with no retained state this may be a no-op.)
     fn invalidate(&mut self, idx: usize);
+
+    /// Describes the current search structure for observability exports.
+    /// The default (for structures with no retained index) is all-zero.
+    fn index_stats(&self) -> IndexStats {
+        IndexStats::default()
+    }
 }
 
 /// Builds the search structure for `strategy` over `funcs`, fanning the
@@ -180,8 +202,9 @@ impl CandidateSearch for LshMinHashSearch {
         available: &[bool],
         counters: &mut QueryCounters,
     ) -> CandidateSet {
-        let (cands, examined) = self.index.candidates(&self.fps[i], i);
-        counters.examined += examined as u64;
+        let (cands, qstats) = self.index.candidates_counted(&self.fps[i], i);
+        counters.examined += qstats.examined as u64;
+        counters.evicted += qstats.evicted as u64;
         counters.returned += cands.len() as u64;
         // One Jaccard computation per distinct candidate — the quantity
         // the paper's bucket cap bounds.
@@ -202,5 +225,17 @@ impl CandidateSearch for LshMinHashSearch {
 
     fn invalidate(&mut self, idx: usize) {
         self.index.remove(idx, &self.fps[idx]);
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        // HashMap iteration order is unstable; sort so the stats compare
+        // equal across runs and job counts.
+        let mut bucket_sizes = self.index.bucket_sizes();
+        bucket_sizes.sort_unstable();
+        IndexStats {
+            buckets: self.index.num_buckets(),
+            max_bucket: self.index.max_bucket_size(),
+            bucket_sizes,
+        }
     }
 }

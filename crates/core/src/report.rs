@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use f3m_ir::ids::FuncId;
+use f3m_trace::MetricsRegistry;
 
 /// Wall-clock cost of a pipeline stage, split by eventual outcome.
 #[derive(Clone, Copy, Debug, Default)]
@@ -74,11 +75,66 @@ pub struct MergeStats {
     /// Distinct candidates the search structure returned across all
     /// queries, before availability/threshold filtering.
     pub candidates_returned: u64,
+    /// Bucket entries skipped by the LSH bucket cap across all queries
+    /// (zero for the exhaustive baseline).
+    pub bucket_evictions: u64,
+    /// Alignment work: DP cells computed plus linear-alignment positions
+    /// advanced, summed over every alignment of the pass. A pure function
+    /// of which pairs were aligned, so deterministic and job-count
+    /// independent.
+    pub align_cells: u64,
+    /// Commits rejected because the code generator could not build the
+    /// merged body.
+    pub commits_rejected_build: u64,
+    /// Commits rejected because the merged body failed verification.
+    pub commits_rejected_verify: u64,
+    /// Commits rejected by the size-profitability gate.
+    pub commits_rejected_size: u64,
+    /// Non-empty LSH buckets right after the index build (zero for the
+    /// exhaustive baseline).
+    pub lsh_buckets: u64,
+    /// Population of the fullest LSH bucket right after the index build.
+    pub lsh_max_bucket: u64,
     /// Estimated module text size before the pass.
     pub size_before: u64,
     /// Estimated module text size after the pass.
     pub size_after: u64,
 }
+
+/// The exact top-level key set of [`MergeStats::to_json`], in emission
+/// order. Tests assert the JSON and this catalog never drift apart;
+/// downstream consumers (bench figure scripts, the regression gate) may
+/// rely on exactly these keys being present.
+pub const STATS_JSON_KEYS: &[&str] = &[
+    "functions",
+    "pairs_attempted",
+    "merges_committed",
+    "preprocess_ns",
+    "rank",
+    "align",
+    "codegen",
+    "total_ns",
+    "waves",
+    "aligns_speculative",
+    "aligns_reused",
+    "aligns_wasted",
+    "wave_conflicts",
+    "block_parts_cache_hits",
+    "block_parts_cache_misses",
+    "fingerprint_comparisons",
+    "candidates_examined",
+    "candidates_returned",
+    "bucket_evictions",
+    "align_cells",
+    "commits_rejected_build",
+    "commits_rejected_verify",
+    "commits_rejected_size",
+    "lsh_buckets",
+    "lsh_max_bucket",
+    "size_before",
+    "size_after",
+    "size_reduction",
+];
 
 impl MergeStats {
     /// Total time spent in the merging pass.
@@ -93,6 +149,52 @@ impl MergeStats {
             return 0.0;
         }
         1.0 - self.size_after as f64 / self.size_before as f64
+    }
+
+    /// Registers and populates every statistic as a metric under
+    /// `<prefix>.`. Work counts are tagged deterministic (they gate in the
+    /// perf-regression test); wall-clock `*_ns` readings are not.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let det = |reg: &mut MetricsRegistry, name: &str, unit, v: u64| {
+            let id = reg.counter(&format!("{prefix}.{name}"), unit, true);
+            reg.set(id, v);
+        };
+        det(reg, "functions", "functions", self.functions as u64);
+        det(reg, "pairs_attempted", "pairs", self.pairs_attempted as u64);
+        det(reg, "merges_committed", "merges", self.merges_committed as u64);
+        det(reg, "waves", "waves", self.waves);
+        det(reg, "aligns_speculative", "alignments", self.aligns_speculative);
+        det(reg, "aligns_reused", "alignments", self.aligns_reused);
+        det(reg, "aligns_wasted", "alignments", self.aligns_wasted);
+        det(reg, "wave_conflicts", "pairs", self.wave_conflicts);
+        det(reg, "block_parts_cache_hits", "lookups", self.block_parts_cache_hits);
+        det(reg, "block_parts_cache_misses", "lookups", self.block_parts_cache_misses);
+        det(reg, "fingerprint_comparisons", "comparisons", self.fingerprint_comparisons);
+        det(reg, "candidates_examined", "entries", self.candidates_examined);
+        det(reg, "candidates_returned", "candidates", self.candidates_returned);
+        det(reg, "bucket_evictions", "entries", self.bucket_evictions);
+        det(reg, "align_cells", "cells", self.align_cells);
+        det(reg, "commits_rejected_build", "commits", self.commits_rejected_build);
+        det(reg, "commits_rejected_verify", "commits", self.commits_rejected_verify);
+        det(reg, "commits_rejected_size", "commits", self.commits_rejected_size);
+        det(reg, "lsh_buckets", "buckets", self.lsh_buckets);
+        det(reg, "lsh_max_bucket", "functions", self.lsh_max_bucket);
+        det(reg, "size_before", "size-units", self.size_before);
+        det(reg, "size_after", "size-units", self.size_after);
+        let red = reg.gauge(&format!("{prefix}.size_reduction"), "fraction", true);
+        reg.set_gauge(red, self.size_reduction());
+        let wall = |reg: &mut MetricsRegistry, name: &str, d: Duration| {
+            let id = reg.counter(&format!("{prefix}.{name}"), "ns", false);
+            reg.set(id, d.as_nanos() as u64);
+        };
+        wall(reg, "preprocess_ns", self.preprocess);
+        wall(reg, "rank_success_ns", self.rank.success);
+        wall(reg, "rank_fail_ns", self.rank.fail);
+        wall(reg, "align_success_ns", self.align.success);
+        wall(reg, "align_fail_ns", self.align.fail);
+        wall(reg, "codegen_success_ns", self.codegen.success);
+        wall(reg, "codegen_fail_ns", self.codegen.fail);
+        wall(reg, "total_ns", self.total_time());
     }
 
     /// Renders the statistics as one JSON object (the `stats` value of
@@ -132,6 +234,13 @@ impl MergeStats {
         out.push_str(&format!("\"fingerprint_comparisons\":{},", self.fingerprint_comparisons));
         out.push_str(&format!("\"candidates_examined\":{},", self.candidates_examined));
         out.push_str(&format!("\"candidates_returned\":{},", self.candidates_returned));
+        out.push_str(&format!("\"bucket_evictions\":{},", self.bucket_evictions));
+        out.push_str(&format!("\"align_cells\":{},", self.align_cells));
+        out.push_str(&format!("\"commits_rejected_build\":{},", self.commits_rejected_build));
+        out.push_str(&format!("\"commits_rejected_verify\":{},", self.commits_rejected_verify));
+        out.push_str(&format!("\"commits_rejected_size\":{},", self.commits_rejected_size));
+        out.push_str(&format!("\"lsh_buckets\":{},", self.lsh_buckets));
+        out.push_str(&format!("\"lsh_max_bucket\":{},", self.lsh_max_bucket));
         out.push_str(&format!("\"size_before\":{},", self.size_before));
         out.push_str(&format!("\"size_after\":{},", self.size_after));
         out.push_str(&format!("\"size_reduction\":{}", json_f64(self.size_reduction())));
@@ -168,9 +277,31 @@ pub struct MergeReport {
     pub stats: MergeStats,
     /// Per-pair attempt log, in processing order.
     pub attempts: Vec<AttemptRecord>,
+    /// Sizes of the non-empty LSH buckets right after the index build,
+    /// ascending (empty for the exhaustive baseline). Feeds the bucket
+    /// occupancy histogram in [`MergeReport::export_metrics`]; kept out of
+    /// [`MergeStats`] so the stats stay a flat counter record.
+    pub lsh_bucket_sizes: Vec<usize>,
 }
 
+/// Inclusive upper bounds of the LSH bucket-occupancy histogram exported
+/// by [`MergeReport::export_metrics`] (one overflow bucket follows).
+pub const LSH_OCCUPANCY_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
 impl MergeReport {
+    /// Registers and populates all metrics of this report under
+    /// `<prefix>.`: every [`MergeStats`] field plus the LSH bucket
+    /// occupancy histogram.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.stats.export_metrics(reg, prefix);
+        let h = reg.histogram(
+            &format!("{prefix}.lsh_bucket_occupancy"),
+            "functions",
+            true,
+            LSH_OCCUPANCY_BOUNDS,
+        );
+        reg.observe_many(h, self.lsh_bucket_sizes.iter().map(|&s| s as u64));
+    }
     /// Renders the report as a JSON object (two keys: `stats` and
     /// `attempts`). Durations are reported in nanoseconds as integers;
     /// floats use shortest-roundtrip formatting. The serializer is
@@ -259,6 +390,90 @@ mod tests {
         }
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    /// Keys of the outermost object of `json`, in order. The stats JSON
+    /// holds no string *values*, so every depth-1 quoted token followed by
+    /// `:` is a key.
+    fn top_level_keys(json: &str) -> Vec<String> {
+        let bytes = json.as_bytes();
+        let mut keys = Vec::new();
+        let mut depth = 0i32;
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => depth -= 1,
+                b'"' if depth == 1 => {
+                    let start = i + 1;
+                    let mut j = start;
+                    while bytes[j] != b'"' {
+                        j += 1;
+                    }
+                    if bytes.get(j + 1) == Some(&b':') {
+                        keys.push(json[start..j].to_string());
+                    }
+                    i = j;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        keys
+    }
+
+    #[test]
+    fn stats_json_emits_exactly_the_documented_key_set() {
+        let keys = top_level_keys(&MergeStats::default().to_json());
+        assert_eq!(
+            keys, STATS_JSON_KEYS,
+            "MergeStats::to_json and STATS_JSON_KEYS drifted apart; \
+             update both (and DESIGN.md's metric catalog) together"
+        );
+        // Populated stats must not grow or reorder keys either.
+        let mut s = MergeStats { functions: 9, waves: 3, ..Default::default() };
+        s.size_before = 100;
+        s.size_after = 80;
+        assert_eq!(top_level_keys(&s.to_json()), STATS_JSON_KEYS);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_stats_and_tags_wall_clock_nondeterministic() {
+        let mut report = MergeReport::default();
+        report.stats.fingerprint_comparisons = 77;
+        report.stats.preprocess = Duration::from_nanos(123);
+        report.lsh_bucket_sizes = vec![1, 1, 3, 200];
+        let mut reg = MetricsRegistry::new();
+        report.export_metrics(&mut reg, "pass");
+        let snaps = reg.snapshots();
+        let get = |name: &str| {
+            snaps
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        assert_eq!(get("pass.fingerprint_comparisons").value, 77.0);
+        assert!(get("pass.fingerprint_comparisons").deterministic);
+        assert_eq!(get("pass.preprocess_ns").value, 123.0);
+        assert!(
+            !get("pass.preprocess_ns").deterministic,
+            "wall-clock metrics must not participate in the regression gate"
+        );
+        let (bounds, counts, count) =
+            get("pass.lsh_bucket_occupancy").histogram.clone().unwrap();
+        assert_eq!(bounds, LSH_OCCUPANCY_BOUNDS);
+        assert_eq!(count, 4);
+        assert_eq!(*counts.last().unwrap(), 1, "bucket of 200 lands in overflow");
+        // Every deterministic stats key is represented as a metric.
+        for key in STATS_JSON_KEYS {
+            if key.ends_with("_ns") || matches!(*key, "rank" | "align" | "codegen") {
+                continue;
+            }
+            assert!(
+                snaps.iter().any(|s| s.name == format!("pass.{key}")),
+                "stats key {key} has no exported metric"
+            );
+        }
     }
 
     #[test]

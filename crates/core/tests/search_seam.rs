@@ -178,9 +178,20 @@ fn determinism_key(
         s.fingerprint_comparisons,
         s.candidates_examined,
         s.candidates_returned,
+        s.bucket_evictions,
+        s.align_cells,
+        s.commits_rejected_build,
+        s.commits_rejected_verify,
+        s.commits_rejected_size,
+        s.lsh_buckets,
+        s.lsh_max_bucket,
         s.size_before,
         s.size_after,
     ];
+    let mut counters = counters;
+    // The occupancy snapshot feeding the metrics histogram must be
+    // jobs-invariant too.
+    counters.extend(report.lsh_bucket_sizes.iter().map(|&x| x as u64));
     let attempts = report
         .attempts
         .iter()

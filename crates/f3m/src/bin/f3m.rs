@@ -5,18 +5,29 @@
 //! `n` threads, with a deterministic serial commit walk keeping the output
 //! byte-identical for every job count.
 //!
+//! Observability: `--trace chrome:<path>` writes a Chrome `trace_event`
+//! JSON (load it at `chrome://tracing` or in Perfetto) covering every
+//! pipeline stage — fingerprint, rank, align, commit — and
+//! `--metrics <path>` dumps the flat metrics registry as JSON. Both are
+//! opt-in; the pass runs untraced when neither flag is given.
+//!
 //! ```text
 //! f3m merge <input.ir> [-o <out.ir>] [--strategy hyfm|f3m|adaptive]
 //!           [--threshold <t>] [--bands <b>] [--rows <r>] [-k <k>]
 //!           [--bucket-cap <c>] [--jobs <n>] [--report json]
 //!           [--repair phi|stack|legacy] [--dce]
+//!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m stats <input.ir>
 //! f3m run   <input.ir> <function> [int args...]
+//! f3m run   [--workload <name>] [--scale <f>] [--strategy s] [--jobs <n>]
+//!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m gen   <workload> [-o <out.ir>] [--scale <f>]
 //! f3m fuzz  [--iterations <n>] [--seed <s>] [--corpus <dir>]
+//!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m list
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use f3m::prelude::*;
@@ -37,10 +48,14 @@ fn main() -> ExitCode {
                  merge <input.ir> [-o out.ir] [--strategy hyfm|f3m|adaptive]\n\
                  \x20      [--threshold t] [--bands b] [--rows r] [-k k] [--bucket-cap c]\n\
                  \x20      [--jobs n] [--report json] [--repair phi|stack|legacy] [--dce]\n\
+                 \x20      [--trace chrome:path] [--metrics path]\n\
                  stats <input.ir>\n\
                  run   <input.ir> <function> [int args...]\n\
+                 run   [--workload name] [--scale f] [--strategy s] [--jobs n]\n\
+                 \x20      [--trace chrome:path] [--metrics path]\n\
                  gen   <workload> [-o out.ir] [--scale f]\n\
                  fuzz  [--iterations n] [--seed s] [--corpus dir]\n\
+                 \x20      [--trace chrome:path] [--metrics path]\n\
                  list"
             );
             return ExitCode::from(2);
@@ -64,6 +79,55 @@ fn load(path: &str) -> Result<Module, Box<dyn std::error::Error>> {
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Observability artifacts requested on the command line.
+///
+/// `--trace chrome:<path>` asks for a Chrome `trace_event` JSON dump and
+/// `--metrics <path>` for the flat metrics-registry JSON. A tracer is only
+/// constructed when `--trace` was given, so the instrumented pass pays
+/// nothing by default.
+struct Observability {
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+}
+
+impl Observability {
+    fn parse(args: &[String]) -> Result<Observability, Box<dyn std::error::Error>> {
+        let trace_path = match flag_value(args, "--trace") {
+            None => None,
+            Some(spec) => match spec.split_once(':') {
+                Some(("chrome", path)) if !path.is_empty() => Some(PathBuf::from(path)),
+                _ => {
+                    return Err(format!(
+                        "--trace expects `chrome:<path>` (only the chrome exporter \
+                         exists), got `{spec}`"
+                    )
+                    .into())
+                }
+            },
+        };
+        let metrics_path = flag_value(args, "--metrics").map(PathBuf::from);
+        Ok(Observability { trace_path, metrics_path })
+    }
+
+    fn tracer(&self) -> Option<Tracer> {
+        self.trace_path.as_ref().map(|_| Tracer::new())
+    }
+
+    /// Write whichever artifacts were requested, creating parent
+    /// directories as needed.
+    fn write(&self, tracer: Option<&Tracer>, registry: &MetricsRegistry) -> CliResult {
+        if let (Some(path), Some(t)) = (&self.trace_path, tracer) {
+            f3m::trace::write_with_dirs(path, &t.to_chrome_json())?;
+            eprintln!("trace: wrote {} events to {}", t.len(), path.display());
+        }
+        if let Some(path) = &self.metrics_path {
+            f3m::trace::write_with_dirs(path, &registry.to_json())?;
+            eprintln!("metrics: wrote {} metrics to {}", registry.len(), path.display());
+        }
+        Ok(())
+    }
 }
 
 fn cmd_merge(args: &[String]) -> CliResult {
@@ -137,8 +201,10 @@ fn cmd_merge(args: &[String]) -> CliResult {
         },
     };
 
+    let obs = Observability::parse(args)?;
+    let tracer = obs.tracer();
     let t0 = std::time::Instant::now();
-    let report = run_pass(&mut m, &config);
+    let report = run_pass_traced(&mut m, &config, tracer.as_ref());
     let elapsed = t0.elapsed();
     if args.iter().any(|a| a == "--dce") {
         let (insts, blocks) = f3m::core::dce::dce_module(&mut m);
@@ -162,6 +228,9 @@ fn cmd_merge(args: &[String]) -> CliResult {
     if json_report {
         println!("{}", report.to_json());
     }
+    let mut registry = MetricsRegistry::new();
+    report.export_metrics(&mut registry, "pass");
+    obs.write(tracer.as_ref(), &registry)?;
     let text = f3m::ir::printer::print_module(&m);
     match flag_value(args, "-o") {
         Some(path) => std::fs::write(path, text)?,
@@ -192,6 +261,61 @@ fn cmd_stats(args: &[String]) -> CliResult {
 }
 
 fn cmd_run(args: &[String]) -> CliResult {
+    // Two modes share the verb: `run <input.ir> <function> [args...]`
+    // interprets a function, while `run` with no positional arguments runs
+    // the merge pipeline on a built-in workload — the quickest way to get
+    // a Chrome-loadable trace (`f3m run --trace chrome:out.json`).
+    match args.first().map(String::as_str) {
+        Some(a) if !a.starts_with("--") => cmd_run_interp(args),
+        _ => cmd_run_demo(args),
+    }
+}
+
+fn cmd_run_demo(args: &[String]) -> CliResult {
+    let name = flag_value(args, "--workload").unwrap_or("429.mcf");
+    let spec = table1()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown workload `{name}` (try `f3m list`)"))?;
+    let scale: f64 = flag_value(args, "--scale").map(str::parse).transpose()?.unwrap_or(0.5);
+    let mut m = build_module(&spec.scaled(scale));
+
+    let mut config = match flag_value(args, "--strategy") {
+        None | Some("f3m") => PassConfig::f3m(),
+        Some("hyfm") => PassConfig::hyfm(),
+        Some("adaptive") => PassConfig::f3m_adaptive(),
+        Some(other) => return Err(format!("unknown strategy `{other}`").into()),
+    };
+    if let Some(jobs) = flag_value(args, "--jobs") {
+        config.jobs = jobs.parse()?;
+    }
+
+    let obs = Observability::parse(args)?;
+    let tracer = obs.tracer();
+    let t0 = std::time::Instant::now();
+    let report = run_pass_traced(&mut m, &config, tracer.as_ref());
+    let elapsed = t0.elapsed();
+    f3m::ir::verify::verify_module(&m)
+        .map_err(|e| format!("verification failed: {}", e[0]))?;
+
+    eprintln!(
+        "{name} x{scale}: merged {} of {} attempted pairs in {:.1} ms \
+         ({} waves); size {} -> {} ({:.2}% reduction)",
+        report.stats.merges_committed,
+        report.stats.pairs_attempted,
+        elapsed.as_secs_f64() * 1e3,
+        report.stats.waves,
+        report.stats.size_before,
+        report.stats.size_after,
+        report.stats.size_reduction() * 100.0
+    );
+    let mut registry = MetricsRegistry::new();
+    report.export_metrics(&mut registry, "pass");
+    obs.write(tracer.as_ref(), &registry)?;
+    Ok(())
+}
+
+fn cmd_run_interp(args: &[String]) -> CliResult {
     let input = args.first().ok_or("run needs an input file")?;
     let func = args.get(1).ok_or("run needs a function name")?;
     let m = load(input)?;
@@ -247,8 +371,13 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         corpus_dir,
         ..Default::default()
     };
-    let summary = f3m::fuzz::run_campaign(&cfg);
+    let obs = Observability::parse(args)?;
+    let tracer = obs.tracer();
+    let summary = f3m::fuzz::run_campaign_traced(&cfg, tracer.as_ref());
     println!("{}", summary.to_json());
+    let mut registry = MetricsRegistry::new();
+    summary.export_metrics(&mut registry, "fuzz");
+    obs.write(tracer.as_ref(), &registry)?;
     if summary.failures.is_empty() {
         Ok(())
     } else {

@@ -12,7 +12,11 @@
 //! - [`workloads`]: the synthetic Table I benchmark-suite generator,
 //! - [`fuzz`]: differential fuzzing of the whole pipeline — IR mutators,
 //!   a merge oracle, deterministic campaigns and a delta-debugging
-//!   reducer (`f3m fuzz` on the command line).
+//!   reducer (`f3m fuzz` on the command line),
+//! - [`trace`]: pipeline observability — structured span tracing with a
+//!   Chrome `trace_event` exporter, a typed metrics registry, and the
+//!   baseline machinery behind the perf-regression gate
+//!   (`--trace chrome:<path>` / `--metrics <path>` on the command line).
 //!
 //! # Quickstart
 //!
@@ -32,15 +36,19 @@ pub use f3m_fingerprint as fingerprint;
 pub use f3m_fuzz as fuzz;
 pub use f3m_interp as interp;
 pub use f3m_ir as ir;
+pub use f3m_trace as trace;
 pub use f3m_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use f3m_core::pass::{run_pass, MergeReport, MergeStats, PassConfig, Strategy};
+    pub use f3m_core::pass::{
+        run_pass, run_pass_traced, MergeReport, MergeStats, PassConfig, Strategy,
+    };
     pub use f3m_core::{MergeConfig, RepairMode};
     pub use f3m_fingerprint::adaptive::MergeParams;
     pub use f3m_fingerprint::{LshIndex, LshParams, MinHashFingerprint, OpcodeFingerprint};
     pub use f3m_interp::{Interpreter, Limits, Outcome, Trap, Val};
     pub use f3m_ir::prelude::*;
+    pub use f3m_trace::{MetricsRegistry, Tracer};
     pub use f3m_workloads::{build_module, table1, MutationProfile, ShapeParams, WorkloadSpec};
 }

@@ -80,7 +80,17 @@ pub struct LshIndex<T> {
     buckets: HashMap<u64, Vec<T>>,
 }
 
-impl<T: Copy + Eq + Hash> LshIndex<T> {
+/// Per-query work counts reported by [`LshIndex::candidates_counted`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LshQueryStats {
+    /// Bucket entries examined (the paper's "fingerprint comparisons").
+    pub examined: usize,
+    /// Entries skipped because their bucket overflowed `bucket_cap`
+    /// (summed over all queried bands).
+    pub evicted: usize,
+}
+
+impl<T: Copy + Ord + Hash> LshIndex<T> {
     /// Creates an empty index.
     ///
     /// # Panics
@@ -119,9 +129,17 @@ impl<T: Copy + Eq + Hash> LshIndex<T> {
     /// parallel-friendly half of a bulk build: worker threads hash bands,
     /// then a single sequential loop populates the buckets in item order
     /// so the bucket contents are identical to one-by-one insertion.
+    ///
+    /// Buckets are kept sorted by item id, so the set of entries surviving
+    /// the `bucket_cap` truncation in [`Self::candidates`] — and therefore
+    /// the candidate list and every derived counter — is independent of
+    /// insertion order. (The pass build inserts ids in ascending order
+    /// anyway; sorting makes the guarantee hold for arbitrary callers.)
     pub fn insert_with_keys(&mut self, id: T, keys: &[u64]) {
         for &key in keys {
-            self.buckets.entry(key).or_default().push(id);
+            let bucket = self.buckets.entry(key).or_default();
+            let pos = bucket.binary_search(&id).unwrap_or_else(|p| p);
+            bucket.insert(pos, id);
         }
     }
 
@@ -144,26 +162,41 @@ impl<T: Copy + Eq + Hash> LshIndex<T> {
     /// *entries examined* (the paper's "fingerprint comparisons") is
     /// returned alongside the candidates.
     pub fn candidates(&self, fp: &MinHashFingerprint, exclude: T) -> (Vec<T>, usize) {
+        let (out, stats) = self.candidates_counted(fp, exclude);
+        (out, stats.examined)
+    }
+
+    /// Like [`Self::candidates`], but also reports how many bucket entries
+    /// were *evicted* — skipped because their bucket overflowed
+    /// `bucket_cap`. Eviction counts are deterministic for a given index
+    /// content regardless of insertion order, because buckets are sorted
+    /// (see [`Self::insert_with_keys`]).
+    pub fn candidates_counted(
+        &self,
+        fp: &MinHashFingerprint,
+        exclude: T,
+    ) -> (Vec<T>, LshQueryStats) {
         // Every band contributes at least one entry when it collides at
         // all, so the band count is a cheap lower-bound capacity hint that
         // avoids rehash churn in the common sparse-bucket case.
         let mut seen: HashSet<T> = HashSet::with_capacity(self.params.bands);
         let mut out = Vec::with_capacity(self.params.bands);
-        let mut examined = 0usize;
+        let mut stats = LshQueryStats::default();
         for key in self.band_keys(fp) {
             if let Some(bucket) = self.buckets.get(&key) {
+                stats.evicted += bucket.len().saturating_sub(self.params.bucket_cap);
                 for &item in bucket.iter().take(self.params.bucket_cap) {
                     if item == exclude {
                         continue;
                     }
-                    examined += 1;
+                    stats.examined += 1;
                     if seen.insert(item) {
                         out.push(item);
                     }
                 }
             }
         }
-        (out, examined)
+        (out, stats)
     }
 
     /// Sizes of all non-empty buckets (for the Figure 16 style analysis of
@@ -175,6 +208,12 @@ impl<T: Copy + Eq + Hash> LshIndex<T> {
     /// Number of non-empty buckets.
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Size of the fullest bucket (0 for an empty index). Over-populated
+    /// buckets are where the `bucket_cap` truncation bites.
+    pub fn max_bucket_size(&self) -> usize {
+        self.buckets.values().map(|v| v.len()).max().unwrap_or(0)
     }
 }
 
@@ -294,6 +333,83 @@ mod tests {
         bulk.insert_with_keys(4u32, &keys);
         assert_eq!(direct.num_buckets(), bulk.num_buckets());
         assert_eq!(direct.candidates(&f1, 0), bulk.candidates(&f1, 0));
+    }
+
+    #[test]
+    fn bucket_cap_overflow_is_deterministic_across_insertion_orders() {
+        let p = LshParams { rows: 2, bands: 1, bucket_cap: 3 };
+        let s: Vec<u32> = (0..10).collect();
+        let f1 = fp(&s, 2);
+        let mut ascending = LshIndex::new(p);
+        for id in 0..8u32 {
+            ascending.insert(id, &f1);
+        }
+        let mut shuffled = LshIndex::new(p);
+        for id in [5u32, 0, 7, 2, 6, 1, 4, 3] {
+            shuffled.insert(id, &f1);
+        }
+        let (ca, sa) = ascending.candidates_counted(&f1, u32::MAX);
+        let (cs, ss) = shuffled.candidates_counted(&f1, u32::MAX);
+        assert_eq!(ca, cs, "surviving candidates must not depend on insertion order");
+        assert_eq!(ca, vec![0, 1, 2], "sorted buckets keep the lowest ids under the cap");
+        assert_eq!(sa, ss);
+    }
+
+    #[test]
+    fn eviction_counter_matches_observed_drops() {
+        let p = LshParams { rows: 2, bands: 1, bucket_cap: 3 };
+        let s: Vec<u32> = (0..10).collect();
+        let f1 = fp(&s, 2);
+        let mut idx = LshIndex::new(p);
+        for id in 0..8u32 {
+            idx.insert(id, &f1);
+        }
+        let (cands, stats) = idx.candidates_counted(&f1, u32::MAX);
+        // 8 in the bucket, cap 3: exactly 5 entries dropped, and the drop
+        // count equals bucket population minus returned candidates.
+        assert_eq!(stats.evicted, 5);
+        assert_eq!(stats.evicted, idx.max_bucket_size() - cands.len());
+        assert_eq!(stats.examined, 3);
+        // Uncapped index over the same content evicts nothing.
+        let mut uncapped =
+            LshIndex::new(LshParams { bucket_cap: usize::MAX, ..p });
+        for id in 0..8u32 {
+            uncapped.insert(id, &f1);
+        }
+        let (all, stats) = uncapped.candidates_counted(&f1, u32::MAX);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn eviction_counts_exclude_self_and_sum_over_bands() {
+        // Two bands over the same fingerprint double the per-bucket drops.
+        let p = LshParams { rows: 1, bands: 2, bucket_cap: 2 };
+        let s: Vec<u32> = (0..10).collect();
+        let f1 = fp(&s, 2);
+        let mut idx = LshIndex::new(p);
+        for id in 0..5u32 {
+            idx.insert(id, &f1);
+        }
+        let (_, stats) = idx.candidates_counted(&f1, 0);
+        // Each band bucket holds 5 entries, cap 2 -> 3 evicted per band.
+        assert_eq!(stats.evicted, 6);
+        // id 0 survives the cap then is excluded as self: 1 examined/band.
+        assert_eq!(stats.examined, 2);
+    }
+
+    #[test]
+    fn remove_keeps_buckets_sorted() {
+        let p = LshParams { rows: 2, bands: 1, bucket_cap: 2 };
+        let s: Vec<u32> = (0..10).collect();
+        let f1 = fp(&s, 2);
+        let mut idx = LshIndex::new(p);
+        for id in [3u32, 1, 4, 0, 2] {
+            idx.insert(id, &f1);
+        }
+        idx.remove(1, &f1);
+        let (cands, _) = idx.candidates_counted(&f1, u32::MAX);
+        assert_eq!(cands, vec![0, 2], "cap keeps the lowest surviving ids");
     }
 
     #[test]

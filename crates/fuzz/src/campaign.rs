@@ -11,6 +11,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use f3m_core::pass::{run_pass, PassConfig};
 use f3m_ir::module::Module;
@@ -18,6 +19,7 @@ use f3m_ir::parser::parse_module;
 use f3m_ir::printer::print_module;
 use f3m_ir::verify::verify_module;
 use f3m_prng::SmallRng;
+use f3m_trace::{span_on, MetricsRegistry, Tracer};
 use f3m_workloads::{build_module, table1};
 
 use crate::mutate::{apply_random, MUTATORS};
@@ -96,6 +98,11 @@ pub struct CampaignSummary {
     pub mutations_applied: usize,
     /// Times each mutator fired, in catalogue order.
     pub histogram: Vec<(&'static str, usize)>,
+    /// Wall-clock nanoseconds spent inside each mutator, in catalogue
+    /// order. Deliberately excluded from [`CampaignSummary::to_json`],
+    /// which stays a pure function of the campaign seed; exported as
+    /// nondeterministic metrics by [`CampaignSummary::export_metrics`].
+    pub mutator_time_ns: Vec<(&'static str, u64)>,
     /// Differential cells skipped on resource-limit observations.
     pub resource_skips: usize,
     /// All failures, reduced.
@@ -147,6 +154,32 @@ impl CampaignSummary {
         s.push('}');
         s
     }
+
+    /// Registers and populates the summary as metrics under `<prefix>.`.
+    /// Seed-determined quantities (iterations, mutation counts, failures)
+    /// are tagged deterministic; mutator wall-clock times are not.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let det = |reg: &mut MetricsRegistry, name: String, unit, v: u64| {
+            let id = reg.counter(&name, unit, true);
+            reg.set(id, v);
+        };
+        det(reg, format!("{prefix}.iterations"), "iterations", self.iterations as u64);
+        det(
+            reg,
+            format!("{prefix}.mutations_applied"),
+            "mutations",
+            self.mutations_applied as u64,
+        );
+        for (name, count) in &self.histogram {
+            det(reg, format!("{prefix}.mutations.{name}"), "mutations", *count as u64);
+        }
+        det(reg, format!("{prefix}.resource_skips"), "cells", self.resource_skips as u64);
+        det(reg, format!("{prefix}.failures"), "failures", self.failures.len() as u64);
+        for (name, ns) in &self.mutator_time_ns {
+            let id = reg.counter(&format!("{prefix}.mutator_ns.{name}"), "ns", false);
+            reg.set(id, *ns);
+        }
+    }
 }
 
 fn failure_json(f: &FailureRecord) -> String {
@@ -191,9 +224,23 @@ fn round_trips(m: &Module) -> bool {
 
 /// Runs a campaign against the production merge pass.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
-    run_campaign_with(cfg, |m, c| {
-        run_pass(m, c);
-    })
+    run_campaign_traced(cfg, None)
+}
+
+/// [`run_campaign`] with optional structured tracing: one span per
+/// iteration plus per-mutator timing accumulated into
+/// [`CampaignSummary::mutator_time_ns`].
+pub fn run_campaign_traced(
+    cfg: &CampaignConfig,
+    tracer: Option<&Tracer>,
+) -> CampaignSummary {
+    run_campaign_impl(
+        cfg,
+        |m, c| {
+            run_pass(m, c);
+        },
+        tracer,
+    )
 }
 
 /// Runs a campaign with an injectable merge step (used by the oracle's own
@@ -202,15 +249,25 @@ pub fn run_campaign_with<F: Fn(&mut Module, &PassConfig)>(
     cfg: &CampaignConfig,
     merge: F,
 ) -> CampaignSummary {
+    run_campaign_impl(cfg, merge, None)
+}
+
+fn run_campaign_impl<F: Fn(&mut Module, &PassConfig)>(
+    cfg: &CampaignConfig,
+    merge: F,
+    tracer: Option<&Tracer>,
+) -> CampaignSummary {
     let mut summary = CampaignSummary {
         iterations: cfg.iterations,
         histogram: MUTATORS.iter().map(|&(name, _)| (name, 0)).collect(),
+        mutator_time_ns: MUTATORS.iter().map(|&(name, _)| (name, 0)).collect(),
         ..Default::default()
     };
     if let Some(dir) = &cfg.corpus_dir {
         let _ = fs::create_dir_all(dir);
     }
     for i in 0..cfg.iterations {
+        let mut iter_span = span_on(tracer, "fuzz", format!("iteration {i}"));
         let iter_seed = iteration_seed(cfg.seed, i);
         let mut rng = SmallRng::seed_from_u64(iter_seed);
         let mut spec = table1()[0].clone();
@@ -221,14 +278,26 @@ pub fn run_campaign_with<F: Fn(&mut Module, &PassConfig)>(
         let planned = rng.gen_range(1..=cfg.max_mutations.max(1));
         let mut applied: Vec<&'static str> = Vec::new();
         for _ in 0..planned {
-            if let Some(name) = apply_random(&mut base, &mut rng, 12) {
+            let t_mutate = Instant::now();
+            let fired = apply_random(&mut base, &mut rng, 12);
+            let mutate_ns = t_mutate.elapsed().as_nanos() as u64;
+            if let Some(name) = fired {
                 applied.push(name);
                 summary.mutations_applied += 1;
                 if let Some(slot) = summary.histogram.iter_mut().find(|(n, _)| *n == name) {
                     slot.1 += 1;
                 }
+                if let Some(slot) =
+                    summary.mutator_time_ns.iter_mut().find(|(n, _)| *n == name)
+                {
+                    slot.1 += mutate_ns;
+                }
+                if let Some(t) = tracer {
+                    t.instant("fuzz", name, vec![("iteration", i as u64), ("ns", mutate_ns)]);
+                }
             }
         }
+        iter_span.arg("mutations", applied.len() as u64);
         // Mutator contract gate: the mutated base itself must stay
         // verifier-clean and round-trippable, before any merging happens.
         let base_broken = match verify_module(&base) {

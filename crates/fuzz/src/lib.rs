@@ -17,8 +17,8 @@ pub mod oracle;
 pub mod reduce;
 
 pub use campaign::{
-    iteration_seed, run_campaign, run_campaign_with, CampaignConfig, CampaignSummary,
-    FailureRecord,
+    iteration_seed, run_campaign, run_campaign_traced, run_campaign_with, CampaignConfig,
+    CampaignSummary, FailureRecord,
 };
 pub use mutate::{apply_random, Mutator, MUTATORS};
 pub use oracle::{

@@ -1,0 +1,104 @@
+//! Monotonic time behind a trait, so span timing is injectable in tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. Implementations must never go backwards;
+/// the absolute origin is arbitrary (trace timestamps are relative).
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-based, origin at construction time so
+/// trace timestamps start near zero.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is *now*.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // A u64 of nanoseconds wraps after ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually-advanced clock for deterministic span-timer tests.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock at time zero.
+    pub fn new() -> FakeClock {
+        FakeClock::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` would move the clock backwards.
+    pub fn set(&self, ns: u64) {
+        let prev = self.now.swap(ns, Ordering::SeqCst);
+        assert!(ns >= prev, "FakeClock must stay monotonic ({prev} -> {ns})");
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_advances_and_sets() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now_ns(), 15);
+        c.set(100);
+        assert_eq!(c.now_ns(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn fake_clock_rejects_time_travel() {
+        let c = FakeClock::new();
+        c.set(10);
+        c.set(5);
+    }
+}

@@ -1,0 +1,300 @@
+//! A typed metrics registry with deterministic serialization.
+//!
+//! Metrics are registered once, up front, and the registry preserves
+//! registration order — so the flat-JSON dump ([`MetricsRegistry::to_json`])
+//! is byte-stable across runs with the same values, diffable in review and
+//! parseable by the regression gate ([`crate::baseline`]).
+//!
+//! Each metric is tagged `deterministic: true` when its value is a pure
+//! work count (fingerprint comparisons, DP cells, bucket evictions …) that
+//! must not vary run-to-run for a fixed workload, or `false` for
+//! wall-clock readings. The perf-regression gate compares only the
+//! deterministic subset; everything is exported for humans and dashboards.
+
+/// Metric families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically accumulated `u64`.
+    Counter,
+    /// A point-in-time `f64` reading.
+    Gauge,
+    /// A bucketed distribution of `u64` observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lower-case name used in the JSON dump (`counter` / `gauge` /
+    /// `histogram`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramId(usize);
+
+#[derive(Clone, Debug)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        /// Upper bounds of the first `bounds.len()` buckets (inclusive);
+        /// one implicit overflow bucket follows.
+        bounds: Vec<u64>,
+        /// `bounds.len() + 1` observation counts.
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    name: String,
+    unit: &'static str,
+    deterministic: bool,
+    value: Value,
+}
+
+/// A flattened, order-preserving view of one metric — what the exporters
+/// and the baseline comparison operate on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Dotted metric name (`gate.429.mcf.f3m.fingerprint_comparisons`).
+    pub name: String,
+    /// Metric family.
+    pub kind: MetricKind,
+    /// Unit label (`comparisons`, `bytes`, `ns` …).
+    pub unit: String,
+    /// Whether the value is a deterministic work count.
+    pub deterministic: bool,
+    /// Counter/gauge value; for histograms, the sum of observations.
+    pub value: f64,
+    /// Histogram payload `(bounds, counts, count)`; `None` otherwise.
+    pub histogram: Option<(Vec<u64>, Vec<u64>, u64)>,
+}
+
+/// Typed metrics registry. See the module docs for the model.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<Entry>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn register(&mut self, name: &str, unit: &'static str, deterministic: bool, value: Value) -> usize {
+        assert!(
+            !self.entries.iter().any(|e| e.name == name),
+            "duplicate metric `{name}`"
+        );
+        self.entries.push(Entry { name: name.to_string(), unit, deterministic, value });
+        self.entries.len() - 1
+    }
+
+    /// Registers a counter starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered (all register methods do).
+    pub fn counter(&mut self, name: &str, unit: &'static str, deterministic: bool) -> CounterId {
+        CounterId(self.register(name, unit, deterministic, Value::Counter(0)))
+    }
+
+    /// Registers a gauge starting at `0.0`.
+    pub fn gauge(&mut self, name: &str, unit: &'static str, deterministic: bool) -> GaugeId {
+        GaugeId(self.register(name, unit, deterministic, Value::Gauge(0.0)))
+    }
+
+    /// Registers a histogram over `bounds` (ascending inclusive upper
+    /// bounds; an overflow bucket is added automatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or non-ascending bounds.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        unit: &'static str,
+        deterministic: bool,
+        bounds: &[u64],
+    ) -> HistogramId {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let value = Value::Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        };
+        HistogramId(self.register(name, unit, deterministic, value))
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        match &mut self.entries[id.0].value {
+            Value::Counter(v) => *v += delta,
+            _ => unreachable!("CounterId always points at a counter"),
+        }
+    }
+
+    /// Sets a counter to an absolute value.
+    pub fn set(&mut self, id: CounterId, value: u64) {
+        match &mut self.entries[id.0].value {
+            Value::Counter(v) => *v = value,
+            _ => unreachable!("CounterId always points at a counter"),
+        }
+    }
+
+    /// Sets a gauge reading.
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        match &mut self.entries[id.0].value {
+            Value::Gauge(v) => *v = value,
+            _ => unreachable!("GaugeId always points at a gauge"),
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        match &mut self.entries[id.0].value {
+            Value::Histogram { bounds, counts, count, sum } => {
+                let slot = bounds
+                    .iter()
+                    .position(|&b| value <= b)
+                    .unwrap_or(bounds.len());
+                counts[slot] += 1;
+                *count += 1;
+                *sum += value;
+            }
+            _ => unreachable!("HistogramId always points at a histogram"),
+        }
+    }
+
+    /// Records many observations into a histogram.
+    pub fn observe_many(&mut self, id: HistogramId, values: impl IntoIterator<Item = u64>) {
+        for v in values {
+            self.observe(id, v);
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry has no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All metrics in registration order.
+    pub fn snapshots(&self) -> Vec<MetricSnapshot> {
+        self.entries
+            .iter()
+            .map(|e| match &e.value {
+                Value::Counter(v) => MetricSnapshot {
+                    name: e.name.clone(),
+                    kind: MetricKind::Counter,
+                    unit: e.unit.to_string(),
+                    deterministic: e.deterministic,
+                    value: *v as f64,
+                    histogram: None,
+                },
+                Value::Gauge(v) => MetricSnapshot {
+                    name: e.name.clone(),
+                    kind: MetricKind::Gauge,
+                    unit: e.unit.to_string(),
+                    deterministic: e.deterministic,
+                    value: *v,
+                    histogram: None,
+                },
+                Value::Histogram { bounds, counts, count, sum } => MetricSnapshot {
+                    name: e.name.clone(),
+                    kind: MetricKind::Histogram,
+                    unit: e.unit.to_string(),
+                    deterministic: e.deterministic,
+                    value: *sum as f64,
+                    histogram: Some((bounds.clone(), counts.clone(), *count)),
+                },
+            })
+            .collect()
+    }
+
+    /// The flat-JSON metrics dump (the `--metrics <path>` artefact),
+    /// rendered via [`crate::baseline::render_metrics`] in registration
+    /// order.
+    pub fn to_json(&self) -> String {
+        crate::baseline::render_metrics(&self.snapshots())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_set() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("pass.comparisons", "comparisons", true);
+        reg.add(c, 3);
+        reg.add(c, 4);
+        assert_eq!(reg.snapshots()[0].value, 7.0);
+        reg.set(c, 100);
+        assert_eq!(reg.snapshots()[0].value, 100.0);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lsh.occupancy", "functions", true, &[1, 2, 4]);
+        reg.observe_many(h, [1, 1, 2, 3, 4, 100]);
+        let snap = &reg.snapshots()[0];
+        let (bounds, counts, count) = snap.histogram.clone().unwrap();
+        assert_eq!(bounds, vec![1, 2, 4]);
+        assert_eq!(counts, vec![2, 1, 2, 1], "overflow bucket catches 100");
+        assert_eq!(count, 6);
+        assert_eq!(snap.value, 111.0, "sum of observations");
+    }
+
+    #[test]
+    fn serialization_preserves_registration_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("zzz.last-name-first", "n", true);
+        reg.counter("aaa.first-name-last", "n", true);
+        let json = reg.to_json();
+        let z = json.find("zzz.last-name-first").unwrap();
+        let a = json.find("aaa.first-name-last").unwrap();
+        assert!(z < a, "registration order, not lexical order");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric")]
+    fn duplicate_names_are_rejected() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x", "n", true);
+        reg.gauge("x", "n", false);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn histogram_bounds_must_ascend() {
+        MetricsRegistry::new().histogram("h", "n", true, &[4, 2]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Perf-regression gate (tier-1).
+//!
+//! Replays a fixed workload mix through the merging pass, collects the
+//! *deterministic* metrics (work counts, never wall time) and compares
+//! them against the checked-in `results/BASELINE_metrics.json` with
+//! per-metric tolerance bands. A change that silently blows up the number
+//! of fingerprint comparisons, DP cells or LSH evictions fails here even
+//! though the output module is still correct.
+//!
+//! Refreshing after an intentional change:
+//!
+//! ```text
+//! F3M_UPDATE_BASELINE=1 cargo test -p f3m --test regression_gate
+//! ```
+//!
+//! Wall-clock metrics are written to the baseline with value 0 and are
+//! ignored by [`compare`], so the checked-in file is machine-independent.
+
+use std::path::{Path, PathBuf};
+
+use f3m::prelude::*;
+use f3m::trace::{compare, parse_metrics, render_metrics, MetricSnapshot, Tolerance};
+
+/// The gate's fixed workload mix: two Table I programs of different
+/// classes, half scale, merged with the default F3M strategy. Prefixes
+/// keep the two metric sets apart in one flat registry.
+const GATE_WORKLOADS: &[(&str, &str)] = &[("mcf", "429.mcf"), ("libquantum", "462.libquantum")];
+
+fn collect_metrics() -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for &(prefix, name) in GATE_WORKLOADS {
+        let spec = table1()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("gate workload exists in table1")
+            .scaled(0.5);
+        let mut m = build_module(&spec);
+        let report = run_pass(&mut m, &PassConfig::f3m());
+        f3m::ir::verify::verify_module(&m).expect("merged module verifies");
+        report.export_metrics(&mut reg, prefix);
+    }
+    reg
+}
+
+/// Snapshots with nondeterministic (wall-clock) values scrubbed to zero,
+/// so baseline refreshes only diff when deterministic metrics move.
+fn scrubbed_snapshots(reg: &MetricsRegistry) -> Vec<MetricSnapshot> {
+    let mut snaps = reg.snapshots();
+    for s in &mut snaps {
+        if !s.deterministic {
+            s.value = 0.0;
+        }
+    }
+    snaps
+}
+
+/// Per-metric tolerance policy, keyed on the metric-name suffix.
+///
+/// Structural facts of the input are exact; sizes are tight; work counts
+/// (the quantities this gate exists to watch) get a band wide enough to
+/// absorb benign tweaks but narrow enough to catch an accidental
+/// complexity regression.
+fn tolerance_for(name: &str) -> Tolerance {
+    let suffix = name.rsplit('.').next().unwrap_or(name);
+    match suffix {
+        // The generated input module is a pure function of the spec.
+        "functions" | "size_before" => Tolerance::exact(),
+        // Output size should barely move without an intentional change.
+        "size_after" => Tolerance { rel: 0.05, abs: 8.0 },
+        "size_reduction" => Tolerance { rel: 0.25, abs: 0.02 },
+        // Work counts: ±15 % or a small absolute slack.
+        "fingerprint_comparisons" | "candidates_examined" | "candidates_returned"
+        | "align_cells" | "bucket_evictions" | "lsh_buckets" | "lsh_max_bucket"
+        | "lsh_bucket_occupancy" => Tolerance { rel: 0.15, abs: 16.0 },
+        // Everything else (pairs, merges, waves, cache counters, rejects).
+        _ => Tolerance { rel: 0.10, abs: 4.0 },
+    }
+}
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("results/BASELINE_metrics.json")
+}
+
+#[test]
+fn perf_regression_gate() {
+    let reg = collect_metrics();
+    let snaps = scrubbed_snapshots(&reg);
+    let path = baseline_path();
+
+    if std::env::var("F3M_UPDATE_BASELINE").as_deref() == Ok("1") {
+        f3m::trace::write_with_dirs(&path, &render_metrics(&snaps)).expect("write baseline");
+        eprintln!("regression gate: refreshed {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); generate it with \
+             F3M_UPDATE_BASELINE=1 cargo test -p f3m --test regression_gate",
+            path.display()
+        )
+    });
+    let baseline = parse_metrics(&text).expect("baseline parses");
+    let violations = compare(&snaps, &baseline, tolerance_for);
+    assert!(
+        violations.is_empty(),
+        "perf-regression gate failed ({} violation(s)):\n  {}\n\
+         If the drift is intentional, refresh with \
+         F3M_UPDATE_BASELINE=1 cargo test -p f3m --test regression_gate",
+        violations.len(),
+        violations.join("\n  ")
+    );
+}
+
+/// The gate must actually bite: an injected drift beyond the band is
+/// flagged, naming the drifted metric, while the unperturbed snapshot
+/// passes against itself.
+#[test]
+fn gate_flags_injected_drift_and_passes_on_identity() {
+    let reg = collect_metrics();
+    let snaps = scrubbed_snapshots(&reg);
+    assert!(
+        compare(&snaps, &snaps, tolerance_for).is_empty(),
+        "identical snapshots must always pass the gate"
+    );
+
+    let mut drifted = snaps.clone();
+    let idx = drifted
+        .iter()
+        .position(|s| s.deterministic && s.name.ends_with(".align_cells") && s.value > 0.0)
+        .expect("gate workload computes some DP cells");
+    drifted[idx].value *= 2.0;
+    let violations = compare(&drifted, &snaps, tolerance_for);
+    assert!(
+        violations.iter().any(|v| v.contains("align_cells")),
+        "doubled align_cells must trip the gate, got: {violations:?}"
+    );
+
+    // A wall-clock metric drifting arbitrarily must NOT trip it.
+    let mut timed = snaps.clone();
+    if let Some(t) = timed.iter_mut().find(|s| !s.deterministic) {
+        t.value = 1e12;
+        assert!(
+            compare(&timed, &snaps, tolerance_for).is_empty(),
+            "nondeterministic metrics are outside the gate"
+        );
+    }
+}
+
+/// Two in-process runs of the collection produce byte-identical
+/// deterministic dumps — the property that makes a checked-in baseline
+/// meaningful at all.
+#[test]
+fn gate_metrics_are_reproducible() {
+    let a = render_metrics(&scrubbed_snapshots(&collect_metrics()));
+    let b = render_metrics(&scrubbed_snapshots(&collect_metrics()));
+    assert_eq!(a, b);
+}
