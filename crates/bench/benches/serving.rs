@@ -1,0 +1,156 @@
+//! `serve_throughput`: end-to-end daemon benchmarks over loopback TCP.
+//!
+//! Starts an in-process `f3m-serve` daemon per configuration, drives it
+//! with synchronous clients, and measures the three request classes that
+//! matter for the resident-corpus economics:
+//!
+//! - **ingest** — incremental indexing cost per module (fingerprint +
+//!   per-shard bucket insertion, never a rebuild),
+//! - **query** — top-k candidate lookups, with one client per worker to
+//!   exercise the pool,
+//! - **evict + reingest** — the steady-state update cycle a build system
+//!   would issue when one translation unit changes.
+//!
+//! Results go to `results/BENCH_serve.json` (requests, wall time and
+//! ns/request per jobs level); `--smoke` shrinks the sweep for CI.
+
+use std::time::Instant;
+
+use f3m_ir::module::Module;
+use f3m_serve::protocol::{Request, RequestEnvelope};
+use f3m_serve::{Client, ServeConfig, Server};
+
+fn workload(name: &str, seed: u64, functions: usize) -> Module {
+    let mut spec = f3m_workloads::mini_suite()[0].clone();
+    spec.functions = functions;
+    spec.seed = seed;
+    let mut m = f3m_workloads::build_module(&spec);
+    m.name = name.to_string();
+    m
+}
+
+struct RunResult {
+    jobs: usize,
+    modules: usize,
+    ingest_wall_ns: u128,
+    queries: usize,
+    query_wall_ns: u128,
+    merge_wall_ns: u128,
+    update_cycles: usize,
+    update_wall_ns: u128,
+}
+
+fn drive(jobs: usize, modules: usize, functions: usize, queries_per_client: usize) -> RunResult {
+    let server = Server::bind(ServeConfig { jobs, ..ServeConfig::default() }).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mods: Vec<Module> =
+        (0..modules).map(|i| workload(&format!("m{i}"), 100 + i as u64, functions)).collect();
+    let texts: Vec<String> = mods.iter().map(f3m_ir::printer::print_module).collect();
+
+    let mut c = Client::connect(addr).unwrap();
+    let t0 = Instant::now();
+    for (i, text) in texts.iter().enumerate() {
+        c.call_expect(Request::Ingest { name: Some(format!("m{i}")), ir: text.clone() }, "ingested")
+            .expect("ingest");
+    }
+    let ingest_wall_ns = t0.elapsed().as_nanos();
+
+    // Query throughput: one synchronous client per worker.
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..jobs)
+        .map(|ci| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for q in 0..queries_per_client {
+                    let module = format!("m{}", (ci + q) % modules);
+                    c.call_expect(Request::Query { module, func: None, k: 3 }, "candidates")
+                        .expect("query");
+                }
+            })
+        })
+        .collect();
+    for h in clients {
+        h.join().unwrap();
+    }
+    let query_wall_ns = t0.elapsed().as_nanos();
+
+    let t0 = Instant::now();
+    c.call_expect(Request::Merge { strategy: "f3m".into(), jobs: Some(jobs) }, "report")
+        .expect("merge");
+    let merge_wall_ns = t0.elapsed().as_nanos();
+
+    // Steady-state update: evict one module and re-ingest it.
+    let update_cycles = 5;
+    let t0 = Instant::now();
+    for _ in 0..update_cycles {
+        c.call_expect(Request::Evict { name: "m0".into() }, "evicted").expect("evict");
+        c.call_expect(
+            Request::Ingest { name: Some("m0".into()), ir: texts[0].clone() },
+            "ingested",
+        )
+        .expect("reingest");
+    }
+    let update_wall_ns = t0.elapsed().as_nanos();
+
+    c.request(&RequestEnvelope::of(Request::Shutdown)).expect("shutdown");
+    handle.join().unwrap().expect("clean shutdown");
+
+    RunResult {
+        jobs,
+        modules,
+        ingest_wall_ns,
+        queries: jobs * queries_per_client,
+        query_wall_ns,
+        merge_wall_ns,
+        update_cycles,
+        update_wall_ns,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (jobs_levels, modules, functions, queries): (&[usize], usize, usize, usize) =
+        if smoke { (&[1, 2], 3, 16, 20) } else { (&[1, 2, 4, 8], 6, 48, 200) };
+
+    let mut rows = Vec::new();
+    for &jobs in jobs_levels {
+        let r = drive(jobs, modules, functions, queries);
+        let per_query = r.query_wall_ns / r.queries.max(1) as u128;
+        println!(
+            "serve_throughput/jobs={jobs:<2} ingest {:>8.2} ms  query {:>8.0} ns/req ({} reqs)  \
+             merge {:>8.2} ms  update {:>8.2} ms/cycle",
+            r.ingest_wall_ns as f64 / 1e6,
+            per_query,
+            r.queries,
+            r.merge_wall_ns as f64 / 1e6,
+            r.update_wall_ns as f64 / 1e6 / r.update_cycles as f64,
+        );
+        rows.push(format!(
+            "{{\"jobs\":{},\"modules\":{},\"ingest_wall_ns\":{},\"queries\":{},\
+             \"query_wall_ns\":{},\"query_ns_per_req\":{},\"merge_wall_ns\":{},\
+             \"update_cycles\":{},\"update_wall_ns\":{}}}",
+            r.jobs,
+            r.modules,
+            r.ingest_wall_ns,
+            r.queries,
+            r.query_wall_ns,
+            per_query,
+            r.merge_wall_ns,
+            r.update_cycles,
+            r.update_wall_ns
+        ));
+    }
+    let json = format!(
+        "{{\"smoke\":{smoke},\"modules\":{modules},\"functions_per_module\":{functions},\
+         \"runs\":[{}]}}",
+        rows.join(",")
+    );
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join("BENCH_serve.json");
+    f3m_trace::write_with_dirs(&out_path, &json).expect("write BENCH_serve.json");
+    println!("serve_throughput: wrote {}", out_path.display());
+}

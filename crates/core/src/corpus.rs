@@ -1,0 +1,634 @@
+//! Corpus-level candidate search: the resident, incrementally-updated
+//! state behind the `f3m-serve` daemon.
+//!
+//! A [`Corpus`] holds every ingested module plus one fingerprint entry per
+//! merge-eligible function (definitions with at least one linked
+//! instruction — the same filter [`run_pass`] applies), indexed in a
+//! [`ShardedLshIndex`]. Ingesting a module fingerprints *only* that
+//! module's functions and inserts them; evicting removes the module's
+//! band keys. Neither ever rebuilds the index.
+//!
+//! ## Namespacing
+//!
+//! Different translation units freely reuse symbol names (every generated
+//! workload has an `f0_0` and a `__driver`), so corpus-level identity is
+//! the *qualified* name `<module>.<function>` — `.` because the IR symbol
+//! lexer accepts only `[A-Za-z0-9_.]`. Call sites reference callees
+//! through `FuncId`s, never names, so qualifying is a pure rename
+//! ([`Module::rename_function`]) and instruction encodings — and hence
+//! fingerprints — are unchanged. [`combine_modules`] builds the merged
+//! corpus module the `merge` request runs the full pass over.
+//!
+//! ## Epochs and visibility
+//!
+//! Mutations are serialized (one writer at a time); each bumps the index
+//! epoch *after* completing, and every entry records the epoch interval
+//! `[added, evicted)` in which it is visible. A reader pins
+//! [`ShardedLshIndex::epoch`] once and filters candidates against that
+//! pin, so an in-flight ingest is either fully visible or not at all.
+//! Eviction additionally removes band keys physically (cost proportional
+//! to the module's own keys); removal is visible to queries immediately,
+//! which only ever *hides* candidates early — never resurfaces stale
+//! ones.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Mutex, RwLock};
+
+use f3m_fingerprint::adaptive::MergeParams;
+use f3m_fingerprint::encode::encode_function;
+use f3m_fingerprint::fnv::xor_constants;
+use f3m_fingerprint::lsh::band_keys_for;
+use f3m_fingerprint::minhash::MinHashFingerprint;
+use f3m_fingerprint::par::par_map_indexed;
+use f3m_fingerprint::sharded::{ShardStats, ShardedLshIndex};
+use f3m_ir::module::Module;
+use f3m_ir::printer::print_function;
+
+use crate::pass::{run_pass, MergeReport, PassConfig};
+
+/// Configuration of a [`Corpus`].
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Fingerprint/LSH parameters shared by every entry. Fixed for the
+    /// corpus lifetime: changing `k` or the banding would invalidate every
+    /// resident fingerprint.
+    pub params: MergeParams,
+    /// Number of index shards.
+    pub shards: usize,
+    /// Worker threads for per-module fingerprinting at ingest.
+    pub jobs: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> CorpusConfig {
+        CorpusConfig { params: MergeParams::static_default(), shards: 8, jobs: 1 }
+    }
+}
+
+/// What `ingest` did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Module name as registered (the qualification prefix).
+    pub module: String,
+    /// Merge-eligible functions fingerprinted and indexed.
+    pub functions: usize,
+    /// Definitions skipped (no linked instructions).
+    pub skipped: usize,
+    /// Epoch at which the module became visible.
+    pub epoch: u64,
+}
+
+/// What `evict` did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvictSummary {
+    pub module: String,
+    /// Entries removed from the index.
+    pub functions: usize,
+    /// Epoch at which the module stopped being visible.
+    pub epoch: u64,
+}
+
+/// One ranked candidate of a query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedCandidate {
+    /// Qualified name of the candidate function.
+    pub func: String,
+    /// Estimated Jaccard similarity to the queried function.
+    pub similarity: f64,
+}
+
+/// Top-k candidates of one queried function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Qualified name of the queried function.
+    pub func: String,
+    /// Candidates, best first (similarity descending, entry order
+    /// ascending on ties — the [`CandidateSearch`] tie-break rule).
+    ///
+    /// [`CandidateSearch`]: crate::rank::CandidateSearch
+    pub candidates: Vec<RankedCandidate>,
+}
+
+/// A point-in-time corpus/index snapshot for `stats` responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Epoch visible to readers when the snapshot was taken.
+    pub epoch: u64,
+    /// Modules currently visible.
+    pub modules_live: usize,
+    /// Modules ever ingested (live + evicted).
+    pub modules_total: usize,
+    /// Function entries currently visible.
+    pub functions_live: usize,
+    /// Function entries ever created.
+    pub entries_total: usize,
+    /// Non-empty buckets across all shards.
+    pub index_buckets: usize,
+    /// Fullest bucket across all shards.
+    pub index_max_bucket: usize,
+    /// Per-shard occupancy, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+struct Entry {
+    /// Original (unqualified) function name.
+    func: String,
+    /// `<module>.<func>`, the corpus-wide identity.
+    qualified: String,
+    fp: MinHashFingerprint,
+    keys: Vec<u64>,
+    /// First epoch at which this entry is visible.
+    added: u64,
+    /// First epoch at which it is no longer visible (`u64::MAX` = live).
+    evicted: u64,
+}
+
+struct ModuleRecord {
+    name: String,
+    /// The module as ingested (unqualified names).
+    module: Module,
+    entry_ids: Vec<usize>,
+    live: bool,
+}
+
+#[derive(Default)]
+struct Table {
+    entries: Vec<Entry>,
+    modules: Vec<ModuleRecord>,
+}
+
+/// The resident corpus: ingested modules + sharded fingerprint index.
+///
+/// All operations take `&self`; reads proceed concurrently, mutations
+/// serialize on an internal lock. See the module docs for the visibility
+/// model.
+pub struct Corpus {
+    cfg: CorpusConfig,
+    consts: Vec<u64>,
+    index: ShardedLshIndex<usize>,
+    table: RwLock<Table>,
+    /// Serializes ingest/evict so epoch intervals never interleave.
+    mutate: Mutex<()>,
+}
+
+/// True if `s` is non-empty and lexable as an IR symbol (`@name`), i.e.
+/// usable as a module/qualification prefix.
+pub fn symbol_safe(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new(cfg: CorpusConfig) -> Corpus {
+        let consts = xor_constants(cfg.params.k);
+        let index = ShardedLshIndex::new(cfg.params.lsh, cfg.shards);
+        Corpus { cfg, consts, index, table: RwLock::new(Table::default()), mutate: Mutex::new(()) }
+    }
+
+    pub fn config(&self) -> &CorpusConfig {
+        &self.cfg
+    }
+
+    /// The epoch currently visible to readers.
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
+    }
+
+    /// Registers `m` under its own `name`, fingerprints its
+    /// merge-eligible functions (in parallel for `jobs > 1`) and indexes
+    /// them. No existing entry is touched — cost is proportional to the
+    /// new module alone.
+    pub fn ingest(&self, m: Module) -> Result<IngestSummary, String> {
+        let name = m.name.clone();
+        if !symbol_safe(&name) {
+            return Err(format!(
+                "module name `{name}` is not usable as a symbol prefix \
+                 (allowed: A-Z a-z 0-9 _ .)"
+            ));
+        }
+        let defined = m.defined_functions();
+        let funcs: Vec<_> =
+            defined.iter().copied().filter(|&f| m.function(f).num_linked_insts() > 0).collect();
+        let skipped = defined.len() - funcs.len();
+        let consts = &self.consts;
+        let per_func = par_map_indexed(funcs.len(), self.cfg.jobs.max(1), |i| {
+            let enc = encode_function(&m.types, m.function(funcs[i]));
+            let fp = MinHashFingerprint::of_encoded_with(consts, &enc);
+            let keys = band_keys_for(self.cfg.params.lsh, &fp);
+            (fp, keys)
+        });
+
+        let _writer = self.mutate.lock().unwrap();
+        let next_epoch = self.index.epoch() + 1;
+        let inserted: Vec<(usize, Vec<u64>)> = {
+            let mut t = self.table.write().unwrap();
+            if t.modules.iter().any(|r| r.live && r.name == name) {
+                return Err(format!("module `{name}` is already ingested (evict it first)"));
+            }
+            let live_qualified: HashSet<&str> = t
+                .entries
+                .iter()
+                .filter(|e| e.evicted == u64::MAX)
+                .map(|e| e.qualified.as_str())
+                .collect();
+            for &f in &funcs {
+                let q = format!("{name}.{}", m.function(f).name);
+                if live_qualified.contains(q.as_str()) {
+                    return Err(format!("qualified name `{q}` collides with a resident function"));
+                }
+            }
+            let mut entry_ids = Vec::with_capacity(funcs.len());
+            let mut inserted = Vec::with_capacity(funcs.len());
+            for (&f, (fp, keys)) in funcs.iter().zip(per_func) {
+                let id = t.entries.len();
+                let func = m.function(f).name.clone();
+                t.entries.push(Entry {
+                    qualified: format!("{name}.{func}"),
+                    func,
+                    fp,
+                    keys: keys.clone(),
+                    added: next_epoch,
+                    evicted: u64::MAX,
+                });
+                entry_ids.push(id);
+                inserted.push((id, keys));
+            }
+            t.modules.push(ModuleRecord { name: name.clone(), module: m, entry_ids, live: true });
+            inserted
+        };
+        for (id, keys) in &inserted {
+            self.index.insert_with_keys(*id, keys);
+        }
+        let epoch = self.index.advance_epoch();
+        debug_assert_eq!(epoch, next_epoch);
+        Ok(IngestSummary { module: name, functions: inserted.len(), skipped, epoch })
+    }
+
+    /// Removes module `name` from the corpus: marks its entries evicted
+    /// and deletes their band keys from the index. Cost is proportional
+    /// to the module's own entries — the index is never rebuilt.
+    pub fn evict(&self, name: &str) -> Result<EvictSummary, String> {
+        let _writer = self.mutate.lock().unwrap();
+        let next_epoch = self.index.epoch() + 1;
+        let removed: Vec<(usize, Vec<u64>)> = {
+            let mut t = self.table.write().unwrap();
+            let Some(mi) = t.modules.iter().position(|r| r.live && r.name == name) else {
+                return Err(format!("module `{name}` is not resident"));
+            };
+            t.modules[mi].live = false;
+            let ids = t.modules[mi].entry_ids.clone();
+            ids.iter()
+                .map(|&id| {
+                    let e = &mut t.entries[id];
+                    e.evicted = next_epoch;
+                    (id, e.keys.clone())
+                })
+                .collect()
+        };
+        for (id, keys) in &removed {
+            self.index.remove_with_keys(*id, keys);
+        }
+        let epoch = self.index.advance_epoch();
+        debug_assert_eq!(epoch, next_epoch);
+        Ok(EvictSummary { module: name.to_string(), functions: removed.len(), epoch })
+    }
+
+    /// Top-`k` resident candidates for one function, by qualified
+    /// identity (`module` + unqualified `func` name).
+    pub fn query_function(
+        &self,
+        module: &str,
+        func: &str,
+        k: usize,
+    ) -> Result<(u64, QueryResult), String> {
+        let epoch = self.index.epoch();
+        let t = self.table.read().unwrap();
+        let rec = Self::live_module(&t, module)?;
+        let Some(&id) = rec.entry_ids.iter().find(|&&id| t.entries[id].func == func) else {
+            return Err(format!("module `{module}` has no merge-eligible function `{func}`"));
+        };
+        Ok((epoch, self.ranked(&t, id, epoch, k)))
+    }
+
+    /// Top-`k` resident candidates for every merge-eligible function of
+    /// `module`, in function order.
+    pub fn query_module(&self, module: &str, k: usize) -> Result<(u64, Vec<QueryResult>), String> {
+        let epoch = self.index.epoch();
+        let t = self.table.read().unwrap();
+        let rec = Self::live_module(&t, module)?;
+        let results =
+            rec.entry_ids.iter().map(|&id| self.ranked(&t, id, epoch, k)).collect();
+        Ok((epoch, results))
+    }
+
+    fn live_module<'t>(t: &'t Table, name: &str) -> Result<&'t ModuleRecord, String> {
+        t.modules
+            .iter()
+            .find(|r| r.live && r.name == name)
+            .ok_or_else(|| format!("module `{name}` is not resident"))
+    }
+
+    /// Ranks the candidates of entry `i` visible at `epoch`: probe the
+    /// sharded index, filter by epoch interval and similarity threshold,
+    /// order by similarity descending / entry order ascending. This is
+    /// the same rule as `CandidateSearch::ranked_candidates`, so daemon
+    /// queries agree with the offline seam over [`combine_modules`].
+    fn ranked(&self, t: &Table, i: usize, epoch: u64, k: usize) -> QueryResult {
+        let ent = &t.entries[i];
+        let (cands, _) = self.index.candidates_counted(&ent.keys, i);
+        let mut ranked: Vec<(usize, f64)> = cands
+            .into_iter()
+            .filter(|&j| {
+                let e = &t.entries[j];
+                e.added <= epoch && epoch < e.evicted
+            })
+            .map(|j| (j, ent.fp.similarity(&t.entries[j].fp)))
+            .filter(|&(_, sim)| sim >= self.cfg.params.threshold)
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        QueryResult {
+            func: ent.qualified.clone(),
+            candidates: ranked
+                .into_iter()
+                .map(|(j, similarity)| RankedCandidate {
+                    func: t.entries[j].qualified.clone(),
+                    similarity,
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshot of corpus and index occupancy.
+    pub fn stats(&self) -> CorpusStats {
+        let epoch = self.index.epoch();
+        let t = self.table.read().unwrap();
+        CorpusStats {
+            epoch,
+            modules_live: t.modules.iter().filter(|r| r.live).count(),
+            modules_total: t.modules.len(),
+            functions_live: t.entries.iter().filter(|e| e.evicted == u64::MAX).count(),
+            entries_total: t.entries.len(),
+            index_buckets: self.index.num_buckets(),
+            index_max_bucket: self.index.max_bucket_size(),
+            shards: self.index.shard_stats(),
+        }
+    }
+
+    /// The combined module over all live modules, in ingest order, with
+    /// every definition under its qualified name (see [`combine_modules`]).
+    pub fn combined_module(&self) -> Result<Module, String> {
+        let t = self.table.read().unwrap();
+        let live: Vec<&Module> =
+            t.modules.iter().filter(|r| r.live).map(|r| &r.module).collect();
+        combine_modules(&live)
+    }
+
+    /// Runs the full merging pass over the combined resident corpus and
+    /// returns the report together with the merged module. The resident
+    /// state is untouched — the pass mutates a freshly combined copy.
+    pub fn merge(&self, config: &PassConfig) -> Result<(MergeReport, Module), String> {
+        let mut m = self.combined_module()?;
+        let report = run_pass(&mut m, config);
+        Ok((report, m))
+    }
+}
+
+/// Combines modules into one, qualifying every definition as
+/// `<module>.<function>` and deduplicating shared globals and external
+/// declarations by name. A declaration is dropped when any module
+/// *defines* that exact symbol; conflicting duplicate globals or
+/// declarations (same name, different shape) are errors, as are
+/// qualified-name collisions.
+///
+/// The combination goes through print + parse: each renamed module is
+/// rendered to IR text, the pieces are concatenated, and the result is
+/// parsed (and therefore verified) as a single module. That keeps the
+/// type stores correctly re-interned without any cross-module id
+/// surgery.
+pub fn combine_modules(mods: &[&Module]) -> Result<Module, String> {
+    let mut global_lines: Vec<String> = Vec::new();
+    let mut global_by_name: HashMap<String, String> = HashMap::new();
+    let mut declare_lines: Vec<(String, String)> = Vec::new();
+    let mut declare_by_name: HashMap<String, String> = HashMap::new();
+    let mut defined: HashSet<String> = HashSet::new();
+    let mut bodies = String::new();
+
+    for &m in mods {
+        if !symbol_safe(&m.name) {
+            return Err(format!("module name `{}` is not a valid symbol prefix", m.name));
+        }
+        let mut ns = m.clone();
+        for id in ns.defined_functions() {
+            let q = format!("{}.{}", m.name, ns.function(id).name);
+            if ns.lookup_function(&q).is_some() {
+                return Err(format!("qualified name `{q}` collides inside module `{}`", m.name));
+            }
+            ns.rename_function(id, q);
+        }
+        for (_, g) in ns.globals() {
+            let bytes: Vec<String> = g.init.iter().map(|b| b.to_string()).collect();
+            let line = format!(
+                "global @{} : {} = [{}]",
+                g.name,
+                ns.types.display(g.ty),
+                bytes.join(", ")
+            );
+            match global_by_name.get(&g.name) {
+                None => {
+                    global_by_name.insert(g.name.clone(), line.clone());
+                    global_lines.push(line);
+                }
+                Some(prev) if *prev == line => {}
+                Some(_) => {
+                    return Err(format!(
+                        "global `@{}` redefined with a different type or initializer",
+                        g.name
+                    ))
+                }
+            }
+        }
+        for (id, f) in ns.functions() {
+            if f.is_declaration {
+                let params: Vec<String> =
+                    f.params.iter().map(|&p| ns.types.display(p)).collect();
+                let line = format!(
+                    "declare @{}({}) -> {}",
+                    f.name,
+                    params.join(", "),
+                    ns.types.display(f.ret_ty)
+                );
+                match declare_by_name.get(&f.name) {
+                    None => {
+                        declare_by_name.insert(f.name.clone(), line.clone());
+                        declare_lines.push((f.name.clone(), line));
+                    }
+                    Some(prev) if *prev == line => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "external `@{}` declared with conflicting signatures",
+                            f.name
+                        ))
+                    }
+                }
+            } else {
+                if !defined.insert(f.name.clone()) {
+                    return Err(format!("qualified name `{}` defined twice", f.name));
+                }
+                bodies.push_str(&print_function(&ns, id));
+                bodies.push('\n');
+            }
+        }
+    }
+
+    let mut text = String::from("module \"corpus\" {\n");
+    for line in &global_lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    if !global_lines.is_empty() {
+        text.push('\n');
+    }
+    for (name, line) in &declare_lines {
+        if !defined.contains(name) {
+            text.push_str(line);
+            text.push('\n');
+        }
+    }
+    text.push_str(&bodies);
+    text.push_str("}\n");
+    f3m_ir::parser::parse_module(&text).map_err(|e| format!("combine: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::{CandidateSearch, LshMinHashSearch};
+    use f3m_ir::ids::FuncId;
+
+    fn workload(name: &str, seed: u64) -> Module {
+        let mut spec = f3m_workloads::mini_suite()[0].clone();
+        spec.functions = 24;
+        spec.seed = seed;
+        let mut m = f3m_workloads::build_module(&spec);
+        m.name = name.to_string();
+        m
+    }
+
+    fn corpus() -> Corpus {
+        Corpus::new(CorpusConfig { shards: 4, jobs: 2, ..CorpusConfig::default() })
+    }
+
+    #[test]
+    fn ingest_query_matches_offline_seam_on_combined_module() {
+        let c = corpus();
+        let m1 = workload("alpha", 11);
+        let m2 = workload("beta", 22);
+        c.ingest(m1.clone()).unwrap();
+        c.ingest(m2.clone()).unwrap();
+
+        // Offline: the seam over the combined module.
+        let combined = combine_modules(&[&m1, &m2]).unwrap();
+        let funcs: Vec<FuncId> = combined
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| combined.function(f).num_linked_insts() > 0)
+            .collect();
+        let search = LshMinHashSearch::build(
+            &combined,
+            &funcs,
+            MergeParams::static_default(),
+            1,
+        );
+        let available = vec![true; funcs.len()];
+
+        let (_, results) = c.query_module("alpha", 5).unwrap();
+        assert!(!results.is_empty());
+        let mut nonempty = 0;
+        for (i, r) in results.iter().enumerate() {
+            let offline = search.ranked_candidates(i, &available, 5);
+            let offline_names: Vec<(String, f64)> = offline
+                .into_iter()
+                .map(|(j, s)| (combined.function(funcs[j]).name.clone(), s))
+                .collect();
+            let daemon_names: Vec<(String, f64)> =
+                r.candidates.iter().map(|c| (c.func.clone(), c.similarity)).collect();
+            assert_eq!(daemon_names, offline_names, "function {} ({})", i, r.func);
+            nonempty += usize::from(!r.candidates.is_empty());
+        }
+        assert!(nonempty > 0, "workload families must produce candidates");
+    }
+
+    #[test]
+    fn evict_hides_candidates_without_rebuild() {
+        let c = corpus();
+        c.ingest(workload("alpha", 11)).unwrap();
+        c.ingest(workload("beta", 11)).unwrap(); // same seed: cross-module twins
+        let (_, before) = c.query_module("alpha", 10).unwrap();
+        assert!(before
+            .iter()
+            .any(|r| r.candidates.iter().any(|cand| cand.func.starts_with("beta."))));
+
+        let before_stats = c.stats();
+        let summary = c.evict("beta").unwrap();
+        assert!(summary.functions > 0);
+        let after_stats = c.stats();
+        assert_eq!(after_stats.epoch, before_stats.epoch + 1);
+        assert_eq!(after_stats.modules_live, 1);
+        assert_eq!(after_stats.modules_total, 2);
+        assert!(after_stats.functions_live < before_stats.functions_live);
+
+        let (_, after) = c.query_module("alpha", 10).unwrap();
+        for r in &after {
+            assert!(
+                r.candidates.iter().all(|cand| cand.func.starts_with("alpha.")),
+                "evicted module still surfaced: {r:?}"
+            );
+        }
+        // The name is free again.
+        c.ingest(workload("beta", 33)).unwrap();
+        assert_eq!(c.stats().modules_live, 2);
+    }
+
+    #[test]
+    fn duplicate_module_and_bad_names_are_rejected() {
+        let c = corpus();
+        c.ingest(workload("alpha", 1)).unwrap();
+        assert!(c.ingest(workload("alpha", 2)).unwrap_err().contains("already ingested"));
+        assert!(c.ingest(workload("no spaces", 3)).unwrap_err().contains("symbol prefix"));
+        assert!(c.evict("ghost").unwrap_err().contains("not resident"));
+        assert!(c.query_module("ghost", 1).is_err());
+        assert!(c.query_function("alpha", "nosuch", 1).is_err());
+    }
+
+    #[test]
+    fn merge_runs_over_combined_corpus() {
+        let c = corpus();
+        c.ingest(workload("alpha", 5)).unwrap();
+        c.ingest(workload("beta", 5)).unwrap();
+        let (report, merged) = c.merge(&PassConfig::f3m()).unwrap();
+        assert!(report.stats.merges_committed > 0, "twin modules must merge");
+        assert!(merged.lookup_function("alpha.__driver").is_some());
+        assert!(merged.lookup_function("beta.__driver").is_some());
+        // Resident state is untouched by the pass.
+        assert_eq!(c.stats().modules_live, 2);
+    }
+
+    #[test]
+    fn combine_rejects_conflicting_globals() {
+        let mut a = Module::new("a");
+        let i32t = a.types.int(32);
+        a.add_global(f3m_ir::module::Global { name: "g".into(), ty: i32t, init: vec![1] });
+        let mut b = Module::new("b");
+        let i32t_b = b.types.int(32);
+        b.add_global(f3m_ir::module::Global { name: "g".into(), ty: i32t_b, init: vec![2] });
+        let err = combine_modules(&[&a, &b]).unwrap_err();
+        assert!(err.contains("different type or initializer"), "{err}");
+        // Identical globals deduplicate fine.
+        let mut b2 = Module::new("b2");
+        let i32t_b2 = b2.types.int(32);
+        b2.add_global(f3m_ir::module::Global { name: "g".into(), ty: i32t_b2, init: vec![1] });
+        let combined = combine_modules(&[&a, &b2]).unwrap();
+        assert_eq!(combined.num_globals(), 1);
+    }
+}

@@ -16,6 +16,8 @@
 //! - [`report`] — per-stage timing, counters and the JSON report,
 //! - [`pass`] — the thin driver looping rank → align → codegen/commit over
 //!   HyFM / F3M-static / F3M-adaptive strategies,
+//! - [`corpus`] — the resident multi-module corpus with incremental
+//!   (epoch-versioned, sharded) indexing behind the `f3m-serve` daemon,
 //! - [`analysis`] — exhaustive pairwise metrics behind Figures 4/6/10.
 //!
 //! # Examples
@@ -66,6 +68,7 @@ pub mod analysis;
 pub mod block_pairing;
 pub mod codegen;
 pub mod commit;
+pub mod corpus;
 pub mod dce;
 pub mod pass;
 pub mod profile;
@@ -73,6 +76,7 @@ pub mod rank;
 pub mod report;
 
 pub use codegen::{MergeConfig, MergeError, RepairMode};
+pub use corpus::{combine_modules, Corpus, CorpusConfig, CorpusStats, QueryResult};
 pub use pass::{run_pass, run_pass_traced, MergeReport, MergeStats, PassConfig, Strategy};
 pub use profile::Profile;
 pub use rank::{CandidateSearch, ExhaustiveOpcodeSearch, IndexStats, LshMinHashSearch};

@@ -84,11 +84,25 @@ pub trait CandidateSearch {
     /// structures with no retained state this may be a no-op.)
     fn invalidate(&mut self, idx: usize);
 
+    /// The top-`k` available candidates for function `i`, as
+    /// `(index, similarity)` pairs sorted by similarity descending with
+    /// index ascending as the tie-break. Unlike [`Self::best_candidates`]
+    /// this exposes the full ranking (not just the near-tie head), which
+    /// is what corpus-level `query` requests serve; the tie-break rule is
+    /// part of the wire contract, so both implementations share it.
+    fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)>;
+
     /// Describes the current search structure for observability exports.
     /// The default (for structures with no retained index) is all-zero.
     fn index_stats(&self) -> IndexStats {
         IndexStats::default()
     }
+}
+
+/// The shared ordering rule behind [`CandidateSearch::ranked_candidates`]:
+/// similarity descending, then function index ascending.
+fn sort_ranked(ranked: &mut [(usize, f64)]) {
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 }
 
 /// Builds the search structure for `strategy` over `funcs`, fanning the
@@ -158,6 +172,18 @@ impl CandidateSearch for ExhaustiveOpcodeSearch {
         // The exhaustive scan consults `available` directly; there is no
         // retained structure to update.
     }
+
+    fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> = available
+            .iter()
+            .enumerate()
+            .filter(|&(j, av)| *av && j != i)
+            .map(|(j, _)| (j, self.fps[i].similarity(&self.fps[j])))
+            .collect();
+        sort_ranked(&mut ranked);
+        ranked.truncate(k);
+        ranked
+    }
 }
 
 /// F3M: MinHash fingerprints queried through a banded LSH index, with the
@@ -225,6 +251,19 @@ impl CandidateSearch for LshMinHashSearch {
 
     fn invalidate(&mut self, idx: usize) {
         self.index.remove(idx, &self.fps[idx]);
+    }
+
+    fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)> {
+        let (cands, _) = self.index.candidates_counted(&self.fps[i], i);
+        let mut ranked: Vec<(usize, f64)> = cands
+            .into_iter()
+            .filter(|&j| available[j])
+            .map(|j| (j, self.fps[i].similarity(&self.fps[j])))
+            .filter(|&(_, sim)| sim >= self.params.threshold)
+            .collect();
+        sort_ranked(&mut ranked);
+        ranked.truncate(k);
+        ranked
     }
 
     fn index_stats(&self) -> IndexStats {

@@ -24,8 +24,15 @@
 //! f3m gen   <workload> [-o <out.ir>] [--scale <f>]
 //! f3m fuzz  [--iterations <n>] [--seed <s>] [--corpus <dir>]
 //!           [--trace chrome:<path>] [--metrics <path>]
+//! f3m serve [--addr <host:port>] [--jobs <n>] [--queue-cap <c>]
+//!           [--shards <s>] [--trace chrome:<path>] [--metrics <path>]
+//! f3m client [--addr <host:port>] <ingest|evict|query|merge|stats|ping|shutdown> ...
 //! f3m list
 //! ```
+//!
+//! The daemon pair keeps a corpus resident across invocations: `f3m
+//! serve` holds the sharded LSH index in memory and `f3m client` sends
+//! one request per invocation and prints the JSON response on stdout.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,6 +47,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
@@ -56,6 +65,13 @@ fn main() -> ExitCode {
                  gen   <workload> [-o out.ir] [--scale f]\n\
                  fuzz  [--iterations n] [--seed s] [--corpus dir]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
+                 serve [--addr host:port] [--jobs n] [--queue-cap c] [--shards s]\n\
+                 \x20      [--trace chrome:path] [--metrics path]\n\
+                 client [--addr host:port] ingest <file.ir> [--name n]\n\
+                 client [--addr host:port] evict <module>\n\
+                 client [--addr host:port] query <module> [--func f] [-k n]\n\
+                 client [--addr host:port] merge [--strategy hyfm|f3m|f3m-adaptive] [--jobs n]\n\
+                 client [--addr host:port] stats|ping|shutdown\n\
                  list"
             );
             return ExitCode::from(2);
@@ -382,6 +398,88 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         Ok(())
     } else {
         Err(format!("{} oracle failure(s) found", summary.failures.len()).into())
+    }
+}
+
+/// Default daemon address for `serve`/`client` when `--addr` is absent.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7333";
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let obs = Observability::parse(args)?;
+    let cfg = f3m::serve::ServeConfig {
+        addr: flag_value(args, "--addr").unwrap_or(DEFAULT_SERVE_ADDR).to_string(),
+        jobs: flag_value(args, "--jobs").map(str::parse).transpose()?.unwrap_or(2),
+        queue_cap: flag_value(args, "--queue-cap").map(str::parse).transpose()?.unwrap_or(64),
+        shards: flag_value(args, "--shards").map(str::parse).transpose()?.unwrap_or(8),
+        metrics_path: obs.metrics_path,
+        trace_path: obs.trace_path,
+    };
+    if cfg.jobs == 0 || cfg.queue_cap == 0 || cfg.shards == 0 {
+        return Err("--jobs, --queue-cap and --shards must be positive".into());
+    }
+    f3m::serve::serve(cfg)?;
+    eprintln!("f3m-serve: shut down cleanly");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> CliResult {
+    use f3m::serve::Request;
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SERVE_ADDR);
+    // First non-flag argument is the verb; flags may precede it.
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") || a == "-k" {
+            i += 2; // every client flag takes a value
+        } else {
+            positional.push(a.as_str());
+            i += 1;
+        }
+    }
+    let verb = *positional.first().ok_or("client needs a request type (try `f3m` for usage)")?;
+    let body = match verb {
+        "ingest" => {
+            let path = positional.get(1).ok_or("ingest needs an IR file")?;
+            Request::Ingest {
+                name: flag_value(args, "--name").map(str::to_string),
+                ir: std::fs::read_to_string(path)?,
+            }
+        }
+        "evict" => Request::Evict {
+            name: positional.get(1).ok_or("evict needs a module name")?.to_string(),
+        },
+        "query" => Request::Query {
+            module: positional.get(1).ok_or("query needs a module name")?.to_string(),
+            func: flag_value(args, "--func").map(str::to_string),
+            k: flag_value(args, "-k")
+                .map(str::parse)
+                .transpose()?
+                .unwrap_or(f3m::serve::protocol::DEFAULT_QUERY_K),
+        },
+        "merge" => Request::Merge {
+            strategy: flag_value(args, "--strategy").unwrap_or("f3m").to_string(),
+            jobs: flag_value(args, "--jobs").map(str::parse).transpose()?,
+        },
+        "stats" => Request::Stats,
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown client request `{other}`").into()),
+    };
+    let mut client = f3m::serve::Client::connect(addr)?;
+    let env = f3m::serve::RequestEnvelope::of(body);
+    let raw = client.request_raw(&env)?;
+    println!("{raw}");
+    // Mirror the response status in the exit code so scripts can branch
+    // on failures without parsing JSON.
+    let v = f3m::serve::protocol::parse_response(raw.as_bytes())?;
+    match v.get("type").and_then(f3m::trace::Json::as_str) {
+        Some("error") | Some("busy") => Err(format!(
+            "daemon refused `{verb}`: {}",
+            v.get("message").and_then(f3m::trace::Json::as_str).unwrap_or("queue full")
+        )
+        .into()),
+        _ => Ok(()),
     }
 }
 

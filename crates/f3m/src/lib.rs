@@ -13,6 +13,9 @@
 //! - [`fuzz`]: differential fuzzing of the whole pipeline — IR mutators,
 //!   a merge oracle, deterministic campaigns and a delta-debugging
 //!   reducer (`f3m fuzz` on the command line),
+//! - [`serve`]: the resident merge daemon — a persistent sharded LSH
+//!   corpus with epoch-versioned ingestion behind a length-prefixed JSON
+//!   TCP protocol (`f3m serve` / `f3m client` on the command line),
 //! - [`trace`]: pipeline observability — structured span tracing with a
 //!   Chrome `trace_event` exporter, a typed metrics registry, and the
 //!   baseline machinery behind the perf-regression gate
@@ -36,6 +39,7 @@ pub use f3m_fingerprint as fingerprint;
 pub use f3m_fuzz as fuzz;
 pub use f3m_interp as interp;
 pub use f3m_ir as ir;
+pub use f3m_serve as serve;
 pub use f3m_trace as trace;
 pub use f3m_workloads as workloads;
 

@@ -21,8 +21,10 @@ pub mod lsh;
 pub mod minhash;
 pub mod opcode_freq;
 pub mod par;
+pub mod sharded;
 
 pub use adaptive::MergeParams;
 pub use lsh::{LshIndex, LshParams};
+pub use sharded::{ShardStats, ShardedLshIndex};
 pub use minhash::MinHashFingerprint;
 pub use opcode_freq::OpcodeFingerprint;

@@ -146,14 +146,35 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
     /// Removes an item from all its bands (no-op for absent entries).
     pub fn remove(&mut self, id: T, fp: &MinHashFingerprint) {
         let keys: Vec<u64> = self.band_keys(fp).collect();
+        self.remove_with_keys(id, &keys);
+    }
+
+    /// Removes an item under pre-computed band keys — the eviction
+    /// counterpart of [`Self::insert_with_keys`]. Cost is proportional to
+    /// the item's own band count, never to index size, which is what makes
+    /// rebuild-free eviction possible for a resident index.
+    pub fn remove_with_keys(&mut self, id: T, keys: &[u64]) {
         for key in keys {
-            if let Some(v) = self.buckets.get_mut(&key) {
+            if let Some(v) = self.buckets.get_mut(key) {
                 v.retain(|&x| x != id);
                 if v.is_empty() {
-                    self.buckets.remove(&key);
+                    self.buckets.remove(key);
                 }
             }
         }
+    }
+
+    /// The sorted contents of the bucket under one band key (`None` when
+    /// empty). This is the probing primitive a sharded wrapper uses to
+    /// reproduce [`Self::candidates_counted`] across shard boundaries.
+    pub fn probe_key(&self, key: u64) -> Option<&[T]> {
+        self.buckets.get(&key).map(Vec::as_slice)
+    }
+
+    /// Total entries across all buckets (an item counts once per band it
+    /// occupies).
+    pub fn num_entries(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
     }
 
     /// Collects the distinct candidates sharing at least one band with

@@ -1,0 +1,312 @@
+//! A sharded, epoch-versioned wrapper around [`LshIndex`] for resident
+//! (daemon) use.
+//!
+//! The band-key space is split into `n` contiguous ranges, each owning a
+//! private [`LshIndex`] behind its own `RwLock`, so ingest into one shard
+//! and queries against others proceed concurrently. A key `k` lives in
+//! shard `⌊k·n / 2⁶⁴⌋` — a multiply-shift that partitions the `u64` space
+//! into equal contiguous ranges without division.
+//!
+//! **Shard-transparency invariant:** because each band key is owned by
+//! exactly one shard, probing the owning shard per key reproduces the
+//! bucket contents — and therefore the candidate list, the `bucket_cap`
+//! truncation, and the examined/evicted counts — of a single unsharded
+//! [`LshIndex`] holding the same entries. Tests pin this equivalence.
+//!
+//! Visibility is versioned by a monotonically increasing **epoch**. A
+//! writer inserts (or removes) entries first and bumps the epoch last;
+//! readers pin [`ShardedLshIndex::epoch`] once and filter what they find
+//! against per-entry epoch intervals kept by the caller (see
+//! `f3m-core`'s corpus). The index itself stores only ids.
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::lsh::{LshIndex, LshParams, LshQueryStats};
+
+/// Occupancy counters for one shard, surfaced through the daemon's
+/// `stats` response and the server metrics registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Non-empty buckets in this shard.
+    pub num_buckets: usize,
+    /// Size of the fullest bucket (0 when empty).
+    pub max_bucket_size: usize,
+    /// Total bucket entries (an item counts once per resident band).
+    pub entries: usize,
+}
+
+/// A fixed-width set of [`LshIndex`] shards plus the epoch counter.
+///
+/// All mutating operations take `&self`; interior locking keeps them safe
+/// to call from server worker threads. Writers that must not interleave
+/// batches (e.g. two module ingests) serialize *outside* this type — the
+/// index only guarantees per-shard consistency and epoch monotonicity.
+#[derive(Debug)]
+pub struct ShardedLshIndex<T> {
+    params: LshParams,
+    shards: Vec<RwLock<LshIndex<T>>>,
+    epoch: AtomicU64,
+}
+
+impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
+    /// Creates an empty index with `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or the params are degenerate.
+    pub fn new(params: LshParams, num_shards: usize) -> ShardedLshIndex<T> {
+        assert!(num_shards > 0, "need at least one shard");
+        let shards = (0..num_shards).map(|_| RwLock::new(LshIndex::new(params))).collect();
+        ShardedLshIndex { params, shards, epoch: AtomicU64::new(0) }
+    }
+
+    /// The banding parameters shared by every shard.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning band key `key`: `⌊key·n / 2⁶⁴⌋`, i.e. contiguous
+    /// equal-width key ranges.
+    pub fn shard_of(&self, key: u64) -> usize {
+        ((key as u128 * self.shards.len() as u128) >> 64) as usize
+    }
+
+    /// The epoch visible to readers right now.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes all prior writes under a new epoch and returns it.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Inserts an item under pre-computed band keys (see
+    /// [`crate::lsh::band_keys_for`]). Locks each touched shard once.
+    pub fn insert_with_keys(&self, id: T, keys: &[u64]) {
+        self.for_each_shard_batch(keys, |shard, batch| {
+            let mut idx = shard.write().unwrap();
+            idx.insert_with_keys(id, batch);
+        });
+    }
+
+    /// Removes an item under pre-computed band keys. Cost is proportional
+    /// to the item's band count — eviction never rebuilds anything.
+    pub fn remove_with_keys(&self, id: T, keys: &[u64]) {
+        self.for_each_shard_batch(keys, |shard, batch| {
+            let mut idx = shard.write().unwrap();
+            idx.remove_with_keys(id, batch);
+        });
+    }
+
+    /// Groups `keys` by owning shard and invokes `f` once per touched
+    /// shard with that shard's key batch, preserving relative key order.
+    fn for_each_shard_batch(
+        &self,
+        keys: &[u64],
+        mut f: impl FnMut(&RwLock<LshIndex<T>>, &[u64]),
+    ) {
+        let mut batches: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        for &key in keys {
+            batches[self.shard_of(key)].push(key);
+        }
+        for (s, batch) in batches.iter().enumerate() {
+            if !batch.is_empty() {
+                f(&self.shards[s], batch);
+            }
+        }
+    }
+
+    /// Distinct candidates sharing at least one band with the querier,
+    /// with the same bucket-cap truncation, self-exclusion, dedup and
+    /// work counting as [`LshIndex::candidates_counted`] — probing each
+    /// key's owning shard under a read lock.
+    ///
+    /// Keys are visited in band order, so the output order matches the
+    /// unsharded implementation exactly.
+    pub fn candidates_counted(&self, keys: &[u64], exclude: T) -> (Vec<T>, LshQueryStats) {
+        let mut seen: std::collections::HashSet<T> =
+            std::collections::HashSet::with_capacity(self.params.bands);
+        let mut out = Vec::with_capacity(self.params.bands);
+        let mut stats = LshQueryStats::default();
+        for &key in keys {
+            let shard = self.shards[self.shard_of(key)].read().unwrap();
+            if let Some(bucket) = shard.probe_key(key) {
+                stats.evicted += bucket.len().saturating_sub(self.params.bucket_cap);
+                for &item in bucket.iter().take(self.params.bucket_cap) {
+                    if item == exclude {
+                        continue;
+                    }
+                    stats.examined += 1;
+                    if seen.insert(item) {
+                        out.push(item);
+                    }
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// Per-shard occupancy snapshot, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let idx = s.read().unwrap();
+                ShardStats {
+                    num_buckets: idx.num_buckets(),
+                    max_bucket_size: idx.max_bucket_size(),
+                    entries: idx.num_entries(),
+                }
+            })
+            .collect()
+    }
+
+    /// Non-empty buckets across all shards.
+    pub fn num_buckets(&self) -> usize {
+        self.shard_stats().iter().map(|s| s.num_buckets).sum()
+    }
+
+    /// Fullest bucket across all shards.
+    pub fn max_bucket_size(&self) -> usize {
+        self.shard_stats().iter().map(|s| s.max_bucket_size).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsh::band_keys_for;
+    use crate::minhash::MinHashFingerprint;
+    use std::sync::Arc;
+
+    fn params() -> LshParams {
+        LshParams { rows: 2, bands: 16, bucket_cap: 3 }
+    }
+
+    fn fp(seed: u32) -> MinHashFingerprint {
+        let stream: Vec<u32> = (0..24).map(|i| i + seed % 7).collect();
+        MinHashFingerprint::of_encoded(&stream, 32)
+    }
+
+    /// Inserting the same items into 1..=5 shards yields identical
+    /// candidate lists and work counts as a plain `LshIndex`.
+    #[test]
+    fn sharded_query_matches_unsharded_index() {
+        let p = params();
+        let items: Vec<(u32, MinHashFingerprint)> = (0..12).map(|i| (i, fp(i))).collect();
+        let mut flat = LshIndex::new(p);
+        for (id, f) in &items {
+            flat.insert(*id, f);
+        }
+        for n in 1..=5 {
+            let sharded = ShardedLshIndex::new(p, n);
+            for (id, f) in &items {
+                sharded.insert_with_keys(*id, &band_keys_for(p, f));
+            }
+            for (id, f) in &items {
+                let keys = band_keys_for(p, f);
+                assert_eq!(
+                    sharded.candidates_counted(&keys, *id),
+                    flat.candidates_counted(f, *id),
+                    "shards={n} query={id}"
+                );
+            }
+            let stats = sharded.shard_stats();
+            assert_eq!(stats.iter().map(|s| s.num_buckets).sum::<usize>(), flat.num_buckets());
+            assert_eq!(
+                stats.iter().map(|s| s.max_bucket_size).max().unwrap(),
+                flat.max_bucket_size()
+            );
+        }
+    }
+
+    #[test]
+    fn remove_with_keys_matches_unsharded_removal() {
+        let p = params();
+        let items: Vec<(u32, MinHashFingerprint)> = (0..10).map(|i| (i, fp(i))).collect();
+        let mut flat = LshIndex::new(p);
+        let sharded = ShardedLshIndex::new(p, 4);
+        for (id, f) in &items {
+            flat.insert(*id, f);
+            sharded.insert_with_keys(*id, &band_keys_for(p, f));
+        }
+        for (id, f) in items.iter().filter(|(id, _)| id % 2 == 0) {
+            flat.remove(*id, f);
+            sharded.remove_with_keys(*id, &band_keys_for(p, f));
+        }
+        for (id, f) in &items {
+            let keys = band_keys_for(p, f);
+            assert_eq!(sharded.candidates_counted(&keys, *id), flat.candidates_counted(f, *id));
+        }
+        assert_eq!(sharded.num_buckets(), flat.num_buckets());
+    }
+
+    #[test]
+    fn shard_of_partitions_key_space_contiguously() {
+        let idx: ShardedLshIndex<u32> = ShardedLshIndex::new(params(), 4);
+        assert_eq!(idx.shard_of(0), 0);
+        assert_eq!(idx.shard_of(u64::MAX), 3);
+        // Monotone: higher keys never map to lower shards.
+        let mut last = 0;
+        for k in (0..u64::MAX - 1).step_by(usize::MAX / 8) {
+            let s = idx.shard_of(k);
+            assert!(s >= last);
+            assert!(s < 4);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn epoch_advances_monotonically() {
+        let idx: ShardedLshIndex<u32> = ShardedLshIndex::new(params(), 2);
+        assert_eq!(idx.epoch(), 0);
+        assert_eq!(idx.advance_epoch(), 1);
+        assert_eq!(idx.advance_epoch(), 2);
+        assert_eq!(idx.epoch(), 2);
+    }
+
+    /// Concurrent ingest and query never panic, and every item committed
+    /// before the final epoch is findable afterwards.
+    #[test]
+    fn concurrent_ingest_and_query_smoke() {
+        let p = params();
+        let idx: Arc<ShardedLshIndex<u32>> = Arc::new(ShardedLshIndex::new(p, 4));
+        let writers: Vec<_> = (0..3u32)
+            .map(|w| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..20 {
+                        let id = w * 100 + i;
+                        idx.insert_with_keys(id, &band_keys_for(p, &fp(id)));
+                        idx.advance_epoch();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2u32)
+            .map(|_| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let keys = band_keys_for(p, &fp(i));
+                        let _ = idx.candidates_counted(&keys, u32::MAX);
+                        let _ = idx.shard_stats();
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        assert_eq!(idx.epoch(), 60);
+        let (cands, _) = idx.candidates_counted(&band_keys_for(p, &fp(5)), u32::MAX);
+        assert!(cands.contains(&5));
+    }
+}

@@ -121,6 +121,30 @@ impl Module {
         self.funcs[id.index()] = f;
     }
 
+    /// Renames the function at `id`, keeping the name registry in sync.
+    /// Safe for any function: call sites reference callees through
+    /// [`FuncId`]s, never by name, so no body rewriting is needed. Used to
+    /// namespace symbols when modules from different origins are combined
+    /// into one corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_name` is already taken by a different function.
+    pub fn rename_function(&mut self, id: FuncId, new_name: impl Into<String>) {
+        let new_name = new_name.into();
+        let old = self.funcs[id.index()].name.clone();
+        if old == new_name {
+            return;
+        }
+        assert!(
+            !self.func_names.contains_key(&new_name),
+            "rename target {new_name} already exists"
+        );
+        self.func_names.remove(&old);
+        self.func_names.insert(new_name.clone(), id);
+        self.funcs[id.index()].name = new_name;
+    }
+
     /// Removes the most recently added function. Used by the merging pass
     /// to discard a freshly built merged function that turned out to be
     /// unprofitable, before anything can reference it.
@@ -255,6 +279,30 @@ mod tests {
         let name = m.fresh_name("merged");
         assert_ne!(name, "merged.0");
         assert!(m.lookup_function(&name).is_none());
+    }
+
+    #[test]
+    fn rename_function_updates_registry() {
+        let mut m = Module::new("m");
+        let v = m.types.void();
+        let id = m.add_function(Function::new("f", vec![], v));
+        m.rename_function(id, "ns.f");
+        assert_eq!(m.function(id).name, "ns.f");
+        assert_eq!(m.lookup_function("ns.f"), Some(id));
+        assert_eq!(m.lookup_function("f"), None);
+        // Renaming to the current name is a no-op.
+        m.rename_function(id, "ns.f");
+        assert_eq!(m.lookup_function("ns.f"), Some(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn rename_to_taken_name_panics() {
+        let mut m = Module::new("m");
+        let v = m.types.void();
+        let id = m.add_function(Function::new("f", vec![], v));
+        m.add_function(Function::new("g", vec![], v));
+        m.rename_function(id, "g");
     }
 
     #[test]

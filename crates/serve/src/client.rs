@@ -1,0 +1,87 @@
+//! A synchronous client: one request in flight, response awaited before
+//! the next send.
+//!
+//! Synchrony is what makes daemon behaviour deterministic from the
+//! client's point of view — see the ordering notes in
+//! [`crate::server`]. The raw-frame accessors ([`Client::request_raw`])
+//! return the exact response bytes, which the determinism tests compare
+//! across `--jobs` settings.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use f3m_trace::Json;
+
+use crate::protocol::{
+    parse_response, read_frame, render_request, write_frame, Request, RequestEnvelope,
+};
+
+/// A connected synchronous client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long [`request_raw`](Client::request_raw) waits for a
+    /// response (`None` waits forever).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one envelope and returns the raw response text.
+    pub fn request_raw(&mut self, env: &RequestEnvelope) -> Result<String, String> {
+        let text = render_request(env);
+        write_frame(&mut self.stream, text.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("connection closed before response")?;
+        String::from_utf8(payload).map_err(|_| "response is not UTF-8".to_string())
+    }
+
+    /// Sends one raw payload (not necessarily a well-formed request) and
+    /// returns the raw response text. Testing aid for protocol-error
+    /// paths.
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<String, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send: {e}"))?;
+        let resp = read_frame(&mut self.stream)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("connection closed before response")?;
+        String::from_utf8(resp).map_err(|_| "response is not UTF-8".to_string())
+    }
+
+    /// Sends one envelope and parses the response.
+    pub fn request(&mut self, env: &RequestEnvelope) -> Result<Json, String> {
+        let raw = self.request_raw(env)?;
+        parse_response(raw.as_bytes())
+    }
+
+    /// Sends a bare request body (no id, no deadline) and parses the
+    /// response.
+    pub fn call(&mut self, body: Request) -> Result<Json, String> {
+        self.request(&RequestEnvelope::of(body))
+    }
+
+    /// `call`, then fail unless the response `type` is `expected`.
+    /// The error for unexpected types includes the server's `message`
+    /// field when present.
+    pub fn call_expect(&mut self, body: Request, expected: &str) -> Result<Json, String> {
+        let v = self.call(body)?;
+        let got = v.get("type").and_then(Json::as_str).unwrap_or("<none>");
+        if got != expected {
+            let detail = v
+                .get("message")
+                .and_then(Json::as_str)
+                .map(|m| format!(": {m}"))
+                .unwrap_or_default();
+            return Err(format!("expected `{expected}` response, got `{got}`{detail}"));
+        }
+        Ok(v)
+    }
+}

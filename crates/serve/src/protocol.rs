@@ -1,0 +1,551 @@
+//! The wire protocol: length-prefixed JSON frames and the typed
+//! request/response vocabulary.
+//!
+//! ## Framing
+//!
+//! Every message is one frame: a 4-byte big-endian payload length
+//! followed by exactly that many bytes of UTF-8 JSON. Lengths above
+//! [`MAX_FRAME`] are rejected before any payload is read, so a malicious
+//! or corrupt prefix cannot make the server allocate unboundedly.
+//!
+//! ## Grammar
+//!
+//! Requests are JSON objects dispatched on `"type"`:
+//!
+//! ```json
+//! {"type":"ingest","ir":"module \"m\" { ... }","name":"m2"}
+//! {"type":"evict","name":"m"}
+//! {"type":"query","module":"m","func":"f0_0","k":3}
+//! {"type":"merge","strategy":"f3m","jobs":2}
+//! {"type":"stats"}  {"type":"ping"}  {"type":"shutdown"}
+//! {"type":"sleep","ms":100}
+//! ```
+//!
+//! Any request may carry `"id"` (an opaque integer echoed in the
+//! response, for correlating pipelined requests) and `"deadline_ms"`
+//! (maximum queue wait; expired requests answer an error instead of
+//! occupying a worker). Responses mirror the request types (`ingested`,
+//! `evicted`, `candidates`, `report`, `stats`, `pong`, `slept`, `bye`)
+//! plus the two refusals `busy` (bounded queue full) and `error`.
+//! All response rendering uses fixed field order, so responses to the
+//! same corpus state are byte-identical — the determinism tests compare
+//! raw frames across `--jobs` settings.
+
+use std::io::{Read, Write};
+
+use f3m_core::corpus::{CorpusStats, EvictSummary, IngestSummary, QueryResult};
+use f3m_trace::json::{self, escape, fmt_f64, Json};
+
+/// Maximum frame payload size (64 MiB) — comfortably above any workload
+/// module text, far below memory exhaustion.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport error, including truncation mid-frame.
+    Io(std::io::Error),
+    /// The length prefix exceeded [`MAX_FRAME`].
+    Oversized(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds maximum {MAX_FRAME}")
+            }
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "payload exceeds u32")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on clean EOF at a frame boundary;
+/// truncation mid-frame is an [`FrameError::Io`] with `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // A clean close between frames shows up as EOF on the first byte.
+    match r.read(&mut len_buf[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    r.read_exact(&mut len_buf[1..]).map_err(FrameError::Io)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(Some(payload))
+}
+
+/// A request body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register a module (IR text). `name` overrides the module's own
+    /// name as the corpus qualification prefix.
+    Ingest { name: Option<String>, ir: String },
+    /// Drop a resident module.
+    Evict { name: String },
+    /// Top-k candidates for one function (`func` set) or every function
+    /// of a module (`func` absent).
+    Query { module: String, func: Option<String>, k: usize },
+    /// Run the full pass over the combined resident corpus.
+    Merge { strategy: String, jobs: Option<usize> },
+    Stats,
+    Ping,
+    /// Hold a worker for `ms` milliseconds (testing aid for backpressure
+    /// and deadline behaviour).
+    Sleep { ms: u64 },
+    /// Graceful shutdown: drain the queue, flush metrics, exit 0.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire `"type"` tag.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } => "ingest",
+            Request::Evict { .. } => "evict",
+            Request::Query { .. } => "query",
+            Request::Merge { .. } => "merge",
+            Request::Stats => "stats",
+            Request::Ping => "ping",
+            Request::Sleep { .. } => "sleep",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request plus its per-request metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestEnvelope {
+    /// Echoed verbatim in the response, if present.
+    pub id: Option<u64>,
+    /// Maximum time the request may wait in the queue before being
+    /// answered with an error instead of processed.
+    pub deadline_ms: Option<u64>,
+    pub body: Request,
+}
+
+impl RequestEnvelope {
+    /// Bare envelope (no id, no deadline).
+    pub fn of(body: Request) -> RequestEnvelope {
+        RequestEnvelope { id: None, deadline_ms: None, body }
+    }
+}
+
+/// Default `k` for `query` requests that omit it.
+pub const DEFAULT_QUERY_K: usize = 3;
+
+/// Parses a request frame payload.
+///
+/// # Errors
+///
+/// Returns a message naming the first syntax or schema problem; the
+/// server relays it in an `error` response rather than dropping the
+/// connection.
+pub fn parse_request(payload: &[u8]) -> Result<RequestEnvelope, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
+    let v = json::parse(text)?;
+    let ty = v.get("type").and_then(Json::as_str).ok_or("missing `type` field")?;
+    let str_field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or(format!("`{ty}` request: missing string field `{name}`"))
+    };
+    let opt_str = |name: &str| v.get(name).and_then(Json::as_str).map(str::to_string);
+    let opt_u64 = |name: &str| -> Result<Option<u64>, String> {
+        match v.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(x) => x
+                .as_u64()
+                .map(Some)
+                .ok_or(format!("`{ty}` request: `{name}` must be a non-negative integer")),
+        }
+    };
+    let body = match ty {
+        "ingest" => Request::Ingest { name: opt_str("name"), ir: str_field("ir")? },
+        "evict" => Request::Evict { name: str_field("name")? },
+        "query" => Request::Query {
+            module: str_field("module")?,
+            func: opt_str("func"),
+            k: opt_u64("k")?.map(|k| k as usize).unwrap_or(DEFAULT_QUERY_K),
+        },
+        "merge" => Request::Merge {
+            strategy: opt_str("strategy").unwrap_or_else(|| "f3m".to_string()),
+            jobs: opt_u64("jobs")?.map(|j| j as usize),
+        },
+        "stats" => Request::Stats,
+        "ping" => Request::Ping,
+        "sleep" => Request::Sleep {
+            ms: opt_u64("ms")?.ok_or("`sleep` request: missing `ms`")?,
+        },
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown request type `{other}`")),
+    };
+    Ok(RequestEnvelope { id: opt_u64("id")?, deadline_ms: opt_u64("deadline_ms")?, body })
+}
+
+/// Renders a request envelope (the client half of the round trip).
+pub fn render_request(env: &RequestEnvelope) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"type\":\"{}\"", env.body.type_name()));
+    if let Some(id) = env.id {
+        out.push_str(&format!(",\"id\":{id}"));
+    }
+    if let Some(d) = env.deadline_ms {
+        out.push_str(&format!(",\"deadline_ms\":{d}"));
+    }
+    match &env.body {
+        Request::Ingest { name, ir } => {
+            if let Some(n) = name {
+                out.push_str(&format!(",\"name\":\"{}\"", escape(n)));
+            }
+            out.push_str(&format!(",\"ir\":\"{}\"", escape(ir)));
+        }
+        Request::Evict { name } => out.push_str(&format!(",\"name\":\"{}\"", escape(name))),
+        Request::Query { module, func, k } => {
+            out.push_str(&format!(",\"module\":\"{}\"", escape(module)));
+            if let Some(f) = func {
+                out.push_str(&format!(",\"func\":\"{}\"", escape(f)));
+            }
+            out.push_str(&format!(",\"k\":{k}"));
+        }
+        Request::Merge { strategy, jobs } => {
+            out.push_str(&format!(",\"strategy\":\"{}\"", escape(strategy)));
+            if let Some(j) = jobs {
+                out.push_str(&format!(",\"jobs\":{j}"));
+            }
+        }
+        Request::Sleep { ms } => out.push_str(&format!(",\"ms\":{ms}")),
+        Request::Stats | Request::Ping | Request::Shutdown => {}
+    }
+    out.push('}');
+    out
+}
+
+/// Server-side request/work counters included in `stats` responses and
+/// the exported metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Completed requests by type, in the fixed order of
+    /// [`REQUEST_TYPES`].
+    pub requests: [u64; REQUEST_TYPES.len()],
+    /// Requests refused with `busy` (bounded queue full).
+    pub rejects_busy: u64,
+    /// Requests expired in the queue past their `deadline_ms`.
+    pub rejects_deadline: u64,
+    /// Requests answered with an `error` response (parse or handler).
+    pub errors: u64,
+    /// Highest queue depth observed.
+    pub queue_depth_hwm: u64,
+}
+
+/// Wire request types in counter order.
+pub const REQUEST_TYPES: &[&str] =
+    &["ingest", "evict", "query", "merge", "stats", "ping", "sleep", "shutdown"];
+
+impl ServerCounters {
+    /// Bumps the per-type completion counter.
+    pub fn count_request(&mut self, type_name: &str) {
+        if let Some(i) = REQUEST_TYPES.iter().position(|t| *t == type_name) {
+            self.requests[i] += 1;
+        }
+    }
+}
+
+/// A response body. Rendering (see [`render_response`]) uses fixed field
+/// order and deterministic number formatting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Ingested(IngestSummary),
+    Evicted(EvictSummary),
+    Candidates { epoch: u64, results: Vec<QueryResult> },
+    /// `report` is the pre-rendered `MergeReport::to_json` object (spliced
+    /// verbatim; the pass serializer already emits deterministic JSON).
+    Report { epoch: u64, report: String },
+    Stats { corpus: CorpusStats, server: ServerCounters },
+    Pong,
+    Slept { ms: u64 },
+    Bye,
+    Busy,
+    Error { message: String },
+}
+
+impl Response {
+    /// The wire `"type"` tag.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Response::Ingested(_) => "ingested",
+            Response::Evicted(_) => "evicted",
+            Response::Candidates { .. } => "candidates",
+            Response::Report { .. } => "report",
+            Response::Stats { .. } => "stats",
+            Response::Pong => "pong",
+            Response::Slept { .. } => "slept",
+            Response::Bye => "bye",
+            Response::Busy => "busy",
+            Response::Error { .. } => "error",
+        }
+    }
+}
+
+/// Renders a response, echoing the request `id` when present.
+pub fn render_response(id: Option<u64>, resp: &Response) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"type\":\"{}\"", resp.type_name()));
+    if let Some(id) = id {
+        out.push_str(&format!(",\"id\":{id}"));
+    }
+    match resp {
+        Response::Ingested(s) => out.push_str(&format!(
+            ",\"module\":\"{}\",\"functions\":{},\"skipped\":{},\"epoch\":{}",
+            escape(&s.module),
+            s.functions,
+            s.skipped,
+            s.epoch
+        )),
+        Response::Evicted(s) => out.push_str(&format!(
+            ",\"module\":\"{}\",\"functions\":{},\"epoch\":{}",
+            escape(&s.module),
+            s.functions,
+            s.epoch
+        )),
+        Response::Candidates { epoch, results } => {
+            out.push_str(&format!(",\"epoch\":{epoch},\"results\":["));
+            for (i, r) in results.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"func\":\"{}\",\"candidates\":[", escape(&r.func)));
+                for (j, c) in r.candidates.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"func\":\"{}\",\"similarity\":{}}}",
+                        escape(&c.func),
+                        fmt_f64(c.similarity)
+                    ));
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        Response::Report { epoch, report } => {
+            out.push_str(&format!(",\"epoch\":{epoch},\"report\":{report}"));
+        }
+        Response::Stats { corpus, server } => {
+            out.push_str(&format!(
+                ",\"corpus\":{{\"epoch\":{},\"modules_live\":{},\"modules_total\":{},\
+                 \"functions_live\":{},\"entries_total\":{},\"index_buckets\":{},\
+                 \"index_max_bucket\":{},\"shards\":[",
+                corpus.epoch,
+                corpus.modules_live,
+                corpus.modules_total,
+                corpus.functions_live,
+                corpus.entries_total,
+                corpus.index_buckets,
+                corpus.index_max_bucket
+            ));
+            for (i, s) in corpus.shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"num_buckets\":{},\"max_bucket_size\":{},\"entries\":{}}}",
+                    s.num_buckets, s.max_bucket_size, s.entries
+                ));
+            }
+            out.push_str("]},\"server\":{\"requests\":{");
+            for (i, t) in REQUEST_TYPES.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{t}\":{}", server.requests[i]));
+            }
+            out.push_str(&format!(
+                "}},\"rejects_busy\":{},\"rejects_deadline\":{},\"errors\":{},\
+                 \"queue_depth_hwm\":{}}}",
+                server.rejects_busy, server.rejects_deadline, server.errors, server.queue_depth_hwm
+            ));
+        }
+        Response::Slept { ms } => out.push_str(&format!(",\"ms\":{ms}")),
+        Response::Error { message } => {
+            out.push_str(&format!(",\"message\":\"{}\"", escape(message)));
+        }
+        Response::Pong | Response::Bye | Response::Busy => {}
+    }
+    out.push('}');
+    out
+}
+
+/// Parses a response frame into generic [`Json`] (clients pick fields
+/// out of the document rather than reconstructing typed values).
+pub fn parse_response(payload: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "response is not UTF-8".to_string())?;
+    json::parse(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_render_parse_round_trips_every_type() {
+        let reqs = [
+            RequestEnvelope {
+                id: Some(7),
+                deadline_ms: Some(250),
+                body: Request::Ingest {
+                    name: Some("m2".into()),
+                    ir: "module \"m\" {\n}\n".into(),
+                },
+            },
+            RequestEnvelope::of(Request::Ingest { name: None, ir: "x".into() }),
+            RequestEnvelope::of(Request::Evict { name: "m".into() }),
+            RequestEnvelope {
+                id: Some(1),
+                deadline_ms: None,
+                body: Request::Query { module: "m".into(), func: Some("f".into()), k: 5 },
+            },
+            RequestEnvelope::of(Request::Query { module: "m".into(), func: None, k: 3 }),
+            RequestEnvelope::of(Request::Merge { strategy: "f3m".into(), jobs: Some(2) }),
+            RequestEnvelope::of(Request::Merge { strategy: "hyfm".into(), jobs: None }),
+            RequestEnvelope::of(Request::Stats),
+            RequestEnvelope::of(Request::Ping),
+            RequestEnvelope::of(Request::Sleep { ms: 12 }),
+            RequestEnvelope::of(Request::Shutdown),
+        ];
+        for req in reqs {
+            let text = render_request(&req);
+            let parsed = parse_request(text.as_bytes()).unwrap();
+            assert_eq!(parsed, req, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn query_k_defaults_when_omitted() {
+        let env = parse_request(br#"{"type":"query","module":"m"}"#).unwrap();
+        assert_eq!(env.body, Request::Query { module: "m".into(), func: None, k: DEFAULT_QUERY_K });
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        for bad in [
+            &b"not json"[..],
+            b"{}",
+            b"{\"type\":\"warp\"}",
+            b"{\"type\":\"evict\"}",
+            b"{\"type\":\"query\"}",
+            b"{\"type\":\"sleep\"}",
+            b"{\"type\":\"query\",\"module\":\"m\",\"k\":-1}",
+            b"{\"type\":\"ping\",\"id\":1.5}",
+            b"\xff\xfe",
+        ] {
+            assert!(parse_request(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_rendering_round_trips_through_json() {
+        use f3m_core::corpus::RankedCandidate;
+        let resps = [
+            Response::Ingested(IngestSummary {
+                module: "m".into(),
+                functions: 9,
+                skipped: 1,
+                epoch: 3,
+            }),
+            Response::Evicted(EvictSummary { module: "m".into(), functions: 9, epoch: 4 }),
+            Response::Candidates {
+                epoch: 4,
+                results: vec![QueryResult {
+                    func: "m.f".into(),
+                    candidates: vec![RankedCandidate { func: "m.g".into(), similarity: 0.75 }],
+                }],
+            },
+            Response::Report { epoch: 2, report: "{\"stats\":{},\"attempts\":[]}".into() },
+            Response::Stats {
+                corpus: CorpusStats {
+                    epoch: 5,
+                    modules_live: 2,
+                    modules_total: 3,
+                    functions_live: 18,
+                    entries_total: 27,
+                    index_buckets: 40,
+                    index_max_bucket: 4,
+                    shards: vec![Default::default(); 2],
+                },
+                server: ServerCounters { rejects_busy: 1, ..Default::default() },
+            },
+            Response::Pong,
+            Response::Slept { ms: 5 },
+            Response::Bye,
+            Response::Busy,
+            Response::Error { message: "boom \"quoted\"".into() },
+        ];
+        for resp in &resps {
+            let text = render_response(Some(9), resp);
+            let v = parse_response(text.as_bytes()).unwrap();
+            assert_eq!(v.get("type").and_then(Json::as_str), Some(resp.type_name()), "{text}");
+            assert_eq!(v.get("id").and_then(Json::as_u64), Some(9), "{text}");
+        }
+        // Spot-check nested payloads survive.
+        let cand = render_response(None, &resps[2]);
+        let v = parse_response(cand.as_bytes()).unwrap();
+        let results = v.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results[0].get("func").and_then(Json::as_str), Some("m.f"));
+        let c0 = &results[0].get("candidates").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(c0.get("similarity").and_then(Json::as_f64), Some(0.75));
+        let err = render_response(None, &resps[9]);
+        let v = parse_response(err.as_bytes()).unwrap();
+        assert_eq!(v.get("message").and_then(Json::as_str), Some("boom \"quoted\""));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversized_and_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"type\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"{}").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"type\":\"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{}");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at boundary");
+
+        // Oversized prefix: rejected before any payload allocation.
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        match read_frame(&mut &huge[..]) {
+            Err(FrameError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+
+        // Truncated payload: io error, not a hang or panic.
+        let mut trunc = Vec::new();
+        trunc.extend_from_slice(&10u32.to_be_bytes());
+        trunc.extend_from_slice(b"abc");
+        match read_frame(&mut &trunc[..]) {
+            Err(FrameError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+
+        // Truncated length prefix itself.
+        let stub = [0u8, 0];
+        assert!(matches!(read_frame(&mut &stub[..]), Err(FrameError::Io(_))));
+    }
+}

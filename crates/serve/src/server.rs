@@ -1,0 +1,411 @@
+//! The daemon: accept loop, per-connection readers, worker pool, and
+//! graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread (the caller of [`Server::run`]), one reader
+//! thread per live connection, and a fixed pool of `jobs` workers.
+//! Readers only parse frames and `try_push` onto the shared
+//! [`BoundedQueue`]; all corpus work happens on workers. Responses are
+//! written under a per-connection write mutex, so a reader answering
+//! `busy` never interleaves bytes with a worker answering an earlier
+//! request on the same socket.
+//!
+//! ## Ordering and determinism
+//!
+//! The queue is FIFO, but with more than one worker, *pipelined*
+//! requests (several in flight on one connection) may complete out of
+//! order — use the request `id` to correlate. A synchronous client (one
+//! request in flight, as [`crate::client::Client`] does) observes fully
+//! deterministic behaviour: the same ingest sequence produces
+//! byte-identical `query` and `merge` responses at any `--jobs` setting,
+//! because corpus state transitions are then totally ordered and all
+//! response rendering is fixed-order (merge reports additionally have
+//! wall-clock fields zeroed).
+//!
+//! ## Shutdown
+//!
+//! `shutdown` rides the queue like any request, so everything accepted
+//! before it still gets a response. Its handler closes the queue (late
+//! arrivals get `busy`), answers `bye`, and pokes the acceptor awake
+//! with a loopback connect. Workers drain the residue and exit;
+//! [`Server::run`] then flushes metrics/trace artefacts and returns
+//! `Ok(())` — process exit code 0.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use f3m_core::corpus::{Corpus, CorpusConfig};
+use f3m_core::pass::PassConfig;
+use f3m_ir::parser::parse_module;
+use f3m_trace::metrics::MetricsRegistry;
+use f3m_trace::tracer::span_on;
+use f3m_trace::{write_with_dirs, Tracer};
+
+use crate::protocol::{
+    parse_request, read_frame, render_response, write_frame, FrameError, Request, Response,
+    ServerCounters, REQUEST_TYPES,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Bounded queue capacity; pushes beyond it answer `busy`.
+    pub queue_cap: usize,
+    /// LSH index shards for the resident corpus.
+    pub shards: usize,
+    /// Flat-JSON metrics artefact written on shutdown.
+    pub metrics_path: Option<PathBuf>,
+    /// Chrome-trace artefact written on shutdown.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            queue_cap: 64,
+            shards: 8,
+            metrics_path: None,
+            trace_path: None,
+        }
+    }
+}
+
+/// One unit of accepted work.
+struct Job {
+    id: Option<u64>,
+    deadline_ms: Option<u64>,
+    body: Request,
+    enqueued: Instant,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared by acceptor, readers, and workers.
+struct Shared {
+    corpus: Corpus,
+    queue: BoundedQueue<Job>,
+    counters: Mutex<ServerCounters>,
+    shutting_down: AtomicBool,
+    tracer: Option<Tracer>,
+    /// The bound address, so the shutdown path can poke the acceptor
+    /// awake with a loopback connect.
+    listen_addr: SocketAddr,
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    cfg: ServeConfig,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the resident corpus (empty).
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let corpus = Corpus::new(CorpusConfig {
+            shards: cfg.shards.max(1),
+            jobs: cfg.jobs.max(1),
+            ..CorpusConfig::default()
+        });
+        let shared = Arc::new(Shared {
+            corpus,
+            queue: BoundedQueue::new(cfg.queue_cap),
+            counters: Mutex::new(ServerCounters::default()),
+            shutting_down: AtomicBool::new(false),
+            tracer: cfg.trace_path.as_ref().map(|_| Tracer::new()),
+            listen_addr: listener.local_addr()?,
+        });
+        Ok(Server { cfg, listener, shared })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` request completes; returns after the
+    /// queue is drained, workers have joined, and artefacts are flushed.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers = Vec::new();
+        for _ in 0..self.cfg.jobs.max(1) {
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        for conn in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // Responses are one small frame each; Nagle would add a
+            // delayed-ACK round trip to every synchronous request.
+            let _ = stream.set_nodelay(true);
+            let shared = Arc::clone(&self.shared);
+            // Readers are detached: one may stay blocked on `read` until
+            // its client hangs up, which must not stall shutdown.
+            std::thread::spawn(move || reader_loop(&shared, stream));
+        }
+        // `shutdown` already closed the queue; workers finish the residue.
+        for w in workers {
+            let _ = w.join();
+        }
+        self.flush_artifacts();
+        Ok(())
+    }
+
+    /// Writes the metrics and trace artefacts, if configured.
+    fn flush_artifacts(&self) {
+        if let Some(path) = &self.cfg.metrics_path {
+            let dump = render_metrics(&self.shared, &self.cfg);
+            if let Err(e) = write_with_dirs(path, &dump) {
+                eprintln!("f3m-serve: failed to write metrics {}: {e}", path.display());
+            }
+        }
+        if let (Some(path), Some(tracer)) = (&self.cfg.trace_path, &self.shared.tracer) {
+            if let Err(e) = write_with_dirs(path, &tracer.to_chrome_json()) {
+                eprintln!("f3m-serve: failed to write trace {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Renders the daemon's metrics registry: request counters, refusal
+/// counters, queue high-water mark, corpus epoch, and per-shard index
+/// occupancy.
+fn render_metrics(shared: &Shared, cfg: &ServeConfig) -> String {
+    let counters = shared.counters.lock().unwrap().clone();
+    let stats = shared.corpus.stats();
+    let mut reg = MetricsRegistry::new();
+    for (i, ty) in REQUEST_TYPES.iter().enumerate() {
+        let c = reg.counter(&format!("serve.requests.{ty}"), "requests", true);
+        reg.set(c, counters.requests[i]);
+    }
+    let det_pairs: [(&str, u64); 3] = [
+        ("serve.errors", counters.errors),
+        ("serve.epoch", stats.epoch),
+        ("serve.jobs", cfg.jobs as u64),
+    ];
+    for (name, v) in det_pairs {
+        let c = reg.counter(name, "count", true);
+        reg.set(c, v);
+    }
+    // Timing-dependent: how full the queue got and what was refused.
+    let nondet_pairs: [(&str, u64); 3] = [
+        ("serve.rejects_busy", counters.rejects_busy),
+        ("serve.rejects_deadline", counters.rejects_deadline),
+        ("serve.queue_depth_hwm", counters.queue_depth_hwm),
+    ];
+    for (name, v) in nondet_pairs {
+        let c = reg.counter(name, "count", false);
+        reg.set(c, v);
+    }
+    let occ = [
+        ("serve.index.buckets", stats.index_buckets as u64),
+        ("serve.index.max_bucket", stats.index_max_bucket as u64),
+        ("serve.index.entries", stats.entries_total as u64),
+    ];
+    for (name, v) in occ {
+        let c = reg.counter(name, "buckets", true);
+        reg.set(c, v);
+    }
+    for (i, s) in stats.shards.iter().enumerate() {
+        let b = reg.counter(&format!("serve.shard{i}.buckets"), "buckets", true);
+        reg.set(b, s.num_buckets as u64);
+        let e = reg.counter(&format!("serve.shard{i}.entries"), "entries", true);
+        reg.set(e, s.entries as u64);
+        let m = reg.counter(&format!("serve.shard{i}.max_bucket"), "entries", true);
+        reg.set(m, s.max_bucket_size as u64);
+    }
+    reg.to_json()
+}
+
+/// Writes one response frame on a connection, counting it. Write
+/// failures mean the client hung up; the response is dropped.
+fn respond(shared: &Shared, out: &Mutex<TcpStream>, id: Option<u64>, resp: &Response) {
+    {
+        let mut c = shared.counters.lock().unwrap();
+        if matches!(resp, Response::Error { .. }) {
+            c.errors += 1;
+        }
+    }
+    let text = render_response(id, resp);
+    let mut stream = out.lock().unwrap();
+    let _ = write_frame(&mut *stream, text.as_bytes());
+}
+
+/// Per-connection reader: parse frames, enqueue jobs, refuse overload.
+fn reader_loop(shared: &Shared, stream: TcpStream) {
+    let Ok(mut read_half) = stream.try_clone() else { return };
+    let out = Arc::new(Mutex::new(stream));
+    loop {
+        match read_frame(&mut read_half) {
+            Ok(None) => break,
+            Ok(Some(payload)) => match parse_request(&payload) {
+                Ok(env) => {
+                    let id = env.id;
+                    let job = Job {
+                        id,
+                        deadline_ms: env.deadline_ms,
+                        body: env.body,
+                        enqueued: Instant::now(),
+                        out: Arc::clone(&out),
+                    };
+                    if let Err(e) = shared.queue.try_push(job) {
+                        if e == PushError::Full {
+                            shared.counters.lock().unwrap().rejects_busy += 1;
+                        }
+                        respond(shared, &out, id, &Response::Busy);
+                    }
+                }
+                Err(message) => {
+                    respond(shared, &out, None, &Response::Error { message });
+                }
+            },
+            Err(FrameError::Oversized(n)) => {
+                // The payload was never read, so the stream is no longer
+                // at a frame boundary: answer, then drop the connection.
+                let message = format!(
+                    "frame length {n} exceeds maximum {}",
+                    crate::protocol::MAX_FRAME
+                );
+                respond(shared, &out, None, &Response::Error { message });
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+}
+
+/// Worker: pop, enforce the queue-wait deadline, dispatch, respond.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        if let Some(d) = job.deadline_ms {
+            if job.enqueued.elapsed() >= Duration::from_millis(d) {
+                shared.counters.lock().unwrap().rejects_deadline += 1;
+                let message = format!("deadline of {d}ms expired while queued");
+                respond(shared, &job.out, job.id, &Response::Error { message });
+                continue;
+            }
+        }
+        let type_name = job.body.type_name();
+        let span = span_on(shared.tracer.as_ref(), "serve", format!("req.{type_name}"));
+        let resp = match catch_unwind(AssertUnwindSafe(|| handle(shared, &job.body))) {
+            Ok(resp) => resp,
+            Err(_) => Response::Error { message: format!("internal panic handling `{type_name}`") },
+        };
+        drop(span);
+        {
+            let mut c = shared.counters.lock().unwrap();
+            c.count_request(type_name);
+            c.queue_depth_hwm = c.queue_depth_hwm.max(shared.queue.high_water_mark() as u64);
+        }
+        respond(shared, &job.out, job.id, &resp);
+        if matches!(job.body, Request::Shutdown) {
+            // Queue already closed in `handle`; wake the acceptor so the
+            // accept loop observes the flag and stops.
+            break_acceptor(shared);
+        }
+    }
+}
+
+/// Wakes the acceptor (blocked in `accept`) with a throwaway loopback
+/// connection so it observes the shutdown flag.
+fn break_acceptor(shared: &Shared) {
+    let _ = TcpStream::connect_timeout(&shared.listen_addr, Duration::from_millis(200));
+}
+
+/// Dispatches one request against the resident corpus.
+fn handle(shared: &Shared, req: &Request) -> Response {
+    match req {
+        Request::Ingest { name, ir } => {
+            let mut module = match parse_module(ir) {
+                Ok(m) => m,
+                Err(e) => return Response::Error { message: format!("ingest parse: {e}") },
+            };
+            if let Some(n) = name {
+                module.name = n.clone();
+            }
+            match shared.corpus.ingest(module) {
+                Ok(s) => Response::Ingested(s),
+                Err(message) => Response::Error { message },
+            }
+        }
+        Request::Evict { name } => match shared.corpus.evict(name) {
+            Ok(s) => Response::Evicted(s),
+            Err(message) => Response::Error { message },
+        },
+        Request::Query { module, func, k } => {
+            let res = match func {
+                Some(f) => shared
+                    .corpus
+                    .query_function(module, f, *k)
+                    .map(|(epoch, r)| (epoch, vec![r])),
+                None => shared.corpus.query_module(module, *k),
+            };
+            match res {
+                Ok((epoch, results)) => Response::Candidates { epoch, results },
+                Err(message) => Response::Error { message },
+            }
+        }
+        Request::Merge { strategy, jobs } => {
+            let mut cfg = match strategy.as_str() {
+                "f3m" => PassConfig::f3m(),
+                "hyfm" => PassConfig::hyfm(),
+                "f3m-adaptive" => PassConfig::f3m_adaptive(),
+                other => {
+                    return Response::Error { message: format!("unknown strategy `{other}`") }
+                }
+            };
+            if let Some(j) = jobs {
+                cfg = cfg.with_jobs(*j);
+            }
+            match shared.corpus.merge(&cfg) {
+                Ok((mut report, _merged)) => {
+                    // Wall-clock fields vary run to run; zero them so the
+                    // response is a pure function of corpus state.
+                    report.strip_wall_clock();
+                    Response::Report { epoch: shared.corpus.epoch(), report: report.to_json() }
+                }
+                Err(message) => Response::Error { message },
+            }
+        }
+        Request::Stats => {
+            let mut server = shared.counters.lock().unwrap().clone();
+            server.queue_depth_hwm =
+                server.queue_depth_hwm.max(shared.queue.high_water_mark() as u64);
+            Response::Stats { corpus: shared.corpus.stats(), server }
+        }
+        Request::Ping => Response::Pong,
+        Request::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            Response::Slept { ms: *ms }
+        }
+        Request::Shutdown => {
+            shared.shutting_down.store(true, Ordering::Release);
+            shared.queue.close();
+            Response::Bye
+        }
+    }
+}
+
+/// Convenience used by the CLI: bind, announce on stderr, run.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<()> {
+    let server = Server::bind(cfg)?;
+    let addr = server.local_addr()?;
+    let mut err = std::io::stderr();
+    let _ = writeln!(err, "f3m-serve: listening on {addr}");
+    server.run()
+}

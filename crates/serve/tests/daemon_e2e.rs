@@ -1,0 +1,248 @@
+//! End-to-end daemon tests over real TCP sockets: ingest a multi-module
+//! corpus, check `query` against the offline `CandidateSearch` seam,
+//! evict without a rebuild, merge the resident corpus, verify responses
+//! are byte-identical across worker counts, and shut down gracefully.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use f3m_core::corpus::combine_modules;
+use f3m_core::rank::{CandidateSearch, LshMinHashSearch};
+use f3m_fingerprint::adaptive::MergeParams;
+use f3m_ir::ids::FuncId;
+use f3m_ir::module::Module;
+use f3m_serve::protocol::{read_frame, render_request, write_frame, Request, RequestEnvelope};
+use f3m_serve::{Client, ServeConfig, Server};
+use f3m_trace::Json;
+
+fn workload(name: &str, seed: u64) -> Module {
+    let mut spec = f3m_workloads::mini_suite()[0].clone();
+    spec.functions = 24;
+    spec.seed = seed;
+    let mut m = f3m_workloads::build_module(&spec);
+    m.name = name.to_string();
+    m
+}
+
+fn ir_text(m: &Module) -> String {
+    f3m_ir::printer::print_module(m)
+}
+
+fn start(jobs: usize) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeConfig { jobs, shards: 4, ..ServeConfig::default() })
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn ingest(c: &mut Client, m: &Module) -> Json {
+    c.call_expect(Request::Ingest { name: None, ir: ir_text(m) }, "ingested").unwrap()
+}
+
+#[test]
+fn ingest_query_evict_merge_over_a_real_socket() {
+    let (addr, h) = start(2);
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let mods = [workload("alpha", 11), workload("beta", 22), workload("gamma", 33)];
+    for (i, m) in mods.iter().enumerate() {
+        let v = ingest(&mut c, m);
+        assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(i as u64 + 1));
+        assert!(v.get("functions").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    // `query` must agree with the offline seam over the combined corpus:
+    // same candidates, same similarities, same order.
+    let combined = combine_modules(&[&mods[0], &mods[1], &mods[2]]).unwrap();
+    let funcs: Vec<FuncId> = combined
+        .defined_functions()
+        .into_iter()
+        .filter(|&f| combined.function(f).num_linked_insts() > 0)
+        .collect();
+    let search = LshMinHashSearch::build(&combined, &funcs, MergeParams::static_default(), 1);
+    let available = vec![true; funcs.len()];
+
+    let v = c
+        .call_expect(Request::Query { module: "alpha".into(), func: None, k: 5 }, "candidates")
+        .unwrap();
+    assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(3));
+    let results = v.get("results").and_then(Json::as_array).unwrap();
+    assert!(!results.is_empty());
+    let mut nonempty = 0;
+    for (i, r) in results.iter().enumerate() {
+        // `alpha` was ingested first, so its entries are the seam's first
+        // indices in the same order.
+        let offline: Vec<(String, f64)> = search
+            .ranked_candidates(i, &available, 5)
+            .into_iter()
+            .map(|(j, s)| (combined.function(funcs[j]).name.clone(), s))
+            .collect();
+        let daemon: Vec<(String, f64)> = r
+            .get("candidates")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|cand| {
+                (
+                    cand.get("func").and_then(Json::as_str).unwrap().to_string(),
+                    cand.get("similarity").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(daemon, offline, "function {i}");
+        nonempty += usize::from(!daemon.is_empty());
+    }
+    assert!(nonempty > 0, "workload families must produce candidates");
+
+    // A twin of alpha (same seed) gives the resident merge something to
+    // commit.
+    ingest(&mut c, &workload("delta", 11));
+    let v = c
+        .call_expect(Request::Merge { strategy: "f3m".into(), jobs: None }, "report")
+        .unwrap();
+    let committed = v
+        .get("report")
+        .and_then(|r| r.get("stats"))
+        .and_then(|s| s.get("merges_committed"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(committed > 0, "twin modules must merge");
+
+    // Evict is incremental: epoch advances, no rebuild, and the evicted
+    // module's functions stop appearing as candidates.
+    let v = c.call_expect(Request::Evict { name: "beta".into() }, "evicted").unwrap();
+    assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(5));
+    let v = c.call_expect(Request::Stats, "stats").unwrap();
+    let corpus = v.get("corpus").unwrap();
+    assert_eq!(corpus.get("epoch").and_then(Json::as_u64), Some(5));
+    assert_eq!(corpus.get("modules_live").and_then(Json::as_u64), Some(3));
+    assert_eq!(corpus.get("modules_total").and_then(Json::as_u64), Some(4));
+    let shards = corpus.get("shards").and_then(Json::as_array).unwrap();
+    assert_eq!(shards.len(), 4);
+    let shard_buckets: u64 =
+        shards.iter().map(|s| s.get("num_buckets").and_then(Json::as_u64).unwrap()).sum();
+    assert_eq!(
+        corpus.get("index_buckets").and_then(Json::as_u64),
+        Some(shard_buckets),
+        "per-shard stats must sum to the index totals"
+    );
+
+    let v = c
+        .call_expect(Request::Query { module: "alpha".into(), func: None, k: 8 }, "candidates")
+        .unwrap();
+    for r in v.get("results").and_then(Json::as_array).unwrap() {
+        for cand in r.get("candidates").and_then(Json::as_array).unwrap() {
+            let name = cand.get("func").and_then(Json::as_str).unwrap();
+            assert!(!name.starts_with("beta."), "evicted module leaked candidate {name}");
+        }
+    }
+
+    // Unknown modules are an error response, not a dead connection.
+    let v = c.call(Request::Evict { name: "nope".into() }).unwrap();
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("error"));
+
+    c.call_expect(Request::Shutdown, "bye").unwrap();
+    h.join().unwrap().expect("clean shutdown");
+}
+
+/// The same synchronous request sequence, byte for byte, at any worker
+/// count: corpus state transitions are totally ordered and responses are
+/// rendered with fixed field order (merge reports with wall-clock fields
+/// zeroed).
+#[test]
+fn responses_are_byte_identical_across_worker_counts() {
+    fn scenario(jobs: usize) -> Vec<String> {
+        let (addr, h) = start(jobs);
+        let mut c = Client::connect(addr).unwrap();
+        c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mods = [workload("alpha", 11), workload("beta", 22), workload("gamma", 33)];
+        let mut raw = Vec::new();
+        for m in &mods {
+            raw.push(
+                c.request_raw(&RequestEnvelope::of(Request::Ingest {
+                    name: None,
+                    ir: ir_text(m),
+                }))
+                .unwrap(),
+            );
+        }
+        for m in ["alpha", "beta", "gamma"] {
+            raw.push(
+                c.request_raw(&RequestEnvelope::of(Request::Query {
+                    module: m.into(),
+                    func: None,
+                    k: 4,
+                }))
+                .unwrap(),
+            );
+        }
+        raw.push(
+            c.request_raw(&RequestEnvelope::of(Request::Merge {
+                strategy: "f3m".into(),
+                jobs: None,
+            }))
+            .unwrap(),
+        );
+        raw.push(c.request_raw(&RequestEnvelope::of(Request::Evict { name: "beta".into() })).unwrap());
+        raw.push(
+            c.request_raw(&RequestEnvelope::of(Request::Query {
+                module: "alpha".into(),
+                func: Some("f0_0".into()),
+                k: 4,
+            }))
+            .unwrap(),
+        );
+        raw.push(c.request_raw(&RequestEnvelope::of(Request::Stats)).unwrap());
+        c.call_expect(Request::Shutdown, "bye").unwrap();
+        h.join().unwrap().expect("clean shutdown");
+        raw
+    }
+
+    let serial = scenario(1);
+    let parallel = scenario(8);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "response {i} differs between --jobs 1 and --jobs 8");
+    }
+}
+
+/// `shutdown` rides the queue: everything accepted before it still gets
+/// a response, then the daemon exits cleanly.
+#[test]
+fn shutdown_drains_already_accepted_requests() {
+    let (addr, h) = start(1);
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let send = |s: &mut std::net::TcpStream, id: u64, body: Request| {
+        let env = RequestEnvelope { id: Some(id), deadline_ms: None, body };
+        write_frame(s, render_request(&env).as_bytes()).unwrap();
+    };
+    // Pipeline: a slow job, two pings, then shutdown — all queued before
+    // the worker finishes the sleep.
+    send(&mut s, 1, Request::Sleep { ms: 200 });
+    std::thread::sleep(Duration::from_millis(50));
+    send(&mut s, 2, Request::Ping);
+    send(&mut s, 3, Request::Ping);
+    send(&mut s, 4, Request::Shutdown);
+    let mut types = Vec::new();
+    for _ in 0..4 {
+        let payload = read_frame(&mut s).unwrap().expect("drained response");
+        let v = f3m_serve::protocol::parse_response(&payload).unwrap();
+        types.push((
+            v.get("id").and_then(Json::as_u64).unwrap(),
+            v.get("type").and_then(Json::as_str).unwrap().to_string(),
+        ));
+    }
+    assert_eq!(
+        types,
+        vec![
+            (1, "slept".to_string()),
+            (2, "pong".to_string()),
+            (3, "pong".to_string()),
+            (4, "bye".to_string()),
+        ]
+    );
+    h.join().unwrap().expect("run() returns Ok after graceful shutdown");
+}

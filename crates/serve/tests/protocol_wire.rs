@@ -1,0 +1,174 @@
+//! Wire-level protocol tests against a live daemon: framing abuse,
+//! malformed payloads, backpressure, and queue-wait deadlines. Every
+//! failure mode must produce an `error`/`busy` frame (or a clean drop),
+//! never a panic or a hang.
+
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use f3m_serve::protocol::{
+    read_frame, render_request, write_frame, Request, RequestEnvelope, MAX_FRAME,
+};
+use f3m_serve::{Client, ServeConfig, Server};
+use f3m_trace::Json;
+
+fn start(jobs: usize, queue_cap: usize) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeConfig {
+        jobs,
+        queue_cap,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn stop(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
+    let mut c = Client::connect(addr).unwrap();
+    c.call_expect(Request::Shutdown, "bye").unwrap();
+    handle.join().unwrap().expect("server run() returns Ok after shutdown");
+}
+
+/// Sends `env` as a frame on a raw stream (no response read).
+fn send(stream: &mut TcpStream, env: &RequestEnvelope) {
+    write_frame(stream, render_request(env).as_bytes()).unwrap();
+}
+
+fn recv(stream: &mut TcpStream) -> Json {
+    let payload = read_frame(stream).unwrap().expect("response frame");
+    f3m_serve::protocol::parse_response(&payload).unwrap()
+}
+
+fn with_id(id: u64, body: Request) -> RequestEnvelope {
+    RequestEnvelope { id: Some(id), deadline_ms: None, body }
+}
+
+#[test]
+fn ping_round_trips_and_echoes_id() {
+    let (addr, h) = start(2, 8);
+    let mut c = Client::connect(addr).unwrap();
+    let v = c
+        .request(&RequestEnvelope { id: Some(42), deadline_ms: None, body: Request::Ping })
+        .unwrap();
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("pong"));
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(42));
+    stop(addr, h);
+}
+
+#[test]
+fn malformed_json_gets_error_frame_and_connection_survives() {
+    let (addr, h) = start(1, 8);
+    let mut c = Client::connect(addr).unwrap();
+    for bad in [&b"{ not json"[..], b"[1,2,3]", b"{\"type\":\"warp\"}", b"\xff\xfe"] {
+        let raw = c.send_raw(bad).unwrap();
+        let v = f3m_serve::protocol::parse_response(raw.as_bytes()).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("error"), "payload {bad:?}");
+    }
+    // Same connection still serves well-formed requests.
+    c.call_expect(Request::Ping, "pong").unwrap();
+    stop(addr, h);
+}
+
+#[test]
+fn truncated_frame_drops_connection_without_wedging_the_server() {
+    let (addr, h) = start(1, 8);
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Claim 100 bytes, deliver 10, hang up mid-frame.
+        std::io::Write::write_all(&mut s, &100u32.to_be_bytes()).unwrap();
+        std::io::Write::write_all(&mut s, b"0123456789").unwrap();
+    }
+    // A half-delivered length prefix is the same story.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        std::io::Write::write_all(&mut s, &[0u8, 0]).unwrap();
+    }
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    c.call_expect(Request::Ping, "pong").unwrap();
+    stop(addr, h);
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_with_an_error_frame() {
+    let (addr, h) = start(1, 8);
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    std::io::Write::write_all(&mut s, &(MAX_FRAME + 1).to_be_bytes()).unwrap();
+    let v = recv(&mut s);
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("error"));
+    let msg = v.get("message").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("exceeds maximum"), "unexpected message: {msg}");
+    // The stream is desynchronized, so the server closes it.
+    assert!(read_frame(&mut s).unwrap().is_none(), "connection should be closed");
+    stop(addr, h);
+}
+
+#[test]
+fn full_queue_answers_busy_without_dropping_accepted_work() {
+    let (addr, h) = start(1, 1);
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Occupy the single worker...
+    send(&mut s, &with_id(1, Request::Sleep { ms: 300 }));
+    std::thread::sleep(Duration::from_millis(100));
+    // ...fill the queue (cap 1)...
+    send(&mut s, &with_id(2, Request::Sleep { ms: 10 }));
+    // ...and overflow it.
+    send(&mut s, &with_id(3, Request::Ping));
+    let mut by_id = std::collections::HashMap::new();
+    for _ in 0..3 {
+        let v = recv(&mut s);
+        let id = v.get("id").and_then(Json::as_u64).unwrap();
+        by_id.insert(id, v.get("type").and_then(Json::as_str).unwrap().to_string());
+    }
+    assert_eq!(by_id[&1], "slept");
+    assert_eq!(by_id[&2], "slept", "accepted work must still complete");
+    assert_eq!(by_id[&3], "busy");
+    stop(addr, h);
+}
+
+#[test]
+fn deadline_expired_in_queue_is_answered_with_an_error() {
+    let (addr, h) = start(1, 8);
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    send(&mut s, &with_id(1, Request::Sleep { ms: 250 }));
+    std::thread::sleep(Duration::from_millis(50));
+    send(
+        &mut s,
+        &RequestEnvelope { id: Some(2), deadline_ms: Some(50), body: Request::Ping },
+    );
+    let first = recv(&mut s);
+    assert_eq!(first.get("id").and_then(Json::as_u64), Some(1));
+    assert_eq!(first.get("type").and_then(Json::as_str), Some("slept"));
+    let second = recv(&mut s);
+    assert_eq!(second.get("id").and_then(Json::as_u64), Some(2));
+    assert_eq!(second.get("type").and_then(Json::as_str), Some("error"));
+    let msg = second.get("message").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("deadline"), "unexpected message: {msg}");
+    stop(addr, h);
+}
+
+#[test]
+fn rejections_show_up_in_server_counters() {
+    let (addr, h) = start(1, 1);
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    send(&mut s, &with_id(1, Request::Sleep { ms: 200 }));
+    std::thread::sleep(Duration::from_millis(50));
+    send(&mut s, &with_id(2, Request::Sleep { ms: 1 }));
+    send(&mut s, &with_id(3, Request::Ping)); // overflows → busy
+    for _ in 0..3 {
+        recv(&mut s);
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let v = c.call_expect(Request::Stats, "stats").unwrap();
+    let server = v.get("server").unwrap();
+    assert_eq!(server.get("rejects_busy").and_then(Json::as_u64), Some(1));
+    assert!(server.get("queue_depth_hwm").and_then(Json::as_u64).unwrap() >= 1);
+    let reqs = server.get("requests").unwrap();
+    assert_eq!(reqs.get("sleep").and_then(Json::as_u64), Some(2));
+    stop(addr, h);
+}

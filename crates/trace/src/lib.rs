@@ -15,7 +15,9 @@
 //!   is deterministic and diffable,
 //! - [`baseline`]: (de)serialization and tolerance-band comparison of
 //!   metric snapshots — the machinery behind `tests/regression_gate.rs`
-//!   and the checked-in `results/BASELINE_metrics.json`.
+//!   and the checked-in `results/BASELINE_metrics.json`,
+//! - [`json`]: the shared minimal JSON reader + escape/format helpers
+//!   used by the metrics dump and the `f3m-serve` wire protocol.
 //!
 //! The crate deliberately depends on nothing (not even `f3m-ir`): every
 //! other crate in the workspace can instrument itself against it.
@@ -42,10 +44,12 @@
 
 pub mod baseline;
 pub mod clock;
+pub mod json;
 pub mod metrics;
 pub mod tracer;
 
 pub use baseline::{compare, parse_metrics, render_metrics, Tolerance};
+pub use json::Json;
 pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MetricKind, MetricSnapshot, MetricsRegistry,
