@@ -65,7 +65,10 @@ fn drive(jobs: usize, modules: usize, functions: usize, queries_per_client: usiz
                 let mut c = Client::connect(addr).unwrap();
                 for q in 0..queries_per_client {
                     let module = format!("m{}", (ci + q) % modules);
-                    c.call_expect(Request::Query { module, func: None, k: 3 }, "candidates")
+                    c.call_expect(
+                        Request::Query { module, func: None, k: 3, if_epoch: None },
+                        "candidates",
+                    )
                         .expect("query");
                 }
             })

@@ -30,8 +30,46 @@
 //! to the module's own keys); removal is visible to queries immediately,
 //! which only ever *hides* candidates early — never resurfaces stale
 //! ones.
+//!
+//! ## Incremental recompute (revisions + memoized ranks)
+//!
+//! The epoch counter doubles as the corpus **revision**: every entry
+//! carries `rev` (the revision at which its fingerprint and band keys
+//! were computed — bumped by [`Corpus::update_function`]) and
+//! `dirty_rev` (the revision at which its *memoized ranked candidates*
+//! were last invalidated). Ranked-candidate queries are memoized in a
+//! [`QueryCache`]: a cached list computed under pinned epoch `P` is
+//! valid for a query pinned at `E` iff `dirty_rev ≤ min(P, E)` — i.e. no
+//! mutation has touched the entry's band-collision neighborhood since
+//! before either pin. Durable inputs (function bodies, [`MergeParams`])
+//! invalidate through `dirty_rev`; volatile inputs (the epoch itself,
+//! counters) never do — a query's result is a pure function of the
+//! durable state visible at its pin.
+//!
+//! Invalidation granularity comes from
+//! [`ShardedLshIndex::apply_delta`]: a mutation removes/inserts band
+//! keys and gets back exactly the entries sharing a bucket with any
+//! touched key (old or new) — the changed functions plus their
+//! band-collision neighborhoods. Only those entries lose their memoized
+//! ranks; everything else answers the next query from cache. The
+//! [`CorpusStats`] counters `memo_hits`/`memo_misses`/`funcs_invalidated`
+//! make this observable (and jobs-invariant: none depends on worker
+//! count).
+//!
+//! ## Cancellation
+//!
+//! [`Corpus::query_module_cancellable`] pins an epoch, then releases and
+//! re-acquires the table lock between per-function rankings, invoking a
+//! supersession predicate each time. When a newer epoch supersedes the
+//! pin mid-query the computation aborts with
+//! [`QueryOutcome::Superseded`] (counted in `queries_superseded`)
+//! instead of finishing a corpus-sized answer nobody can trust.
+//! [`Corpus::query_module`] retries a few times and then falls back to a
+//! lock-held consistent pass, so synchronous callers keep their
+//! deterministic, never-superseded behaviour.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use f3m_fingerprint::adaptive::MergeParams;
@@ -88,6 +126,33 @@ pub struct EvictSummary {
     pub epoch: u64,
 }
 
+/// What `update_function` (or a `touch`) did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateSummary {
+    pub module: String,
+    /// Unqualified name of the updated function.
+    pub func: String,
+    /// Epoch at which the new body became visible.
+    pub epoch: u64,
+    /// Whether the replacement body differed from the resident one
+    /// (`false` for a pure `touch`, which only re-fingerprints).
+    pub changed: bool,
+    /// Surviving resident functions whose memoized ranks this mutation
+    /// invalidated — the changed function plus its band-collision
+    /// neighborhood, old and new.
+    pub funcs_invalidated: u64,
+}
+
+/// Outcome of a cancellable module query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome {
+    /// The query ran to completion under its pinned epoch.
+    Complete { epoch: u64, results: Vec<QueryResult> },
+    /// A mutation superseded the pinned epoch mid-query; partial work
+    /// was discarded. `epoch` is the epoch observed at abort time.
+    Superseded { started: u64, epoch: u64 },
+}
+
 /// One ranked candidate of a query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankedCandidate {
@@ -102,10 +167,10 @@ pub struct RankedCandidate {
 pub struct QueryResult {
     /// Qualified name of the queried function.
     pub func: String,
-    /// Candidates, best first (similarity descending, entry order
-    /// ascending on ties — the [`CandidateSearch`] tie-break rule).
-    ///
-    /// [`CandidateSearch`]: crate::rank::CandidateSearch
+    /// Candidates, best first: similarity descending, qualified name
+    /// ascending on ties. Name ties are rebuild-stable — a from-scratch
+    /// corpus holding the same live functions ranks identically, no
+    /// matter how internal entry ids were assigned.
     pub candidates: Vec<RankedCandidate>,
 }
 
@@ -128,6 +193,14 @@ pub struct CorpusStats {
     pub index_max_bucket: usize,
     /// Per-shard occupancy, in shard order.
     pub shards: Vec<ShardStats>,
+    /// Ranked-candidate queries answered from the memo cache.
+    pub memo_hits: u64,
+    /// Ranked-candidate queries that had to recompute.
+    pub memo_misses: u64,
+    /// Surviving entries whose memoized ranks mutations invalidated.
+    pub funcs_invalidated: u64,
+    /// Cancellable queries aborted because a newer epoch superseded them.
+    pub queries_superseded: u64,
 }
 
 struct Entry {
@@ -141,6 +214,13 @@ struct Entry {
     added: u64,
     /// First epoch at which it is no longer visible (`u64::MAX` = live).
     evicted: u64,
+    /// Revision (epoch) at which `fp`/`keys` were computed. Bumped by
+    /// `update_function`; `added` for entries never updated.
+    rev: u64,
+    /// Revision at which the entry's memoized ranks were last
+    /// invalidated — by its own (re)computation or by a mutation in its
+    /// band-collision neighborhood.
+    dirty_rev: u64,
 }
 
 struct ModuleRecord {
@@ -157,6 +237,34 @@ struct Table {
     modules: Vec<ModuleRecord>,
 }
 
+/// One memoized ranked-candidate list: the full (untruncated,
+/// threshold-filtered, sorted) list for an entry, stamped with the epoch
+/// it was computed under.
+struct CachedRank {
+    pinned: u64,
+    ranked: Vec<(usize, f64)>,
+}
+
+/// Memo layer over per-entry ranked candidates. Lock order is always
+/// table before cache.
+type QueryCache = RwLock<HashMap<usize, CachedRank>>;
+
+/// Per-query pairwise similarity cache, keyed on `(min(i, j), max(i, j))`
+/// so the estimate for a symmetric pair is computed once per query.
+type SimCache = HashMap<(usize, usize), f64>;
+
+#[derive(Default)]
+struct MemoCounters {
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    funcs_invalidated: AtomicU64,
+    queries_superseded: AtomicU64,
+}
+
+/// How many times `query_module` retries a superseded cancellable pass
+/// before falling back to a lock-held consistent one.
+const QUERY_RETRIES: usize = 3;
+
 /// The resident corpus: ingested modules + sharded fingerprint index.
 ///
 /// All operations take `&self`; reads proceed concurrently, mutations
@@ -167,7 +275,9 @@ pub struct Corpus {
     consts: Vec<u64>,
     index: ShardedLshIndex<usize>,
     table: RwLock<Table>,
-    /// Serializes ingest/evict so epoch intervals never interleave.
+    cache: QueryCache,
+    counters: MemoCounters,
+    /// Serializes ingest/evict/update so epoch intervals never interleave.
     mutate: Mutex<()>,
 }
 
@@ -182,7 +292,15 @@ impl Corpus {
     pub fn new(cfg: CorpusConfig) -> Corpus {
         let consts = xor_constants(cfg.params.k);
         let index = ShardedLshIndex::new(cfg.params.lsh, cfg.shards);
-        Corpus { cfg, consts, index, table: RwLock::new(Table::default()), mutate: Mutex::new(()) }
+        Corpus {
+            cfg,
+            consts,
+            index,
+            table: RwLock::new(Table::default()),
+            cache: RwLock::new(HashMap::new()),
+            counters: MemoCounters::default(),
+            mutate: Mutex::new(()),
+        }
     }
 
     pub fn config(&self) -> &CorpusConfig {
@@ -249,6 +367,8 @@ impl Corpus {
                     keys: keys.clone(),
                     added: next_epoch,
                     evicted: u64::MAX,
+                    rev: next_epoch,
+                    dirty_rev: next_epoch,
                 });
                 entry_ids.push(id);
                 inserted.push((id, keys));
@@ -256,9 +376,8 @@ impl Corpus {
             t.modules.push(ModuleRecord { name: name.clone(), module: m, entry_ids, live: true });
             inserted
         };
-        for (id, keys) in &inserted {
-            self.index.insert_with_keys(*id, keys);
-        }
+        let dirty = self.index.apply_delta(&[], &inserted);
+        self.finalize_mutation(&dirty, next_epoch);
         let epoch = self.index.advance_epoch();
         debug_assert_eq!(epoch, next_epoch);
         Ok(IngestSummary { module: name, functions: inserted.len(), skipped, epoch })
@@ -285,12 +404,219 @@ impl Corpus {
                 })
                 .collect()
         };
-        for (id, keys) in &removed {
-            self.index.remove_with_keys(*id, keys);
-        }
+        let dirty = self.index.apply_delta(&removed, &[]);
+        self.finalize_mutation(&dirty, next_epoch);
         let epoch = self.index.advance_epoch();
         debug_assert_eq!(epoch, next_epoch);
         Ok(EvictSummary { module: name.to_string(), functions: removed.len(), epoch })
+    }
+
+    /// Replaces (or, with `replacement_ir == None`, merely *touches*) one
+    /// resident merge-eligible function without evicting its module.
+    ///
+    /// `replacement_ir` is module-wrapped IR text containing a definition
+    /// of `func`; the resident module is re-rendered with that one body
+    /// spliced in (print + parse, so the result is verified) and only the
+    /// function's own fingerprint is recomputed. The index is updated by
+    /// delta — old band keys out, new keys in — and exactly the touched
+    /// band-collision neighborhood loses its memoized ranks. A `touch`
+    /// re-fingerprints the resident body and forces the same
+    /// invalidation without changing any IR.
+    pub fn update_function(
+        &self,
+        module: &str,
+        func: &str,
+        replacement_ir: Option<&str>,
+    ) -> Result<UpdateSummary, String> {
+        let _writer = self.mutate.lock().unwrap();
+        let next_epoch = self.index.epoch() + 1;
+
+        // Resolve the target and render the replacement module outside
+        // any write lock — parsing and printing dominate the cost.
+        let (mi, entry_id, old_keys, old_text) = {
+            let t = self.table.read().unwrap();
+            let mi = t
+                .modules
+                .iter()
+                .position(|r| r.live && r.name == module)
+                .ok_or_else(|| format!("module `{module}` is not resident"))?;
+            let rec = &t.modules[mi];
+            let Some(&id) = rec.entry_ids.iter().find(|&&id| t.entries[id].func == func) else {
+                return Err(format!(
+                    "module `{module}` has no merge-eligible function `{func}`"
+                ));
+            };
+            let fid = rec.module.lookup_function(func).expect("entry function exists");
+            (mi, id, t.entries[id].keys.clone(), print_function(&rec.module, fid))
+        };
+
+        let (new_module, changed) = match replacement_ir {
+            None => (None, false),
+            Some(text) => {
+                let incoming = f3m_ir::parser::parse_module(text)
+                    .map_err(|e| format!("update: replacement does not parse: {e}"))?;
+                let fid = incoming
+                    .lookup_function(func)
+                    .filter(|&f| !incoming.function(f).is_declaration)
+                    .ok_or_else(|| format!("update: replacement does not define `{func}`"))?;
+                if incoming.function(fid).num_linked_insts() == 0 {
+                    return Err(format!(
+                        "update: replacement `{func}` has no linked instructions \
+                         (would become merge-ineligible)"
+                    ));
+                }
+                let fn_text = print_function(&incoming, fid);
+                if fn_text == old_text {
+                    (None, false)
+                } else {
+                    let t = self.table.read().unwrap();
+                    let src = render_module_source(
+                        &t.modules[mi].module,
+                        Some((func, &fn_text)),
+                        None,
+                    );
+                    drop(t);
+                    let rebuilt = f3m_ir::parser::parse_module(&src)
+                        .map_err(|e| format!("update: spliced module does not verify: {e}"))?;
+                    (Some(rebuilt), true)
+                }
+            }
+        };
+
+        // Recompute the one fingerprint from the effective body.
+        let (fp, new_keys) = {
+            let t = self.table.read().unwrap();
+            let m = new_module.as_ref().unwrap_or(&t.modules[mi].module);
+            let fid = m.lookup_function(func).expect("spliced function exists");
+            let enc = encode_function(&m.types, m.function(fid));
+            let fp = MinHashFingerprint::of_encoded_with(&self.consts, &enc);
+            let keys = band_keys_for(self.cfg.params.lsh, &fp);
+            (fp, keys)
+        };
+
+        // Install the new body and stamps before touching the index, so
+        // any id the index surfaces always has backing entry data.
+        {
+            let mut t = self.table.write().unwrap();
+            if let Some(m2) = new_module {
+                t.modules[mi].module = m2;
+            }
+            let e = &mut t.entries[entry_id];
+            e.fp = fp;
+            e.keys = new_keys.clone();
+            e.rev = next_epoch;
+        }
+        let dirty = self.index.apply_delta(&[(entry_id, old_keys)], &[(entry_id, new_keys)]);
+        let funcs_invalidated = self.finalize_mutation(&dirty, next_epoch);
+        let epoch = self.index.advance_epoch();
+        debug_assert_eq!(epoch, next_epoch);
+        Ok(UpdateSummary {
+            module: module.to_string(),
+            func: func.to_string(),
+            epoch,
+            changed,
+            funcs_invalidated,
+        })
+    }
+
+    /// Appends one new merge-eligible function to a resident module
+    /// without evicting it. `ir` is module-wrapped IR text defining
+    /// `func`; the resident module is re-rendered with the body appended
+    /// (print + parse) and exactly one fingerprint is computed.
+    pub fn ingest_function(
+        &self,
+        module: &str,
+        func: &str,
+        ir: &str,
+    ) -> Result<IngestSummary, String> {
+        let _writer = self.mutate.lock().unwrap();
+        let next_epoch = self.index.epoch() + 1;
+
+        let incoming = f3m_ir::parser::parse_module(ir)
+            .map_err(|e| format!("ingest-function: body does not parse: {e}"))?;
+        let fid = incoming
+            .lookup_function(func)
+            .filter(|&f| !incoming.function(f).is_declaration)
+            .ok_or_else(|| format!("ingest-function: IR does not define `{func}`"))?;
+        if incoming.function(fid).num_linked_insts() == 0 {
+            return Err(format!(
+                "ingest-function: `{func}` has no linked instructions (not merge-eligible)"
+            ));
+        }
+        let fn_text = print_function(&incoming, fid);
+
+        let (mi, rebuilt) = {
+            let t = self.table.read().unwrap();
+            let mi = t
+                .modules
+                .iter()
+                .position(|r| r.live && r.name == module)
+                .ok_or_else(|| format!("module `{module}` is not resident"))?;
+            if t.modules[mi].module.lookup_function(func).is_some() {
+                return Err(format!(
+                    "module `{module}` already has a function `{func}` (use update)"
+                ));
+            }
+            let qualified = format!("{module}.{func}");
+            if t.entries.iter().any(|e| e.evicted == u64::MAX && e.qualified == qualified) {
+                return Err(format!("qualified name `{qualified}` collides with a resident function"));
+            }
+            let src = render_module_source(&t.modules[mi].module, None, Some(&fn_text));
+            (mi, src)
+        };
+        let rebuilt = f3m_ir::parser::parse_module(&rebuilt)
+            .map_err(|e| format!("ingest-function: appended module does not verify: {e}"))?;
+
+        let (fp, keys) = {
+            let fid = rebuilt.lookup_function(func).expect("appended function exists");
+            let enc = encode_function(&rebuilt.types, rebuilt.function(fid));
+            let fp = MinHashFingerprint::of_encoded_with(&self.consts, &enc);
+            let keys = band_keys_for(self.cfg.params.lsh, &fp);
+            (fp, keys)
+        };
+
+        let entry_id = {
+            let mut t = self.table.write().unwrap();
+            let id = t.entries.len();
+            t.entries.push(Entry {
+                func: func.to_string(),
+                qualified: format!("{module}.{func}"),
+                fp,
+                keys: keys.clone(),
+                added: next_epoch,
+                evicted: u64::MAX,
+                rev: next_epoch,
+                dirty_rev: next_epoch,
+            });
+            t.modules[mi].module = rebuilt;
+            t.modules[mi].entry_ids.push(id);
+            id
+        };
+        let dirty = self.index.apply_delta(&[], &[(entry_id, keys)]);
+        self.finalize_mutation(&dirty, next_epoch);
+        let epoch = self.index.advance_epoch();
+        debug_assert_eq!(epoch, next_epoch);
+        Ok(IngestSummary { module: module.to_string(), functions: 1, skipped: 0, epoch })
+    }
+
+    /// Marks `dirty` entries invalidated at `next_epoch` and drops their
+    /// memoized ranks. Returns how many *surviving* residents were
+    /// invalidated: entries created or evicted by this very mutation had
+    /// no reusable memo to lose and are not counted.
+    fn finalize_mutation(&self, dirty: &[usize], next_epoch: u64) -> u64 {
+        let mut t = self.table.write().unwrap();
+        let mut cache = self.cache.write().unwrap();
+        let mut invalidated = 0u64;
+        for &id in dirty {
+            let e = &mut t.entries[id];
+            e.dirty_rev = next_epoch;
+            cache.remove(&id);
+            if e.added < next_epoch && e.evicted > next_epoch {
+                invalidated += 1;
+            }
+        }
+        self.counters.funcs_invalidated.fetch_add(invalidated, Ordering::Relaxed);
+        invalidated
     }
 
     /// Top-`k` resident candidates for one function, by qualified
@@ -307,18 +633,83 @@ impl Corpus {
         let Some(&id) = rec.entry_ids.iter().find(|&&id| t.entries[id].func == func) else {
             return Err(format!("module `{module}` has no merge-eligible function `{func}`"));
         };
-        Ok((epoch, self.ranked(&t, id, epoch, k)))
+        let mut sims = SimCache::new();
+        Ok((epoch, self.ranked(&t, id, epoch, k, &mut sims)))
     }
 
     /// Top-`k` resident candidates for every merge-eligible function of
     /// `module`, in function order.
+    ///
+    /// Runs the cancellable pass with an epoch-supersession predicate and
+    /// retries a few times under write pressure; if every attempt is
+    /// superseded, falls back to one consistent pass holding the table
+    /// read lock throughout (briefly blocking writers). Synchronous
+    /// callers therefore always get a complete, snapshot-consistent
+    /// answer.
     pub fn query_module(&self, module: &str, k: usize) -> Result<(u64, Vec<QueryResult>), String> {
+        for _ in 0..QUERY_RETRIES {
+            match self.query_module_cancellable(module, k, |pinned| self.epoch() != pinned)? {
+                QueryOutcome::Complete { epoch, results } => return Ok((epoch, results)),
+                QueryOutcome::Superseded { .. } => continue,
+            }
+        }
         let epoch = self.index.epoch();
         let t = self.table.read().unwrap();
         let rec = Self::live_module(&t, module)?;
+        let mut sims = SimCache::new();
         let results =
-            rec.entry_ids.iter().map(|&id| self.ranked(&t, id, epoch, k)).collect();
+            rec.entry_ids.iter().map(|&id| self.ranked(&t, id, epoch, k, &mut sims)).collect();
         Ok((epoch, results))
+    }
+
+    /// Cancellable variant of [`Corpus::query_module`]: pins the current
+    /// epoch, then releases and re-acquires the table lock between
+    /// per-function rankings, calling `is_superseded(pinned)` at each
+    /// boundary. Returns [`QueryOutcome::Superseded`] (and bumps
+    /// `queries_superseded`) as soon as the predicate fires — or at the
+    /// end, when the completed pass is found to have raced a mutation —
+    /// so a long module query never blocks writers for its whole
+    /// duration, and a `Complete` outcome is always a consistent snapshot
+    /// at the pinned epoch.
+    pub fn query_module_cancellable(
+        &self,
+        module: &str,
+        k: usize,
+        mut is_superseded: impl FnMut(u64) -> bool,
+    ) -> Result<QueryOutcome, String> {
+        let epoch = self.index.epoch();
+        let entry_ids: Vec<usize> = {
+            let t = self.table.read().unwrap();
+            Self::live_module(&t, module)?.entry_ids.clone()
+        };
+        let mut sims = SimCache::new();
+        let mut results = Vec::with_capacity(entry_ids.len());
+        for &id in &entry_ids {
+            if is_superseded(epoch) {
+                return Ok(self.superseded(epoch));
+            }
+            let t = self.table.read().unwrap();
+            results.push(self.ranked(&t, id, epoch, k, &mut sims));
+        }
+        // A mutation may have staged state we read without yet advancing
+        // the epoch. If no writer is active now and the epoch still
+        // matches the pin, every ranking above saw the pinned snapshot.
+        if is_superseded(epoch) || self.epoch() != epoch {
+            return Ok(self.superseded(epoch));
+        }
+        match self.mutate.try_lock() {
+            Ok(guard) => drop(guard),
+            Err(_) => return Ok(self.superseded(epoch)),
+        }
+        Ok(QueryOutcome::Complete { epoch, results })
+    }
+
+    /// Records a query that was answered `superseded` — either one this
+    /// corpus cancelled itself or a caller-side epoch-precondition miss
+    /// (the daemon's `if_epoch`) — and builds the outcome.
+    pub fn superseded(&self, started: u64) -> QueryOutcome {
+        self.counters.queries_superseded.fetch_add(1, Ordering::Relaxed);
+        QueryOutcome::Superseded { started, epoch: self.index.epoch() }
     }
 
     fn live_module<'t>(t: &'t Table, name: &str) -> Result<&'t ModuleRecord, String> {
@@ -328,13 +719,37 @@ impl Corpus {
             .ok_or_else(|| format!("module `{name}` is not resident"))
     }
 
+    /// Revision stamp of a resident function's fingerprint — the epoch
+    /// at which it was last (re)computed.
+    pub fn function_revision(&self, module: &str, func: &str) -> Option<u64> {
+        let t = self.table.read().unwrap();
+        let rec = t.modules.iter().find(|r| r.live && r.name == module)?;
+        let &id = rec.entry_ids.iter().find(|&&id| t.entries[id].func == func)?;
+        Some(t.entries[id].rev)
+    }
+
     /// Ranks the candidates of entry `i` visible at `epoch`: probe the
     /// sharded index, filter by epoch interval and similarity threshold,
     /// order by similarity descending / entry order ascending. This is
     /// the same rule as `CandidateSearch::ranked_candidates`, so daemon
     /// queries agree with the offline seam over [`combine_modules`].
-    fn ranked(&self, t: &Table, i: usize, epoch: u64, k: usize) -> QueryResult {
+    ///
+    /// The full list is memoized in the [`QueryCache`]: a cached list
+    /// computed under pinned epoch `P` serves a query pinned at `E` iff
+    /// `dirty_rev ≤ min(P, E)` — no mutation has touched this entry's
+    /// band-collision neighborhood since before either pin, so the two
+    /// pins see the same durable inputs. `sims` is the per-query pairwise
+    /// similarity cache shared across a module query's loop, so symmetric
+    /// pairs are estimated once per query, not once per endpoint.
+    fn ranked(&self, t: &Table, i: usize, epoch: u64, k: usize, sims: &mut SimCache) -> QueryResult {
         let ent = &t.entries[i];
+        if let Some(c) = self.cache.read().unwrap().get(&i) {
+            if ent.dirty_rev <= c.pinned.min(epoch) {
+                self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return self.render_result(t, ent, c.ranked.iter().take(k).copied());
+            }
+        }
+        self.counters.memo_misses.fetch_add(1, Ordering::Relaxed);
         let (cands, _) = self.index.candidates_counted(&ent.keys, i);
         let mut ranked: Vec<(usize, f64)> = cands
             .into_iter()
@@ -342,15 +757,36 @@ impl Corpus {
                 let e = &t.entries[j];
                 e.added <= epoch && epoch < e.evicted
             })
-            .map(|j| (j, ent.fp.similarity(&t.entries[j].fp)))
+            .map(|j| {
+                let key = (i.min(j), i.max(j));
+                let sim =
+                    *sims.entry(key).or_insert_with(|| ent.fp.similarity(&t.entries[j].fp));
+                (j, sim)
+            })
             .filter(|&(_, sim)| sim >= self.cfg.params.threshold)
             .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
+        // Ties (similarities are multiples of 1/k) break on qualified
+        // name, not entry id: names are unique per epoch and survive a
+        // from-scratch rebuild, so incremental and rebuilt corpora rank
+        // identically even after updates reassigned internal ids.
+        ranked.sort_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then_with(|| t.entries[a.0].qualified.cmp(&t.entries[b.0].qualified))
+        });
+        let result = self.render_result(t, ent, ranked.iter().take(k).copied());
+        self.cache.write().unwrap().insert(i, CachedRank { pinned: epoch, ranked });
+        result
+    }
+
+    fn render_result(
+        &self,
+        t: &Table,
+        ent: &Entry,
+        ranked: impl Iterator<Item = (usize, f64)>,
+    ) -> QueryResult {
         QueryResult {
             func: ent.qualified.clone(),
             candidates: ranked
-                .into_iter()
                 .map(|(j, similarity)| RankedCandidate {
                     func: t.entries[j].qualified.clone(),
                     similarity,
@@ -372,7 +808,20 @@ impl Corpus {
             index_buckets: self.index.num_buckets(),
             index_max_bucket: self.index.max_bucket_size(),
             shards: self.index.shard_stats(),
+            memo_hits: self.counters.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.counters.memo_misses.load(Ordering::Relaxed),
+            funcs_invalidated: self.counters.funcs_invalidated.load(Ordering::Relaxed),
+            queries_superseded: self.counters.queries_superseded.load(Ordering::Relaxed),
         }
+    }
+
+    /// IR text of one resident module as currently held — including any
+    /// function-level surgery applied by [`Corpus::update_function`] or
+    /// [`Corpus::ingest_function`]. Re-ingesting this text into a fresh
+    /// corpus reproduces the module's resident state exactly.
+    pub fn module_source(&self, module: &str) -> Result<String, String> {
+        let t = self.table.read().unwrap();
+        Ok(render_module_source(&Self::live_module(&t, module)?.module, None, None))
     }
 
     /// The combined module over all live modules, in ingest order, with
@@ -392,6 +841,52 @@ impl Corpus {
         let report = run_pass(&mut m, config);
         Ok((report, m))
     }
+}
+
+/// Re-renders `m` to IR text with optional single-function surgery:
+/// `replace = (name, fn_text)` substitutes that definition's body,
+/// `append = fn_text` adds a new definition at the end. Globals,
+/// declarations and function order are preserved, so entry ids keep
+/// lining up with the module's defined-function order. Callers parse the
+/// result, which verifies the splice.
+fn render_module_source(m: &Module, replace: Option<(&str, &str)>, append: Option<&str>) -> String {
+    let mut text = format!("module \"{}\" {{\n", m.name);
+    for (_, g) in m.globals() {
+        let bytes: Vec<String> = g.init.iter().map(|b| b.to_string()).collect();
+        text.push_str(&format!(
+            "global @{} : {} = [{}]\n",
+            g.name,
+            m.types.display(g.ty),
+            bytes.join(", ")
+        ));
+    }
+    for (_, f) in m.functions() {
+        if f.is_declaration {
+            let params: Vec<String> = f.params.iter().map(|&p| m.types.display(p)).collect();
+            text.push_str(&format!(
+                "declare @{}({}) -> {}\n",
+                f.name,
+                params.join(", "),
+                m.types.display(f.ret_ty)
+            ));
+        }
+    }
+    for (id, f) in m.functions() {
+        if f.is_declaration {
+            continue;
+        }
+        match replace {
+            Some((name, fn_text)) if name == f.name => text.push_str(fn_text),
+            _ => text.push_str(&print_function(m, id)),
+        }
+        text.push('\n');
+    }
+    if let Some(fn_text) = append {
+        text.push_str(fn_text);
+        text.push('\n');
+    }
+    text.push_str("}\n");
+    text
 }
 
 /// Combines modules into one, qualifying every definition as
@@ -612,6 +1107,230 @@ mod tests {
         assert!(merged.lookup_function("beta.__driver").is_some());
         // Resident state is untouched by the pass.
         assert_eq!(c.stats().modules_live, 2);
+    }
+
+    /// Two merge-eligible members of the same workload family in `m`
+    /// (same generated signature, different bodies), as (name_a, name_b).
+    fn family_pair(m: &Module) -> (String, String) {
+        let eligible: Vec<String> = m
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| m.function(f).num_linked_insts() > 0)
+            .map(|f| m.function(f).name.clone())
+            .collect();
+        for a in &eligible {
+            let Some((fam, member)) = a.rsplit_once('_') else { continue };
+            if member != "0" {
+                continue;
+            }
+            let b = format!("{fam}_1");
+            if eligible.contains(&b) {
+                return (a.clone(), b);
+            }
+        }
+        panic!("workload has no eligible family pair");
+    }
+
+    /// IR text of `m` with `dst`'s body replaced by `src`'s (same
+    /// signature — they are family members), leaving `src` intact.
+    fn body_swap_patch(m: &Module, dst: &str, src: &str) -> String {
+        let mut patched = m.clone();
+        let d = patched.lookup_function(dst).unwrap();
+        let s = patched.lookup_function(src).unwrap();
+        patched.rename_function(d, format!("{dst}__old"));
+        patched.rename_function(s, dst.to_string());
+        // Only `dst` is looked up in the patch; the leftover `__old`
+        // definition and the missing `src` are ignored by update.
+        f3m_ir::printer::print_module(&patched)
+    }
+
+    #[test]
+    fn update_function_swaps_body_and_requeries_incrementally() {
+        let c = corpus();
+        let alpha = workload("alpha", 11);
+        c.ingest(alpha.clone()).unwrap();
+        c.ingest(workload("beta", 22)).unwrap();
+        let (dst, src) = family_pair(&alpha);
+
+        // Warm the memo: second identical query is all hits.
+        let (_, cold) = c.query_module("alpha", 5).unwrap();
+        c.query_module("beta", 5).unwrap();
+        let miss_after_warm = c.stats().memo_misses;
+        let (_, warm) = c.query_module("alpha", 5).unwrap();
+        assert_eq!(cold, warm);
+        let s = c.stats();
+        assert_eq!(s.memo_misses, miss_after_warm, "warm query must not recompute");
+        assert!(s.memo_hits >= cold.len() as u64);
+
+        let rev_before = c.function_revision("alpha", &dst).unwrap();
+        let patch = body_swap_patch(&alpha, &dst, &src);
+        let up = c.update_function("alpha", &dst, Some(&patch)).unwrap();
+        assert!(up.changed);
+        assert!(up.funcs_invalidated >= 1, "at least the updated function is dirtied");
+        assert_eq!(up.epoch, c.epoch());
+        assert_eq!(c.function_revision("alpha", &dst), Some(up.epoch));
+        assert!(c.function_revision("alpha", &dst).unwrap() > rev_before);
+
+        // The new body is byte-identical to its source sibling, so the
+        // source is now a similarity-1.0 candidate of the updated
+        // function.
+        let (_, qr) = c.query_function("alpha", &dst, 5).unwrap();
+        let top = qr.candidates.first().expect("swapped body must have candidates");
+        assert_eq!(top.similarity, 1.0, "identical body ranks at 1.0: {qr:?}");
+        assert!(
+            qr.candidates.iter().any(|cand| cand.func == format!("alpha.{src}")),
+            "source sibling must surface: {qr:?}"
+        );
+
+        // O(changed): with every live entry warmed, re-querying both
+        // modules recomputes exactly the invalidated neighborhood.
+        c.query_module("alpha", 5).unwrap();
+        c.query_module("beta", 5).unwrap();
+        let miss_before = c.stats().memo_misses;
+        c.query_module("alpha", 5).unwrap();
+        c.query_module("beta", 5).unwrap();
+        assert_eq!(c.stats().memo_misses, miss_before, "all entries warm again");
+
+        // The resident module really carries the new body: a fresh corpus
+        // ingesting the same modules agrees on every query.
+        let fresh = corpus();
+        let combined = c.combined_module().unwrap();
+        let patched_alpha_body = print_function(
+            &combined,
+            combined.lookup_function(&format!("alpha.{dst}")).unwrap(),
+        );
+        let src_body =
+            print_function(&combined, combined.lookup_function(&format!("alpha.{src}")).unwrap());
+        assert_eq!(
+            patched_alpha_body.lines().skip(1).collect::<Vec<_>>(),
+            src_body.lines().skip(1).collect::<Vec<_>>(),
+            "updated body equals the source body modulo the header line"
+        );
+        drop(fresh);
+    }
+
+    #[test]
+    fn touch_invalidates_without_changing_results() {
+        let c = corpus();
+        c.ingest(workload("alpha", 11)).unwrap();
+        let (_, before) = c.query_module("alpha", 5).unwrap();
+        let (dst, _) = family_pair(&workload("alpha", 11));
+
+        let up = c.update_function("alpha", &dst, None).unwrap();
+        assert!(!up.changed, "touch never changes IR");
+        assert!(up.funcs_invalidated >= 1);
+        let invalidated_total = c.stats().funcs_invalidated;
+        assert!(invalidated_total >= up.funcs_invalidated);
+
+        let miss_before = c.stats().memo_misses;
+        let (_, after) = c.query_module("alpha", 5).unwrap();
+        assert_eq!(before, after, "touch is semantically a no-op");
+        let recomputed = c.stats().memo_misses - miss_before;
+        assert_eq!(recomputed, up.funcs_invalidated, "touch recomputes exactly the dirty set");
+    }
+
+    #[test]
+    fn ingest_function_appends_without_evicting() {
+        let c = corpus();
+        c.ingest(workload("alpha", 11)).unwrap();
+        let beta = workload("beta", 22);
+        c.ingest(beta.clone()).unwrap();
+
+        // Clone an eligible alpha function under a fresh name (a donor
+        // module with alpha's seed shares its external declarations, so
+        // the transplanted body splices cleanly); the original is then
+        // its 1.0-similarity candidate.
+        let mut donor = workload("donor", 11);
+        let (src, _) = family_pair(&donor);
+        let sid = donor.lookup_function(&src).unwrap();
+        donor.rename_function(sid, "fresh_fn".to_string());
+        let patch = f3m_ir::printer::print_module(&donor);
+        drop(beta);
+
+        let epoch_before = c.epoch();
+        let sum = c.ingest_function("alpha", "fresh_fn", &patch).unwrap();
+        assert_eq!(sum.functions, 1);
+        assert_eq!(sum.epoch, epoch_before + 1);
+        assert_eq!(c.stats().modules_live, 2, "no module was evicted");
+
+        let (_, qr) = c.query_function("alpha", "fresh_fn", 5).unwrap();
+        assert!(
+            qr.candidates.iter().any(|cand| cand.func == format!("alpha.{src}")),
+            "clone source must be a candidate: {qr:?}"
+        );
+        assert_eq!(qr.candidates.first().map(|cand| cand.similarity), Some(1.0), "{qr:?}");
+
+        // Appending again under the same name is rejected; so is a
+        // non-resident module.
+        assert!(c.ingest_function("alpha", "fresh_fn", &patch).unwrap_err().contains("already"));
+        assert!(c.ingest_function("ghost", "fresh_fn", &patch).unwrap_err().contains("resident"));
+    }
+
+    #[test]
+    fn update_rejects_bad_replacements() {
+        let c = corpus();
+        let alpha = workload("alpha", 11);
+        c.ingest(alpha.clone()).unwrap();
+        let (dst, _) = family_pair(&alpha);
+
+        assert!(c
+            .update_function("ghost", &dst, None)
+            .unwrap_err()
+            .contains("not resident"));
+        assert!(c
+            .update_function("alpha", "nosuch", None)
+            .unwrap_err()
+            .contains("no merge-eligible function"));
+        let empty = "module \"p\" {\n}\n";
+        assert!(c
+            .update_function("alpha", &dst, Some(empty))
+            .unwrap_err()
+            .contains("does not define"));
+        assert!(c
+            .update_function("alpha", &dst, Some("module \"p\" { define @x( }"))
+            .unwrap_err()
+            .contains("does not parse"));
+        // The patch parses on its own (it declares its callee) but the
+        // spliced body references a symbol alpha does not have, so the
+        // rebuilt module fails verification and the corpus is untouched.
+        let dangling = format!(
+            "module \"p\" {{\ndeclare @__nowhere() -> i32\n\
+             define @{dst}() -> i32 {{\nbb0:\n  %0 = call i32 @__nowhere()\n  ret i32 %0\n}}\n}}\n"
+        );
+        assert!(c
+            .update_function("alpha", &dst, Some(&dangling))
+            .unwrap_err()
+            .contains("does not verify"));
+        // Nothing above mutated the corpus.
+        assert_eq!(c.epoch(), 1);
+    }
+
+    #[test]
+    fn cancellable_query_supersedes_on_predicate() {
+        let c = corpus();
+        c.ingest(workload("alpha", 11)).unwrap();
+
+        let mut calls = 0;
+        let outcome = c
+            .query_module_cancellable("alpha", 3, |_| {
+                calls += 1;
+                calls > 1
+            })
+            .unwrap();
+        match outcome {
+            QueryOutcome::Superseded { started, epoch } => {
+                assert_eq!(started, 1);
+                assert_eq!(epoch, 1, "no mutation actually happened");
+            }
+            other => panic!("predicate must supersede the query: {other:?}"),
+        }
+        assert_eq!(c.stats().queries_superseded, 1);
+
+        // With a truthful predicate on a quiescent corpus the outcome is
+        // complete and identical to the synchronous path.
+        let outcome = c.query_module_cancellable("alpha", 3, |pinned| c.epoch() != pinned).unwrap();
+        let (epoch, results) = c.query_module("alpha", 3).unwrap();
+        assert_eq!(outcome, QueryOutcome::Complete { epoch, results });
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! invalidation, and builds them in parallel across `jobs` threads with
 //! deterministic (job-count-independent) results.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
 use f3m_fingerprint::adaptive::MergeParams;
 use f3m_fingerprint::encode::encode_function;
 use f3m_fingerprint::fnv::xor_constants;
@@ -125,6 +129,109 @@ pub fn build_search(
             let p = MergeParams::adaptive(funcs.len());
             Box::new(LshMinHashSearch::build(m, funcs, p, jobs))
         }
+    }
+}
+
+impl CandidateSearch for Box<dyn CandidateSearch + Send + Sync> {
+    fn num_functions(&self) -> usize {
+        (**self).num_functions()
+    }
+
+    fn best_candidates(
+        &self,
+        i: usize,
+        available: &[bool],
+        counters: &mut QueryCounters,
+    ) -> CandidateSet {
+        (**self).best_candidates(i, available, counters)
+    }
+
+    fn invalidate(&mut self, idx: usize) {
+        (**self).invalidate(idx)
+    }
+
+    fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)> {
+        (**self).ranked_candidates(i, available, k)
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        (**self).index_stats()
+    }
+}
+
+/// Memoizing decorator over any [`CandidateSearch`]: the first
+/// `ranked_candidates` query for a function computes and caches the
+/// *full*, availability-unfiltered ranking; every later query answers
+/// from the memo, filtered by the caller's availability mask and
+/// truncated to `k`.
+///
+/// This is sound because availability only ever *removes* candidates
+/// (the driver masks functions consumed by commits): filtering a
+/// complete ranked list pointwise yields exactly what ranking the
+/// filtered pool would. [`CandidateSearch::invalidate`] drops the
+/// invalidated function's own memo (its index entry is gone) but leaves
+/// the others — their stale references to `idx` are masked by
+/// `available` just as the live index would mask them.
+pub struct MemoizedSearch<S> {
+    inner: S,
+    full: RwLock<HashMap<usize, Vec<(usize, f64)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<S: CandidateSearch> MemoizedSearch<S> {
+    pub fn wrap(inner: S) -> MemoizedSearch<S> {
+        MemoizedSearch {
+            inner,
+            full: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` of the ranked-candidates memo so far.
+    pub fn memo_counts(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+impl<S: CandidateSearch> CandidateSearch for MemoizedSearch<S> {
+    fn num_functions(&self) -> usize {
+        self.inner.num_functions()
+    }
+
+    fn best_candidates(
+        &self,
+        i: usize,
+        available: &[bool],
+        counters: &mut QueryCounters,
+    ) -> CandidateSet {
+        self.inner.best_candidates(i, available, counters)
+    }
+
+    fn invalidate(&mut self, idx: usize) {
+        self.inner.invalidate(idx);
+        self.full.write().unwrap().remove(&idx);
+    }
+
+    fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)> {
+        let filtered = |full: &[(usize, f64)]| {
+            full.iter().filter(|&&(j, _)| available[j]).take(k).copied().collect()
+        };
+        if let Some(full) = self.full.read().unwrap().get(&i) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return filtered(full);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let everyone = vec![true; self.inner.num_functions()];
+        let full = self.inner.ranked_candidates(i, &everyone, usize::MAX);
+        let result = filtered(&full);
+        self.full.write().unwrap().insert(i, full);
+        result
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        self.inner.index_stats()
     }
 }
 
@@ -275,6 +382,81 @@ impl CandidateSearch for LshMinHashSearch {
             buckets: self.index.num_buckets(),
             max_bucket: self.index.max_bucket_size(),
             bucket_sizes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn searches() -> (LshMinHashSearch, MemoizedSearch<LshMinHashSearch>, usize) {
+        let mut spec = f3m_workloads::mini_suite()[0].clone();
+        spec.functions = 32;
+        spec.seed = 7;
+        let m = f3m_workloads::build_module(&spec);
+        let funcs: Vec<FuncId> = m
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| m.function(f).num_linked_insts() > 0)
+            .collect();
+        let n = funcs.len();
+        let params = MergeParams::static_default();
+        let plain = LshMinHashSearch::build(&m, &funcs, params, 1);
+        let memo = MemoizedSearch::wrap(LshMinHashSearch::build(&m, &funcs, params, 1));
+        (plain, memo, n)
+    }
+
+    #[test]
+    fn memoized_ranking_matches_plain_search() {
+        let (plain, memo, n) = searches();
+        let available = vec![true; n];
+        for i in 0..n {
+            assert_eq!(
+                memo.ranked_candidates(i, &available, 5),
+                plain.ranked_candidates(i, &available, 5),
+                "function {i}"
+            );
+        }
+        let (hits, misses) = memo.memo_counts();
+        assert_eq!((hits, misses), (0, n as u64), "first pass is all misses");
+
+        // Second pass answers from the memo, byte-for-byte identically.
+        for i in 0..n {
+            assert_eq!(
+                memo.ranked_candidates(i, &available, 5),
+                plain.ranked_candidates(i, &available, 5)
+            );
+        }
+        assert_eq!(memo.memo_counts(), (n as u64, n as u64));
+    }
+
+    #[test]
+    fn memoized_ranking_respects_availability_and_invalidate() {
+        let (mut plain, mut memo, n) = searches();
+        let all = vec![true; n];
+        for i in 0..n {
+            memo.ranked_candidates(i, &all, usize::MAX);
+        }
+
+        // Mask a function that actually shows up as a candidate.
+        let victim = (0..n)
+            .find(|&i| !plain.ranked_candidates(i, &all, 1).is_empty())
+            .map(|i| plain.ranked_candidates(i, &all, 1)[0].0)
+            .expect("workload families produce candidates");
+        let mut masked = all.clone();
+        masked[victim] = false;
+        plain.invalidate(victim);
+        memo.invalidate(victim);
+        for i in 0..n {
+            if i == victim {
+                continue;
+            }
+            assert_eq!(
+                memo.ranked_candidates(i, &masked, 5),
+                plain.ranked_candidates(i, &masked, 5),
+                "post-invalidate function {i}"
+            );
         }
     }
 }

@@ -26,7 +26,7 @@
 //!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m serve [--addr <host:port>] [--jobs <n>] [--queue-cap <c>]
 //!           [--shards <s>] [--trace chrome:<path>] [--metrics <path>]
-//! f3m client [--addr <host:port>] <ingest|evict|query|merge|stats|ping|shutdown> ...
+//! f3m client [--addr <host:port>] <ingest|evict|query|update|merge|stats|ping|shutdown> ...
 //! f3m list
 //! ```
 //!
@@ -69,7 +69,8 @@ fn main() -> ExitCode {
                  \x20      [--trace chrome:path] [--metrics path]\n\
                  client [--addr host:port] ingest <file.ir> [--name n]\n\
                  client [--addr host:port] evict <module>\n\
-                 client [--addr host:port] query <module> [--func f] [-k n]\n\
+                 client [--addr host:port] query <module> [--func f] [-k n] [--if-epoch e]\n\
+                 client [--addr host:port] update <module> <func> [patch.ir]\n\
                  client [--addr host:port] merge [--strategy hyfm|f3m|f3m-adaptive] [--jobs n]\n\
                  client [--addr host:port] stats|ping|shutdown\n\
                  list"
@@ -456,6 +457,13 @@ fn cmd_client(args: &[String]) -> CliResult {
                 .map(str::parse)
                 .transpose()?
                 .unwrap_or(f3m::serve::protocol::DEFAULT_QUERY_K),
+            if_epoch: flag_value(args, "--if-epoch").map(str::parse).transpose()?,
+        },
+        "update" => Request::Update {
+            module: positional.get(1).ok_or("update needs a module name")?.to_string(),
+            func: positional.get(2).ok_or("update needs a function name")?.to_string(),
+            // No file = touch: re-fingerprint the function in place.
+            ir: positional.get(3).map(std::fs::read_to_string).transpose()?,
         },
         "merge" => Request::Merge {
             strategy: flag_value(args, "--strategy").unwrap_or("f3m").to_string(),

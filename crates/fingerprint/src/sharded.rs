@@ -123,6 +123,64 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
         }
     }
 
+    /// Distinct items currently resident in the buckets under `keys`, in
+    /// ascending item order — the **band-collision neighborhood** of those
+    /// keys. This is the dirty set an incremental caller must invalidate
+    /// when entries under `keys` change: any item whose candidate list
+    /// could be affected by the change shares at least one of these
+    /// buckets, and is therefore in the returned set.
+    pub fn members_of_keys(&self, keys: &[u64]) -> Vec<T> {
+        let mut members: Vec<T> = Vec::new();
+        self.for_each_shard_batch(keys, |shard, batch| {
+            let idx = shard.read().unwrap();
+            for &key in batch {
+                if let Some(bucket) = idx.probe_key(key) {
+                    members.extend_from_slice(bucket);
+                }
+            }
+        });
+        members.sort_unstable();
+        members.dedup();
+        members
+    }
+
+    /// Applies a batch of removals then insertions and returns the union
+    /// of the band-collision neighborhoods touched — every item (old or
+    /// new) that shared a bucket with any removed or inserted key, before
+    /// or after the change. The set is sorted and deduplicated.
+    ///
+    /// This is the delta primitive behind incremental corpus updates: a
+    /// single-function edit removes the function's old band keys, inserts
+    /// its new ones, and must invalidate exactly the returned set — the
+    /// function itself plus its (old and new) bucket neighbors — instead
+    /// of evicting and re-indexing a whole module.
+    ///
+    /// The caller is responsible for serializing batches against other
+    /// writers (as with [`Self::insert_with_keys`]) and for bumping the
+    /// epoch afterwards.
+    pub fn apply_delta(&self, removes: &[(T, Vec<u64>)], inserts: &[(T, Vec<u64>)]) -> Vec<T> {
+        let touched: Vec<u64> = removes
+            .iter()
+            .chain(inserts.iter())
+            .flat_map(|(_, keys)| keys.iter().copied())
+            .collect();
+        // Neighborhood *before*: catches items co-bucketed with removed
+        // keys (including the removed items themselves).
+        let mut dirty = self.members_of_keys(&touched);
+        for (id, keys) in removes {
+            self.remove_with_keys(*id, keys);
+        }
+        for (id, keys) in inserts {
+            self.insert_with_keys(*id, keys);
+        }
+        // Neighborhood *after*: catches items co-bucketed with inserted
+        // keys (including the inserted items themselves).
+        dirty.extend(self.members_of_keys(&touched));
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
     /// Distinct candidates sharing at least one band with the querier,
     /// with the same bucket-cap truncation, self-exclusion, dedup and
     /// work counting as [`LshIndex::candidates_counted`] — probing each
@@ -270,6 +328,79 @@ mod tests {
         assert_eq!(idx.advance_epoch(), 1);
         assert_eq!(idx.advance_epoch(), 2);
         assert_eq!(idx.epoch(), 2);
+    }
+
+    /// `members_of_keys` returns exactly the items resident under the
+    /// probed buckets, and `apply_delta` returns the union of old and new
+    /// neighborhoods while leaving the index identical to direct
+    /// removal + insertion.
+    #[test]
+    fn apply_delta_returns_collision_neighborhood() {
+        let p = params();
+        let items: Vec<(u32, MinHashFingerprint)> = (0..10).map(|i| (i, fp(i))).collect();
+        let sharded = ShardedLshIndex::new(p, 3);
+        for (id, f) in &items {
+            sharded.insert_with_keys(*id, &band_keys_for(p, f));
+        }
+        // The neighborhood of an item's own keys contains at least itself.
+        for (id, f) in &items {
+            let members = sharded.members_of_keys(&band_keys_for(p, f));
+            assert!(members.contains(id), "item {id} missing from its own neighborhood");
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        }
+
+        // Move item 3 to a new fingerprint via a delta.
+        let old_keys = band_keys_for(p, &items[3].1);
+        let new_fp = fp(3 + 100);
+        let new_keys = band_keys_for(p, &new_fp);
+        let before_old = sharded.members_of_keys(&old_keys);
+        let dirty = sharded.apply_delta(
+            &[(3u32, old_keys.clone())],
+            &[(3u32, new_keys.clone())],
+        );
+        // The dirty set covers the item itself plus both neighborhoods.
+        assert!(dirty.contains(&3));
+        for m in before_old {
+            assert!(dirty.contains(&m), "old neighbor {m} missing from dirty set");
+        }
+        for m in sharded.members_of_keys(&new_keys) {
+            assert!(dirty.contains(&m), "new neighbor {m} missing from dirty set");
+        }
+
+        // The index state matches a from-scratch build with the new keys.
+        let mut flat = LshIndex::new(p);
+        for (id, f) in &items {
+            if *id == 3 {
+                flat.insert(*id, &new_fp);
+            } else {
+                flat.insert(*id, f);
+            }
+        }
+        for (id, f) in &items {
+            let f = if *id == 3 { &new_fp } else { f };
+            let keys = band_keys_for(p, f);
+            assert_eq!(sharded.candidates_counted(&keys, *id), flat.candidates_counted(f, *id));
+        }
+    }
+
+    /// An item whose keys share no bucket with the delta is not dirtied —
+    /// invalidation is O(neighborhood), not O(index).
+    #[test]
+    fn apply_delta_spares_disjoint_items() {
+        let p = LshParams { rows: 2, bands: 4, bucket_cap: 8 };
+        let sharded: ShardedLshIndex<u32> = ShardedLshIndex::new(p, 2);
+        // Disjoint shingle streams → disjoint buckets.
+        let far_stream: Vec<u32> = (5000..5024).collect();
+        let far = MinHashFingerprint::of_encoded(&far_stream, 32);
+        let near = fp(1);
+        let near_twin = fp(1);
+        sharded.insert_with_keys(1, &band_keys_for(p, &near));
+        sharded.insert_with_keys(9, &band_keys_for(p, &far));
+        let dirty =
+            sharded.apply_delta(&[], &[(2u32, band_keys_for(p, &near_twin))]);
+        assert!(dirty.contains(&2));
+        assert!(dirty.contains(&1), "co-bucketed twin must be dirtied");
+        assert!(!dirty.contains(&9), "disjoint item must not be dirtied");
     }
 
     /// Concurrent ingest and query never panic, and every item committed

@@ -15,25 +15,35 @@
 //! ```json
 //! {"type":"ingest","ir":"module \"m\" { ... }","name":"m2"}
 //! {"type":"evict","name":"m"}
-//! {"type":"query","module":"m","func":"f0_0","k":3}
+//! {"type":"query","module":"m","func":"f0_0","k":3,"if_epoch":7}
+//! {"type":"update","module":"m","func":"f0_0","ir":"module \"p\" { ... }"}
 //! {"type":"merge","strategy":"f3m","jobs":2}
 //! {"type":"stats"}  {"type":"ping"}  {"type":"shutdown"}
 //! {"type":"sleep","ms":100}
 //! ```
 //!
+//! `update` replaces one resident function's body in place (no module
+//! evict; only the changed function is re-fingerprinted and only its
+//! band-collision neighborhood is invalidated); omitting `"ir"` makes it
+//! a *touch* — re-fingerprint and invalidate without changing IR. A
+//! `query` carrying `"if_epoch"` is answered with `superseded` instead
+//! of candidates when the corpus epoch has moved past that value — the
+//! incremental client's cheap way to notice its snapshot is stale.
+//!
 //! Any request may carry `"id"` (an opaque integer echoed in the
 //! response, for correlating pipelined requests) and `"deadline_ms"`
 //! (maximum queue wait; expired requests answer an error instead of
 //! occupying a worker). Responses mirror the request types (`ingested`,
-//! `evicted`, `candidates`, `report`, `stats`, `pong`, `slept`, `bye`)
-//! plus the two refusals `busy` (bounded queue full) and `error`.
+//! `evicted`, `candidates`, `updated`, `report`, `stats`, `pong`,
+//! `slept`, `bye`), plus `superseded` for epoch-conditional or cancelled
+//! queries and the two refusals `busy` (bounded queue full) and `error`.
 //! All response rendering uses fixed field order, so responses to the
 //! same corpus state are byte-identical — the determinism tests compare
 //! raw frames across `--jobs` settings.
 
 use std::io::{Read, Write};
 
-use f3m_core::corpus::{CorpusStats, EvictSummary, IngestSummary, QueryResult};
+use f3m_core::corpus::{CorpusStats, EvictSummary, IngestSummary, QueryResult, UpdateSummary};
 use f3m_trace::json::{self, escape, fmt_f64, Json};
 
 /// Maximum frame payload size (64 MiB) — comfortably above any workload
@@ -99,8 +109,13 @@ pub enum Request {
     /// Drop a resident module.
     Evict { name: String },
     /// Top-k candidates for one function (`func` set) or every function
-    /// of a module (`func` absent).
-    Query { module: String, func: Option<String>, k: usize },
+    /// of a module (`func` absent). With `if_epoch` set, answered
+    /// `superseded` when the corpus epoch no longer matches.
+    Query { module: String, func: Option<String>, k: usize, if_epoch: Option<u64> },
+    /// Replace one resident function's body (`ir` set) or merely touch
+    /// it (`ir` absent): re-fingerprint, invalidate the band-collision
+    /// neighborhood, leave the rest of the module resident.
+    Update { module: String, func: String, ir: Option<String> },
     /// Run the full pass over the combined resident corpus.
     Merge { strategy: String, jobs: Option<usize> },
     Stats,
@@ -119,6 +134,7 @@ impl Request {
             Request::Ingest { .. } => "ingest",
             Request::Evict { .. } => "evict",
             Request::Query { .. } => "query",
+            Request::Update { .. } => "update",
             Request::Merge { .. } => "merge",
             Request::Stats => "stats",
             Request::Ping => "ping",
@@ -183,6 +199,12 @@ pub fn parse_request(payload: &[u8]) -> Result<RequestEnvelope, String> {
             module: str_field("module")?,
             func: opt_str("func"),
             k: opt_u64("k")?.map(|k| k as usize).unwrap_or(DEFAULT_QUERY_K),
+            if_epoch: opt_u64("if_epoch")?,
+        },
+        "update" => Request::Update {
+            module: str_field("module")?,
+            func: str_field("func")?,
+            ir: opt_str("ir"),
         },
         "merge" => Request::Merge {
             strategy: opt_str("strategy").unwrap_or_else(|| "f3m".to_string()),
@@ -217,12 +239,25 @@ pub fn render_request(env: &RequestEnvelope) -> String {
             out.push_str(&format!(",\"ir\":\"{}\"", escape(ir)));
         }
         Request::Evict { name } => out.push_str(&format!(",\"name\":\"{}\"", escape(name))),
-        Request::Query { module, func, k } => {
+        Request::Query { module, func, k, if_epoch } => {
             out.push_str(&format!(",\"module\":\"{}\"", escape(module)));
             if let Some(f) = func {
                 out.push_str(&format!(",\"func\":\"{}\"", escape(f)));
             }
             out.push_str(&format!(",\"k\":{k}"));
+            if let Some(e) = if_epoch {
+                out.push_str(&format!(",\"if_epoch\":{e}"));
+            }
+        }
+        Request::Update { module, func, ir } => {
+            out.push_str(&format!(
+                ",\"module\":\"{}\",\"func\":\"{}\"",
+                escape(module),
+                escape(func)
+            ));
+            if let Some(text) = ir {
+                out.push_str(&format!(",\"ir\":\"{}\"", escape(text)));
+            }
         }
         Request::Merge { strategy, jobs } => {
             out.push_str(&format!(",\"strategy\":\"{}\"", escape(strategy)));
@@ -256,7 +291,7 @@ pub struct ServerCounters {
 
 /// Wire request types in counter order.
 pub const REQUEST_TYPES: &[&str] =
-    &["ingest", "evict", "query", "merge", "stats", "ping", "sleep", "shutdown"];
+    &["ingest", "evict", "query", "update", "merge", "stats", "ping", "sleep", "shutdown"];
 
 impl ServerCounters {
     /// Bumps the per-type completion counter.
@@ -273,7 +308,11 @@ impl ServerCounters {
 pub enum Response {
     Ingested(IngestSummary),
     Evicted(EvictSummary),
+    Updated(UpdateSummary),
     Candidates { epoch: u64, results: Vec<QueryResult> },
+    /// A query pinned at epoch `started` was overtaken by a mutation (or
+    /// its `if_epoch` precondition already failed); `epoch` is current.
+    Superseded { started: u64, epoch: u64 },
     /// `report` is the pre-rendered `MergeReport::to_json` object (spliced
     /// verbatim; the pass serializer already emits deterministic JSON).
     Report { epoch: u64, report: String },
@@ -291,7 +330,9 @@ impl Response {
         match self {
             Response::Ingested(_) => "ingested",
             Response::Evicted(_) => "evicted",
+            Response::Updated(_) => "updated",
             Response::Candidates { .. } => "candidates",
+            Response::Superseded { .. } => "superseded",
             Response::Report { .. } => "report",
             Response::Stats { .. } => "stats",
             Response::Pong => "pong",
@@ -324,6 +365,18 @@ pub fn render_response(id: Option<u64>, resp: &Response) -> String {
             s.functions,
             s.epoch
         )),
+        Response::Updated(s) => out.push_str(&format!(
+            ",\"module\":\"{}\",\"func\":\"{}\",\"epoch\":{},\"changed\":{},\
+             \"funcs_invalidated\":{}",
+            escape(&s.module),
+            escape(&s.func),
+            s.epoch,
+            s.changed,
+            s.funcs_invalidated
+        )),
+        Response::Superseded { started, epoch } => {
+            out.push_str(&format!(",\"started\":{started},\"epoch\":{epoch}"));
+        }
         Response::Candidates { epoch, results } => {
             out.push_str(&format!(",\"epoch\":{epoch},\"results\":["));
             for (i, r) in results.iter().enumerate() {
@@ -352,14 +405,19 @@ pub fn render_response(id: Option<u64>, resp: &Response) -> String {
             out.push_str(&format!(
                 ",\"corpus\":{{\"epoch\":{},\"modules_live\":{},\"modules_total\":{},\
                  \"functions_live\":{},\"entries_total\":{},\"index_buckets\":{},\
-                 \"index_max_bucket\":{},\"shards\":[",
+                 \"index_max_bucket\":{},\"memo_hits\":{},\"memo_misses\":{},\
+                 \"funcs_invalidated\":{},\"queries_superseded\":{},\"shards\":[",
                 corpus.epoch,
                 corpus.modules_live,
                 corpus.modules_total,
                 corpus.functions_live,
                 corpus.entries_total,
                 corpus.index_buckets,
-                corpus.index_max_bucket
+                corpus.index_max_bucket,
+                corpus.memo_hits,
+                corpus.memo_misses,
+                corpus.funcs_invalidated,
+                corpus.queries_superseded
             ));
             for (i, s) in corpus.shards.iter().enumerate() {
                 if i > 0 {
@@ -420,9 +478,25 @@ mod tests {
             RequestEnvelope {
                 id: Some(1),
                 deadline_ms: None,
-                body: Request::Query { module: "m".into(), func: Some("f".into()), k: 5 },
+                body: Request::Query {
+                    module: "m".into(),
+                    func: Some("f".into()),
+                    k: 5,
+                    if_epoch: None,
+                },
             },
-            RequestEnvelope::of(Request::Query { module: "m".into(), func: None, k: 3 }),
+            RequestEnvelope::of(Request::Query {
+                module: "m".into(),
+                func: None,
+                k: 3,
+                if_epoch: Some(12),
+            }),
+            RequestEnvelope::of(Request::Update {
+                module: "m".into(),
+                func: "f".into(),
+                ir: Some("module \"p\" {\n}\n".into()),
+            }),
+            RequestEnvelope::of(Request::Update { module: "m".into(), func: "f".into(), ir: None }),
             RequestEnvelope::of(Request::Merge { strategy: "f3m".into(), jobs: Some(2) }),
             RequestEnvelope::of(Request::Merge { strategy: "hyfm".into(), jobs: None }),
             RequestEnvelope::of(Request::Stats),
@@ -440,7 +514,17 @@ mod tests {
     #[test]
     fn query_k_defaults_when_omitted() {
         let env = parse_request(br#"{"type":"query","module":"m"}"#).unwrap();
-        assert_eq!(env.body, Request::Query { module: "m".into(), func: None, k: DEFAULT_QUERY_K });
+        assert_eq!(
+            env.body,
+            Request::Query { module: "m".into(), func: None, k: DEFAULT_QUERY_K, if_epoch: None }
+        );
+    }
+
+    #[test]
+    fn update_without_ir_is_a_touch() {
+        let env = parse_request(br#"{"type":"update","module":"m","func":"f"}"#).unwrap();
+        assert_eq!(env.body, Request::Update { module: "m".into(), func: "f".into(), ir: None });
+        assert!(parse_request(br#"{"type":"update","module":"m"}"#).is_err(), "func is required");
     }
 
     #[test]
@@ -471,6 +555,14 @@ mod tests {
                 epoch: 3,
             }),
             Response::Evicted(EvictSummary { module: "m".into(), functions: 9, epoch: 4 }),
+            Response::Updated(UpdateSummary {
+                module: "m".into(),
+                func: "f".into(),
+                epoch: 6,
+                changed: true,
+                funcs_invalidated: 4,
+            }),
+            Response::Superseded { started: 5, epoch: 7 },
             Response::Candidates {
                 epoch: 4,
                 results: vec![QueryResult {
@@ -489,6 +581,10 @@ mod tests {
                     index_buckets: 40,
                     index_max_bucket: 4,
                     shards: vec![Default::default(); 2],
+                    memo_hits: 11,
+                    memo_misses: 5,
+                    funcs_invalidated: 3,
+                    queries_superseded: 1,
                 },
                 server: ServerCounters { rejects_busy: 1, ..Default::default() },
             },
@@ -505,13 +601,26 @@ mod tests {
             assert_eq!(v.get("id").and_then(Json::as_u64), Some(9), "{text}");
         }
         // Spot-check nested payloads survive.
-        let cand = render_response(None, &resps[2]);
+        let cand = render_response(None, &resps[4]);
         let v = parse_response(cand.as_bytes()).unwrap();
         let results = v.get("results").and_then(Json::as_array).unwrap();
         assert_eq!(results[0].get("func").and_then(Json::as_str), Some("m.f"));
         let c0 = &results[0].get("candidates").and_then(Json::as_array).unwrap()[0];
         assert_eq!(c0.get("similarity").and_then(Json::as_f64), Some(0.75));
-        let err = render_response(None, &resps[9]);
+        let up = render_response(None, &resps[2]);
+        let v = parse_response(up.as_bytes()).unwrap();
+        assert_eq!(v.get("changed").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("funcs_invalidated").and_then(Json::as_u64), Some(4));
+        let sup = render_response(None, &resps[3]);
+        let v = parse_response(sup.as_bytes()).unwrap();
+        assert_eq!(v.get("started").and_then(Json::as_u64), Some(5));
+        assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(7));
+        let stats = render_response(None, &resps[6]);
+        let v = parse_response(stats.as_bytes()).unwrap();
+        let corpus = v.get("corpus").unwrap();
+        assert_eq!(corpus.get("memo_hits").and_then(Json::as_u64), Some(11));
+        assert_eq!(corpus.get("queries_superseded").and_then(Json::as_u64), Some(1));
+        let err = render_response(None, &resps[11]);
         let v = parse_response(err.as_bytes()).unwrap();
         assert_eq!(v.get("message").and_then(Json::as_str), Some("boom \"quoted\""));
     }

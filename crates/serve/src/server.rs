@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use f3m_core::corpus::{Corpus, CorpusConfig};
+use f3m_core::corpus::{Corpus, CorpusConfig, QueryOutcome};
 use f3m_core::pass::PassConfig;
 use f3m_ir::parser::parse_module;
 use f3m_trace::metrics::MetricsRegistry;
@@ -193,10 +193,17 @@ fn render_metrics(shared: &Shared, cfg: &ServeConfig) -> String {
         let c = reg.counter(&format!("serve.requests.{ty}"), "requests", true);
         reg.set(c, counters.requests[i]);
     }
-    let det_pairs: [(&str, u64); 3] = [
+    let det_pairs: [(&str, u64); 7] = [
         ("serve.errors", counters.errors),
         ("serve.epoch", stats.epoch),
         ("serve.jobs", cfg.jobs as u64),
+        // Incremental-recompute counters: jobs-invariant (and, for a
+        // synchronous client, fully deterministic — they ride the stats
+        // response, which the determinism tests compare byte-for-byte).
+        ("serve.corpus.memo_hits", stats.memo_hits),
+        ("serve.corpus.memo_misses", stats.memo_misses),
+        ("serve.corpus.funcs_invalidated", stats.funcs_invalidated),
+        ("serve.corpus.queries_superseded", stats.queries_superseded),
     ];
     for (name, v) in det_pairs {
         let c = reg.counter(name, "count", true);
@@ -327,6 +334,10 @@ fn break_acceptor(shared: &Shared) {
     let _ = TcpStream::connect_timeout(&shared.listen_addr, Duration::from_millis(200));
 }
 
+/// How many times a cancellable module query is restarted after being
+/// epoch-superseded before the client is answered `superseded`.
+const QUERY_RESTARTS: usize = 2;
+
 /// Dispatches one request against the resident corpus.
 fn handle(shared: &Shared, req: &Request) -> Response {
     match req {
@@ -347,16 +358,52 @@ fn handle(shared: &Shared, req: &Request) -> Response {
             Ok(s) => Response::Evicted(s),
             Err(message) => Response::Error { message },
         },
-        Request::Query { module, func, k } => {
-            let res = match func {
-                Some(f) => shared
-                    .corpus
-                    .query_function(module, f, *k)
-                    .map(|(epoch, r)| (epoch, vec![r])),
-                None => shared.corpus.query_module(module, *k),
-            };
-            match res {
-                Ok((epoch, results)) => Response::Candidates { epoch, results },
+        Request::Query { module, func, k, if_epoch } => {
+            // Epoch precondition: a stale client pin is answered
+            // `superseded` without doing any ranking work.
+            if let Some(want) = if_epoch {
+                if shared.corpus.epoch() != *want {
+                    // Counted through the corpus so the miss shows up in
+                    // `queries_superseded` like any other supersession.
+                    if let QueryOutcome::Superseded { started, epoch } =
+                        shared.corpus.superseded(*want)
+                    {
+                        return Response::Superseded { started, epoch };
+                    }
+                }
+            }
+            match func {
+                Some(f) => match shared.corpus.query_function(module, f, *k) {
+                    Ok((epoch, r)) => Response::Candidates { epoch, results: vec![r] },
+                    Err(message) => Response::Error { message },
+                },
+                // Module queries run cancellable: concurrent mutations
+                // abort and restart them a bounded number of times, then
+                // the client is told its answer was superseded rather
+                // than being handed a torn snapshot.
+                None => {
+                    let mut last = (0, 0);
+                    for _ in 0..=QUERY_RESTARTS {
+                        let outcome = shared.corpus.query_module_cancellable(module, *k, |pin| {
+                            shared.corpus.epoch() != pin
+                        });
+                        match outcome {
+                            Ok(QueryOutcome::Complete { epoch, results }) => {
+                                return Response::Candidates { epoch, results }
+                            }
+                            Ok(QueryOutcome::Superseded { started, epoch }) => {
+                                last = (started, epoch);
+                            }
+                            Err(message) => return Response::Error { message },
+                        }
+                    }
+                    Response::Superseded { started: last.0, epoch: last.1 }
+                }
+            }
+        }
+        Request::Update { module, func, ir } => {
+            match shared.corpus.update_function(module, func, ir.as_deref()) {
+                Ok(s) => Response::Updated(s),
                 Err(message) => Response::Error { message },
             }
         }

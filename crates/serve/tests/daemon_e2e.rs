@@ -40,6 +40,36 @@ fn ingest(c: &mut Client, m: &Module) -> Json {
     c.call_expect(Request::Ingest { name: None, ir: ir_text(m) }, "ingested").unwrap()
 }
 
+/// Two merge-eligible members of the same generated family (same
+/// signature, different bodies) — update fodder.
+fn family_pair(m: &Module) -> (String, String) {
+    let eligible: Vec<String> = m
+        .defined_functions()
+        .into_iter()
+        .filter(|&f| m.function(f).num_linked_insts() > 0)
+        .map(|f| m.function(f).name.clone())
+        .collect();
+    for a in &eligible {
+        if let Some((fam, "0")) = a.rsplit_once('_') {
+            let b = format!("{fam}_1");
+            if eligible.contains(&b) {
+                return (a.clone(), b);
+            }
+        }
+    }
+    panic!("workload has no eligible family pair");
+}
+
+/// IR text of `m` with `dst`'s body replaced by `src`'s.
+fn body_swap_patch(m: &Module, dst: &str, src: &str) -> String {
+    let mut patched = m.clone();
+    let d = patched.lookup_function(dst).unwrap();
+    let s = patched.lookup_function(src).unwrap();
+    patched.rename_function(d, format!("{dst}__old"));
+    patched.rename_function(s, dst.to_string());
+    ir_text(&patched)
+}
+
 #[test]
 fn ingest_query_evict_merge_over_a_real_socket() {
     let (addr, h) = start(2);
@@ -65,7 +95,10 @@ fn ingest_query_evict_merge_over_a_real_socket() {
     let available = vec![true; funcs.len()];
 
     let v = c
-        .call_expect(Request::Query { module: "alpha".into(), func: None, k: 5 }, "candidates")
+        .call_expect(
+            Request::Query { module: "alpha".into(), func: None, k: 5, if_epoch: None },
+            "candidates",
+        )
         .unwrap();
     assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(3));
     let results = v.get("results").and_then(Json::as_array).unwrap();
@@ -130,7 +163,10 @@ fn ingest_query_evict_merge_over_a_real_socket() {
     );
 
     let v = c
-        .call_expect(Request::Query { module: "alpha".into(), func: None, k: 8 }, "candidates")
+        .call_expect(
+            Request::Query { module: "alpha".into(), func: None, k: 8, if_epoch: None },
+            "candidates",
+        )
         .unwrap();
     for r in v.get("results").and_then(Json::as_array).unwrap() {
         for cand in r.get("candidates").and_then(Json::as_array).unwrap() {
@@ -174,10 +210,51 @@ fn responses_are_byte_identical_across_worker_counts() {
                     module: m.into(),
                     func: None,
                     k: 4,
+                    if_epoch: None,
                 }))
                 .unwrap(),
             );
         }
+        // An in-place edit plus a touch: the memo counters these bump
+        // ride the stats response below, folding the incremental layer
+        // into the byte-identity check.
+        let (dst, src) = family_pair(&mods[0]);
+        raw.push(
+            c.request_raw(&RequestEnvelope::of(Request::Update {
+                module: "alpha".into(),
+                func: dst.clone(),
+                ir: Some(body_swap_patch(&mods[0], &dst, &src)),
+            }))
+            .unwrap(),
+        );
+        raw.push(
+            c.request_raw(&RequestEnvelope::of(Request::Update {
+                module: "alpha".into(),
+                func: src.clone(),
+                ir: None,
+            }))
+            .unwrap(),
+        );
+        raw.push(
+            c.request_raw(&RequestEnvelope::of(Request::Query {
+                module: "alpha".into(),
+                func: None,
+                k: 4,
+                if_epoch: None,
+            }))
+            .unwrap(),
+        );
+        // A stale epoch precondition is answered `superseded`, again
+        // deterministically.
+        raw.push(
+            c.request_raw(&RequestEnvelope::of(Request::Query {
+                module: "alpha".into(),
+                func: None,
+                k: 4,
+                if_epoch: Some(1),
+            }))
+            .unwrap(),
+        );
         raw.push(
             c.request_raw(&RequestEnvelope::of(Request::Merge {
                 strategy: "f3m".into(),
@@ -191,6 +268,7 @@ fn responses_are_byte_identical_across_worker_counts() {
                 module: "alpha".into(),
                 func: Some("f0_0".into()),
                 k: 4,
+                if_epoch: None,
             }))
             .unwrap(),
         );

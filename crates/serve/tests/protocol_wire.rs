@@ -1,12 +1,14 @@
 //! Wire-level protocol tests against a live daemon: framing abuse,
-//! malformed payloads, backpressure, and queue-wait deadlines. Every
-//! failure mode must produce an `error`/`busy` frame (or a clean drop),
+//! malformed payloads, backpressure, queue-wait deadlines, and the
+//! incremental `update`/`if_epoch` surface. Every failure mode must
+//! produce an `error`/`busy`/`superseded` frame (or a clean drop),
 //! never a panic or a hang.
 
 use std::net::{SocketAddr, TcpStream};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use f3m_ir::module::Module;
 use f3m_serve::protocol::{
     read_frame, render_request, write_frame, Request, RequestEnvelope, MAX_FRAME,
 };
@@ -148,6 +150,198 @@ fn deadline_expired_in_queue_is_answered_with_an_error() {
     assert_eq!(second.get("type").and_then(Json::as_str), Some("error"));
     let msg = second.get("message").and_then(Json::as_str).unwrap();
     assert!(msg.contains("deadline"), "unexpected message: {msg}");
+    stop(addr, h);
+}
+
+fn workload(name: &str, seed: u64) -> Module {
+    let mut spec = f3m_workloads::mini_suite()[0].clone();
+    spec.functions = 24;
+    spec.seed = seed;
+    let mut m = f3m_workloads::build_module(&spec);
+    m.name = name.to_string();
+    m
+}
+
+fn ir_text(m: &Module) -> String {
+    f3m_ir::printer::print_module(m)
+}
+
+/// Two merge-eligible members of the same generated family (same
+/// signature, different bodies) — update fodder.
+fn family_pair(m: &Module) -> (String, String) {
+    let eligible: Vec<String> = m
+        .defined_functions()
+        .into_iter()
+        .filter(|&f| m.function(f).num_linked_insts() > 0)
+        .map(|f| m.function(f).name.clone())
+        .collect();
+    for a in &eligible {
+        if let Some((fam, "0")) = a.rsplit_once('_') {
+            let b = format!("{fam}_1");
+            if eligible.contains(&b) {
+                return (a.clone(), b);
+            }
+        }
+    }
+    panic!("workload has no eligible family pair");
+}
+
+/// IR text of `m` with `dst`'s body replaced by `src`'s.
+fn body_swap_patch(m: &Module, dst: &str, src: &str) -> String {
+    let mut patched = m.clone();
+    let d = patched.lookup_function(dst).unwrap();
+    let s = patched.lookup_function(src).unwrap();
+    patched.rename_function(d, format!("{dst}__old"));
+    patched.rename_function(s, dst.to_string());
+    ir_text(&patched)
+}
+
+#[test]
+fn update_and_touch_round_trip_over_the_wire() {
+    let (addr, h) = start(2, 8);
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let alpha = workload("alpha", 11);
+    let (dst, src) = family_pair(&alpha);
+    c.call_expect(Request::Ingest { name: None, ir: ir_text(&alpha) }, "ingested").unwrap();
+
+    // Warm the memoized ranks, then edit one function in place.
+    c.call_expect(
+        Request::Query { module: "alpha".into(), func: None, k: 3, if_epoch: None },
+        "candidates",
+    )
+    .unwrap();
+    let v = c
+        .call_expect(
+            Request::Update {
+                module: "alpha".into(),
+                func: dst.clone(),
+                ir: Some(body_swap_patch(&alpha, &dst, &src)),
+            },
+            "updated",
+        )
+        .unwrap();
+    assert_eq!(v.get("module").and_then(Json::as_str), Some("alpha"));
+    assert_eq!(v.get("func").and_then(Json::as_str), Some(dst.as_str()));
+    assert_eq!(v.get("changed").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(2));
+    assert!(v.get("funcs_invalidated").and_then(Json::as_u64).unwrap() >= 1);
+
+    // The edited function's body is now its sibling's: they rank each
+    // other at similarity 1.0.
+    let q = c
+        .call_expect(
+            Request::Query {
+                module: "alpha".into(),
+                func: Some(dst.clone()),
+                k: 1,
+                if_epoch: None,
+            },
+            "candidates",
+        )
+        .unwrap();
+    let results = q.get("results").and_then(Json::as_array).unwrap();
+    let top = results[0].get("candidates").and_then(Json::as_array).unwrap()[0].clone();
+    assert_eq!(top.get("func").and_then(Json::as_str), Some(format!("alpha.{src}")).as_deref());
+    assert!((top.get("similarity").and_then(Json::as_f64).unwrap() - 1.0).abs() < 1e-12);
+
+    // `ir` absent = touch: re-fingerprint without an IR change.
+    let t = c
+        .call_expect(
+            Request::Update { module: "alpha".into(), func: dst.clone(), ir: None },
+            "updated",
+        )
+        .unwrap();
+    assert_eq!(t.get("changed").and_then(Json::as_bool), Some(false));
+    assert_eq!(t.get("epoch").and_then(Json::as_u64), Some(3));
+
+    // Memo counters surface in stats, and the mutations were counted.
+    let s = c.call_expect(Request::Stats, "stats").unwrap();
+    let corpus = s.get("corpus").unwrap();
+    assert!(corpus.get("memo_hits").and_then(Json::as_u64).is_some());
+    assert!(corpus.get("memo_misses").and_then(Json::as_u64).unwrap() > 0);
+    assert!(corpus.get("funcs_invalidated").and_then(Json::as_u64).unwrap() >= 2);
+    let reqs = s.get("server").unwrap().get("requests").unwrap();
+    assert_eq!(reqs.get("update").and_then(Json::as_u64), Some(2));
+    stop(addr, h);
+}
+
+#[test]
+fn update_error_paths_answer_error_frames_and_survive() {
+    let (addr, h) = start(1, 8);
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let alpha = workload("alpha", 11);
+    let (dst, _) = family_pair(&alpha);
+    c.call_expect(Request::Ingest { name: None, ir: ir_text(&alpha) }, "ingested").unwrap();
+
+    let cases: [(Request, &str); 3] = [
+        (
+            Request::Update { module: "ghost".into(), func: dst.clone(), ir: None },
+            "not resident",
+        ),
+        (
+            Request::Update { module: "alpha".into(), func: "no_such_fn".into(), ir: None },
+            "no merge-eligible function",
+        ),
+        (
+            Request::Update {
+                module: "alpha".into(),
+                func: dst.clone(),
+                ir: Some("module \"p\" { define @x( }".into()),
+            },
+            "parse",
+        ),
+    ];
+    for (req, needle) in cases {
+        let v = c.call(req).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("error"));
+        let msg = v.get("message").and_then(Json::as_str).unwrap();
+        assert!(msg.contains(needle), "expected {needle:?} in {msg:?}");
+    }
+    // Failed updates never advance the epoch or wedge the connection.
+    let s = c.call_expect(Request::Stats, "stats").unwrap();
+    assert_eq!(s.get("corpus").unwrap().get("epoch").and_then(Json::as_u64), Some(1));
+    c.call_expect(Request::Ping, "pong").unwrap();
+    stop(addr, h);
+}
+
+#[test]
+fn stale_if_epoch_is_answered_superseded_without_ranking() {
+    let (addr, h) = start(1, 8);
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    c.call_expect(Request::Ingest { name: None, ir: ir_text(&workload("alpha", 11)) }, "ingested")
+        .unwrap();
+
+    // Wrong precondition → deterministic `superseded`, no candidates.
+    let v = c
+        .call_expect(
+            Request::Query { module: "alpha".into(), func: None, k: 3, if_epoch: Some(7) },
+            "superseded",
+        )
+        .unwrap();
+    assert_eq!(v.get("started").and_then(Json::as_u64), Some(7));
+    assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(1));
+
+    // Matching precondition → normal candidates at that epoch.
+    let ok = c
+        .call_expect(
+            Request::Query { module: "alpha".into(), func: None, k: 3, if_epoch: Some(1) },
+            "candidates",
+        )
+        .unwrap();
+    assert_eq!(ok.get("epoch").and_then(Json::as_u64), Some(1));
+
+    // The precondition miss was counted as a superseded query.
+    let s = c.call_expect(Request::Stats, "stats").unwrap();
+    assert_eq!(
+        s.get("corpus").unwrap().get("queries_superseded").and_then(Json::as_u64),
+        Some(1)
+    );
     stop(addr, h);
 }
 

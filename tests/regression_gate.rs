@@ -39,7 +39,79 @@ fn collect_metrics() -> MetricsRegistry {
         f3m::ir::verify::verify_module(&m).expect("merged module verifies");
         report.export_metrics(&mut reg, prefix);
     }
+    collect_incremental_metrics(&mut reg);
     reg
+}
+
+/// Deterministic incremental-recompute scenario: two resident modules,
+/// a cold query sweep, a warm sweep, one body-swap `update_function`,
+/// and a post-update sweep. The corpus memo counters are pure work
+/// counts for this fixed synchronous sequence, so they gate exactly
+/// like the pass metrics: an invalidation-granularity regression (e.g.
+/// an update suddenly dirtying the whole corpus) trips the band.
+fn collect_incremental_metrics(reg: &mut MetricsRegistry) {
+    use f3m::core::corpus::{Corpus, CorpusConfig};
+
+    let corpus = Corpus::new(CorpusConfig { jobs: 1, ..CorpusConfig::default() });
+    for (i, name) in ["inc_a", "inc_b"].into_iter().enumerate() {
+        let mut spec = f3m::workloads::mini_suite()[0].clone();
+        spec.functions = 48;
+        spec.seed = 300 + i as u64;
+        let mut m = build_module(&spec);
+        m.name = name.to_string();
+        corpus.ingest(m).expect("gate corpus ingest");
+    }
+    let sweep = |corpus: &Corpus| {
+        for name in ["inc_a", "inc_b"] {
+            corpus.query_module(name, 5).expect("gate corpus query");
+        }
+    };
+    sweep(&corpus); // cold: all misses
+    sweep(&corpus); // warm: all hits
+
+    // One in-place edit: swap the bodies of a signature-identical
+    // family pair of `inc_a`, then sweep again.
+    let m = f3m::ir::parser::parse_module(&corpus.module_source("inc_a").unwrap()).unwrap();
+    let eligible: Vec<String> = m
+        .defined_functions()
+        .into_iter()
+        .filter(|&f| m.function(f).num_linked_insts() > 0)
+        .map(|f| m.function(f).name.clone())
+        .collect();
+    let sig = |name: &str| {
+        let f = m.function(m.lookup_function(name).unwrap());
+        (f.params.clone(), f.ret_ty)
+    };
+    let (dst, src) = eligible
+        .iter()
+        .find_map(|a| {
+            let (fam, member) = a.rsplit_once('_')?;
+            if member != "0" {
+                return None;
+            }
+            let b = format!("{fam}_1");
+            (eligible.contains(&b) && sig(a) == sig(&b)).then(|| (a.clone(), b))
+        })
+        .expect("gate workload has a swappable family pair");
+    let mut patched = m.clone();
+    let d = patched.lookup_function(&dst).unwrap();
+    let s = patched.lookup_function(&src).unwrap();
+    patched.rename_function(d, format!("{dst}__old"));
+    patched.rename_function(s, dst.clone());
+    let patch = f3m::ir::printer::print_module(&patched);
+    corpus.update_function("inc_a", &dst, Some(&patch)).expect("gate corpus update");
+    sweep(&corpus); // post-update: misses == dirty neighborhood
+
+    let stats = corpus.stats();
+    for (name, v) in [
+        ("incremental.memo_hits", stats.memo_hits),
+        ("incremental.memo_misses", stats.memo_misses),
+        ("incremental.funcs_invalidated", stats.funcs_invalidated),
+        ("incremental.queries_superseded", stats.queries_superseded),
+    ] {
+        let c = reg.counter(name, "count", true);
+        reg.set(c, v);
+    }
 }
 
 /// Snapshots with nondeterministic (wall-clock) values scrubbed to zero,
@@ -72,6 +144,10 @@ fn tolerance_for(name: &str) -> Tolerance {
         "fingerprint_comparisons" | "candidates_examined" | "candidates_returned"
         | "align_cells" | "bucket_evictions" | "lsh_buckets" | "lsh_max_bucket"
         | "lsh_bucket_occupancy" => Tolerance { rel: 0.15, abs: 16.0 },
+        // Incremental-recompute work counts: how much one update dirties
+        // is a banded quantity (a granularity regression blows well past
+        // 15 %); hit/miss totals for the fixed sweep sequence likewise.
+        "memo_hits" | "memo_misses" | "funcs_invalidated" => Tolerance { rel: 0.15, abs: 8.0 },
         // Everything else (pairs, merges, waves, cache counters, rejects).
         _ => Tolerance { rel: 0.10, abs: 4.0 },
     }
