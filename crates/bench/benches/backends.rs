@@ -1,0 +1,356 @@
+//! `backends`: the fingerprint-backend Pareto sweep and the snapshot
+//! restart economics.
+//!
+//! Three measurements, each in a fresh child process so `VmHWM` (peak
+//! RSS) is attributable to that run alone:
+//!
+//! - **per-backend index build + probe** at `chrome-scale` (120k
+//!   functions): streams the workload through [`FunctionStream`], signs
+//!   every function with one [`FingerprintBackend`], packs signatures
+//!   and band keys into the SoA [`PackedFingerprintStore`], inserts into
+//!   the sharded LSH index, then probes a sample of planted-family
+//!   members. Reports build/probe latency, recall against the stream's
+//!   ground-truth family tags, bytes per function and peak RSS — one
+//!   Pareto point per backend.
+//! - **chrome-full** (1.2M functions, full mode only): the same pipeline
+//!   for the default MinHash backend at the paper's real Chrome scale,
+//!   streamed so memory stays bounded by the packed store itself.
+//! - **snapshot restore vs rebuild** (the daemon-restart economics): a
+//!   corpus is built the slow way (parse + fingerprint + index), saved,
+//!   and reopened via `Corpus::load_snapshot`. Full mode asserts restore
+//!   is >= 10x faster than the rebuild it replaces.
+//!
+//! Results go to `results/BENCH_backends.json`; `--smoke` shrinks every
+//! axis for CI and skips the chrome-full point and the 10x assertion.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use f3m_core::corpus::{Corpus, CorpusConfig};
+use f3m_fingerprint::lsh::band_keys_for;
+use f3m_fingerprint::{
+    backend_for, BackendKind, MergeParams, PackedFingerprintStore, QueryScratch,
+    ShardedLshIndex,
+};
+use f3m_workloads::stream::{chrome_full, FunctionStream};
+use f3m_workloads::WorkloadSpec;
+
+/// How much faster a snapshot restore must be than the rebuild it
+/// replaces (asserted in full mode only; smoke corpora are too small for
+/// the ratio to be stable).
+const SNAPSHOT_SPEEDUP_TARGET: f64 = 10.0;
+
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn chrome_scale_spec(functions: usize) -> WorkloadSpec {
+    let mut spec = f3m_workloads::table1()
+        .into_iter()
+        .find(|s| s.name == "chrome-scale")
+        .expect("chrome-scale in table1");
+    spec.functions = functions;
+    spec
+}
+
+/// Child: build one backend's index over a streamed workload, probe a
+/// sample of planted-family members, print one `RESULT {json}` line.
+fn child_index(backend: BackendKind, workload: &str, functions: usize, queries: usize) {
+    let spec = if workload == "chrome-full" {
+        chrome_full()
+    } else {
+        chrome_scale_spec(functions)
+    };
+    let params = MergeParams::adaptive(spec.functions).with_backend(backend);
+    let be = backend_for(backend, params.k);
+    let shards = 4;
+    let index: ShardedLshIndex<u32> = ShardedLshIndex::new(params.lsh, shards);
+    let mut store =
+        PackedFingerprintStore::with_capacity(params.k, params.lsh.bands, spec.functions);
+    let mut family_of: Vec<u32> = Vec::with_capacity(spec.functions);
+    let mut families: HashMap<u32, u32> = HashMap::new(); // family -> member count
+
+    const NO_FAMILY: u32 = u32::MAX;
+    let t_all = Instant::now();
+    let mut fingerprint_ns = 0u128;
+    let mut index_ns = 0u128;
+    for f in FunctionStream::new(&spec) {
+        let t = Instant::now();
+        let sig = be.signature(&f.encoded);
+        let keys = band_keys_for(params.lsh, &sig);
+        fingerprint_ns += t.elapsed().as_nanos();
+
+        let t = Instant::now();
+        let row = store.push_with_keys(&sig, &keys);
+        index.insert_with_keys(row as u32, &keys);
+        index_ns += t.elapsed().as_nanos();
+
+        let fam = f.family.unwrap_or(NO_FAMILY);
+        family_of.push(fam);
+        if fam != NO_FAMILY {
+            *families.entry(fam).or_default() += 1;
+        }
+        if store.len().is_multiple_of(200_000) {
+            eprintln!(
+                "  [{}/{}] {} fns indexed, {:.1}s",
+                backend.name(),
+                workload,
+                store.len(),
+                t_all.elapsed().as_secs_f64()
+            );
+        }
+    }
+    let build_ms = t_all.elapsed().as_millis();
+
+    // Probe an even sample of tagged members. Every tagged function has
+    // a tagged sibling by construction, so "a same-family candidate came
+    // back" is a well-defined recall event for each probe.
+    let tagged: Vec<u32> = (0..store.len() as u32)
+        .filter(|&i| family_of[i as usize] != NO_FAMILY)
+        .collect();
+    let step = (tagged.len() / queries.max(1)).max(1);
+    let sample: Vec<u32> = tagged.iter().copied().step_by(step).take(queries).collect();
+
+    let mut scratch = QueryScratch::new();
+    let mut hits = 0usize;
+    let mut probe_collisions = 0usize;
+    let mut examined = 0usize;
+    let t_q = Instant::now();
+    for &id in &sample {
+        let stats = index.probe_keys_into(store.keys(id as usize), id, &mut scratch);
+        probe_collisions += stats.collisions;
+        examined += stats.examined;
+        let fam = family_of[id as usize];
+        if scratch.out.iter().any(|&c| family_of[c as usize] == fam) {
+            hits += 1;
+        }
+    }
+    let query_ns = t_q.elapsed().as_nanos();
+    let recall = hits as f64 / sample.len().max(1) as f64;
+    let query_us_mean = query_ns as f64 / 1e3 / sample.len().max(1) as f64;
+
+    println!(
+        "RESULT {{\"backend\":\"{}\",\"workload\":\"{}\",\"functions\":{},\
+         \"k\":{},\"bands\":{},\"build_ms\":{},\"fingerprint_ms\":{},\"index_ms\":{},\
+         \"queries\":{},\"query_us_mean\":{:.3},\"recall\":{:.4},\
+         \"probe_collisions\":{},\"candidates_examined\":{},\
+         \"bytes_per_fn\":{},\"soa_bytes\":{},\"index_buckets\":{},\
+         \"peak_rss_kb\":{}}}",
+        backend.name(),
+        spec.name,
+        store.len(),
+        params.k,
+        params.lsh.bands,
+        build_ms,
+        fingerprint_ns / 1_000_000,
+        index_ns / 1_000_000,
+        sample.len(),
+        query_us_mean,
+        recall,
+        probe_collisions,
+        examined,
+        store.bytes_per_fn(),
+        store.total_bytes(),
+        index.num_buckets(),
+        peak_rss_kb(),
+    );
+}
+
+/// Child: daemon-restart economics. Builds a corpus the slow way (the
+/// serve fallback path: parse every module source, fingerprint, index),
+/// saves a snapshot, reopens it, and checks the reopened corpus answers
+/// queries identically.
+fn child_snapshot(functions: usize, modules: usize) {
+    let per_module = (functions / modules).max(8);
+    let sources: Vec<(String, String)> = (0..modules)
+        .map(|i| {
+            let mut spec = chrome_scale_spec(per_module);
+            spec.seed = spec.seed.wrapping_add(i as u64);
+            let mut m = f3m_workloads::build_module(&spec);
+            m.name = format!("chrome_part{i}");
+            (m.name.clone(), f3m_ir::printer::print_module(&m))
+        })
+        .collect();
+    eprintln!("  [snapshot] {} modules x {} fns generated", modules, per_module);
+
+    let cfg = || CorpusConfig { jobs: 1, ..CorpusConfig::default() };
+
+    // Rebuild path: what a daemon with no (usable) snapshot must do.
+    let t = Instant::now();
+    let corpus = Corpus::new(cfg());
+    for (_, src) in &sources {
+        let m = f3m_ir::parser::parse_module(src).expect("generated module parses");
+        corpus.ingest(m).expect("ingest");
+    }
+    let rebuild_ms = t.elapsed().as_millis();
+
+    let dir = std::env::temp_dir().join(format!("f3m_bench_snap_{}", std::process::id()));
+    let path = dir.join("corpus.f3msnap");
+    let t = Instant::now();
+    corpus.save_snapshot(&path).expect("save snapshot");
+    let save_ms = t.elapsed().as_millis();
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    // Restart path: open the snapshot.
+    let t = Instant::now();
+    let restored = Corpus::load_snapshot(&path, cfg()).expect("load snapshot");
+    let load_ms = t.elapsed().as_millis();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The restored corpus must be indistinguishable to a client.
+    let (_, a) = corpus.query_module("chrome_part0", 3).expect("query original");
+    let (_, b) = restored.query_module("chrome_part0", 3).expect("query restored");
+    assert_eq!(a, b, "restored corpus must answer queries identically");
+
+    let speedup = rebuild_ms as f64 / (load_ms as f64).max(1.0);
+    println!(
+        "RESULT {{\"functions\":{},\"modules\":{},\"rebuild_ms\":{},\"save_ms\":{},\
+         \"load_ms\":{},\"snapshot_bytes\":{},\"speedup\":{:.2},\"peak_rss_kb\":{}}}",
+        per_module * modules,
+        modules,
+        rebuild_ms,
+        save_ms,
+        load_ms,
+        snapshot_bytes,
+        speedup,
+        peak_rss_kb(),
+    );
+}
+
+/// Runs this same binary in child mode and returns the `RESULT` JSON.
+fn run_child(args: &[String]) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args(args)
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .expect("spawn child bench");
+    assert!(out.status.success(), "child {:?} failed", args);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT "))
+        .unwrap_or_else(|| panic!("child {args:?} printed no RESULT line:\n{stdout}"))
+        .to_string()
+}
+
+/// Pulls a numeric field out of a flat JSON object (the bench writes its
+/// own JSON, so a string scan is enough — no parser in the workspace).
+fn json_num(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat).map(|i| i + pat.len()).expect("field present");
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().expect("numeric field")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Child dispatch: `--child-index <backend> <workload> <functions> <queries>`
+    // or `--child-snapshot <functions> <modules>`.
+    if let Some(i) = args.iter().position(|a| a == "--child-index") {
+        let backend = BackendKind::parse(&args[i + 1]).expect("backend name");
+        let functions: usize = args[i + 3].parse().unwrap();
+        let queries: usize = args[i + 4].parse().unwrap();
+        child_index(backend, &args[i + 2], functions, queries);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--child-snapshot") {
+        let functions: usize = args[i + 1].parse().unwrap();
+        let modules: usize = args[i + 2].parse().unwrap();
+        child_snapshot(functions, modules);
+        return;
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (scale_fns, queries, full_point, snap_fns, snap_modules) =
+        if smoke { (6_000, 400, false, 2_000, 4) } else { (120_000, 2_000, true, 120_000, 8) };
+
+    let mut per_backend = Vec::new();
+    for backend in BackendKind::ALL {
+        eprintln!("backends: indexing chrome-scale ({scale_fns} fns) with {}", backend.name());
+        let row = run_child(&[
+            "--child-index".into(),
+            backend.name().into(),
+            "chrome-scale".into(),
+            scale_fns.to_string(),
+            queries.to_string(),
+        ]);
+        println!(
+            "backends/{:<8} build {:>8.0} ms  query {:>7.1} us  recall {:.3}  \
+             {:>4.0} B/fn  peak {:>7.0} kB",
+            backend.name(),
+            json_num(&row, "build_ms"),
+            json_num(&row, "query_us_mean"),
+            json_num(&row, "recall"),
+            json_num(&row, "bytes_per_fn"),
+            json_num(&row, "peak_rss_kb"),
+        );
+        per_backend.push(row);
+    }
+
+    let chrome_full_row = if full_point {
+        let spec = chrome_full();
+        eprintln!("backends: indexing chrome-full ({} fns) with minhash", spec.functions);
+        let row = run_child(&[
+            "--child-index".into(),
+            "minhash".into(),
+            "chrome-full".into(),
+            spec.functions.to_string(),
+            queries.to_string(),
+        ]);
+        println!(
+            "backends/chrome-full build {:.0} ms ({} fns)  query {:.1} us  recall {:.3}  \
+             peak {:.0} kB",
+            json_num(&row, "build_ms"),
+            json_num(&row, "functions"),
+            json_num(&row, "query_us_mean"),
+            json_num(&row, "recall"),
+            json_num(&row, "peak_rss_kb"),
+        );
+        Some(row)
+    } else {
+        None
+    };
+
+    eprintln!("backends: snapshot restore vs rebuild ({snap_fns} fns, {snap_modules} modules)");
+    let snap = run_child(&[
+        "--child-snapshot".into(),
+        snap_fns.to_string(),
+        snap_modules.to_string(),
+    ]);
+    let speedup = json_num(&snap, "speedup");
+    println!(
+        "backends/snapshot rebuild {:.0} ms  save {:.0} ms  load {:.0} ms  speedup {:.1}x",
+        json_num(&snap, "rebuild_ms"),
+        json_num(&snap, "save_ms"),
+        json_num(&snap, "load_ms"),
+        speedup,
+    );
+    if !smoke {
+        assert!(
+            speedup >= SNAPSHOT_SPEEDUP_TARGET,
+            "snapshot restore must be >= {SNAPSHOT_SPEEDUP_TARGET}x faster than rebuild \
+             at chrome-scale, measured {speedup:.1}x"
+        );
+    }
+
+    let json = format!(
+        "{{\"smoke\":{smoke},\"snapshot_speedup_target\":{SNAPSHOT_SPEEDUP_TARGET},\
+         \"per_backend\":[{}],\"chrome_full\":{},\"snapshot\":{}}}",
+        per_backend.join(","),
+        chrome_full_row.as_deref().unwrap_or("null"),
+        snap,
+    );
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join("BENCH_backends.json");
+    f3m_trace::write_with_dirs(&out_path, &json).expect("write BENCH_backends.json");
+    println!("backends: wrote {}", out_path.display());
+}

@@ -121,7 +121,7 @@ fn bench_ranking() {
         funcs.iter().map(|&f| OpcodeFingerprint::of(m.function(f))).collect();
     let mut index = LshIndex::new(params.lsh);
     for (i, fp) in minhash.iter().enumerate() {
-        index.insert(i, fp);
+        index.insert(i, fp.hashes());
     }
 
     bench("ranking/hyfm/exhaustive_nn", 20, 50, || {
@@ -135,7 +135,7 @@ fn bench_ranking() {
         best
     });
     bench("ranking/f3m/lsh_query", 20, 50, || {
-        let (cands, _) = index.candidates(&minhash[0], 0);
+        let (cands, _) = index.candidates(minhash[0].hashes(), 0);
         let mut best = (usize::MAX, f64::MIN);
         for j in cands {
             let s = minhash[0].similarity(&minhash[j]);

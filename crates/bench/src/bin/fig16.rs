@@ -36,7 +36,7 @@ fn main() {
         })
         .collect();
     for (i, fp) in fps.iter().enumerate() {
-        index.insert(i, fp);
+        index.insert(i, fp.hashes());
     }
     let sizes = index.bucket_sizes();
     let total_buckets = sizes.len();

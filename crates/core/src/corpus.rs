@@ -72,13 +72,16 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
+use std::path::Path;
+
 use f3m_fingerprint::adaptive::MergeParams;
+use f3m_fingerprint::backend::{backend_for, signature_similarity, FingerprintBackend};
 use f3m_fingerprint::encode::encode_function;
-use f3m_fingerprint::fnv::xor_constants;
-use f3m_fingerprint::lsh::band_keys_for;
-use f3m_fingerprint::minhash::MinHashFingerprint;
+use f3m_fingerprint::lsh::{band_keys_for, BandKey};
 use f3m_fingerprint::par::par_map_indexed;
 use f3m_fingerprint::sharded::{ShardStats, ShardedLshIndex};
+use f3m_fingerprint::snapshot::{self, SnapshotError, SnapshotHeader};
+use f3m_fingerprint::store::PackedFingerprintStore;
 use f3m_ir::module::Module;
 use f3m_ir::printer::print_function;
 
@@ -208,8 +211,9 @@ struct Entry {
     func: String,
     /// `<module>.<func>`, the corpus-wide identity.
     qualified: String,
-    fp: MinHashFingerprint,
-    keys: Vec<u64>,
+    /// Backend signature (`k` slots; see [`signature_similarity`]).
+    sig: Vec<u64>,
+    keys: Vec<BandKey>,
     /// First epoch at which this entry is visible.
     added: u64,
     /// First epoch at which it is no longer visible (`u64::MAX` = live).
@@ -226,9 +230,61 @@ struct Entry {
 struct ModuleRecord {
     name: String,
     /// The module as ingested (unqualified names).
-    module: Module,
+    module: LazyModule,
     entry_ids: Vec<usize>,
     live: bool,
+}
+
+/// A module body that may still be IR source text.
+///
+/// Snapshot restore defers parsing: queries never touch module bodies
+/// (they run on the resident signatures alone), so a restored daemon is
+/// serving after one bulk read, and each module parses on first touch —
+/// an update, a merge, or a source render. Ingested modules are born
+/// parsed.
+struct LazyModule {
+    /// Source to parse on first touch; `None` once parsed eagerly.
+    src: Option<String>,
+    cell: std::sync::OnceLock<Module>,
+}
+
+impl LazyModule {
+    fn parsed(m: Module) -> LazyModule {
+        let cell = std::sync::OnceLock::new();
+        assert!(cell.set(m).is_ok(), "fresh cell");
+        LazyModule { src: None, cell }
+    }
+
+    fn deferred(src: String) -> LazyModule {
+        LazyModule { src: Some(src), cell: std::sync::OnceLock::new() }
+    }
+
+    /// The parsed module, parsing the deferred source on first touch.
+    /// Snapshot payloads are checksummed, so a non-parsing source means
+    /// the writer produced garbage — a bug, not an input condition.
+    fn get(&self) -> &Module {
+        self.cell.get_or_init(|| {
+            let src = self.src.as_ref().expect("deferred module has source");
+            f3m_ir::parser::parse_module(src)
+                .expect("checksummed snapshot module source parses")
+        })
+    }
+
+    fn set(&mut self, m: Module) {
+        self.src = None;
+        self.cell = std::sync::OnceLock::new();
+        assert!(self.cell.set(m).is_ok(), "fresh cell");
+    }
+
+    /// The canonical IR source: verbatim if the deferred source was
+    /// never parsed (rendering is the identity on rendered sources),
+    /// rendered otherwise.
+    fn source(&self) -> String {
+        match (self.cell.get(), &self.src) {
+            (None, Some(src)) => src.clone(),
+            (m, _) => render_module_source(m.expect("parsed or deferred"), None, None),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -272,7 +328,7 @@ const QUERY_RETRIES: usize = 3;
 /// model.
 pub struct Corpus {
     cfg: CorpusConfig,
-    consts: Vec<u64>,
+    backend: Box<dyn FingerprintBackend>,
     index: ShardedLshIndex<usize>,
     table: RwLock<Table>,
     cache: QueryCache,
@@ -290,11 +346,11 @@ pub fn symbol_safe(s: &str) -> bool {
 impl Corpus {
     /// Creates an empty corpus.
     pub fn new(cfg: CorpusConfig) -> Corpus {
-        let consts = xor_constants(cfg.params.k);
+        let backend = backend_for(cfg.params.backend, cfg.params.k);
         let index = ShardedLshIndex::new(cfg.params.lsh, cfg.shards);
         Corpus {
             cfg,
-            consts,
+            backend,
             index,
             table: RwLock::new(Table::default()),
             cache: RwLock::new(HashMap::new()),
@@ -328,17 +384,17 @@ impl Corpus {
         let funcs: Vec<_> =
             defined.iter().copied().filter(|&f| m.function(f).num_linked_insts() > 0).collect();
         let skipped = defined.len() - funcs.len();
-        let consts = &self.consts;
+        let backend = &*self.backend;
         let per_func = par_map_indexed(funcs.len(), self.cfg.jobs.max(1), |i| {
             let enc = encode_function(&m.types, m.function(funcs[i]));
-            let fp = MinHashFingerprint::of_encoded_with(consts, &enc);
-            let keys = band_keys_for(self.cfg.params.lsh, &fp);
-            (fp, keys)
+            let sig = backend.signature(&enc);
+            let keys = band_keys_for(self.cfg.params.lsh, &sig);
+            (sig, keys)
         });
 
         let _writer = self.mutate.lock().unwrap();
         let next_epoch = self.index.epoch() + 1;
-        let inserted: Vec<(usize, Vec<u64>)> = {
+        let inserted: Vec<(usize, Vec<BandKey>)> = {
             let mut t = self.table.write().unwrap();
             if t.modules.iter().any(|r| r.live && r.name == name) {
                 return Err(format!("module `{name}` is already ingested (evict it first)"));
@@ -357,13 +413,13 @@ impl Corpus {
             }
             let mut entry_ids = Vec::with_capacity(funcs.len());
             let mut inserted = Vec::with_capacity(funcs.len());
-            for (&f, (fp, keys)) in funcs.iter().zip(per_func) {
+            for (&f, (sig, keys)) in funcs.iter().zip(per_func) {
                 let id = t.entries.len();
                 let func = m.function(f).name.clone();
                 t.entries.push(Entry {
                     qualified: format!("{name}.{func}"),
                     func,
-                    fp,
+                    sig,
                     keys: keys.clone(),
                     added: next_epoch,
                     evicted: u64::MAX,
@@ -373,7 +429,12 @@ impl Corpus {
                 entry_ids.push(id);
                 inserted.push((id, keys));
             }
-            t.modules.push(ModuleRecord { name: name.clone(), module: m, entry_ids, live: true });
+            t.modules.push(ModuleRecord {
+                name: name.clone(),
+                module: LazyModule::parsed(m),
+                entry_ids,
+                live: true,
+            });
             inserted
         };
         let dirty = self.index.apply_delta(&[], &inserted);
@@ -389,7 +450,7 @@ impl Corpus {
     pub fn evict(&self, name: &str) -> Result<EvictSummary, String> {
         let _writer = self.mutate.lock().unwrap();
         let next_epoch = self.index.epoch() + 1;
-        let removed: Vec<(usize, Vec<u64>)> = {
+        let removed: Vec<(usize, Vec<BandKey>)> = {
             let mut t = self.table.write().unwrap();
             let Some(mi) = t.modules.iter().position(|r| r.live && r.name == name) else {
                 return Err(format!("module `{name}` is not resident"));
@@ -446,8 +507,8 @@ impl Corpus {
                     "module `{module}` has no merge-eligible function `{func}`"
                 ));
             };
-            let fid = rec.module.lookup_function(func).expect("entry function exists");
-            (mi, id, t.entries[id].keys.clone(), print_function(&rec.module, fid))
+            let fid = rec.module.get().lookup_function(func).expect("entry function exists");
+            (mi, id, t.entries[id].keys.clone(), print_function(rec.module.get(), fid))
         };
 
         let (new_module, changed) = match replacement_ir {
@@ -471,7 +532,7 @@ impl Corpus {
                 } else {
                     let t = self.table.read().unwrap();
                     let src = render_module_source(
-                        &t.modules[mi].module,
+                        t.modules[mi].module.get(),
                         Some((func, &fn_text)),
                         None,
                     );
@@ -484,14 +545,14 @@ impl Corpus {
         };
 
         // Recompute the one fingerprint from the effective body.
-        let (fp, new_keys) = {
+        let (sig, new_keys) = {
             let t = self.table.read().unwrap();
-            let m = new_module.as_ref().unwrap_or(&t.modules[mi].module);
+            let m = new_module.as_ref().unwrap_or_else(|| t.modules[mi].module.get());
             let fid = m.lookup_function(func).expect("spliced function exists");
             let enc = encode_function(&m.types, m.function(fid));
-            let fp = MinHashFingerprint::of_encoded_with(&self.consts, &enc);
-            let keys = band_keys_for(self.cfg.params.lsh, &fp);
-            (fp, keys)
+            let sig = self.backend.signature(&enc);
+            let keys = band_keys_for(self.cfg.params.lsh, &sig);
+            (sig, keys)
         };
 
         // Install the new body and stamps before touching the index, so
@@ -499,10 +560,10 @@ impl Corpus {
         {
             let mut t = self.table.write().unwrap();
             if let Some(m2) = new_module {
-                t.modules[mi].module = m2;
+                t.modules[mi].module.set(m2);
             }
             let e = &mut t.entries[entry_id];
-            e.fp = fp;
+            e.sig = sig;
             e.keys = new_keys.clone();
             e.rev = next_epoch;
         }
@@ -552,7 +613,7 @@ impl Corpus {
                 .iter()
                 .position(|r| r.live && r.name == module)
                 .ok_or_else(|| format!("module `{module}` is not resident"))?;
-            if t.modules[mi].module.lookup_function(func).is_some() {
+            if t.modules[mi].module.get().lookup_function(func).is_some() {
                 return Err(format!(
                     "module `{module}` already has a function `{func}` (use update)"
                 ));
@@ -561,18 +622,18 @@ impl Corpus {
             if t.entries.iter().any(|e| e.evicted == u64::MAX && e.qualified == qualified) {
                 return Err(format!("qualified name `{qualified}` collides with a resident function"));
             }
-            let src = render_module_source(&t.modules[mi].module, None, Some(&fn_text));
+            let src = render_module_source(t.modules[mi].module.get(), None, Some(&fn_text));
             (mi, src)
         };
         let rebuilt = f3m_ir::parser::parse_module(&rebuilt)
             .map_err(|e| format!("ingest-function: appended module does not verify: {e}"))?;
 
-        let (fp, keys) = {
+        let (sig, keys) = {
             let fid = rebuilt.lookup_function(func).expect("appended function exists");
             let enc = encode_function(&rebuilt.types, rebuilt.function(fid));
-            let fp = MinHashFingerprint::of_encoded_with(&self.consts, &enc);
-            let keys = band_keys_for(self.cfg.params.lsh, &fp);
-            (fp, keys)
+            let sig = self.backend.signature(&enc);
+            let keys = band_keys_for(self.cfg.params.lsh, &sig);
+            (sig, keys)
         };
 
         let entry_id = {
@@ -581,14 +642,14 @@ impl Corpus {
             t.entries.push(Entry {
                 func: func.to_string(),
                 qualified: format!("{module}.{func}"),
-                fp,
+                sig,
                 keys: keys.clone(),
                 added: next_epoch,
                 evicted: u64::MAX,
                 rev: next_epoch,
                 dirty_rev: next_epoch,
             });
-            t.modules[mi].module = rebuilt;
+            t.modules[mi].module.set(rebuilt);
             t.modules[mi].entry_ids.push(id);
             id
         };
@@ -759,8 +820,9 @@ impl Corpus {
             })
             .map(|j| {
                 let key = (i.min(j), i.max(j));
-                let sim =
-                    *sims.entry(key).or_insert_with(|| ent.fp.similarity(&t.entries[j].fp));
+                let sim = *sims
+                    .entry(key)
+                    .or_insert_with(|| signature_similarity(&ent.sig, &t.entries[j].sig));
                 (j, sim)
             })
             .filter(|&(_, sim)| sim >= self.cfg.params.threshold)
@@ -821,7 +883,7 @@ impl Corpus {
     /// corpus reproduces the module's resident state exactly.
     pub fn module_source(&self, module: &str) -> Result<String, String> {
         let t = self.table.read().unwrap();
-        Ok(render_module_source(&Self::live_module(&t, module)?.module, None, None))
+        Ok(Self::live_module(&t, module)?.module.source())
     }
 
     /// The combined module over all live modules, in ingest order, with
@@ -829,7 +891,7 @@ impl Corpus {
     pub fn combined_module(&self) -> Result<Module, String> {
         let t = self.table.read().unwrap();
         let live: Vec<&Module> =
-            t.modules.iter().filter(|r| r.live).map(|r| &r.module).collect();
+            t.modules.iter().filter(|r| r.live).map(|r| r.module.get()).collect();
         combine_modules(&live)
     }
 
@@ -841,6 +903,280 @@ impl Corpus {
         let report = run_pass(&mut m, config);
         Ok((report, m))
     }
+
+    /// Persists the live corpus as one contiguous snapshot file: packed
+    /// signature and band-key pools, the bucket directory of the sharded
+    /// index, and a payload carrying module sources plus per-entry epoch
+    /// stamps. [`Corpus::load_snapshot`] restores the whole thing in
+    /// O(file size) — no re-fingerprinting, no index rebuild.
+    ///
+    /// Evicted modules and entries are compacted away; the restored
+    /// corpus is equivalent to a fresh one holding exactly the live
+    /// state (`modules_total`/`entries_total` restart at the live
+    /// counts, memo counters at zero).
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.save_snapshot_stamped(path, self.index.epoch())
+    }
+
+    /// [`Corpus::save_snapshot`] with an explicit header epoch. Exposed
+    /// so tests can craft snapshots whose header is older than the entry
+    /// stamps (the stale-epoch condition loaders must reject).
+    #[doc(hidden)]
+    pub fn save_snapshot_stamped(&self, path: &Path, epoch: u64) -> Result<(), SnapshotError> {
+        // Serialize against writers so the table, the index and the
+        // epoch are one consistent cut.
+        let _writer = self.mutate.lock().unwrap();
+        let t = self.table.read().unwrap();
+
+        // Compact live entries to dense snapshot rows (entry order, so
+        // bucket member lists stay ascending after remapping).
+        let live: Vec<usize> =
+            (0..t.entries.len()).filter(|&i| t.entries[i].evicted == u64::MAX).collect();
+        let mut row_of = vec![u32::MAX; t.entries.len()];
+        for (row, &id) in live.iter().enumerate() {
+            row_of[id] = row as u32;
+        }
+        let mut store = PackedFingerprintStore::with_capacity(
+            self.cfg.params.k,
+            self.cfg.params.lsh.bands,
+            live.len(),
+        );
+        for &id in &live {
+            store.push_with_keys(&t.entries[id].sig, &t.entries[id].keys);
+        }
+
+        // Bucket directory across all shards. Band keys are globally
+        // unique (the key determines its shard), so one flat directory
+        // suffices and a loader with a different shard count re-routes.
+        let mut buckets: Vec<(BandKey, Vec<u32>)> = Vec::new();
+        for shard in 0..self.index.num_shards() {
+            for (key, members) in self.index.export_shard(shard) {
+                let rows: Vec<u32> = members.into_iter().map(|id| row_of[id]).collect();
+                debug_assert!(
+                    rows.windows(2).all(|w| w[0] < w[1]),
+                    "live rows preserve entry order"
+                );
+                buckets.push((key, rows));
+            }
+        }
+        buckets.sort_unstable_by_key(|&(key, _)| key);
+
+        // Payload: live module sources, then per-row metadata.
+        let live_modules: Vec<usize> =
+            (0..t.modules.len()).filter(|&i| t.modules[i].live).collect();
+        let mut module_row: HashMap<usize, u32> = HashMap::new();
+        for (mrow, &mi) in live_modules.iter().enumerate() {
+            module_row.insert(mi, mrow as u32);
+        }
+        let mut entry_module = vec![u32::MAX; t.entries.len()];
+        for &mi in &live_modules {
+            for &id in &t.modules[mi].entry_ids {
+                entry_module[id] = module_row[&mi];
+            }
+        }
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(live_modules.len() as u32).to_le_bytes());
+        for &mi in &live_modules {
+            let rec = &t.modules[mi];
+            write_str(&mut payload, &rec.name);
+            write_str(&mut payload, &rec.module.source());
+        }
+        for &id in &live {
+            let e = &t.entries[id];
+            debug_assert_ne!(entry_module[id], u32::MAX, "live entry belongs to a live module");
+            payload.extend_from_slice(&entry_module[id].to_le_bytes());
+            write_str(&mut payload, &e.func);
+            payload.extend_from_slice(&e.added.to_le_bytes());
+            payload.extend_from_slice(&e.rev.to_le_bytes());
+            payload.extend_from_slice(&e.dirty_rev.to_le_bytes());
+        }
+
+        let header = SnapshotHeader {
+            backend: self.cfg.params.backend,
+            k: self.cfg.params.k,
+            lsh: self.cfg.params.lsh,
+            threshold: self.cfg.params.threshold,
+            shards: self.index.num_shards(),
+            epoch,
+            entries: live.len(),
+        };
+        snapshot::save_snapshot(path, &header, &store, &buckets, &payload)
+    }
+
+    /// Restores a corpus saved by [`Corpus::save_snapshot`] in one bulk
+    /// read: signatures and band keys come straight out of the packed
+    /// pools, the index is rebuilt bucket-by-bucket from the directory
+    /// (re-routed if `cfg.shards` differs from the writer's), and the
+    /// epoch resumes where the snapshot left off. Module bodies are NOT
+    /// parsed here — queries run on the resident signatures, so restore
+    /// cost is I/O + decode, and each body parses on first touch (an
+    /// update, a merge, or a source render).
+    ///
+    /// `cfg.params` must match the snapshot header exactly — resident
+    /// fingerprints are only valid under the parameters they were
+    /// computed with — otherwise [`SnapshotError::Mismatch`]. A snapshot
+    /// whose entry stamps exceed its header epoch is rejected with
+    /// [`SnapshotError::StaleEpoch`]; callers (the daemon) fall back to
+    /// re-ingesting [`Corpus::snapshot_sources`].
+    pub fn load_snapshot(path: &Path, cfg: CorpusConfig) -> Result<Corpus, SnapshotError> {
+        let snap = snapshot::open_snapshot(path)?;
+        let h = snap.header;
+        if h.backend != cfg.params.backend
+            || h.k != cfg.params.k
+            || h.lsh != cfg.params.lsh
+            || h.threshold.to_bits() != cfg.params.threshold.to_bits()
+        {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot was written under backend={} k={} bands={} rows={} threshold={}; \
+                 the corpus is configured for backend={} k={} bands={} rows={} threshold={}",
+                h.backend.name(),
+                h.k,
+                h.lsh.bands,
+                h.lsh.rows,
+                h.threshold,
+                cfg.params.backend.name(),
+                cfg.params.k,
+                cfg.params.lsh.bands,
+                cfg.params.lsh.rows,
+                cfg.params.threshold,
+            )));
+        }
+        let payload = decode_corpus_payload(&snap.payload, h.entries)?;
+        let newest_entry = payload
+            .entries
+            .iter()
+            .map(|e| e.added.max(e.rev).max(e.dirty_rev))
+            .max()
+            .unwrap_or(0);
+        if newest_entry > h.epoch {
+            return Err(SnapshotError::StaleEpoch { snapshot: h.epoch, newest_entry });
+        }
+
+        let corpus = Corpus::new(cfg);
+        {
+            let mut t = corpus.table.write().unwrap();
+            let mut entry_ids: Vec<Vec<usize>> = vec![Vec::new(); payload.modules.len()];
+            for (row, meta) in payload.entries.iter().enumerate() {
+                let mi = meta.module_idx as usize;
+                if mi >= payload.modules.len() {
+                    return Err(SnapshotError::Corrupt("entry references a missing module"));
+                }
+                entry_ids[mi].push(row);
+                t.entries.push(Entry {
+                    qualified: format!("{}.{}", payload.modules[mi].0, meta.func),
+                    func: meta.func.clone(),
+                    sig: snap.store.sig(row).to_vec(),
+                    keys: snap.store.keys(row).to_vec(),
+                    added: meta.added,
+                    evicted: u64::MAX,
+                    rev: meta.rev,
+                    dirty_rev: meta.dirty_rev,
+                });
+            }
+            // Module bodies stay as deferred source text: queries run on
+            // the resident signatures alone, so the daemon serves after
+            // this one bulk read and each body parses on first touch.
+            for ((name, src), ids) in payload.modules.iter().zip(entry_ids) {
+                t.modules.push(ModuleRecord {
+                    name: name.clone(),
+                    module: LazyModule::deferred(src.clone()),
+                    entry_ids: ids,
+                    live: true,
+                });
+            }
+        }
+        for (key, rows) in snap.buckets {
+            corpus.index.restore_bucket(key, rows.into_iter().map(|r| r as usize).collect());
+        }
+        corpus.index.set_epoch(h.epoch);
+        Ok(corpus)
+    }
+
+    /// The `(module name, IR source)` pairs stored in a snapshot's
+    /// payload — the rebuild path for snapshots whose index cannot be
+    /// trusted (e.g. [`SnapshotError::StaleEpoch`]): parse and re-ingest
+    /// each source into a fresh corpus.
+    pub fn snapshot_sources(path: &Path) -> Result<Vec<(String, String)>, SnapshotError> {
+        let snap = snapshot::open_snapshot(path)?;
+        let payload = decode_corpus_payload(&snap.payload, snap.header.entries)?;
+        Ok(payload.modules)
+    }
+}
+
+/// Per-entry metadata stored in the snapshot payload.
+struct PayloadEntry {
+    module_idx: u32,
+    func: String,
+    added: u64,
+    rev: u64,
+    dirty_rev: u64,
+}
+
+struct CorpusPayload {
+    /// Live modules as `(name, IR source)`, ingest order.
+    modules: Vec<(String, String)>,
+    /// One record per snapshot row, row order.
+    entries: Vec<PayloadEntry>,
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over the snapshot payload.
+struct PayloadCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        const TRUNC: SnapshotError = SnapshotError::Corrupt("corpus payload truncated");
+        let end = self.pos.checked_add(n).ok_or(TRUNC)?;
+        let s = self.bytes.get(self.pos..end).ok_or(TRUNC)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("corpus payload string is not UTF-8"))
+    }
+}
+
+fn decode_corpus_payload(bytes: &[u8], entries: usize) -> Result<CorpusPayload, SnapshotError> {
+    let mut cur = PayloadCursor { bytes, pos: 0 };
+    let num_modules = cur.u32()? as usize;
+    let mut modules = Vec::with_capacity(num_modules.min(bytes.len() / 8 + 1));
+    for _ in 0..num_modules {
+        let name = cur.str()?;
+        let src = cur.str()?;
+        modules.push((name, src));
+    }
+    let mut out = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        let module_idx = cur.u32()?;
+        let func = cur.str()?;
+        let added = cur.u64()?;
+        let rev = cur.u64()?;
+        let dirty_rev = cur.u64()?;
+        out.push(PayloadEntry { module_idx, func, added, rev, dirty_rev });
+    }
+    if cur.pos != bytes.len() {
+        return Err(SnapshotError::Corrupt("corpus payload has trailing bytes"));
+    }
+    Ok(CorpusPayload { modules, entries: out })
 }
 
 /// Re-renders `m` to IR text with optional single-function surgery:

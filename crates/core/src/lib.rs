@@ -79,5 +79,8 @@ pub use codegen::{MergeConfig, MergeError, RepairMode};
 pub use corpus::{combine_modules, Corpus, CorpusConfig, CorpusStats, QueryResult};
 pub use pass::{run_pass, run_pass_traced, MergeReport, MergeStats, PassConfig, Strategy};
 pub use profile::Profile;
-pub use rank::{CandidateSearch, ExhaustiveOpcodeSearch, IndexStats, LshMinHashSearch};
+pub use rank::{
+    CandidateSearch, ExhaustiveOpcodeSearch, IndexStats, LshBackendSearch, LshMinHashSearch,
+    SearchScratch,
+};
 pub use report::STATS_JSON_KEYS;

@@ -47,7 +47,7 @@ use crate::block_pairing::{function_parts, plan_blocks_with, BlockPartsCache, Pa
 use crate::codegen::MergeConfig;
 use crate::commit::{fixed_overhead, Committer};
 use crate::profile::Profile;
-use crate::rank::{build_search, CandidateSearch, QueryCounters};
+use crate::rank::{build_search, CandidateSearch, QueryCounters, SearchScratch};
 
 pub use crate::report::{AttemptRecord, MergeReport, MergeStats, StageTime};
 
@@ -206,6 +206,7 @@ pub fn run_pass_traced(
         s.arg("lsh_max_bucket", idx.max_bucket as u64);
         report.stats.lsh_buckets = idx.buckets as u64;
         report.stats.lsh_max_bucket = idx.max_bucket as u64;
+        report.stats.soa_bytes_per_fn = idx.bytes_per_fn as u64;
         report.lsh_bucket_sizes = idx.bucket_sizes;
         search
     };
@@ -254,12 +255,16 @@ pub fn run_pass_traced(
         let parts_ro = &parts_cache;
         let funcs_ro = &funcs;
         let mut spec_span = span_on(tracer, "pass", "speculate");
-        let outcomes: Vec<WaveOutcome> =
-            par_map_indexed_with(members.len(), jobs, AlignScratch::new, |scratch, mi| {
+        let outcomes: Vec<WaveOutcome> = par_map_indexed_with(
+            members.len(),
+            jobs,
+            || (AlignScratch::new(), SearchScratch::new()),
+            |(scratch, search_scratch), mi| {
                 let i = members_ro[mi];
                 let t_rank = Instant::now();
                 let mut counters = QueryCounters::default();
-                let set = search_ro.best_candidates(i, available_ro, &mut counters);
+                let set =
+                    search_ro.best_candidates(i, available_ro, &mut counters, search_scratch);
                 let best = set.choose(config.profile.as_ref(), |idx| funcs_ro[idx]);
                 let rank_time = t_rank.elapsed();
                 let stats_before = scratch.stats();
@@ -332,6 +337,8 @@ pub fn run_pass_traced(
             report.stats.candidates_examined += out.counters.examined;
             report.stats.candidates_returned += out.counters.returned;
             report.stats.bucket_evictions += out.counters.evicted;
+            report.stats.probe_collisions += out.counters.collisions;
+            report.stats.lsh_allocs_saved += out.counters.saved_allocs;
             report.stats.align_cells += out.align_cells;
             if let Some(t) = tracer {
                 let rank_ns = out.rank_time.as_nanos() as u64;

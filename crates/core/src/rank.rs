@@ -2,24 +2,31 @@
 //!
 //! The *preprocess* and *rank* stages of the pipeline differ per strategy
 //! (HyFM scans opcode-frequency fingerprints exhaustively; F3M queries an
-//! LSH index over MinHash fingerprints) but the driver does not care: it
+//! LSH index over signature fingerprints) but the driver does not care: it
 //! asks a [`CandidateSearch`] for the best available candidates of one
 //! function and tells it when a pair leaves the pool. Each implementation
 //! owns its fingerprints, its query structure, and its post-commit
 //! invalidation, and builds them in parallel across `jobs` threads with
 //! deterministic (job-count-independent) results.
+//!
+//! The LSH search is generic over [fingerprint
+//! backends](f3m_fingerprint::backend) — MinHash (default), SimHash, or a
+//! TLSH-style hash, per `MergeParams::backend` — and keeps its signatures
+//! and band keys in a [`PackedFingerprintStore`] (two contiguous pools
+//! indexed by function id) instead of per-function `Vec`s, so the build
+//! writes and the probes read cache-linear memory.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 use f3m_fingerprint::adaptive::MergeParams;
+use f3m_fingerprint::backend::{backend_for, signature_similarity};
 use f3m_fingerprint::encode::encode_function;
-use f3m_fingerprint::fnv::xor_constants;
-use f3m_fingerprint::lsh::{band_keys_for, LshIndex};
-use f3m_fingerprint::minhash::MinHashFingerprint;
+use f3m_fingerprint::lsh::{band_keys_for, LshIndex, QueryScratch};
 use f3m_fingerprint::opcode_freq::OpcodeFingerprint;
 use f3m_fingerprint::par::par_map_indexed;
+use f3m_fingerprint::store::PackedFingerprintStore;
 use f3m_ir::ids::FuncId;
 use f3m_ir::module::Module;
 
@@ -45,6 +52,13 @@ pub struct QueryCounters {
     /// Bucket entries skipped by the LSH `bucket_cap` (always zero for the
     /// exhaustive baseline). Deterministic because buckets are sorted.
     pub evicted: u64,
+    /// Cross-band duplicate bucket hits during LSH probes (an entry found
+    /// again in a later band of the same query).
+    pub collisions: u64,
+    /// Allocations avoided by answering the query from a reusable scratch
+    /// buffer instead of a fresh dedup set + candidate vector (one per
+    /// scratch-served probe, so the count is job-count independent).
+    pub saved_allocs: u64,
 }
 
 /// A point-in-time description of a search structure, for observability
@@ -58,6 +72,23 @@ pub struct IndexStats {
     pub max_bucket: usize,
     /// Sizes of all non-empty buckets, for occupancy histograms.
     pub bucket_sizes: Vec<usize>,
+    /// Fixed per-function bytes of the packed fingerprint storage (0 for
+    /// structures without packed storage).
+    pub bytes_per_fn: usize,
+}
+
+/// Reusable per-worker buffers for [`CandidateSearch::best_candidates`].
+/// One scratch lives beside each wave worker's alignment scratch, so the
+/// hot rank loop performs no per-query allocation.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    query: QueryScratch<usize>,
+}
+
+impl SearchScratch {
+    pub fn new() -> SearchScratch {
+        SearchScratch { query: QueryScratch::new() }
+    }
 }
 
 /// Strategy seam between the pass driver and a candidate-search structure.
@@ -76,11 +107,13 @@ pub trait CandidateSearch {
     /// near-tie [`CandidateSet`] (so a profile can bias the final choice).
     /// `available[j]` is false for functions already consumed by a merge;
     /// implementations must never return such candidates, nor `i` itself.
+    /// `scratch` is the caller's reusable query buffer (one per worker).
     fn best_candidates(
         &self,
         i: usize,
         available: &[bool],
         counters: &mut QueryCounters,
+        scratch: &mut SearchScratch,
     ) -> CandidateSet;
 
     /// Removes function `idx` from the search structure after its pair was
@@ -124,10 +157,10 @@ pub fn build_search(
 ) -> Box<dyn CandidateSearch + Send + Sync> {
     match strategy {
         Strategy::Hyfm => Box::new(ExhaustiveOpcodeSearch::build(m, funcs, jobs)),
-        Strategy::F3m(p) => Box::new(LshMinHashSearch::build(m, funcs, *p, jobs)),
+        Strategy::F3m(p) => Box::new(LshBackendSearch::build(m, funcs, *p, jobs)),
         Strategy::F3mAdaptive => {
             let p = MergeParams::adaptive(funcs.len());
-            Box::new(LshMinHashSearch::build(m, funcs, p, jobs))
+            Box::new(LshBackendSearch::build(m, funcs, p, jobs))
         }
     }
 }
@@ -142,8 +175,9 @@ impl CandidateSearch for Box<dyn CandidateSearch + Send + Sync> {
         i: usize,
         available: &[bool],
         counters: &mut QueryCounters,
+        scratch: &mut SearchScratch,
     ) -> CandidateSet {
-        (**self).best_candidates(i, available, counters)
+        (**self).best_candidates(i, available, counters, scratch)
     }
 
     fn invalidate(&mut self, idx: usize) {
@@ -205,8 +239,9 @@ impl<S: CandidateSearch> CandidateSearch for MemoizedSearch<S> {
         i: usize,
         available: &[bool],
         counters: &mut QueryCounters,
+        scratch: &mut SearchScratch,
     ) -> CandidateSet {
-        self.inner.best_candidates(i, available, counters)
+        self.inner.best_candidates(i, available, counters, scratch)
     }
 
     fn invalidate(&mut self, idx: usize) {
@@ -261,6 +296,7 @@ impl CandidateSearch for ExhaustiveOpcodeSearch {
         i: usize,
         available: &[bool],
         counters: &mut QueryCounters,
+        _scratch: &mut SearchScratch,
     ) -> CandidateSet {
         let mut set = CandidateSet::new(NEAR_TIE_EPS);
         for (j, av) in available.iter().enumerate() {
@@ -293,40 +329,57 @@ impl CandidateSearch for ExhaustiveOpcodeSearch {
     }
 }
 
-/// F3M: MinHash fingerprints queried through a banded LSH index, with the
-/// similarity threshold applied after the bucket lookup.
-pub struct LshMinHashSearch {
+/// F3M: signature fingerprints (MinHash by default, SimHash or TLSH-style
+/// via `MergeParams::backend`) queried through a banded LSH index, with
+/// the similarity threshold applied after the bucket lookup. Signatures
+/// and band keys live in a [`PackedFingerprintStore`], so both the index
+/// build and every probe walk contiguous memory.
+pub struct LshBackendSearch {
     params: MergeParams,
-    fps: Vec<MinHashFingerprint>,
+    store: PackedFingerprintStore,
     index: LshIndex<usize>,
+    /// Scratch for the serial `ranked_candidates` path (`best_candidates`
+    /// uses the caller's per-worker scratch instead; this lock is never
+    /// contended in the pass).
+    ranked_scratch: Mutex<QueryScratch<usize>>,
 }
 
-impl LshMinHashSearch {
+/// The historical name of [`LshBackendSearch`], kept for callers that
+/// predate the backend seam.
+pub type LshMinHashSearch = LshBackendSearch;
+
+impl LshBackendSearch {
     /// Encodes, fingerprints and band-hashes every function (in parallel
-    /// for `jobs > 1`; the xor constants are derived once and shared), then
-    /// populates the index sequentially in function order so bucket
-    /// contents are identical for any job count.
-    pub fn build(m: &Module, funcs: &[FuncId], params: MergeParams, jobs: usize) -> LshMinHashSearch {
-        let consts = xor_constants(params.k);
+    /// for `jobs > 1`; the backend is constructed once and shared), then
+    /// packs the rows and populates the index sequentially in function
+    /// order so bucket contents are identical for any job count.
+    pub fn build(m: &Module, funcs: &[FuncId], params: MergeParams, jobs: usize) -> LshBackendSearch {
+        let backend = backend_for(params.backend, params.k);
         let per_func = par_map_indexed(funcs.len(), jobs, |i| {
             let enc = encode_function(&m.types, m.function(funcs[i]));
-            let fp = MinHashFingerprint::of_encoded_with(&consts, &enc);
-            let keys = band_keys_for(params.lsh, &fp);
-            (fp, keys)
+            let sig = backend.signature(&enc);
+            let keys = band_keys_for(params.lsh, &sig);
+            (sig, keys)
         });
         let mut index = LshIndex::new(params.lsh);
-        let mut fps = Vec::with_capacity(per_func.len());
-        for (i, (fp, keys)) in per_func.into_iter().enumerate() {
+        let mut store =
+            PackedFingerprintStore::with_capacity(params.k, params.lsh.bands, per_func.len());
+        for (i, (sig, keys)) in per_func.into_iter().enumerate() {
             index.insert_with_keys(i, &keys);
-            fps.push(fp);
+            store.push_with_keys(&sig, &keys);
         }
-        LshMinHashSearch { params, fps, index }
+        LshBackendSearch { params, store, index, ranked_scratch: Mutex::new(QueryScratch::new()) }
+    }
+
+    /// Estimated similarity of functions `i` and `j` under the backend.
+    fn similarity(&self, i: usize, j: usize) -> f64 {
+        signature_similarity(self.store.sig(i), self.store.sig(j))
     }
 }
 
-impl CandidateSearch for LshMinHashSearch {
+impl CandidateSearch for LshBackendSearch {
     fn num_functions(&self) -> usize {
-        self.fps.len()
+        self.store.len()
     }
 
     fn best_candidates(
@@ -334,20 +387,25 @@ impl CandidateSearch for LshMinHashSearch {
         i: usize,
         available: &[bool],
         counters: &mut QueryCounters,
+        scratch: &mut SearchScratch,
     ) -> CandidateSet {
-        let (cands, qstats) = self.index.candidates_counted(&self.fps[i], i);
+        let qstats = self.index.probe_keys_into(self.store.keys(i), i, &mut scratch.query);
         counters.examined += qstats.examined as u64;
         counters.evicted += qstats.evicted as u64;
-        counters.returned += cands.len() as u64;
-        // One Jaccard computation per distinct candidate — the quantity
+        counters.collisions += qstats.collisions as u64;
+        counters.returned += scratch.query.out.len() as u64;
+        // One similarity computation per distinct candidate — the quantity
         // the paper's bucket cap bounds.
-        counters.comparisons += cands.len() as u64;
+        counters.comparisons += scratch.query.out.len() as u64;
+        // One dedup set + one candidate vector that were *not* allocated
+        // because the scratch served this probe.
+        counters.saved_allocs += 1;
         let mut set = CandidateSet::new(NEAR_TIE_EPS);
-        for j in cands {
+        for &j in &scratch.query.out {
             if !available[j] {
                 continue;
             }
-            let sim = self.fps[i].similarity(&self.fps[j]);
+            let sim = self.similarity(i, j);
             if sim < self.params.threshold {
                 continue;
             }
@@ -357,15 +415,20 @@ impl CandidateSearch for LshMinHashSearch {
     }
 
     fn invalidate(&mut self, idx: usize) {
-        self.index.remove(idx, &self.fps[idx]);
+        // The packed row stays (ids are positional); only the index entry
+        // goes away.
+        let keys: Vec<_> = self.store.keys(idx).to_vec();
+        self.index.remove_with_keys(idx, &keys);
     }
 
     fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)> {
-        let (cands, _) = self.index.candidates_counted(&self.fps[i], i);
-        let mut ranked: Vec<(usize, f64)> = cands
-            .into_iter()
-            .filter(|&j| available[j])
-            .map(|j| (j, self.fps[i].similarity(&self.fps[j])))
+        let mut scratch = self.ranked_scratch.lock().unwrap();
+        self.index.probe_keys_into(self.store.keys(i), i, &mut scratch);
+        let mut ranked: Vec<(usize, f64)> = scratch
+            .out
+            .iter()
+            .filter(|&&j| available[j])
+            .map(|&j| (j, self.similarity(i, j)))
             .filter(|&(_, sim)| sim >= self.params.threshold)
             .collect();
         sort_ranked(&mut ranked);
@@ -382,6 +445,7 @@ impl CandidateSearch for LshMinHashSearch {
             buckets: self.index.num_buckets(),
             max_bucket: self.index.max_bucket_size(),
             bucket_sizes,
+            bytes_per_fn: self.store.bytes_per_fn(),
         }
     }
 }
@@ -389,8 +453,9 @@ impl CandidateSearch for LshMinHashSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use f3m_fingerprint::backend::BackendKind;
 
-    fn searches() -> (LshMinHashSearch, MemoizedSearch<LshMinHashSearch>, usize) {
+    fn searches() -> (LshBackendSearch, MemoizedSearch<LshBackendSearch>, usize) {
         let mut spec = f3m_workloads::mini_suite()[0].clone();
         spec.functions = 32;
         spec.seed = 7;
@@ -402,8 +467,8 @@ mod tests {
             .collect();
         let n = funcs.len();
         let params = MergeParams::static_default();
-        let plain = LshMinHashSearch::build(&m, &funcs, params, 1);
-        let memo = MemoizedSearch::wrap(LshMinHashSearch::build(&m, &funcs, params, 1));
+        let plain = LshBackendSearch::build(&m, &funcs, params, 1);
+        let memo = MemoizedSearch::wrap(LshBackendSearch::build(&m, &funcs, params, 1));
         (plain, memo, n)
     }
 
@@ -457,6 +522,70 @@ mod tests {
                 plain.ranked_candidates(i, &masked, 5),
                 "post-invalidate function {i}"
             );
+        }
+    }
+
+    /// Every backend builds a working search over the same module, and
+    /// each finds the planted family pairs among its top candidates.
+    #[test]
+    fn all_backends_rank_family_members_first() {
+        let mut spec = f3m_workloads::mini_suite()[0].clone();
+        spec.functions = 32;
+        spec.seed = 11;
+        let m = f3m_workloads::build_module(&spec);
+        let funcs: Vec<FuncId> = m
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| m.function(f).num_linked_insts() > 0)
+            .collect();
+        let n = funcs.len();
+        let available = vec![true; n];
+        for kind in BackendKind::ALL {
+            let params = MergeParams::static_default().with_backend(kind);
+            let search = LshBackendSearch::build(&m, &funcs, params, 2);
+            let found = (0..n)
+                .filter(|&i| !search.ranked_candidates(i, &available, 3).is_empty())
+                .count();
+            assert!(
+                found > n / 4,
+                "{}: only {found}/{n} functions have candidates",
+                kind.name()
+            );
+        }
+    }
+
+    /// The scratch-based query path is deterministic across job counts
+    /// and matches a fresh-scratch query exactly.
+    #[test]
+    fn scratch_queries_are_job_count_independent() {
+        let mut spec = f3m_workloads::mini_suite()[0].clone();
+        spec.functions = 24;
+        spec.seed = 13;
+        let m = f3m_workloads::build_module(&spec);
+        let funcs: Vec<FuncId> = m
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| m.function(f).num_linked_insts() > 0)
+            .collect();
+        let n = funcs.len();
+        let params = MergeParams::static_default();
+        let s1 = LshBackendSearch::build(&m, &funcs, params, 1);
+        let s8 = LshBackendSearch::build(&m, &funcs, params, 8);
+        let available = vec![true; n];
+        let mut warm = SearchScratch::new();
+        for i in 0..n {
+            let mut c_warm = QueryCounters::default();
+            let mut c_fresh = QueryCounters::default();
+            let a = s1.best_candidates(i, &available, &mut c_warm, &mut warm);
+            let b = s8.best_candidates(i, &available, &mut c_fresh, &mut SearchScratch::new());
+            assert_eq!(
+                a.choose(None, |idx| funcs[idx]),
+                b.choose(None, |idx| funcs[idx]),
+                "function {i}"
+            );
+            assert_eq!(c_warm.examined, c_fresh.examined);
+            assert_eq!(c_warm.collisions, c_fresh.collisions);
+            assert_eq!(c_warm.saved_allocs, 1, "one saved alloc per probe");
         }
     }
 }

@@ -78,6 +78,15 @@ pub struct MergeStats {
     /// Bucket entries skipped by the LSH bucket cap across all queries
     /// (zero for the exhaustive baseline).
     pub bucket_evictions: u64,
+    /// Cross-band duplicate bucket hits across all LSH probes: an entry
+    /// examined again in a later band of the same query (zero for the
+    /// exhaustive baseline). High collision counts mean the band keys are
+    /// redundant for the corpus — a backend-quality signal.
+    pub probe_collisions: u64,
+    /// Per-probe allocations avoided by the reusable query scratch (one
+    /// dedup set + candidate vector per query served; zero for the
+    /// exhaustive baseline). Job-count independent by construction.
+    pub lsh_allocs_saved: u64,
     /// Alignment work: DP cells computed plus linear-alignment positions
     /// advanced, summed over every alignment of the pass. A pure function
     /// of which pairs were aligned, so deterministic and job-count
@@ -95,6 +104,10 @@ pub struct MergeStats {
     pub lsh_buckets: u64,
     /// Population of the fullest LSH bucket right after the index build.
     pub lsh_max_bucket: u64,
+    /// Bytes of packed struct-of-arrays fingerprint storage per indexed
+    /// function (signature pool plus band-key pool; zero for the
+    /// exhaustive baseline). A pure function of the search parameters.
+    pub soa_bytes_per_fn: u64,
     /// Estimated module text size before the pass.
     pub size_before: u64,
     /// Estimated module text size after the pass.
@@ -125,12 +138,15 @@ pub const STATS_JSON_KEYS: &[&str] = &[
     "candidates_examined",
     "candidates_returned",
     "bucket_evictions",
+    "probe_collisions",
+    "lsh_allocs_saved",
     "align_cells",
     "commits_rejected_build",
     "commits_rejected_verify",
     "commits_rejected_size",
     "lsh_buckets",
     "lsh_max_bucket",
+    "soa_bytes_per_fn",
     "size_before",
     "size_after",
     "size_reduction",
@@ -173,12 +189,15 @@ impl MergeStats {
         det(reg, "candidates_examined", "entries", self.candidates_examined);
         det(reg, "candidates_returned", "candidates", self.candidates_returned);
         det(reg, "bucket_evictions", "entries", self.bucket_evictions);
+        det(reg, "probe_collisions", "entries", self.probe_collisions);
+        det(reg, "lsh_allocs_saved", "allocations", self.lsh_allocs_saved);
         det(reg, "align_cells", "cells", self.align_cells);
         det(reg, "commits_rejected_build", "commits", self.commits_rejected_build);
         det(reg, "commits_rejected_verify", "commits", self.commits_rejected_verify);
         det(reg, "commits_rejected_size", "commits", self.commits_rejected_size);
         det(reg, "lsh_buckets", "buckets", self.lsh_buckets);
         det(reg, "lsh_max_bucket", "functions", self.lsh_max_bucket);
+        det(reg, "soa_bytes_per_fn", "bytes", self.soa_bytes_per_fn);
         det(reg, "size_before", "size-units", self.size_before);
         det(reg, "size_after", "size-units", self.size_after);
         let red = reg.gauge(&format!("{prefix}.size_reduction"), "fraction", true);
@@ -235,12 +254,15 @@ impl MergeStats {
         out.push_str(&format!("\"candidates_examined\":{},", self.candidates_examined));
         out.push_str(&format!("\"candidates_returned\":{},", self.candidates_returned));
         out.push_str(&format!("\"bucket_evictions\":{},", self.bucket_evictions));
+        out.push_str(&format!("\"probe_collisions\":{},", self.probe_collisions));
+        out.push_str(&format!("\"lsh_allocs_saved\":{},", self.lsh_allocs_saved));
         out.push_str(&format!("\"align_cells\":{},", self.align_cells));
         out.push_str(&format!("\"commits_rejected_build\":{},", self.commits_rejected_build));
         out.push_str(&format!("\"commits_rejected_verify\":{},", self.commits_rejected_verify));
         out.push_str(&format!("\"commits_rejected_size\":{},", self.commits_rejected_size));
         out.push_str(&format!("\"lsh_buckets\":{},", self.lsh_buckets));
         out.push_str(&format!("\"lsh_max_bucket\":{},", self.lsh_max_bucket));
+        out.push_str(&format!("\"soa_bytes_per_fn\":{},", self.soa_bytes_per_fn));
         out.push_str(&format!("\"size_before\":{},", self.size_before));
         out.push_str(&format!("\"size_after\":{},", self.size_after));
         out.push_str(&format!("\"size_reduction\":{}", json_f64(self.size_reduction())));

@@ -3,7 +3,7 @@
 //! must be invisible in the results.
 
 use f3m_core::pass::{run_pass, PassConfig, Strategy};
-use f3m_core::rank::{build_search, QueryCounters};
+use f3m_core::rank::{build_search, QueryCounters, SearchScratch};
 use f3m_fingerprint::adaptive::MergeParams;
 use f3m_ir::parser::parse_module;
 use f3m_ir::printer::print_module;
@@ -104,14 +104,16 @@ fn both_strategies_pick_the_same_best_candidate_when_lsh_is_exhaustive() {
     assert_eq!(exhaustive.num_functions(), 6);
     assert_eq!(lsh.num_functions(), 6);
 
+    let mut scratch = SearchScratch::new();
     for i in 0..funcs.len() {
         let mut ce = QueryCounters::default();
         let mut cl = QueryCounters::default();
         let from_exhaustive = exhaustive
-            .best_candidates(i, &available, &mut ce)
+            .best_candidates(i, &available, &mut ce, &mut scratch)
             .choose(None, |idx| funcs[idx]);
-        let from_lsh =
-            lsh.best_candidates(i, &available, &mut cl).choose(None, |idx| funcs[idx]);
+        let from_lsh = lsh
+            .best_candidates(i, &available, &mut cl, &mut scratch)
+            .choose(None, |idx| funcs[idx]);
         // The twin of function 2m is 2m+1 and vice versa.
         let twin = i ^ 1;
         assert_eq!(from_exhaustive.map(|(j, _)| j), Some(twin), "exhaustive, query {i}");
@@ -141,14 +143,19 @@ fn invalidated_candidates_stop_appearing() {
     available[0] = false;
     available[1] = false;
     let mut c = QueryCounters::default();
-    let best = lsh.best_candidates(2, &available, &mut c).choose(None, |idx| funcs[idx]);
+    let mut scratch = SearchScratch::new();
+    let best = lsh
+        .best_candidates(2, &available, &mut c, &mut scratch)
+        .choose(None, |idx| funcs[idx]);
     assert_eq!(best.map(|(j, _)| j), Some(3), "twin of 2 is still available");
     // The removed pair left the index itself, so it can never resurface —
     // even with the availability mask fully open, a query from inside the
     // pair no longer finds its (removed) twin.
     let all_on = vec![true; funcs.len()];
     let mut c2 = QueryCounters::default();
-    let resurfaced = lsh.best_candidates(0, &all_on, &mut c2).choose(None, |idx| funcs[idx]);
+    let resurfaced = lsh
+        .best_candidates(0, &all_on, &mut c2, &mut scratch)
+        .choose(None, |idx| funcs[idx]);
     assert_ne!(resurfaced.map(|(j, _)| j), Some(1), "1 was removed from the index");
     assert_ne!(resurfaced.map(|(j, _)| j), Some(0));
 }
@@ -179,12 +186,15 @@ fn determinism_key(
         s.candidates_examined,
         s.candidates_returned,
         s.bucket_evictions,
+        s.probe_collisions,
+        s.lsh_allocs_saved,
         s.align_cells,
         s.commits_rejected_build,
         s.commits_rejected_verify,
         s.commits_rejected_size,
         s.lsh_buckets,
         s.lsh_max_bucket,
+        s.soa_bytes_per_fn,
         s.size_before,
         s.size_after,
     ];

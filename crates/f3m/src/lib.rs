@@ -50,7 +50,9 @@ pub mod prelude {
     };
     pub use f3m_core::{MergeConfig, RepairMode};
     pub use f3m_fingerprint::adaptive::MergeParams;
-    pub use f3m_fingerprint::{LshIndex, LshParams, MinHashFingerprint, OpcodeFingerprint};
+    pub use f3m_fingerprint::{
+        BackendKind, LshIndex, LshParams, MinHashFingerprint, OpcodeFingerprint,
+    };
     pub use f3m_interp::{Interpreter, Limits, Outcome, Trap, Val};
     pub use f3m_ir::prelude::*;
     pub use f3m_trace::{MetricsRegistry, Tracer};

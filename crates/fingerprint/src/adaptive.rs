@@ -6,28 +6,32 @@
 //! functions `x` (Equation 3) and derives the band count `b` from `t`
 //! (Equation 4), keeping `r = 2` and `k = b × r`.
 
+use crate::backend::BackendKind;
 use crate::lsh::LshParams;
 use crate::minhash::DEFAULT_K;
 
 /// Full parameter set for one run of the merging pass.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MergeParams {
-    /// MinHash fingerprint size `k`.
+    /// Signature size `k` (slots per function fingerprint).
     pub k: usize,
     /// LSH banding configuration.
     pub lsh: LshParams,
-    /// Minimum estimated Jaccard similarity for a pair to be aligned.
+    /// Minimum estimated similarity for a pair to be aligned.
     pub threshold: f64,
+    /// Fingerprint family producing the signatures.
+    pub backend: BackendKind,
 }
 
 impl MergeParams {
     /// The paper's *static* configuration:
-    /// `k = 200, r = 2, b = 100, t = 0.0`, bucket cap 100.
+    /// `k = 200, r = 2, b = 100, t = 0.0`, bucket cap 100, MinHash.
     pub fn static_default() -> MergeParams {
         MergeParams {
             k: DEFAULT_K,
             lsh: LshParams { rows: 2, bands: DEFAULT_K / 2, bucket_cap: 100 },
             threshold: 0.0,
+            backend: BackendKind::MinHash,
         }
     }
 
@@ -42,6 +46,7 @@ impl MergeParams {
             k: 2 * bands,
             lsh: LshParams { rows: 2, bands, bucket_cap: 100 },
             threshold,
+            backend: BackendKind::MinHash,
         }
     }
 
@@ -52,7 +57,13 @@ impl MergeParams {
             k,
             lsh: LshParams { rows, bands: k / rows, bucket_cap },
             threshold,
+            backend: BackendKind::MinHash,
         }
+    }
+
+    /// The same parameters with a different fingerprint family.
+    pub fn with_backend(self, backend: BackendKind) -> MergeParams {
+        MergeParams { backend, ..self }
     }
 }
 

@@ -1,0 +1,416 @@
+//! Pluggable fingerprint backends.
+//!
+//! The paper's candidate search is MinHash + banded LSH, but the LSH
+//! machinery itself is family-agnostic: anything that maps a function to a
+//! fixed-width signature whose *slot-equality fraction* approximates a
+//! similarity measure can reuse the banding, bucketing, sharding and
+//! snapshot layers unchanged. This module is that seam.
+//!
+//! Every backend emits a `k`-slot `u64` signature:
+//!
+//! - [`BackendKind::MinHash`] — the default. Slot `i` is the minimum of
+//!   the `i`-th derived hash over all instruction shingles
+//!   ([`MinHashFingerprint`]); slot equality estimates the Jaccard index.
+//! - [`BackendKind::SimHash`] — random-hyperplane projection of the
+//!   opcode-frequency vector. Each slot packs 8 projection sign bits, so
+//!   slot equality is byte-granular Hamming similarity of the 8·k-bit
+//!   SimHash, and an `r = 2` band carries 16 bits of entropy (a one-bit
+//!   slot would collapse every band bucket to ≤ 4 distinct keys).
+//! - [`BackendKind::Tlsh`] — a TLSH-style locality hash: shingle hashes
+//!   are scattered into `4k` counting buckets, the count distribution's
+//!   quartiles turn each bucket into a 2-bit code, and each slot packs 4
+//!   codes. Quartile coding makes the digest depend on the *shape* of the
+//!   body distribution rather than raw counts, so it tolerates function
+//!   length differences better than raw frequency vectors.
+//!
+//! Uniform signatures mean uniform plumbing: band keys always come from
+//! [`band_keys_for`](crate::lsh::band_keys_for), similarity from
+//! [`signature_similarity`], and storage from
+//! [`PackedFingerprintStore`](crate::store::PackedFingerprintStore) —
+//! per backend, only the signature function differs.
+
+use crate::fnv::{fnv1a_u64s, xor_constants};
+use crate::minhash::{shingle_hashes, MinHashFingerprint};
+
+/// Selector for a fingerprint family, as chosen by `--backend`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// MinHash over instruction shingles (the paper's family).
+    #[default]
+    MinHash,
+    /// SimHash over opcode frequencies, 8 projection bits per slot.
+    SimHash,
+    /// TLSH-style quartile-coded bucket counts, 4 codes per slot.
+    Tlsh,
+}
+
+impl BackendKind {
+    /// All backends, in CLI/bench presentation order.
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::MinHash, BackendKind::SimHash, BackendKind::Tlsh];
+
+    /// The CLI name (`--backend <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::MinHash => "minhash",
+            BackendKind::SimHash => "simhash",
+            BackendKind::Tlsh => "tlsh",
+        }
+    }
+
+    /// Parses a CLI name; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// A stable one-byte tag for the snapshot header.
+    pub fn tag(self) -> u8 {
+        match self {
+            BackendKind::MinHash => 0,
+            BackendKind::SimHash => 1,
+            BackendKind::Tlsh => 2,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(tag: u8) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+/// A fingerprint family: encoded instruction stream → `k`-slot signature.
+///
+/// Implementations are stateless apart from derived constants, so one
+/// boxed backend is shared across worker threads during a parallel bulk
+/// build (`Send + Sync`).
+pub trait FingerprintBackend: Send + Sync {
+    /// Which family this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Signature width `k` (slots). Always equals the `k` the backend was
+    /// built with, so signatures band under `LshParams` of the same `k`.
+    fn k(&self) -> usize;
+
+    /// The `k`-slot signature of an encoded instruction stream.
+    fn signature(&self, encoded: &[u32]) -> Vec<u64>;
+}
+
+/// Constructs the backend for `kind` with signature width `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn backend_for(kind: BackendKind, k: usize) -> Box<dyn FingerprintBackend> {
+    assert!(k > 0, "signature width must be positive");
+    match kind {
+        BackendKind::MinHash => Box::new(MinHashBackend::new(k)),
+        BackendKind::SimHash => Box::new(SimHashBackend::new(k)),
+        BackendKind::Tlsh => Box::new(TlshBackend::new(k)),
+    }
+}
+
+/// Similarity of two equal-width signatures: the fraction of equal slots.
+/// For MinHash this is exactly [`MinHashFingerprint::similarity`]; for the
+/// packed backends it is a byte-granular Hamming similarity.
+///
+/// # Panics
+///
+/// Panics if the signatures have different sizes.
+pub fn signature_similarity(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "fingerprint size mismatch");
+    let equal = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+    equal as f64 / a.len() as f64
+}
+
+/// The default backend: MinHash with shared xor constants (derived once,
+/// reused by every signature).
+pub struct MinHashBackend {
+    consts: Vec<u64>,
+}
+
+impl MinHashBackend {
+    pub fn new(k: usize) -> MinHashBackend {
+        MinHashBackend { consts: xor_constants(k) }
+    }
+}
+
+impl FingerprintBackend for MinHashBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::MinHash
+    }
+
+    fn k(&self) -> usize {
+        self.consts.len()
+    }
+
+    fn signature(&self, encoded: &[u32]) -> Vec<u64> {
+        MinHashFingerprint::of_encoded_with(&self.consts, encoded).into_hashes()
+    }
+}
+
+/// SimHash mixing: one 64-bit chunk of a feature's pseudo-random
+/// projection row, derived deterministically from (feature, chunk).
+fn projection_bits(feature: u64, chunk: u64) -> u64 {
+    // SplitMix64-style finalizer over an FNV combination: cheap, stateless,
+    // and uncorrelated across chunks.
+    let mut z = fnv1a_u64s(&[feature, chunk]);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SimHash over the opcode-frequency vector. The feature set is the
+/// distinct opcodes of the stream (the high byte of each [encoded
+/// word](crate::encode)), weighted by occurrence count; the projection has
+/// `8k` sign bits, packed 8 per slot.
+pub struct SimHashBackend {
+    k: usize,
+}
+
+/// Projection sign bits per SimHash signature slot.
+pub const SIMHASH_BITS_PER_SLOT: usize = 8;
+
+impl SimHashBackend {
+    pub fn new(k: usize) -> SimHashBackend {
+        SimHashBackend { k }
+    }
+}
+
+impl FingerprintBackend for SimHashBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SimHash
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn signature(&self, encoded: &[u32]) -> Vec<u64> {
+        let bits = self.k * SIMHASH_BITS_PER_SLOT;
+        // Opcode histogram: feature = high byte of the encoded word.
+        let mut counts = [0i64; 256];
+        for &w in encoded {
+            counts[(w >> 24) as usize] += 1;
+        }
+        // Signed accumulation: each present opcode pushes every projection
+        // bit up or down by its count.
+        let mut acc = vec![0i64; bits];
+        for (op, &w) in counts.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            for chunk in 0..bits.div_ceil(64) {
+                let row = projection_bits(op as u64, chunk as u64);
+                let lo = chunk * 64;
+                for (i, a) in acc[lo..(lo + 64).min(bits)].iter_mut().enumerate() {
+                    if row >> i & 1 == 1 {
+                        *a += w;
+                    } else {
+                        *a -= w;
+                    }
+                }
+            }
+        }
+        // Pack sign bits, 8 per slot.
+        (0..self.k)
+            .map(|s| {
+                let mut slot = 0u64;
+                for b in 0..SIMHASH_BITS_PER_SLOT {
+                    if acc[s * SIMHASH_BITS_PER_SLOT + b] >= 0 {
+                        slot |= 1 << b;
+                    }
+                }
+                slot
+            })
+            .collect()
+    }
+}
+
+/// TLSH-style locality hash: shingle hashes scatter into `4k` counting
+/// buckets; quartiles of the non-trivial count distribution code each
+/// bucket in 2 bits; 4 codes pack into each signature slot.
+pub struct TlshBackend {
+    k: usize,
+}
+
+/// Quartile codes per TLSH signature slot.
+pub const TLSH_CODES_PER_SLOT: usize = 4;
+
+impl TlshBackend {
+    pub fn new(k: usize) -> TlshBackend {
+        TlshBackend { k }
+    }
+}
+
+impl FingerprintBackend for TlshBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Tlsh
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn signature(&self, encoded: &[u32]) -> Vec<u64> {
+        let nbuckets = self.k * TLSH_CODES_PER_SLOT;
+        let mut counts = vec![0u32; nbuckets];
+        for h in shingle_hashes(encoded) {
+            counts[(h % nbuckets as u64) as usize] += 1;
+        }
+        // Quartiles of the count distribution (zeros included: sparse
+        // functions legitimately leave most buckets empty, and the
+        // quartile cut then separates occupied from empty buckets).
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let q1 = sorted[nbuckets / 4];
+        let q2 = sorted[nbuckets / 2];
+        let q3 = sorted[3 * nbuckets / 4];
+        (0..self.k)
+            .map(|s| {
+                let mut slot = 0u64;
+                for c in 0..TLSH_CODES_PER_SLOT {
+                    let count = counts[s * TLSH_CODES_PER_SLOT + c];
+                    let code: u64 = if count <= q1 {
+                        0
+                    } else if count <= q2 {
+                        1
+                    } else if count <= q3 {
+                        2
+                    } else {
+                        3
+                    };
+                    slot |= code << (2 * c);
+                }
+                slot
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsh::{band_keys_for, LshParams};
+
+    fn stream(n: u32, salt: u32) -> Vec<u32> {
+        // Plausible encoded words: opcode in the high byte, operands below.
+        (0..n).map(|i| ((i % 23 + salt % 5) << 24) | (i.wrapping_mul(2654435761) & 0xFF_FFFF)).collect()
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("nope"), None);
+        assert_eq!(BackendKind::from_tag(200), None);
+        assert_eq!(BackendKind::default(), BackendKind::MinHash);
+    }
+
+    #[test]
+    fn minhash_backend_matches_legacy_fingerprint() {
+        let s = stream(64, 1);
+        let backend = backend_for(BackendKind::MinHash, 32);
+        let legacy = MinHashFingerprint::of_encoded(&s, 32);
+        assert_eq!(backend.signature(&s), legacy.hashes());
+        // Shared similarity path is bit-identical to the legacy one.
+        let t = stream(64, 2);
+        let other = MinHashFingerprint::of_encoded(&t, 32);
+        assert_eq!(
+            signature_similarity(&backend.signature(&s), &backend.signature(&t)),
+            legacy.similarity(&other)
+        );
+    }
+
+    #[test]
+    fn all_backends_emit_k_slots_and_are_deterministic() {
+        let s = stream(80, 3);
+        for kind in BackendKind::ALL {
+            let backend = backend_for(kind, 40);
+            assert_eq!(backend.kind(), kind);
+            assert_eq!(backend.k(), 40);
+            let a = backend.signature(&s);
+            assert_eq!(a.len(), 40, "{}", kind.name());
+            assert_eq!(a, backend.signature(&s), "{} deterministic", kind.name());
+        }
+    }
+
+    #[test]
+    fn identical_streams_have_similarity_one_under_every_backend() {
+        let s = stream(60, 7);
+        for kind in BackendKind::ALL {
+            let backend = backend_for(kind, 32);
+            let sim = signature_similarity(&backend.signature(&s), &backend.signature(&s));
+            assert_eq!(sim, 1.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn small_edits_keep_high_similarity() {
+        let a = stream(120, 1);
+        let mut b = a.clone();
+        b[60] ^= 0x0000_00FF; // operand tweak, same opcode
+        for kind in BackendKind::ALL {
+            let backend = backend_for(kind, 64);
+            let sim = signature_similarity(&backend.signature(&a), &backend.signature(&b));
+            assert!(sim > 0.6, "{}: one-word edit dropped similarity to {sim}", kind.name());
+        }
+    }
+
+    #[test]
+    fn unrelated_streams_separate_from_near_duplicates() {
+        // Each backend must rank a near-duplicate above an unrelated
+        // function — the property candidate search depends on.
+        let a = stream(150, 1);
+        let mut near = a.clone();
+        near[10] ^= 0xFF; // operand tweak
+        near.truncate(145);
+        let far: Vec<u32> = (0..150u32)
+            .map(|i| ((200 - i % 30) << 24) | (i.wrapping_mul(40503) & 0xFF_FFFF))
+            .collect();
+        for kind in BackendKind::ALL {
+            let backend = backend_for(kind, 64);
+            let sa = backend.signature(&a);
+            let sim_near = signature_similarity(&sa, &backend.signature(&near));
+            let sim_far = signature_similarity(&sa, &backend.signature(&far));
+            assert!(
+                sim_near > sim_far,
+                "{}: near {sim_near} !> far {sim_far}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_slots_give_bands_entropy() {
+        // A band of two packed slots must produce many distinct keys over
+        // a varied corpus — the reason SimHash packs 8 bits per slot
+        // instead of one sign bit per slot.
+        let p = LshParams { rows: 2, bands: 16, bucket_cap: 100 };
+        for kind in [BackendKind::SimHash, BackendKind::Tlsh] {
+            let backend = backend_for(kind, 32);
+            let mut keys = std::collections::HashSet::new();
+            for f in 0..40u32 {
+                let sig = backend.signature(&stream(60 + f, f));
+                keys.extend(band_keys_for(p, &sig));
+            }
+            assert!(
+                keys.len() > 100,
+                "{}: only {} distinct band keys over 40 functions",
+                kind.name(),
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_streams_are_fingerprintable() {
+        for kind in BackendKind::ALL {
+            let backend = backend_for(kind, 16);
+            let sig = backend.signature(&[]);
+            assert_eq!(sig.len(), 16);
+            assert_eq!(signature_similarity(&sig, &backend.signature(&[])), 1.0);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! band count with program size.
 
 pub mod adaptive;
+pub mod backend;
 pub mod encode;
 pub mod fnv;
 pub mod lsh;
@@ -22,9 +23,14 @@ pub mod minhash;
 pub mod opcode_freq;
 pub mod par;
 pub mod sharded;
+pub mod snapshot;
+pub mod store;
 
 pub use adaptive::MergeParams;
-pub use lsh::{LshIndex, LshParams};
+pub use backend::{backend_for, signature_similarity, BackendKind, FingerprintBackend};
+pub use lsh::{BandKey, LshIndex, LshParams, QueryScratch};
 pub use sharded::{ShardStats, ShardedLshIndex};
 pub use minhash::MinHashFingerprint;
 pub use opcode_freq::OpcodeFingerprint;
+pub use snapshot::{SnapshotError, SnapshotFile, SnapshotHeader};
+pub use store::PackedFingerprintStore;

@@ -1,10 +1,23 @@
-//! Locality Sensitive Hashing over MinHash fingerprints.
+//! Locality Sensitive Hashing over fingerprint signatures.
 //!
 //! Section III-C of the paper: a fingerprint of `k` hashes is split into
 //! `b` non-overlapping bands of `r` rows (`k = b × r`); each band is hashed
 //! into a bucket. Two functions are compared only if at least one band
 //! matches. The probability of comparison at Jaccard similarity `s` is
 //! `1 - (1 - s^r)^b` ([`collision_probability`]).
+//!
+//! Band keys are 32-bit ([`BandKey`]): the 64-bit FNV band hash is folded
+//! to 32 bits so the packed key arrays in
+//! [`PackedFingerprintStore`](crate::store::PackedFingerprintStore) and the
+//! on-disk [snapshot](crate::snapshot) stay half the size. At 100 bands
+//! over a million functions (~10⁸ keys) the fold adds only benign extra
+//! bucket collisions — the per-bucket comparison cap already bounds their
+//! cost.
+//!
+//! The index is signature-agnostic: any [fingerprint
+//! backend](crate::backend) that produces a `k`-slot `u64` signature bands
+//! through the same [`band_keys_for`] path (MinHash slots, SimHash
+//! projection bytes, TLSH-style quartile codes).
 //!
 //! Over-populated buckets (caused by very common instruction subsequences)
 //! are tamed by capping the number of comparisons per bucket
@@ -15,7 +28,9 @@ use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
 use crate::fnv::fnv1a_u64s;
-use crate::minhash::MinHashFingerprint;
+
+/// A banded bucket key. 32-bit by design — see the module docs.
+pub type BandKey = u32;
 
 /// Banding parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,22 +68,33 @@ pub fn collision_probability(s: f64, rows: usize, bands: usize) -> f64 {
     1.0 - (1.0 - s.powi(rows as i32)).powi(bands as i32)
 }
 
-/// Band bucket keys of a fingerprint under `params`, as a standalone
+/// Folds a 64-bit band hash into a [`BandKey`], mixing both halves so the
+/// truncation keeps the full hash's entropy.
+#[inline]
+fn fold_key(h: u64) -> BandKey {
+    (h ^ (h >> 32)) as BandKey
+}
+
+/// Band bucket keys of a signature under `params`, as a standalone
 /// function so they can be computed off-index (e.g. on worker threads
 /// during a parallel bulk build) and fed to [`LshIndex::insert_with_keys`].
+/// `sig` is the `k`-slot signature words of any fingerprint backend (for
+/// MinHash, [`MinHashFingerprint::hashes`](crate::minhash::MinHashFingerprint::hashes)).
 ///
 /// # Panics
 ///
-/// Panics if the fingerprint is smaller than `k = rows × bands`.
-pub fn band_keys_for(params: LshParams, fp: &MinHashFingerprint) -> Vec<u64> {
+/// Panics if the signature is smaller than `k = rows × bands`.
+pub fn band_keys_for(params: LshParams, sig: &[u64]) -> Vec<BandKey> {
     let r = params.rows;
-    assert!(fp.len() >= params.fingerprint_size(), "fingerprint too small for banding");
+    assert!(sig.len() >= params.fingerprint_size(), "fingerprint too small for banding");
     (0..params.bands)
         .map(|j| {
-            let band = &fp.hashes()[j * r..(j + 1) * r];
+            let band = &sig[j * r..(j + 1) * r];
             // Mix the band index in so identical sub-vectors in different
             // bands do not alias.
-            fnv1a_u64s(band).wrapping_add((j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            fold_key(
+                fnv1a_u64s(band).wrapping_add((j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
         })
         .collect()
 }
@@ -77,7 +103,7 @@ pub fn band_keys_for(params: LshParams, fp: &MinHashFingerprint) -> Vec<u64> {
 #[derive(Clone, Debug)]
 pub struct LshIndex<T> {
     params: LshParams,
-    buckets: HashMap<u64, Vec<T>>,
+    buckets: HashMap<BandKey, Vec<T>>,
 }
 
 /// Per-query work counts reported by [`LshIndex::candidates_counted`].
@@ -88,6 +114,35 @@ pub struct LshQueryStats {
     /// Entries skipped because their bucket overflowed `bucket_cap`
     /// (summed over all queried bands).
     pub evicted: usize,
+    /// Examined entries that were already collected from an earlier band
+    /// of the same query — cross-band duplicate hits. `examined` minus
+    /// `collisions` is the number of distinct candidates returned.
+    pub collisions: usize,
+}
+
+/// Reusable per-query buffers for [`LshIndex::probe_keys_into`] /
+/// [`ShardedLshIndex::probe_keys_into`](crate::sharded::ShardedLshIndex::probe_keys_into):
+/// the dedup set and the candidate list survive across queries (cleared,
+/// capacity kept), so a warm scratch answers every probe without a fresh
+/// allocation.
+#[derive(Debug, Default)]
+pub struct QueryScratch<T> {
+    pub(crate) seen: HashSet<T>,
+    /// Distinct candidates of the last probe, in discovery (band) order.
+    pub out: Vec<T>,
+}
+
+impl<T: Copy + Ord + Hash> QueryScratch<T> {
+    /// Creates an empty scratch.
+    pub fn new() -> QueryScratch<T> {
+        QueryScratch { seen: HashSet::new(), out: Vec::new() }
+    }
+
+    /// Clears the buffers, keeping their capacity.
+    pub fn reset(&mut self) {
+        self.seen.clear();
+        self.out.clear();
+    }
 }
 
 impl<T: Copy + Ord + Hash> LshIndex<T> {
@@ -106,21 +161,18 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
         self.params
     }
 
-    /// Band bucket keys of a fingerprint.
+    /// Band bucket keys of a signature.
     ///
     /// # Panics
     ///
-    /// Panics if the fingerprint is smaller than `k = rows × bands`.
-    pub fn band_keys<'a>(
-        &'a self,
-        fp: &'a MinHashFingerprint,
-    ) -> impl Iterator<Item = u64> + 'a {
-        band_keys_for(self.params, fp).into_iter()
+    /// Panics if the signature is smaller than `k = rows × bands`.
+    pub fn band_keys<'a>(&'a self, sig: &'a [u64]) -> impl Iterator<Item = BandKey> + 'a {
+        band_keys_for(self.params, sig).into_iter()
     }
 
     /// Inserts an item under all its bands.
-    pub fn insert(&mut self, id: T, fp: &MinHashFingerprint) {
-        let keys: Vec<u64> = self.band_keys(fp).collect();
+    pub fn insert(&mut self, id: T, sig: &[u64]) {
+        let keys: Vec<BandKey> = self.band_keys(sig).collect();
         self.insert_with_keys(id, &keys);
     }
 
@@ -135,7 +187,7 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
     /// the candidate list and every derived counter — is independent of
     /// insertion order. (The pass build inserts ids in ascending order
     /// anyway; sorting makes the guarantee hold for arbitrary callers.)
-    pub fn insert_with_keys(&mut self, id: T, keys: &[u64]) {
+    pub fn insert_with_keys(&mut self, id: T, keys: &[BandKey]) {
         for &key in keys {
             let bucket = self.buckets.entry(key).or_default();
             let pos = bucket.binary_search(&id).unwrap_or_else(|p| p);
@@ -144,8 +196,8 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
     }
 
     /// Removes an item from all its bands (no-op for absent entries).
-    pub fn remove(&mut self, id: T, fp: &MinHashFingerprint) {
-        let keys: Vec<u64> = self.band_keys(fp).collect();
+    pub fn remove(&mut self, id: T, sig: &[u64]) {
+        let keys: Vec<BandKey> = self.band_keys(sig).collect();
         self.remove_with_keys(id, &keys);
     }
 
@@ -153,7 +205,7 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
     /// counterpart of [`Self::insert_with_keys`]. Cost is proportional to
     /// the item's own band count, never to index size, which is what makes
     /// rebuild-free eviction possible for a resident index.
-    pub fn remove_with_keys(&mut self, id: T, keys: &[u64]) {
+    pub fn remove_with_keys(&mut self, id: T, keys: &[BandKey]) {
         for key in keys {
             if let Some(v) = self.buckets.get_mut(key) {
                 v.retain(|&x| x != id);
@@ -167,8 +219,26 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
     /// The sorted contents of the bucket under one band key (`None` when
     /// empty). This is the probing primitive a sharded wrapper uses to
     /// reproduce [`Self::candidates_counted`] across shard boundaries.
-    pub fn probe_key(&self, key: u64) -> Option<&[T]> {
+    pub fn probe_key(&self, key: BandKey) -> Option<&[T]> {
         self.buckets.get(&key).map(Vec::as_slice)
+    }
+
+    /// Installs one whole bucket as restored from a snapshot. `items`
+    /// must be sorted ascending and non-empty — snapshot loaders validate
+    /// before calling. Replaces any existing bucket under `key`.
+    pub fn restore_bucket(&mut self, key: BandKey, items: Vec<T>) {
+        debug_assert!(!items.is_empty(), "snapshot buckets are non-empty");
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "snapshot buckets are sorted");
+        self.buckets.insert(key, items);
+    }
+
+    /// All buckets as `(key, sorted items)`, ordered by key — the
+    /// deterministic serialization order the snapshot writer uses.
+    pub fn export_buckets(&self) -> Vec<(BandKey, Vec<T>)> {
+        let mut out: Vec<(BandKey, Vec<T>)> =
+            self.buckets.iter().map(|(&k, v)| (k, v.clone())).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
     }
 
     /// Total entries across all buckets (an item counts once per band it
@@ -178,12 +248,12 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
     }
 
     /// Collects the distinct candidates sharing at least one band with
-    /// `fp`, skipping `exclude` (the query item itself). At most
+    /// `sig`, skipping `exclude` (the query item itself). At most
     /// `bucket_cap` entries are taken from each bucket; the total number of
     /// *entries examined* (the paper's "fingerprint comparisons") is
     /// returned alongside the candidates.
-    pub fn candidates(&self, fp: &MinHashFingerprint, exclude: T) -> (Vec<T>, usize) {
-        let (out, stats) = self.candidates_counted(fp, exclude);
+    pub fn candidates(&self, sig: &[u64], exclude: T) -> (Vec<T>, usize) {
+        let (out, stats) = self.candidates_counted(sig, exclude);
         (out, stats.examined)
     }
 
@@ -192,18 +262,28 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
     /// `bucket_cap`. Eviction counts are deterministic for a given index
     /// content regardless of insertion order, because buckets are sorted
     /// (see [`Self::insert_with_keys`]).
-    pub fn candidates_counted(
+    pub fn candidates_counted(&self, sig: &[u64], exclude: T) -> (Vec<T>, LshQueryStats) {
+        let keys: Vec<BandKey> = self.band_keys(sig).collect();
+        let mut scratch = QueryScratch::new();
+        let stats = self.probe_keys_into(&keys, exclude, &mut scratch);
+        (scratch.out, stats)
+    }
+
+    /// The allocation-free query path: probes pre-computed band keys,
+    /// reusing `scratch`'s dedup set and candidate buffer (cleared, not
+    /// reallocated). Candidates are left in `scratch.out`, in the same
+    /// order [`Self::candidates_counted`] returns them. A warm scratch
+    /// services every query of a pass without a fresh `HashSet`/`Vec`
+    /// pair — the per-probe allocation the old query path paid.
+    pub fn probe_keys_into(
         &self,
-        fp: &MinHashFingerprint,
+        keys: &[BandKey],
         exclude: T,
-    ) -> (Vec<T>, LshQueryStats) {
-        // Every band contributes at least one entry when it collides at
-        // all, so the band count is a cheap lower-bound capacity hint that
-        // avoids rehash churn in the common sparse-bucket case.
-        let mut seen: HashSet<T> = HashSet::with_capacity(self.params.bands);
-        let mut out = Vec::with_capacity(self.params.bands);
+        scratch: &mut QueryScratch<T>,
+    ) -> LshQueryStats {
+        scratch.reset();
         let mut stats = LshQueryStats::default();
-        for key in self.band_keys(fp) {
+        for &key in keys {
             if let Some(bucket) = self.buckets.get(&key) {
                 stats.evicted += bucket.len().saturating_sub(self.params.bucket_cap);
                 for &item in bucket.iter().take(self.params.bucket_cap) {
@@ -211,13 +291,15 @@ impl<T: Copy + Ord + Hash> LshIndex<T> {
                         continue;
                     }
                     stats.examined += 1;
-                    if seen.insert(item) {
-                        out.push(item);
+                    if scratch.seen.insert(item) {
+                        scratch.out.push(item);
+                    } else {
+                        stats.collisions += 1;
                     }
                 }
             }
         }
-        (out, stats)
+        stats
     }
 
     /// Sizes of all non-empty buckets (for the Figure 16 style analysis of
@@ -243,8 +325,8 @@ mod tests {
     use super::*;
     use crate::minhash::MinHashFingerprint;
 
-    fn fp(stream: &[u32], k: usize) -> MinHashFingerprint {
-        MinHashFingerprint::of_encoded(stream, k)
+    fn sig(stream: &[u32], k: usize) -> Vec<u64> {
+        MinHashFingerprint::of_encoded(stream, k).hashes().to_vec()
     }
 
     fn params() -> LshParams {
@@ -255,7 +337,7 @@ mod tests {
     fn identical_items_share_all_bands() {
         let mut idx = LshIndex::new(params());
         let s: Vec<u32> = (0..20).collect();
-        let f1 = fp(&s, 32);
+        let f1 = sig(&s, 32);
         idx.insert(1u32, &f1);
         let (cands, _) = idx.candidates(&f1, 0);
         assert_eq!(cands, vec![1]);
@@ -265,7 +347,7 @@ mod tests {
     fn query_excludes_self() {
         let mut idx = LshIndex::new(params());
         let s: Vec<u32> = (0..20).collect();
-        let f1 = fp(&s, 32);
+        let f1 = sig(&s, 32);
         idx.insert(7u32, &f1);
         let (cands, _) = idx.candidates(&f1, 7);
         assert!(cands.is_empty());
@@ -277,8 +359,8 @@ mod tests {
         let a: Vec<u32> = (0..40).collect();
         let mut b = a.clone();
         b[39] = 999; // tiny difference
-        let fa = fp(&a, 32);
-        let fb = fp(&b, 32);
+        let fa = sig(&a, 32);
+        let fb = sig(&b, 32);
         idx.insert(1u32, &fa);
         let (cands, _) = idx.candidates(&fb, 2);
         assert_eq!(cands, vec![1], "near-identical functions must collide");
@@ -289,8 +371,8 @@ mod tests {
         let mut idx = LshIndex::new(params());
         let a: Vec<u32> = (0..40).collect();
         let b: Vec<u32> = (1000..1040).collect();
-        idx.insert(1u32, &fp(&a, 32));
-        let (cands, _) = idx.candidates(&fp(&b, 32), 2);
+        idx.insert(1u32, &sig(&a, 32));
+        let (cands, _) = idx.candidates(&sig(&b, 32), 2);
         assert!(cands.is_empty(), "disjoint shingle sets must not collide");
     }
 
@@ -298,7 +380,7 @@ mod tests {
     fn remove_makes_item_unfindable() {
         let mut idx = LshIndex::new(params());
         let s: Vec<u32> = (0..20).collect();
-        let f1 = fp(&s, 32);
+        let f1 = sig(&s, 32);
         idx.insert(1u32, &f1);
         idx.remove(1u32, &f1);
         let (cands, _) = idx.candidates(&f1, 0);
@@ -310,7 +392,7 @@ mod tests {
     fn bucket_cap_limits_examined_entries() {
         let mut idx = LshIndex::new(LshParams { rows: 2, bands: 1, bucket_cap: 5 });
         let s: Vec<u32> = (0..10).collect();
-        let f1 = fp(&s, 2);
+        let f1 = sig(&s, 2);
         for id in 0..50u32 {
             idx.insert(id, &f1);
         }
@@ -323,11 +405,14 @@ mod tests {
     fn candidates_are_deduplicated_across_bands() {
         let mut idx = LshIndex::new(params());
         let s: Vec<u32> = (0..20).collect();
-        let f1 = fp(&s, 32);
+        let f1 = sig(&s, 32);
         idx.insert(1u32, &f1);
-        let (cands, examined) = idx.candidates(&f1, 0);
+        let (cands, stats) = idx.candidates_counted(&f1, 0);
         assert_eq!(cands, vec![1]);
-        assert!(examined >= 16, "entry examined once per matching band");
+        assert!(stats.examined >= 16, "entry examined once per matching band");
+        // One distinct candidate: every further hit is a cross-band
+        // collision, and the counter accounts for each of them.
+        assert_eq!(stats.collisions, stats.examined - cands.len());
     }
 
     #[test]
@@ -346,7 +431,7 @@ mod tests {
     #[test]
     fn precomputed_key_insertion_matches_direct_insertion() {
         let s: Vec<u32> = (0..30).collect();
-        let f1 = fp(&s, 32);
+        let f1 = sig(&s, 32);
         let mut direct = LshIndex::new(params());
         direct.insert(4u32, &f1);
         let mut bulk = LshIndex::new(params());
@@ -357,10 +442,52 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        let p = params();
+        let mut idx = LshIndex::new(p);
+        let streams: Vec<Vec<u32>> = (0..8u32).map(|i| (i..i + 24).collect()).collect();
+        let sigs: Vec<Vec<u64>> = streams.iter().map(|s| sig(s, 32)).collect();
+        for (i, f) in sigs.iter().enumerate() {
+            idx.insert(i as u32, f);
+        }
+        let mut scratch = QueryScratch::new();
+        for (i, f) in sigs.iter().enumerate() {
+            let keys = band_keys_for(p, f);
+            let stats = idx.probe_keys_into(&keys, i as u32, &mut scratch);
+            let (fresh, fresh_stats) = idx.candidates_counted(f, i as u32);
+            assert_eq!(scratch.out, fresh, "query {i}");
+            assert_eq!(stats, fresh_stats, "query {i}");
+        }
+    }
+
+    #[test]
+    fn restore_bucket_reproduces_exported_index() {
+        let p = params();
+        let mut idx = LshIndex::new(p);
+        let streams: Vec<Vec<u32>> = (0..6u32).map(|i| (i % 3..i % 3 + 20).collect()).collect();
+        let sigs: Vec<Vec<u64>> = streams.iter().map(|s| sig(s, 32)).collect();
+        for (i, f) in sigs.iter().enumerate() {
+            idx.insert(i as u32, f);
+        }
+        let mut restored = LshIndex::new(p);
+        for (key, items) in idx.export_buckets() {
+            restored.restore_bucket(key, items);
+        }
+        assert_eq!(restored.num_buckets(), idx.num_buckets());
+        assert_eq!(restored.num_entries(), idx.num_entries());
+        for (i, f) in sigs.iter().enumerate() {
+            assert_eq!(
+                restored.candidates_counted(f, i as u32),
+                idx.candidates_counted(f, i as u32)
+            );
+        }
+    }
+
+    #[test]
     fn bucket_cap_overflow_is_deterministic_across_insertion_orders() {
         let p = LshParams { rows: 2, bands: 1, bucket_cap: 3 };
         let s: Vec<u32> = (0..10).collect();
-        let f1 = fp(&s, 2);
+        let f1 = sig(&s, 2);
         let mut ascending = LshIndex::new(p);
         for id in 0..8u32 {
             ascending.insert(id, &f1);
@@ -380,7 +507,7 @@ mod tests {
     fn eviction_counter_matches_observed_drops() {
         let p = LshParams { rows: 2, bands: 1, bucket_cap: 3 };
         let s: Vec<u32> = (0..10).collect();
-        let f1 = fp(&s, 2);
+        let f1 = sig(&s, 2);
         let mut idx = LshIndex::new(p);
         for id in 0..8u32 {
             idx.insert(id, &f1);
@@ -392,8 +519,7 @@ mod tests {
         assert_eq!(stats.evicted, idx.max_bucket_size() - cands.len());
         assert_eq!(stats.examined, 3);
         // Uncapped index over the same content evicts nothing.
-        let mut uncapped =
-            LshIndex::new(LshParams { bucket_cap: usize::MAX, ..p });
+        let mut uncapped = LshIndex::new(LshParams { bucket_cap: usize::MAX, ..p });
         for id in 0..8u32 {
             uncapped.insert(id, &f1);
         }
@@ -407,7 +533,7 @@ mod tests {
         // Two bands over the same fingerprint double the per-bucket drops.
         let p = LshParams { rows: 1, bands: 2, bucket_cap: 2 };
         let s: Vec<u32> = (0..10).collect();
-        let f1 = fp(&s, 2);
+        let f1 = sig(&s, 2);
         let mut idx = LshIndex::new(p);
         for id in 0..5u32 {
             idx.insert(id, &f1);
@@ -417,13 +543,15 @@ mod tests {
         assert_eq!(stats.evicted, 6);
         // id 0 survives the cap then is excluded as self: 1 examined/band.
         assert_eq!(stats.examined, 2);
+        // Band two re-finds band one's survivor: one cross-band collision.
+        assert_eq!(stats.collisions, 1);
     }
 
     #[test]
     fn remove_keeps_buckets_sorted() {
         let p = LshParams { rows: 2, bands: 1, bucket_cap: 2 };
         let s: Vec<u32> = (0..10).collect();
-        let f1 = fp(&s, 2);
+        let f1 = sig(&s, 2);
         let mut idx = LshIndex::new(p);
         for id in [3u32, 1, 4, 0, 2] {
             idx.insert(id, &f1);
@@ -437,7 +565,7 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn banding_requires_large_enough_fingerprint() {
         let idx: LshIndex<u32> = LshIndex::new(LshParams { rows: 4, bands: 10, bucket_cap: 100 });
-        let f = fp(&[1, 2, 3], 8); // needs 40 slots
+        let f = sig(&[1, 2, 3], 8); // needs 40 slots
         let _ = idx.band_keys(&f).count();
     }
 }

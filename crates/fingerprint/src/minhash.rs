@@ -78,6 +78,12 @@ impl MinHashFingerprint {
         &self.hashes
     }
 
+    /// Consumes the fingerprint, yielding its slots without a copy (the
+    /// backend seam stores bare signature words).
+    pub fn into_hashes(self) -> Vec<u64> {
+        self.hashes
+    }
+
     /// Estimated Jaccard similarity: the fraction of equal slots.
     ///
     /// # Panics

@@ -4,8 +4,8 @@
 //! The band-key space is split into `n` contiguous ranges, each owning a
 //! private [`LshIndex`] behind its own `RwLock`, so ingest into one shard
 //! and queries against others proceed concurrently. A key `k` lives in
-//! shard `⌊k·n / 2⁶⁴⌋` — a multiply-shift that partitions the `u64` space
-//! into equal contiguous ranges without division.
+//! shard `⌊k·n / 2³²⌋` — a multiply-shift that partitions the 32-bit
+//! [`BandKey`] space into equal contiguous ranges without division.
 //!
 //! **Shard-transparency invariant:** because each band key is owned by
 //! exactly one shard, probing the owning shard per key reproduces the
@@ -23,7 +23,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-use crate::lsh::{LshIndex, LshParams, LshQueryStats};
+use crate::lsh::{BandKey, LshIndex, LshParams, LshQueryStats, QueryScratch};
 
 /// Occupancy counters for one shard, surfaced through the daemon's
 /// `stats` response and the server metrics registry.
@@ -71,10 +71,10 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
         self.shards.len()
     }
 
-    /// The shard owning band key `key`: `⌊key·n / 2⁶⁴⌋`, i.e. contiguous
+    /// The shard owning band key `key`: `⌊key·n / 2³²⌋`, i.e. contiguous
     /// equal-width key ranges.
-    pub fn shard_of(&self, key: u64) -> usize {
-        ((key as u128 * self.shards.len() as u128) >> 64) as usize
+    pub fn shard_of(&self, key: BandKey) -> usize {
+        ((key as u64 * self.shards.len() as u64) >> 32) as usize
     }
 
     /// The epoch visible to readers right now.
@@ -87,9 +87,15 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
+    /// Forces the epoch to `epoch` — used when restoring the index from a
+    /// snapshot, so readers resume at the epoch the snapshot captured.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
     /// Inserts an item under pre-computed band keys (see
     /// [`crate::lsh::band_keys_for`]). Locks each touched shard once.
-    pub fn insert_with_keys(&self, id: T, keys: &[u64]) {
+    pub fn insert_with_keys(&self, id: T, keys: &[BandKey]) {
         self.for_each_shard_batch(keys, |shard, batch| {
             let mut idx = shard.write().unwrap();
             idx.insert_with_keys(id, batch);
@@ -98,7 +104,7 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
 
     /// Removes an item under pre-computed band keys. Cost is proportional
     /// to the item's band count — eviction never rebuilds anything.
-    pub fn remove_with_keys(&self, id: T, keys: &[u64]) {
+    pub fn remove_with_keys(&self, id: T, keys: &[BandKey]) {
         self.for_each_shard_batch(keys, |shard, batch| {
             let mut idx = shard.write().unwrap();
             idx.remove_with_keys(id, batch);
@@ -109,10 +115,10 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
     /// shard with that shard's key batch, preserving relative key order.
     fn for_each_shard_batch(
         &self,
-        keys: &[u64],
-        mut f: impl FnMut(&RwLock<LshIndex<T>>, &[u64]),
+        keys: &[BandKey],
+        mut f: impl FnMut(&RwLock<LshIndex<T>>, &[BandKey]),
     ) {
-        let mut batches: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        let mut batches: Vec<Vec<BandKey>> = vec![Vec::new(); self.shards.len()];
         for &key in keys {
             batches[self.shard_of(key)].push(key);
         }
@@ -129,7 +135,7 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
     /// when entries under `keys` change: any item whose candidate list
     /// could be affected by the change shares at least one of these
     /// buckets, and is therefore in the returned set.
-    pub fn members_of_keys(&self, keys: &[u64]) -> Vec<T> {
+    pub fn members_of_keys(&self, keys: &[BandKey]) -> Vec<T> {
         let mut members: Vec<T> = Vec::new();
         self.for_each_shard_batch(keys, |shard, batch| {
             let idx = shard.read().unwrap();
@@ -158,8 +164,12 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
     /// The caller is responsible for serializing batches against other
     /// writers (as with [`Self::insert_with_keys`]) and for bumping the
     /// epoch afterwards.
-    pub fn apply_delta(&self, removes: &[(T, Vec<u64>)], inserts: &[(T, Vec<u64>)]) -> Vec<T> {
-        let touched: Vec<u64> = removes
+    pub fn apply_delta(
+        &self,
+        removes: &[(T, Vec<BandKey>)],
+        inserts: &[(T, Vec<BandKey>)],
+    ) -> Vec<T> {
+        let touched: Vec<BandKey> = removes
             .iter()
             .chain(inserts.iter())
             .flat_map(|(_, keys)| keys.iter().copied())
@@ -188,10 +198,22 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
     ///
     /// Keys are visited in band order, so the output order matches the
     /// unsharded implementation exactly.
-    pub fn candidates_counted(&self, keys: &[u64], exclude: T) -> (Vec<T>, LshQueryStats) {
-        let mut seen: std::collections::HashSet<T> =
-            std::collections::HashSet::with_capacity(self.params.bands);
-        let mut out = Vec::with_capacity(self.params.bands);
+    pub fn candidates_counted(&self, keys: &[BandKey], exclude: T) -> (Vec<T>, LshQueryStats) {
+        let mut scratch = QueryScratch::new();
+        let stats = self.probe_keys_into(keys, exclude, &mut scratch);
+        (scratch.out, stats)
+    }
+
+    /// The allocation-free variant of [`Self::candidates_counted`]:
+    /// candidates are left in `scratch.out`, and a warm scratch answers
+    /// the query without allocating.
+    pub fn probe_keys_into(
+        &self,
+        keys: &[BandKey],
+        exclude: T,
+        scratch: &mut QueryScratch<T>,
+    ) -> LshQueryStats {
+        scratch.reset();
         let mut stats = LshQueryStats::default();
         for &key in keys {
             let shard = self.shards[self.shard_of(key)].read().unwrap();
@@ -202,13 +224,32 @@ impl<T: Copy + Ord + Hash> ShardedLshIndex<T> {
                         continue;
                     }
                     stats.examined += 1;
-                    if seen.insert(item) {
-                        out.push(item);
+                    if scratch.seen.insert(item) {
+                        scratch.out.push(item);
+                    } else {
+                        stats.collisions += 1;
                     }
                 }
             }
         }
-        (out, stats)
+        stats
+    }
+
+    /// All buckets of one shard as `(key, sorted members)`, ordered by
+    /// key — the snapshot writer's per-shard serialization unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn export_shard(&self, shard: usize) -> Vec<(BandKey, Vec<T>)> {
+        self.shards[shard].read().unwrap().export_buckets()
+    }
+
+    /// Installs one whole bucket as restored from a snapshot. The key is
+    /// routed to its owning shard; `items` must be sorted and non-empty
+    /// (validated by the snapshot loader).
+    pub fn restore_bucket(&self, key: BandKey, items: Vec<T>) {
+        self.shards[self.shard_of(key)].write().unwrap().restore_bucket(key, items);
     }
 
     /// Per-shard occupancy snapshot, in shard order.
@@ -248,9 +289,9 @@ mod tests {
         LshParams { rows: 2, bands: 16, bucket_cap: 3 }
     }
 
-    fn fp(seed: u32) -> MinHashFingerprint {
+    fn fp(seed: u32) -> Vec<u64> {
         let stream: Vec<u32> = (0..24).map(|i| i + seed % 7).collect();
-        MinHashFingerprint::of_encoded(&stream, 32)
+        MinHashFingerprint::of_encoded(&stream, 32).hashes().to_vec()
     }
 
     /// Inserting the same items into 1..=5 shards yields identical
@@ -258,7 +299,7 @@ mod tests {
     #[test]
     fn sharded_query_matches_unsharded_index() {
         let p = params();
-        let items: Vec<(u32, MinHashFingerprint)> = (0..12).map(|i| (i, fp(i))).collect();
+        let items: Vec<(u32, Vec<u64>)> = (0..12).map(|i| (i, fp(i))).collect();
         let mut flat = LshIndex::new(p);
         for (id, f) in &items {
             flat.insert(*id, f);
@@ -288,7 +329,7 @@ mod tests {
     #[test]
     fn remove_with_keys_matches_unsharded_removal() {
         let p = params();
-        let items: Vec<(u32, MinHashFingerprint)> = (0..10).map(|i| (i, fp(i))).collect();
+        let items: Vec<(u32, Vec<u64>)> = (0..10).map(|i| (i, fp(i))).collect();
         let mut flat = LshIndex::new(p);
         let sharded = ShardedLshIndex::new(p, 4);
         for (id, f) in &items {
@@ -310,10 +351,10 @@ mod tests {
     fn shard_of_partitions_key_space_contiguously() {
         let idx: ShardedLshIndex<u32> = ShardedLshIndex::new(params(), 4);
         assert_eq!(idx.shard_of(0), 0);
-        assert_eq!(idx.shard_of(u64::MAX), 3);
+        assert_eq!(idx.shard_of(u32::MAX), 3);
         // Monotone: higher keys never map to lower shards.
         let mut last = 0;
-        for k in (0..u64::MAX - 1).step_by(usize::MAX / 8) {
+        for k in (0..u32::MAX - 1).step_by(u32::MAX as usize / 64) {
             let s = idx.shard_of(k);
             assert!(s >= last);
             assert!(s < 4);
@@ -328,6 +369,8 @@ mod tests {
         assert_eq!(idx.advance_epoch(), 1);
         assert_eq!(idx.advance_epoch(), 2);
         assert_eq!(idx.epoch(), 2);
+        idx.set_epoch(40);
+        assert_eq!(idx.epoch(), 40);
     }
 
     /// `members_of_keys` returns exactly the items resident under the
@@ -337,7 +380,7 @@ mod tests {
     #[test]
     fn apply_delta_returns_collision_neighborhood() {
         let p = params();
-        let items: Vec<(u32, MinHashFingerprint)> = (0..10).map(|i| (i, fp(i))).collect();
+        let items: Vec<(u32, Vec<u64>)> = (0..10).map(|i| (i, fp(i))).collect();
         let sharded = ShardedLshIndex::new(p, 3);
         for (id, f) in &items {
             sharded.insert_with_keys(*id, &band_keys_for(p, f));
@@ -391,7 +434,7 @@ mod tests {
         let sharded: ShardedLshIndex<u32> = ShardedLshIndex::new(p, 2);
         // Disjoint shingle streams → disjoint buckets.
         let far_stream: Vec<u32> = (5000..5024).collect();
-        let far = MinHashFingerprint::of_encoded(&far_stream, 32);
+        let far = MinHashFingerprint::of_encoded(&far_stream, 32).hashes().to_vec();
         let near = fp(1);
         let near_twin = fp(1);
         sharded.insert_with_keys(1, &band_keys_for(p, &near));
@@ -401,6 +444,35 @@ mod tests {
         assert!(dirty.contains(&2));
         assert!(dirty.contains(&1), "co-bucketed twin must be dirtied");
         assert!(!dirty.contains(&9), "disjoint item must not be dirtied");
+    }
+
+    /// Export + restore over all shards reproduces the index exactly,
+    /// even when shard counts differ between writer and reader.
+    #[test]
+    fn export_restore_roundtrip_across_shard_counts() {
+        let p = params();
+        let items: Vec<(u32, Vec<u64>)> = (0..12).map(|i| (i, fp(i))).collect();
+        let source = ShardedLshIndex::new(p, 4);
+        for (id, f) in &items {
+            source.insert_with_keys(*id, &band_keys_for(p, f));
+        }
+        for n in 1..=5 {
+            let restored: ShardedLshIndex<u32> = ShardedLshIndex::new(p, n);
+            for s in 0..source.num_shards() {
+                for (key, members) in source.export_shard(s) {
+                    restored.restore_bucket(key, members);
+                }
+            }
+            for (id, f) in &items {
+                let keys = band_keys_for(p, f);
+                assert_eq!(
+                    restored.candidates_counted(&keys, *id),
+                    source.candidates_counted(&keys, *id),
+                    "restore shards={n} query={id}"
+                );
+            }
+            assert_eq!(restored.num_buckets(), source.num_buckets());
+        }
     }
 
     /// Concurrent ingest and query never panic, and every item committed

@@ -1,0 +1,542 @@
+//! Versioned on-disk index snapshots.
+//!
+//! A resident daemon that dies loses nothing but time — yet at a million
+//! functions, "time" is minutes of re-fingerprinting and re-bucketing.
+//! The snapshot captures the whole candidate-search state in one
+//! contiguous, mmap-friendly file, so a restart is a bulk load instead of
+//! a rebuild.
+//!
+//! ## Wire layout (all integers little-endian)
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ magic        "F3MSNAP1"                              8 bytes │
+//! │ version      u32 (= 1)                                       │
+//! │ backend      u8 tag (BackendKind::tag)                       │
+//! │ k            u32   signature slots per function              │
+//! │ rows         u32   LSH rows per band                         │
+//! │ bands        u32   LSH bands (= band keys per function)      │
+//! │ bucket_cap   u64   (usize::MAX stored as u64::MAX)           │
+//! │ threshold    f64   (IEEE-754 bits)                           │
+//! │ shards       u32   shard count at save time                  │
+//! │ epoch        u64   index epoch at save time                  │
+//! │ entries      u64   n = number of function rows               │
+//! │ payload_len  u64   opaque caller section length              │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ sig pool     n × k u64        (SoA, row-major by fn id)      │
+//! │ key pool     n × bands u32    (SoA, row-major by fn id)      │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ bucket directory:  num_buckets u64, then per bucket          │
+//! │   key u32 · len u32 · members len × u32   (keys ascending,   │
+//! │   members ascending fn ids)                                  │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ payload      payload_len bytes (opaque to this layer; the    │
+//! │   corpus stores module sources + per-entry metadata here)    │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ checksum     u64 FNV-1a over every preceding byte            │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The pools are verbatim copies of a
+//! [`PackedFingerprintStore`](crate::store::PackedFingerprintStore)'s
+//! arrays, so saving is two bulk writes and loading reconstitutes the
+//! store without per-entry work. The bucket directory spans *all* shards
+//! (keys are globally unique across shards); the loader re-routes each
+//! bucket to its owning shard, so reader and writer may use different
+//! shard counts.
+//!
+//! Every decode failure is a typed [`SnapshotError`] — a truncated or
+//! garbled file must degrade to a rebuild, never a panic.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::backend::BackendKind;
+use crate::fnv::fnv1a;
+use crate::lsh::{BandKey, LshParams};
+use crate::store::PackedFingerprintStore;
+
+/// File magic: "F3MSNAP1".
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"F3MSNAP1";
+/// Current format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    BadVersion(u32),
+    /// The file ends before the structure it promises.
+    Truncated,
+    /// The trailing FNV-1a checksum does not match the contents.
+    ChecksumMismatch,
+    /// Structurally invalid contents (the message names the field).
+    Corrupt(&'static str),
+    /// The snapshot is internally valid but incompatible with the
+    /// configuration trying to load it (e.g. different merge params).
+    Mismatch(String),
+    /// The snapshot's epoch predates state it claims to contain — the
+    /// caller should fall back to a rebuild.
+    StaleEpoch {
+        /// Epoch recorded in the snapshot header.
+        snapshot: u64,
+        /// Newest epoch stamp found in the snapshot's own entries.
+        newest_entry: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an F3M snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::Mismatch(what) => write!(f, "snapshot incompatible: {what}"),
+            SnapshotError::StaleEpoch { snapshot, newest_entry } => write!(
+                f,
+                "snapshot stale: header epoch {snapshot} < newest entry epoch {newest_entry}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// The fixed-size head of a snapshot: everything needed to decide
+/// compatibility before touching the pools.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotHeader {
+    /// Fingerprint family the signatures were produced by.
+    pub backend: BackendKind,
+    /// Signature slots per function.
+    pub k: usize,
+    /// Banding parameters.
+    pub lsh: LshParams,
+    /// Similarity threshold the index was built for.
+    pub threshold: f64,
+    /// Shard count at save time (informational; loaders may re-shard).
+    pub shards: usize,
+    /// Index epoch at save time.
+    pub epoch: u64,
+    /// Number of function rows.
+    pub entries: usize,
+}
+
+/// A fully decoded snapshot.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    pub header: SnapshotHeader,
+    /// The packed signature + band-key pools.
+    pub store: PackedFingerprintStore,
+    /// Bucket directory across all shards: `(key, ascending fn ids)`,
+    /// ascending by key.
+    pub buckets: Vec<(BandKey, Vec<u32>)>,
+    /// The caller's opaque section (corpus metadata).
+    pub payload: Vec<u8>,
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Serializes a snapshot to bytes (header, pools, directory, payload,
+/// checksum).
+///
+/// # Panics
+///
+/// Panics if the store's row widths disagree with the header, or if a
+/// bucket member id does not fit the entry count — these are programming
+/// errors on the save path, not recoverable conditions.
+pub fn encode_snapshot(
+    header: &SnapshotHeader,
+    store: &PackedFingerprintStore,
+    buckets: &[(BandKey, Vec<u32>)],
+    payload: &[u8],
+) -> Vec<u8> {
+    assert_eq!(store.k(), header.k, "store width disagrees with header");
+    assert_eq!(store.bands(), header.lsh.bands, "store bands disagree with header");
+    assert_eq!(store.len(), header.entries, "store rows disagree with header");
+    let mut w = Writer { buf: Vec::with_capacity(64 + store.total_bytes() + payload.len()) };
+    w.buf.extend_from_slice(SNAPSHOT_MAGIC);
+    w.u32(SNAPSHOT_VERSION);
+    w.u8(header.backend.tag());
+    w.u32(header.k as u32);
+    w.u32(header.lsh.rows as u32);
+    w.u32(header.lsh.bands as u32);
+    w.u64(header.lsh.bucket_cap as u64);
+    w.u64(header.threshold.to_bits());
+    w.u32(header.shards as u32);
+    w.u64(header.epoch);
+    w.u64(header.entries as u64);
+    w.u64(payload.len() as u64);
+    for &s in store.sig_pool() {
+        w.u64(s);
+    }
+    for &k in store.key_pool() {
+        w.u32(k);
+    }
+    w.u64(buckets.len() as u64);
+    for (key, members) in buckets {
+        w.u32(*key);
+        w.u32(members.len() as u32);
+        for &m in members {
+            w.u32(m);
+        }
+    }
+    w.buf.extend_from_slice(payload);
+    let checksum = fnv1a(&w.buf);
+    w.u64(checksum);
+    w.buf
+}
+
+/// Decodes and validates snapshot bytes. Inverse of [`encode_snapshot`];
+/// every malformation maps to a typed [`SnapshotError`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotFile, SnapshotError> {
+    // Checksum first: it covers everything, so any later structural check
+    // only fires on files that were *written* malformed.
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    if !body.starts_with(SNAPSHOT_MAGIC) {
+        return Err(SnapshotError::BadMagic);
+    }
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let mut r = Reader { buf: body, pos: SNAPSHOT_MAGIC.len() };
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let backend =
+        BackendKind::from_tag(r.u8()?).ok_or(SnapshotError::Corrupt("unknown backend tag"))?;
+    let k = r.u32()? as usize;
+    let rows = r.u32()? as usize;
+    let bands = r.u32()? as usize;
+    let bucket_cap = usize::try_from(r.u64()?).unwrap_or(usize::MAX);
+    let threshold = f64::from_bits(r.u64()?);
+    let shards = r.u32()? as usize;
+    let epoch = r.u64()?;
+    let entries = usize::try_from(r.u64()?).map_err(|_| SnapshotError::Corrupt("entry count"))?;
+    let payload_len =
+        usize::try_from(r.u64()?).map_err(|_| SnapshotError::Corrupt("payload length"))?;
+    if k == 0 || rows == 0 || bands == 0 {
+        return Err(SnapshotError::Corrupt("zero row width"));
+    }
+    if k < rows * bands {
+        return Err(SnapshotError::Corrupt("k smaller than rows × bands"));
+    }
+    if shards == 0 {
+        return Err(SnapshotError::Corrupt("zero shards"));
+    }
+    if !threshold.is_finite() {
+        return Err(SnapshotError::Corrupt("non-finite threshold"));
+    }
+
+    let n_sig = entries.checked_mul(k).ok_or(SnapshotError::Corrupt("sig pool size"))?;
+    let n_key = entries.checked_mul(bands).ok_or(SnapshotError::Corrupt("key pool size"))?;
+    let sigs: Vec<u64> = r
+        .take(n_sig.checked_mul(8).ok_or(SnapshotError::Corrupt("sig pool size"))?)?
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let keys: Vec<BandKey> = r
+        .take(n_key.checked_mul(4).ok_or(SnapshotError::Corrupt("key pool size"))?)?
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let store = PackedFingerprintStore::from_pools(k, bands, sigs, keys)
+        .ok_or(SnapshotError::Corrupt("inconsistent pools"))?;
+
+    let num_buckets =
+        usize::try_from(r.u64()?).map_err(|_| SnapshotError::Corrupt("bucket count"))?;
+    let mut buckets: Vec<(BandKey, Vec<u32>)> = Vec::with_capacity(num_buckets.min(1 << 20));
+    let mut last_key: Option<BandKey> = None;
+    for _ in 0..num_buckets {
+        let key = r.u32()?;
+        if let Some(prev) = last_key {
+            if key <= prev {
+                return Err(SnapshotError::Corrupt("bucket keys not ascending"));
+            }
+        }
+        last_key = Some(key);
+        let len = r.u32()? as usize;
+        if len == 0 {
+            return Err(SnapshotError::Corrupt("empty bucket"));
+        }
+        let members: Vec<u32> = r
+            .take(len.checked_mul(4).ok_or(SnapshotError::Corrupt("bucket size"))?)?
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if !members.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::Corrupt("bucket members not ascending"));
+        }
+        if members.iter().any(|&m| m as usize >= entries) {
+            return Err(SnapshotError::Corrupt("bucket member out of range"));
+        }
+        buckets.push((key, members));
+    }
+
+    let payload = r.take(payload_len)?.to_vec();
+    if r.pos != body.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+
+    Ok(SnapshotFile {
+        header: SnapshotHeader {
+            backend,
+            k,
+            lsh: LshParams { rows, bands, bucket_cap },
+            threshold,
+            shards,
+            epoch,
+            entries,
+        },
+        store,
+        buckets,
+        payload,
+    })
+}
+
+/// Writes a snapshot file atomically (temp file + rename), so a crash
+/// mid-save never leaves a half-written snapshot where a loader expects a
+/// valid one.
+pub fn save_snapshot(
+    path: &Path,
+    header: &SnapshotHeader,
+    store: &PackedFingerprintStore,
+    buckets: &[(BandKey, Vec<u32>)],
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    let bytes = encode_snapshot(header, store, buckets, payload);
+    let tmp = path.with_extension("tmp");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and validates a snapshot file — the whole file in one bulk read
+/// (the layout is contiguous precisely so this is a single sequential
+/// I/O), then a zero-rebuild decode.
+pub fn open_snapshot(path: &Path) -> Result<SnapshotFile, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsh::{band_keys_for, LshIndex};
+    use crate::minhash::MinHashFingerprint;
+
+    fn params() -> LshParams {
+        LshParams { rows: 2, bands: 16, bucket_cap: 100 }
+    }
+
+    fn build_fixture(n: u32) -> (SnapshotHeader, PackedFingerprintStore, Vec<(BandKey, Vec<u32>)>) {
+        let p = params();
+        let mut store = PackedFingerprintStore::with_capacity(32, p.bands, n as usize);
+        let mut index: LshIndex<u32> = LshIndex::new(p);
+        for i in 0..n {
+            let stream: Vec<u32> = (i % 5..i % 5 + 30).collect();
+            let sig = MinHashFingerprint::of_encoded(&stream, 32).into_hashes();
+            let keys = band_keys_for(p, &sig);
+            store.push_with_keys(&sig, &keys);
+            index.insert_with_keys(i, &keys);
+        }
+        let header = SnapshotHeader {
+            backend: BackendKind::MinHash,
+            k: 32,
+            lsh: p,
+            threshold: 0.25,
+            shards: 4,
+            epoch: 9,
+            entries: n as usize,
+        };
+        (header, store, index.export_buckets())
+    }
+
+    #[test]
+    fn encode_decode_is_a_fixpoint() {
+        let (header, store, buckets) = build_fixture(12);
+        let payload = b"opaque corpus bytes".to_vec();
+        let bytes = encode_snapshot(&header, &store, &buckets, &payload);
+        let snap = decode_snapshot(&bytes).expect("valid snapshot decodes");
+        assert_eq!(snap.header, header);
+        assert_eq!(snap.store, store);
+        assert_eq!(snap.buckets, buckets);
+        assert_eq!(snap.payload, payload);
+        // Re-encoding the decoded snapshot is byte-identical.
+        assert_eq!(
+            encode_snapshot(&snap.header, &snap.store, &snap.buckets, &snap.payload),
+            bytes
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let p = params();
+        let header = SnapshotHeader {
+            backend: BackendKind::Tlsh,
+            k: 32,
+            lsh: p,
+            threshold: 0.0,
+            shards: 1,
+            epoch: 0,
+            entries: 0,
+        };
+        let store = PackedFingerprintStore::with_capacity(32, p.bands, 0);
+        let bytes = encode_snapshot(&header, &store, &[], &[]);
+        let snap = decode_snapshot(&bytes).expect("empty snapshot decodes");
+        assert_eq!(snap.header.entries, 0);
+        assert_eq!(snap.header.backend, BackendKind::Tlsh);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn save_open_round_trips_via_file() {
+        let (header, store, buckets) = build_fixture(8);
+        let dir = std::env::temp_dir().join("f3m-snapshot-test");
+        let path = dir.join("roundtrip.f3msnap");
+        save_snapshot(&path, &header, &store, &buckets, b"p").expect("save");
+        let snap = open_snapshot(&path).expect("open");
+        assert_eq!(snap.header, header);
+        assert_eq!(snap.store, store);
+        assert_eq!(snap.buckets, buckets);
+        assert_eq!(snap.payload, b"p");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error_never_a_panic() {
+        let (header, store, buckets) = build_fixture(6);
+        let bytes = encode_snapshot(&header, &store, &buckets, b"payload");
+        for cut in 0..bytes.len() {
+            let err = decode_snapshot(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated
+                        | SnapshotError::ChecksumMismatch
+                        | SnapshotError::BadMagic
+                ),
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbled_bytes_are_rejected() {
+        let (header, store, buckets) = build_fixture(6);
+        let clean = encode_snapshot(&header, &store, &buckets, b"payload");
+        // Flip one byte at a sample of positions: always an error.
+        for pos in (0..clean.len()).step_by(7) {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x5A;
+            assert!(decode_snapshot(&bad).is_err(), "flip at {pos} must be rejected");
+        }
+        // Wrong magic is reported as such.
+        let mut wrong_magic = clean.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(decode_snapshot(&wrong_magic), Err(SnapshotError::BadMagic)));
+        // A checksum-valid file with an unsupported version is BadVersion.
+        let mut future = clean.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let len = future.len();
+        let sum = fnv1a(&future[..len - 8]);
+        future[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode_snapshot(&future), Err(SnapshotError::BadVersion(99))));
+    }
+
+    #[test]
+    fn structural_corruption_is_detected_behind_a_valid_checksum() {
+        // Craft a file whose checksum is right but whose bucket directory
+        // lies — decode must still reject it with Corrupt.
+        let (header, store, mut buckets) = build_fixture(6);
+        buckets[0].1.push(100); // member id out of range (entries = 6)
+        let bytes = encode_snapshot(&header, &store, &buckets, &[]);
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(SnapshotError::Corrupt("bucket member out of range"))
+        ));
+
+        let (header, store, mut buckets) = build_fixture(6);
+        buckets[0].1.reverse();
+        if buckets[0].1.len() > 1 {
+            let bytes = encode_snapshot(&header, &store, &buckets, &[]);
+            assert!(matches!(
+                decode_snapshot(&bytes),
+                Err(SnapshotError::Corrupt("bucket members not ascending"))
+            ));
+        }
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = open_snapshot(Path::new("/nonexistent/f3m.snap")).expect_err("missing file");
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+}

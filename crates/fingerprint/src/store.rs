@@ -1,0 +1,232 @@
+//! Packed struct-of-arrays fingerprint storage.
+//!
+//! The pass and the resident corpus used to keep one `Vec<u64>` signature
+//! plus one `Vec<u64>` key list *per function* — two heap allocations and
+//! two pointer chases per entry, scattered across the heap. At a million
+//! functions that is millions of small allocations and a cache miss per
+//! probe. This store packs everything into two contiguous pools indexed
+//! by function id:
+//!
+//! ```text
+//! sigs: [ fn0 slot0..k | fn1 slot0..k | ... ]   n × k  u64 words
+//! keys: [ fn0 band0..b | fn1 band0..b | ... ]   n × b  u32 band keys
+//! ```
+//!
+//! Index build walks `keys` linearly; a probe reads one `k`-slot row and
+//! one `b`-key row, both contiguous. The layout is also exactly what the
+//! [snapshot](crate::snapshot) writes — serialization is two bulk copies,
+//! and loading reconstitutes the store without touching individual
+//! entries.
+
+use crate::lsh::{band_keys_for, BandKey, LshParams};
+
+/// Contiguous signature + band-key pools, indexed by function id.
+///
+/// Rows are append-only: id `i` is the `i`-th pushed function. Callers
+/// that interleave ids with other tables (e.g. the corpus) own the id
+/// mapping.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedFingerprintStore {
+    k: usize,
+    bands: usize,
+    sigs: Vec<u64>,
+    keys: Vec<BandKey>,
+}
+
+impl PackedFingerprintStore {
+    /// An empty store for signatures of width `k` banded into `bands`
+    /// keys, with room for `capacity` functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `bands` is zero.
+    pub fn with_capacity(k: usize, bands: usize, capacity: usize) -> PackedFingerprintStore {
+        assert!(k > 0 && bands > 0, "degenerate row widths");
+        PackedFingerprintStore {
+            k,
+            bands,
+            sigs: Vec::with_capacity(capacity * k),
+            keys: Vec::with_capacity(capacity * bands),
+        }
+    }
+
+    /// Appends a function's signature, computing its band keys under
+    /// `params`, and returns its row id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature width or `params.bands` does not match the
+    /// store's row widths.
+    pub fn push(&mut self, params: LshParams, sig: &[u64]) -> usize {
+        let keys = band_keys_for(params, sig);
+        self.push_with_keys(sig, &keys)
+    }
+
+    /// Appends a pre-computed row (signature + band keys), as produced on
+    /// a worker thread or decoded from a snapshot. Returns the row id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn push_with_keys(&mut self, sig: &[u64], keys: &[BandKey]) -> usize {
+        assert_eq!(sig.len(), self.k, "signature width mismatch");
+        assert_eq!(keys.len(), self.bands, "band count mismatch");
+        self.sigs.extend_from_slice(sig);
+        self.keys.extend_from_slice(keys);
+        self.len() - 1
+    }
+
+    /// Number of functions stored.
+    pub fn len(&self) -> usize {
+        self.keys.len() / self.bands
+    }
+
+    /// Whether the store holds no functions.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Signature width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Band keys per function.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Function `i`'s signature slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sig(&self, i: usize) -> &[u64] {
+        &self.sigs[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Function `i`'s band keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn keys(&self, i: usize) -> &[BandKey] {
+        &self.keys[i * self.bands..(i + 1) * self.bands]
+    }
+
+    /// The whole signature pool (snapshot serialization order).
+    pub fn sig_pool(&self) -> &[u64] {
+        &self.sigs
+    }
+
+    /// The whole band-key pool (snapshot serialization order).
+    pub fn key_pool(&self) -> &[BandKey] {
+        &self.keys
+    }
+
+    /// Reconstructs a store directly from its pools (the snapshot load
+    /// path). Returns `None` if the pool lengths are inconsistent with
+    /// the row widths.
+    pub fn from_pools(
+        k: usize,
+        bands: usize,
+        sigs: Vec<u64>,
+        keys: Vec<BandKey>,
+    ) -> Option<PackedFingerprintStore> {
+        if k == 0 || bands == 0 || !sigs.len().is_multiple_of(k) || !keys.len().is_multiple_of(bands)
+        {
+            return None;
+        }
+        if sigs.len() / k != keys.len() / bands {
+            return None;
+        }
+        Some(PackedFingerprintStore { k, bands, sigs, keys })
+    }
+
+    /// Fixed per-function footprint of the packed layout in bytes:
+    /// `8k + 4b`, independent of corpus size (no per-entry headers).
+    pub fn bytes_per_fn(&self) -> usize {
+        self.k * std::mem::size_of::<u64>() + self.bands * std::mem::size_of::<BandKey>()
+    }
+
+    /// Total pool footprint in bytes.
+    pub fn total_bytes(&self) -> usize {
+        std::mem::size_of_val(self.sigs.as_slice()) + std::mem::size_of_val(self.keys.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHashFingerprint;
+
+    fn params() -> LshParams {
+        LshParams { rows: 2, bands: 16, bucket_cap: 100 }
+    }
+
+    fn sig(seed: u32) -> Vec<u64> {
+        let stream: Vec<u32> = (seed..seed + 30).collect();
+        MinHashFingerprint::of_encoded(&stream, 32).into_hashes()
+    }
+
+    #[test]
+    fn rows_round_trip_per_function_data() {
+        let p = params();
+        let mut store = PackedFingerprintStore::with_capacity(32, p.bands, 8);
+        let sigs: Vec<Vec<u64>> = (0..8).map(sig).collect();
+        for (i, s) in sigs.iter().enumerate() {
+            assert_eq!(store.push(p, s), i);
+        }
+        assert_eq!(store.len(), 8);
+        for (i, s) in sigs.iter().enumerate() {
+            assert_eq!(store.sig(i), s.as_slice(), "signature row {i}");
+            assert_eq!(store.keys(i), band_keys_for(p, s).as_slice(), "key row {i}");
+        }
+    }
+
+    #[test]
+    fn pool_reconstruction_is_lossless() {
+        let p = params();
+        let mut store = PackedFingerprintStore::with_capacity(32, p.bands, 4);
+        for i in 0..4 {
+            store.push(p, &sig(i));
+        }
+        let rebuilt = PackedFingerprintStore::from_pools(
+            store.k(),
+            store.bands(),
+            store.sig_pool().to_vec(),
+            store.key_pool().to_vec(),
+        )
+        .expect("consistent pools");
+        assert_eq!(rebuilt, store);
+    }
+
+    #[test]
+    fn from_pools_rejects_inconsistent_lengths() {
+        assert!(PackedFingerprintStore::from_pools(4, 2, vec![0; 7], vec![0; 4]).is_none());
+        assert!(PackedFingerprintStore::from_pools(4, 2, vec![0; 8], vec![0; 3]).is_none());
+        // Row counts must agree between the two pools.
+        assert!(PackedFingerprintStore::from_pools(4, 2, vec![0; 8], vec![0; 6]).is_none());
+        assert!(PackedFingerprintStore::from_pools(0, 2, vec![], vec![]).is_none());
+    }
+
+    #[test]
+    fn footprint_is_exact_and_size_independent() {
+        let p = params();
+        let mut store = PackedFingerprintStore::with_capacity(32, p.bands, 2);
+        assert_eq!(store.bytes_per_fn(), 32 * 8 + 16 * 4);
+        store.push(p, &sig(0));
+        let one = store.total_bytes();
+        store.push(p, &sig(1));
+        assert_eq!(store.total_bytes(), 2 * one, "no per-entry overhead");
+        assert_eq!(one, store.bytes_per_fn());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_signature_width_panics() {
+        let p = params();
+        let mut store = PackedFingerprintStore::with_capacity(16, p.bands, 1);
+        store.push_with_keys(&sig(0), &[0; 16]); // sig has 32 slots
+    }
+}

@@ -58,8 +58,8 @@ fn equation_2_predicts_measured_collision_rates() {
             let fb = MinHashFingerprint::of_encoded(&b, k);
             sim_sum += fa.similarity(&fb);
             let mut idx: LshIndex<u32> = LshIndex::new(params);
-            idx.insert(1, &fa);
-            let (cands, _) = idx.candidates(&fb, 0);
+            idx.insert(1, fa.hashes());
+            let (cands, _) = idx.candidates(fb.hashes(), 0);
             if !cands.is_empty() {
                 collided += 1;
             }
@@ -88,8 +88,8 @@ fn higher_similarity_means_higher_collision_rate() {
             let fa = MinHashFingerprint::of_encoded(&a, k);
             let fb = MinHashFingerprint::of_encoded(&b, k);
             let mut idx: LshIndex<u32> = LshIndex::new(params);
-            idx.insert(1, &fa);
-            if !idx.candidates(&fb, 0).0.is_empty() {
+            idx.insert(1, fa.hashes());
+            if !idx.candidates(fb.hashes(), 0).0.is_empty() {
                 collided += 1;
             }
         }
@@ -169,10 +169,10 @@ fn lsh_insert_then_remove_is_identity() {
             .collect();
         let mut idx: LshIndex<usize> = LshIndex::new(params);
         for (i, fp) in fps.iter().enumerate() {
-            idx.insert(i, fp);
+            idx.insert(i, fp.hashes());
         }
         for (i, fp) in fps.iter().enumerate() {
-            idx.remove(i, fp);
+            idx.remove(i, fp.hashes());
         }
         assert_eq!(idx.num_buckets(), 0);
     }

@@ -42,6 +42,9 @@ use std::time::{Duration, Instant};
 
 use f3m_core::corpus::{Corpus, CorpusConfig, QueryOutcome};
 use f3m_core::pass::PassConfig;
+use f3m_fingerprint::adaptive::MergeParams;
+use f3m_fingerprint::backend::BackendKind;
+use f3m_fingerprint::snapshot::SnapshotError;
 use f3m_ir::parser::parse_module;
 use f3m_trace::metrics::MetricsRegistry;
 use f3m_trace::tracer::span_on;
@@ -65,6 +68,14 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// LSH index shards for the resident corpus.
     pub shards: usize,
+    /// Fingerprint family for the resident corpus.
+    pub backend: BackendKind,
+    /// Index snapshot file: loaded at bind if present (so a restart is
+    /// O(file size) instead of a re-ingest), saved on shutdown. A stale
+    /// snapshot (entry stamps newer than its header epoch) falls back to
+    /// re-ingesting the module sources it carries; an unreadable one
+    /// starts empty.
+    pub snapshot_path: Option<PathBuf>,
     /// Flat-JSON metrics artefact written on shutdown.
     pub metrics_path: Option<PathBuf>,
     /// Chrome-trace artefact written on shutdown.
@@ -78,10 +89,25 @@ impl Default for ServeConfig {
             jobs: 2,
             queue_cap: 64,
             shards: 8,
+            backend: BackendKind::MinHash,
+            snapshot_path: None,
             metrics_path: None,
             trace_path: None,
         }
     }
+}
+
+/// How the resident corpus came to be at bind time.
+#[derive(Clone, Copy, Debug, Default)]
+struct SnapshotStatus {
+    /// Wall-clock of the restore (or the rebuild fallback), in ms.
+    load_ms: u64,
+    /// The snapshot restored directly (O(load), no re-fingerprinting).
+    loaded: bool,
+    /// The snapshot was stale; the corpus was rebuilt from its sources.
+    rebuilt: bool,
+    /// Live entries resident right after startup.
+    entries: u64,
 }
 
 /// One unit of accepted work.
@@ -100,6 +126,7 @@ struct Shared {
     counters: Mutex<ServerCounters>,
     shutting_down: AtomicBool,
     tracer: Option<Tracer>,
+    snapshot: SnapshotStatus,
     /// The bound address, so the shutdown path can poke the acceptor
     /// awake with a loopback connect.
     listen_addr: SocketAddr,
@@ -113,20 +140,23 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds the resident corpus (empty).
+    /// Binds the listener and builds the resident corpus — empty, or
+    /// restored from `snapshot_path` when one is present.
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        let corpus = Corpus::new(CorpusConfig {
+        let corpus_cfg = CorpusConfig {
+            params: MergeParams::static_default().with_backend(cfg.backend),
             shards: cfg.shards.max(1),
             jobs: cfg.jobs.max(1),
-            ..CorpusConfig::default()
-        });
+        };
+        let (corpus, snapshot) = open_corpus(&cfg, corpus_cfg);
         let shared = Arc::new(Shared {
             corpus,
             queue: BoundedQueue::new(cfg.queue_cap),
             counters: Mutex::new(ServerCounters::default()),
             shutting_down: AtomicBool::new(false),
             tracer: cfg.trace_path.as_ref().map(|_| Tracer::new()),
+            snapshot,
             listen_addr: listener.local_addr()?,
         });
         Ok(Server { cfg, listener, shared })
@@ -166,10 +196,20 @@ impl Server {
         Ok(())
     }
 
-    /// Writes the metrics and trace artefacts, if configured.
+    /// Saves the index snapshot and writes the metrics and trace
+    /// artefacts, if configured.
     fn flush_artifacts(&self) {
+        let snapshot_saved = self.cfg.snapshot_path.as_ref().map(|path| {
+            match self.shared.corpus.save_snapshot(path) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("f3m-serve: failed to save snapshot {}: {e}", path.display());
+                    false
+                }
+            }
+        });
         if let Some(path) = &self.cfg.metrics_path {
-            let dump = render_metrics(&self.shared, &self.cfg);
+            let dump = render_metrics(&self.shared, &self.cfg, snapshot_saved);
             if let Err(e) = write_with_dirs(path, &dump) {
                 eprintln!("f3m-serve: failed to write metrics {}: {e}", path.display());
             }
@@ -182,10 +222,65 @@ impl Server {
     }
 }
 
+/// Builds the resident corpus: restored from the configured snapshot
+/// when one is present and trustworthy, rebuilt from the snapshot's
+/// module sources when its index is stale, empty otherwise.
+fn open_corpus(cfg: &ServeConfig, corpus_cfg: CorpusConfig) -> (Corpus, SnapshotStatus) {
+    let mut status = SnapshotStatus::default();
+    let Some(path) = cfg.snapshot_path.as_ref().filter(|p| p.exists()) else {
+        return (Corpus::new(corpus_cfg), status);
+    };
+    let t0 = Instant::now();
+    match Corpus::load_snapshot(path, corpus_cfg.clone()) {
+        Ok(corpus) => {
+            status.load_ms = t0.elapsed().as_millis() as u64;
+            status.loaded = true;
+            status.entries = corpus.stats().functions_live as u64;
+            eprintln!(
+                "f3m-serve: restored {} functions at epoch {} from {} in {}ms",
+                status.entries,
+                corpus.epoch(),
+                path.display(),
+                status.load_ms
+            );
+            (corpus, status)
+        }
+        Err(e @ SnapshotError::StaleEpoch { .. }) => {
+            // The packed index cannot be trusted, but the module sources
+            // in the payload still can: re-ingest them from scratch.
+            eprintln!("f3m-serve: snapshot {}: {e}; rebuilding from sources", path.display());
+            let corpus = Corpus::new(corpus_cfg);
+            match Corpus::snapshot_sources(path) {
+                Ok(sources) => {
+                    for (name, src) in sources {
+                        let ingested = parse_module(&src)
+                            .map_err(|err| format!("does not parse: {err}"))
+                            .and_then(|m| corpus.ingest(m).map(|_| ()));
+                        if let Err(err) = ingested {
+                            eprintln!("f3m-serve: rebuild of module `{name}` failed: {err}");
+                        }
+                    }
+                    status.rebuilt = true;
+                    status.load_ms = t0.elapsed().as_millis() as u64;
+                    status.entries = corpus.stats().functions_live as u64;
+                }
+                Err(err) => {
+                    eprintln!("f3m-serve: rebuild failed ({err}); starting empty");
+                }
+            }
+            (corpus, status)
+        }
+        Err(e) => {
+            eprintln!("f3m-serve: snapshot {} unusable ({e}); starting empty", path.display());
+            (Corpus::new(corpus_cfg), status)
+        }
+    }
+}
+
 /// Renders the daemon's metrics registry: request counters, refusal
-/// counters, queue high-water mark, corpus epoch, and per-shard index
-/// occupancy.
-fn render_metrics(shared: &Shared, cfg: &ServeConfig) -> String {
+/// counters, queue high-water mark, corpus epoch, snapshot lifecycle,
+/// and per-shard index occupancy.
+fn render_metrics(shared: &Shared, cfg: &ServeConfig, snapshot_saved: Option<bool>) -> String {
     let counters = shared.counters.lock().unwrap().clone();
     let stats = shared.corpus.stats();
     let mut reg = MetricsRegistry::new();
@@ -209,11 +304,19 @@ fn render_metrics(shared: &Shared, cfg: &ServeConfig) -> String {
         let c = reg.counter(name, "count", true);
         reg.set(c, v);
     }
-    // Timing-dependent: how full the queue got and what was refused.
-    let nondet_pairs: [(&str, u64); 3] = [
+    // Timing- and environment-dependent: how full the queue got, what
+    // was refused, and the snapshot lifecycle (load time is wall-clock;
+    // loaded/rebuilt/entries depend on what was on disk at startup).
+    let snap = &shared.snapshot;
+    let nondet_pairs: [(&str, u64); 8] = [
         ("serve.rejects_busy", counters.rejects_busy),
         ("serve.rejects_deadline", counters.rejects_deadline),
         ("serve.queue_depth_hwm", counters.queue_depth_hwm),
+        ("serve.snapshot.load_ms", snap.load_ms),
+        ("serve.snapshot.loaded", u64::from(snap.loaded)),
+        ("serve.snapshot.rebuilt", u64::from(snap.rebuilt)),
+        ("serve.snapshot.entries", snap.entries),
+        ("serve.snapshot.saved", snapshot_saved.map_or(0, u64::from)),
     ];
     for (name, v) in nondet_pairs {
         let c = reg.counter(name, "count", false);

@@ -1,0 +1,324 @@
+//! Streamed workload generation for corpora too large to materialize.
+//!
+//! [`build_module`](crate::build_module) holds every generated function in
+//! one [`Module`], which is fine up to `chrome-scale` (120k functions) but
+//! not at the paper's real Chrome scale (1.2M). [`FunctionStream`] keeps
+//! only a module *shell* (type store + external declarations) resident and
+//! yields one [`EncodedFunction`] per `next()`: the IR function is
+//! generated, encoded to the 32-bit instruction stream the fingerprint
+//! backends consume, and dropped. Peak memory is one function, regardless
+//! of corpus size.
+//!
+//! The stream replays `build_module`'s RNG draws exactly, so for any spec
+//! the emitted encodings are byte-identical to encoding the functions of
+//! `build_module(spec)` in definition order (tested below). On top of
+//! that it exposes *planted-family ground truth*: members expected to be
+//! near-duplicates under a sequence-sensitive fingerprint carry
+//! `family: Some(id)`, giving benches a recall denominator that does not
+//! require an O(n²) similarity scan.
+
+use f3m_fingerprint::encode::encode_function;
+use f3m_prng::SmallRng;
+
+use f3m_ir::function::Linkage;
+use f3m_ir::ids::FuncId;
+use f3m_ir::module::Module;
+
+use crate::gen::{declare_externals, generate_function, MutationProfile, ShapeParams};
+use crate::suite::{sample_size, SizeClass, WorkloadSpec};
+
+/// The paper's full-size Chrome corpus: 1.2M functions. Only usable
+/// through [`FunctionStream`] — materializing this as a [`Module`] is
+/// exactly what the streamed path exists to avoid.
+pub fn chrome_full() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "chrome-full",
+        functions: 1_200_000,
+        mean_insts: 20,
+        family_fraction: 0.65,
+        mean_family_size: 4,
+        external_fraction: 0.15,
+        seed: 124,
+        class: SizeClass::Large,
+    }
+}
+
+/// One streamed function: its dense id (position in the stream), its
+/// planted-family tag (if any) and the encoded instruction stream.
+#[derive(Clone, Debug)]
+pub struct EncodedFunction {
+    /// Dense id: the 0-based position of this function in the stream.
+    pub id: u64,
+    /// Generated name (`f<family>_<member>`), matching `build_module`.
+    pub name: String,
+    /// Ground-truth clone-family tag. `Some(fid)` only for members whose
+    /// mutation profile keeps them plausibly retrievable (identical or
+    /// light drift, not retyped, not shuffled) *and* whose family has at
+    /// least two such members — i.e. every tagged function has at least
+    /// one tagged sibling a recall measurement can expect to find.
+    pub family: Option<u32>,
+    /// The function encoded as 32-bit instruction words (the input to
+    /// every fingerprint backend).
+    pub encoded: Vec<u32>,
+}
+
+/// A member the stream has planned but not yet generated.
+struct PlannedMember {
+    profile: MutationProfile,
+    linkage: Linkage,
+    tagged: bool,
+}
+
+/// Streaming generator over a [`WorkloadSpec`]: bounded memory, one
+/// function per `next()`.
+pub struct FunctionStream {
+    spec: WorkloadSpec,
+    /// Module shell: owns the type store and external declarations that
+    /// `generate_function` needs; never accumulates generated functions.
+    shell: Module,
+    externals: Vec<FuncId>,
+    rng: SmallRng,
+    produced: usize,
+    family_idx: usize,
+    /// Remaining members of the current family, front first.
+    plan: std::collections::VecDeque<PlannedMember>,
+    member: usize,
+    shape: ShapeParams,
+    struct_seed: u64,
+}
+
+impl FunctionStream {
+    /// Creates a stream over `spec`. The spec is cloned; the stream is
+    /// self-contained and deterministic in `spec.seed`.
+    pub fn new(spec: &WorkloadSpec) -> FunctionStream {
+        let mut shell = Module::new(spec.name);
+        let externals = declare_externals(&mut shell);
+        FunctionStream {
+            spec: spec.clone(),
+            shell,
+            externals,
+            rng: SmallRng::seed_from_u64(spec.seed),
+            produced: 0,
+            family_idx: 0,
+            plan: std::collections::VecDeque::new(),
+            member: 0,
+            shape: ShapeParams::default(),
+            struct_seed: 0,
+        }
+    }
+
+    /// Number of functions this stream will yield in total.
+    pub fn total(&self) -> usize {
+        self.spec.functions
+    }
+
+    /// Samples the next family, replicating `build_module`'s draw order
+    /// exactly (family roll, size, shape, base profile, then per-member
+    /// retype/shuffle/linkage rolls).
+    fn start_family(&mut self) {
+        let spec = &self.spec;
+        let rng = &mut self.rng;
+        let in_family = rng.gen_bool(spec.family_fraction);
+        let members = if in_family {
+            let geometric = 2 + rng.gen_range(0..spec.mean_family_size * 2);
+            geometric.min(spec.functions - self.produced).max(1)
+        } else {
+            1
+        };
+        self.struct_seed = spec.seed ^ (self.family_idx as u64).wrapping_mul(0x9E37_79B9);
+        self.shape = ShapeParams {
+            target_insts: sample_size(rng, spec.mean_insts),
+            int_bits: *[16u32, 32, 32, 32, 64, 64].get(rng.gen_range(0..6usize)).unwrap(),
+            int_params: rng.gen_range(1..=3usize),
+            float_params: usize::from(rng.gen_bool(0.2)),
+            float_mix: if rng.gen_bool(0.25) { 0.4 } else { 0.1 },
+            cfg_density: rng.gen_range(0.1..0.4),
+            call_density: 0.08,
+            mem_density: 0.10,
+            allow_invoke: rng.gen_bool(0.15),
+        };
+        let base_profile = match rng.gen_range(0..10) {
+            0..=3 => MutationProfile::identical(),
+            4..=6 => MutationProfile::light(),
+            7..=8 => MutationProfile::medium(),
+            _ => MutationProfile::heavy(),
+        };
+        // Light drift still lands well above the LSH threshold; medium
+        // and heavy may legitimately not collide, so only the former
+        // count as retrieval ground truth.
+        let light = MutationProfile::light();
+        let base_is_tight = base_profile.substitute <= light.substitute;
+        let mut plan = Vec::with_capacity(members);
+        for member in 0..members {
+            let mut profile =
+                if member == 0 { MutationProfile::identical() } else { base_profile };
+            if member > 0 && rng.gen_bool(0.06) {
+                profile.retype = true;
+            }
+            if member > 0 && rng.gen_bool(0.18) {
+                profile.shuffle = true;
+            }
+            let linkage = if rng.gen_bool(spec.external_fraction) {
+                Linkage::External
+            } else {
+                Linkage::Internal
+            };
+            let faithful =
+                !profile.retype && !profile.shuffle && (member == 0 || base_is_tight);
+            plan.push(PlannedMember { profile, linkage, tagged: faithful });
+        }
+        // Ground truth needs a sibling: a "family" with fewer than two
+        // faithful members has nothing a recall probe could find.
+        let faithful_count = plan.iter().filter(|p| p.tagged).count();
+        if faithful_count < 2 {
+            for p in &mut plan {
+                p.tagged = false;
+            }
+        }
+        self.plan = plan.into();
+        self.member = 0;
+    }
+}
+
+impl Iterator for FunctionStream {
+    type Item = EncodedFunction;
+
+    fn next(&mut self) -> Option<EncodedFunction> {
+        if self.produced >= self.spec.functions {
+            return None;
+        }
+        if self.plan.is_empty() {
+            self.start_family();
+        }
+        let planned = self.plan.pop_front().expect("start_family plans >= 1 member");
+        let name = format!("f{}_{}", self.family_idx, self.member);
+        let member_seed =
+            self.struct_seed ^ (self.member as u64 + 1).wrapping_mul(0xA24B_AED4);
+        let f = generate_function(
+            &mut self.shell.types,
+            &self.externals,
+            &name,
+            &self.shape,
+            self.struct_seed,
+            member_seed,
+            &planned.profile,
+            planned.linkage,
+        );
+        let encoded = encode_function(&self.shell.types, &f);
+        let item = EncodedFunction {
+            id: self.produced as u64,
+            name,
+            family: planned.tagged.then_some(self.family_idx as u32),
+            encoded,
+        };
+        self.produced += 1;
+        self.member += 1;
+        if self.plan.is_empty() {
+            self.family_idx += 1;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.spec.functions - self.produced;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for FunctionStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_module;
+
+    fn tiny_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "stream-tiny",
+            functions: 120,
+            mean_insts: 18,
+            family_fraction: 0.7,
+            mean_family_size: 4,
+            external_fraction: 0.2,
+            seed: 42,
+            class: SizeClass::Small,
+        }
+    }
+
+    /// The load-bearing property: streamed encodings are byte-identical
+    /// to encoding `build_module`'s functions in definition order.
+    #[test]
+    fn stream_matches_build_module_encodings() {
+        let spec = tiny_spec();
+        let m = build_module(&spec);
+        let materialized: Vec<(String, Vec<u32>)> = m
+            .defined_functions()
+            .into_iter()
+            .map(|id| m.function(id))
+            .filter(|f| f.name != "__driver")
+            .map(|f| (f.name.clone(), encode_function(&m.types, f)))
+            .collect();
+        let streamed: Vec<EncodedFunction> = FunctionStream::new(&spec).collect();
+        assert_eq!(streamed.len(), materialized.len());
+        assert_eq!(streamed.len(), spec.functions);
+        for (s, (name, enc)) in streamed.iter().zip(&materialized) {
+            assert_eq!(&s.name, name);
+            assert_eq!(&s.encoded, enc, "encoding mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_exact_sized() {
+        let spec = tiny_spec();
+        let mut s = FunctionStream::new(&spec);
+        assert_eq!(s.len(), spec.functions);
+        s.next();
+        assert_eq!(s.len(), spec.functions - 1);
+
+        let a: Vec<EncodedFunction> = FunctionStream::new(&spec).collect();
+        let b: Vec<EncodedFunction> = FunctionStream::new(&spec).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.family, y.family);
+            assert_eq!(x.encoded, y.encoded);
+        }
+    }
+
+    /// Every planted tag has at least one tagged sibling, ids are dense,
+    /// and a healthy fraction of the corpus carries ground truth.
+    #[test]
+    fn family_tags_always_have_siblings() {
+        use std::collections::HashMap;
+        let spec = tiny_spec();
+        let mut by_family: HashMap<u32, usize> = HashMap::new();
+        let mut tagged = 0usize;
+        for (i, f) in FunctionStream::new(&spec).enumerate() {
+            assert_eq!(f.id, i as u64, "ids are dense stream positions");
+            if let Some(fam) = f.family {
+                *by_family.entry(fam).or_default() += 1;
+                tagged += 1;
+            }
+        }
+        assert!(!by_family.is_empty(), "some families are planted");
+        for (fam, n) in by_family {
+            assert!(n >= 2, "family {fam} has a lone tagged member");
+        }
+        assert!(
+            tagged * 4 >= spec.functions,
+            "expected >= 25% ground-truth coverage, got {tagged}/{}",
+            spec.functions
+        );
+    }
+
+    #[test]
+    fn chrome_full_is_million_scale() {
+        let spec = chrome_full();
+        assert!(spec.functions >= 1_000_000);
+        assert_eq!(spec.name, "chrome-full");
+        // The stream over it starts up and yields without materializing
+        // anything: grab just the first few functions.
+        let head: Vec<EncodedFunction> = FunctionStream::new(&spec).take(8).collect();
+        assert_eq!(head.len(), 8);
+        assert!(head.iter().all(|f| !f.encoded.is_empty()));
+    }
+}

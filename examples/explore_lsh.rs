@@ -67,10 +67,10 @@ fn main() {
     let params = LshParams { rows: 2, bands: 100, bucket_cap: 100 };
     let mut index: LshIndex<usize> = LshIndex::new(params);
     for (i, fp) in fps.iter().enumerate() {
-        index.insert(i, fp);
+        index.insert(i, fp.hashes());
     }
     println!("\nLSH (r = {}, b = {}): does each clone share a bucket with base?", params.rows, params.bands);
-    let (cands, _) = index.candidates(&fps[0], 0);
+    let (cands, _) = index.candidates(fps[0].hashes(), 0);
     for (i, (label, _)) in profiles.iter().enumerate().skip(1) {
         let s = fps[0].similarity(&fps[i]);
         println!(
