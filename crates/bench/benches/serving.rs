@@ -11,14 +11,22 @@
 //! - **evict + reingest** — the steady-state update cycle a build system
 //!   would issue when one translation unit changes.
 //!
+//! A fourth phase, **soak**, stresses the event loop itself: hundreds of
+//! concurrent connections (≥500 in the full run) with mixed
+//! ping/query/stats/ingest traffic, all held open simultaneously, with
+//! admission control enabled. It records a p50/p99/p999 latency profile,
+//! a log₂ latency histogram, and shed/error rates.
+//!
 //! Results go to `results/BENCH_serve.json` (requests, wall time and
-//! ns/request per jobs level); `--smoke` shrinks the sweep for CI.
+//! ns/request per jobs level, plus the `soak` section); `--smoke`
+//! shrinks the sweep for CI.
 
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use f3m_ir::module::Module;
 use f3m_serve::protocol::{Request, RequestEnvelope};
-use f3m_serve::{Client, ServeConfig, Server};
+use f3m_serve::{AdmissionConfig, Client, ServeConfig, Server};
 
 fn workload(name: &str, seed: u64, functions: usize) -> Module {
     let mut spec = f3m_workloads::mini_suite()[0].clone();
@@ -112,6 +120,141 @@ fn drive(jobs: usize, modules: usize, functions: usize, queries_per_client: usiz
     }
 }
 
+struct SoakResult {
+    clients: usize,
+    requests: usize,
+    answered: usize,
+    sheds: usize,
+    errors: usize,
+    wall_ns: u128,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    /// log₂ latency histogram: `histogram[i]` counts requests with
+    /// latency in `[2^i, 2^(i+1))` microseconds (`histogram[0]` is <2µs).
+    histogram: Vec<u64>,
+    conns_open_hwm: u64,
+}
+
+/// Holds `clients` connections open simultaneously and drives mixed
+/// traffic through all of them from a start barrier. Per-request
+/// latencies are merged across clients for the percentile profile.
+fn soak(clients: usize, requests_per_client: usize) -> SoakResult {
+    let server = Server::bind(ServeConfig {
+        jobs: 2,
+        queue_cap: 256,
+        // Admission on: deep-queue bursts shed instead of queueing
+        // unboundedly, so the soak exercises the overload path too.
+        admission: AdmissionConfig { queue_shed_depth: 192, ..AdmissionConfig::default() },
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    // One resident module so queries have something to rank against.
+    let seed_mod = workload("soak0", 7, 12);
+    let seed_text = f3m_ir::printer::print_module(&seed_mod);
+    let mut admin = Client::connect(addr).unwrap();
+    admin
+        .call_expect(Request::Ingest { name: Some("soak0".into()), ir: seed_text }, "ingested")
+        .expect("seed ingest");
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut threads = Vec::with_capacity(clients);
+    for ci in 0..clients {
+        let barrier = Arc::clone(&barrier);
+        // Hundreds of mostly-idle clients: small stacks keep the soak
+        // cheap on memory.
+        let t = std::thread::Builder::new()
+            .stack_size(128 * 1024)
+            .spawn(move || {
+                let mut c = Client::connect(addr).expect("soak connect");
+                c.set_timeout(Some(std::time::Duration::from_secs(120))).unwrap();
+                barrier.wait(); // all connections open before traffic starts
+                let mut lat = Vec::with_capacity(requests_per_client);
+                let mut sheds = 0usize;
+                let mut errors = 0usize;
+                for q in 0..requests_per_client {
+                    let body = match (ci + q) % 8 {
+                        0 => Request::Stats,
+                        1 => Request::Query {
+                            module: "soak0".into(),
+                            func: None,
+                            k: 3,
+                            if_epoch: None,
+                        },
+                        _ => Request::Ping,
+                    };
+                    let t0 = Instant::now();
+                    match c.request(&RequestEnvelope::of(body)) {
+                        Ok(v) => {
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                            match v.get("type").and_then(f3m_trace::Json::as_str) {
+                                Some("busy") | Some("overloaded") => sheds += 1,
+                                Some("error") => errors += 1,
+                                _ => {}
+                            }
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (lat, sheds, errors)
+            })
+            .expect("spawn soak client");
+        threads.push(t);
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut lat: Vec<u64> = Vec::with_capacity(clients * requests_per_client);
+    let mut sheds = 0;
+    let mut errors = 0;
+    for t in threads {
+        let (l, s, e) = t.join().expect("soak client panicked");
+        lat.extend(l);
+        sheds += s;
+        errors += e;
+    }
+    let wall_ns = t0.elapsed().as_nanos();
+
+    let stats = admin.call_expect(Request::Stats, "stats").expect("final stats");
+    let conns_open_hwm = stats
+        .get("server")
+        .and_then(|s| s.get("conns_open_hwm"))
+        .and_then(f3m_trace::Json::as_u64)
+        .unwrap_or(0);
+    admin.request(&RequestEnvelope::of(Request::Shutdown)).expect("shutdown");
+    handle.join().unwrap().expect("clean shutdown");
+
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let idx = ((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1;
+        lat[idx]
+    };
+    let mut histogram = vec![0u64; 24];
+    for &ns in &lat {
+        let us = ns / 1_000;
+        let bucket = (64 - u64::leading_zeros(us.max(1)) as usize).min(histogram.len() - 1);
+        histogram[bucket] += 1;
+    }
+    SoakResult {
+        clients,
+        requests: clients * requests_per_client,
+        answered: lat.len(),
+        sheds,
+        errors,
+        wall_ns,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        p999_ns: pct(0.999),
+        histogram,
+        conns_open_hwm,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (jobs_levels, modules, functions, queries): (&[usize], usize, usize, usize) =
@@ -145,10 +288,51 @@ fn main() {
             r.update_wall_ns
         ));
     }
+    // Soak: ≥500 concurrent connections in the full run (the smoke run
+    // scales down but keeps every code path, including sheds).
+    let (soak_clients, soak_reqs) = if smoke { (64, 8) } else { (520, 20) };
+    let s = soak(soak_clients, soak_reqs);
+    println!(
+        "serve_soak/clients={} answered {}/{} (sheds {}, errors {})  \
+         p50 {:.1} µs  p99 {:.1} µs  p999 {:.1} µs  hwm {}",
+        s.clients,
+        s.answered,
+        s.requests,
+        s.sheds,
+        s.errors,
+        s.p50_ns as f64 / 1e3,
+        s.p99_ns as f64 / 1e3,
+        s.p999_ns as f64 / 1e3,
+        s.conns_open_hwm,
+    );
+    assert!(
+        s.conns_open_hwm >= s.clients as u64,
+        "soak must actually hold all {} connections open concurrently (hwm {})",
+        s.clients,
+        s.conns_open_hwm
+    );
+    let histogram = s.histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    let soak_json = format!(
+        "{{\"clients\":{},\"requests\":{},\"answered\":{},\"sheds\":{},\"errors\":{},\
+         \"wall_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
+         \"latency_histogram_log2_us\":[{}],\"conns_open_hwm\":{}}}",
+        s.clients,
+        s.requests,
+        s.answered,
+        s.sheds,
+        s.errors,
+        s.wall_ns,
+        s.p50_ns,
+        s.p99_ns,
+        s.p999_ns,
+        histogram,
+        s.conns_open_hwm
+    );
     let json = format!(
         "{{\"smoke\":{smoke},\"modules\":{modules},\"functions_per_module\":{functions},\
-         \"runs\":[{}]}}",
-        rows.join(",")
+         \"runs\":[{}],\"soak\":{}}}",
+        rows.join(","),
+        soak_json
     );
     let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

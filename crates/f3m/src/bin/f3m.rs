@@ -23,9 +23,12 @@
 //!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m gen   <workload> [-o <out.ir>] [--scale <f>]
 //! f3m fuzz  [--iterations <n>] [--seed <s>] [--corpus <dir>]
+//!           [--protocol [--cases <n>]]
 //!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m serve [--addr <host:port>] [--jobs <n>] [--queue-cap <c>]
-//!           [--shards <s>] [--trace chrome:<path>] [--metrics <path>]
+//!           [--shards <s>] [--shed-depth <d>] [--max-inflight <n>]
+//!           [--read-deadline-ms <t>] [--idle-timeout-ms <t>]
+//!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m client [--addr <host:port>] <ingest|evict|query|update|merge|stats|ping|shutdown> ...
 //! f3m list
 //! ```
@@ -66,9 +69,12 @@ fn main() -> ExitCode {
                  \x20      [--trace chrome:path] [--metrics path]\n\
                  gen   <workload> [-o out.ir] [--scale f]\n\
                  fuzz  [--iterations n] [--seed s] [--corpus dir]\n\
+                 \x20      [--protocol [--cases n]]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
                  serve [--addr host:port] [--jobs n] [--queue-cap c] [--shards s]\n\
                  \x20      [--backend minhash|simhash|tlsh] [--snapshot path]\n\
+                 \x20      [--shed-depth d] [--max-inflight n] [--max-inflight-per-conn n]\n\
+                 \x20      [--read-deadline-ms t] [--idle-timeout-ms t]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
                  client [--addr host:port] ingest <file.ir> [--name n]\n\
                  client [--addr host:port] evict <module>\n\
@@ -397,6 +403,27 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         None => 0xF3F3,
     };
     let corpus_dir = flag_value(args, "--corpus").map(std::path::PathBuf::from);
+    if args.iter().any(|a| a == "--protocol") {
+        // Protocol mode fuzzes a live in-process daemon over TCP instead
+        // of the merge pipeline; --iterations/--cases count scenarios.
+        let cases = flag_value(args, "--cases")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or(iterations);
+        let cfg = f3m::fuzz::protocol::ProtocolCampaignConfig {
+            cases,
+            seed,
+            corpus_dir,
+            ..Default::default()
+        };
+        let summary = f3m::fuzz::protocol::run_protocol_campaign(&cfg);
+        println!("{}", summary.to_json());
+        return if summary.failures.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} protocol oracle failure(s) found", summary.failures.len()).into())
+        };
+    }
     let cfg = f3m::fuzz::CampaignConfig {
         iterations,
         seed,
@@ -427,16 +454,34 @@ fn cmd_serve(args: &[String]) -> CliResult {
         Some(name) => BackendKind::parse(name)
             .ok_or_else(|| format!("unknown backend `{name}` (minhash, simhash, tlsh)"))?,
     };
-    let cfg = f3m::serve::ServeConfig {
+    let mut admission = f3m::serve::AdmissionConfig::default();
+    if let Some(v) = flag_value(args, "--shed-depth") {
+        admission.queue_shed_depth = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--max-inflight") {
+        admission.max_inflight_global = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--max-inflight-per-conn") {
+        admission.max_inflight_per_conn = v.parse()?;
+    }
+    let mut cfg = f3m::serve::ServeConfig {
         addr: flag_value(args, "--addr").unwrap_or(DEFAULT_SERVE_ADDR).to_string(),
         jobs: flag_value(args, "--jobs").map(str::parse).transpose()?.unwrap_or(2),
         queue_cap: flag_value(args, "--queue-cap").map(str::parse).transpose()?.unwrap_or(64),
         shards: flag_value(args, "--shards").map(str::parse).transpose()?.unwrap_or(8),
         backend,
+        admission,
         snapshot_path: flag_value(args, "--snapshot").map(PathBuf::from),
         metrics_path: obs.metrics_path,
         trace_path: obs.trace_path,
+        ..Default::default()
     };
+    if let Some(v) = flag_value(args, "--read-deadline-ms") {
+        cfg.read_deadline_ms = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--idle-timeout-ms") {
+        cfg.idle_timeout_ms = v.parse()?;
+    }
     if cfg.jobs == 0 || cfg.queue_cap == 0 || cfg.shards == 0 {
         return Err("--jobs, --queue-cap and --shards must be positive".into());
     }
@@ -504,7 +549,7 @@ fn cmd_client(args: &[String]) -> CliResult {
     // on failures without parsing JSON.
     let v = f3m::serve::protocol::parse_response(raw.as_bytes())?;
     match v.get("type").and_then(f3m::trace::Json::as_str) {
-        Some("error") | Some("busy") => Err(format!(
+        Some("error") | Some("busy") | Some("overloaded") => Err(format!(
             "daemon refused `{verb}`: {}",
             v.get("message").and_then(f3m::trace::Json::as_str).unwrap_or("queue full")
         )

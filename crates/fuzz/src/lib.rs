@@ -14,6 +14,7 @@
 pub mod campaign;
 pub mod mutate;
 pub mod oracle;
+pub mod protocol;
 pub mod reduce;
 
 pub use campaign::{
@@ -21,6 +22,9 @@ pub use campaign::{
     CampaignSummary, FailureRecord,
 };
 pub use mutate::{apply_random, Mutator, MUTATORS};
+pub use protocol::{
+    replay_case, run_protocol_campaign, ProtocolCampaignConfig, ProtocolFailure, ProtocolSummary,
+};
 pub use oracle::{
     check_module, check_module_with, FailureKind, OracleConfig, OracleFailure, OracleOutcome,
     StrategyKind,

@@ -1,0 +1,45 @@
+//! Replays the checked-in protocol-fuzz reproducer corpus.
+//!
+//! Every line of `corpus/protocol/seeds.txt` is one case seed of the
+//! protocol fuzzer ([`f3m_fuzz::protocol::replay_case`]); each replay
+//! runs that seeded scenario against a fresh daemon and enforces the
+//! full oracle (no panic, no deadlock, well-formed responses, liveness
+//! after). The corpus is a regression net: any protocol bug found by a
+//! campaign gets its case seed appended here.
+
+use std::path::PathBuf;
+
+fn corpus_file() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus/protocol/seeds.txt")
+}
+
+fn corpus_seeds() -> Vec<u64> {
+    let text = std::fs::read_to_string(corpus_file()).expect("corpus/protocol/seeds.txt exists");
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| l.parse().expect("seed lines are u64"))
+        .collect()
+}
+
+#[test]
+fn checked_in_reproducer_corpus_replays_clean() {
+    let seeds = corpus_seeds();
+    assert!(seeds.len() >= 8, "corpus should carry a representative seed set");
+    let mut scenarios = Vec::new();
+    for seed in seeds {
+        match f3m_fuzz::protocol::replay_case(seed) {
+            Ok(scenario) => {
+                println!("seed {seed} -> {scenario}");
+                scenarios.push(scenario);
+            }
+            Err(e) => panic!("reproducer seed {seed} violated the oracle: {e}"),
+        }
+    }
+    scenarios.sort();
+    scenarios.dedup();
+    assert!(
+        scenarios.len() >= 4,
+        "corpus should cover several distinct scenarios, got {scenarios:?}"
+    );
+}

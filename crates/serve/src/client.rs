@@ -56,6 +56,31 @@ impl Client {
         String::from_utf8(resp).map_err(|_| "response is not UTF-8".to_string())
     }
 
+    /// Writes one framed payload without waiting for a response —
+    /// pipelining aid for the chaos and fuzz tests.
+    pub fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Reads one response frame (`None` on clean EOF). Pairs with
+    /// [`send_frame`](Client::send_frame) when pipelining.
+    pub fn recv_frame(&mut self) -> Result<Option<Vec<u8>>, String> {
+        read_frame(&mut self.stream).map_err(|e| format!("recv: {e}"))
+    }
+
+    /// Writes raw bytes with **no framing** — the fuzzer's tool for
+    /// truncated prefixes and byte-at-a-time slowloris dribbles.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)
+    }
+
+    /// Shuts down the write half (signals EOF to the server) while the
+    /// read half stays open for draining pipelined responses.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
     /// Sends one envelope and parses the response.
     pub fn request(&mut self, env: &RequestEnvelope) -> Result<Json, String> {
         let raw = self.request_raw(env)?;

@@ -1,0 +1,370 @@
+//! Per-connection state machine: non-blocking frame reassembly on the
+//! way in, buffered writes on the way out, and the bookkeeping the event
+//! loop's fairness and deadline policies read.
+//!
+//! A connection moves through a small set of states, all encoded in
+//! plain fields rather than an enum so partially-overlapping conditions
+//! (read side closed while responses are still flushing) compose:
+//!
+//! ```text
+//!             bytes in                frame complete
+//!   [idle] ──────────────▶ [reassembling] ───────────▶ frames queued
+//!      ▲                        │ read_deadline                │
+//!      │                        ▼                              ▼
+//!      │                  [slow-closed]                  admission →
+//!      │                                                 queue / shed
+//!      │   outbox drained, in_flight == 0                      │
+//!      └───────────────────────────────────────◀── [flushing] ◀┘
+//! ```
+//!
+//! The reassembly buffer is bounded: a frame's length prefix is vetted
+//! against `MAX_FRAME` before its payload accumulates, and `fill` stops
+//! reading once a whole oversized-free frame could be buffered, so one
+//! connection can never hold more than ~one maximum frame plus a read
+//! quantum of kernel-delivered pipeline.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Cap on bytes a single `fill` call may leave unparsed — one maximal
+/// frame plus its prefix. Pipelined requests beyond it stay in the
+/// kernel buffer until the parser catches up (which is also what keeps
+/// per-connection memory bounded under flood).
+fn read_buffer_cap(max_frame: u32) -> usize {
+    max_frame as usize + 4
+}
+
+/// What `fill` observed on the socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Socket drained into the buffer (possibly zero new bytes).
+    Progress,
+    /// Orderly EOF from the peer: no more inbound frames will arrive.
+    Eof,
+    /// Transport error: the connection is dead.
+    Broken,
+}
+
+/// One reassembled inbound frame, or the reason there isn't one.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TakeFrame {
+    /// Not enough buffered bytes for a complete frame yet.
+    Pending,
+    /// A complete payload (length prefix already stripped).
+    Frame(Vec<u8>),
+    /// The length prefix exceeds the cap; the stream can never
+    /// resynchronize, so the caller answers and closes.
+    Oversized(u32),
+}
+
+/// Per-connection state owned by the event loop.
+pub struct Connection {
+    pub stream: TcpStream,
+    /// Unparsed inbound bytes (length prefixes and payloads).
+    buf: VecDeque<u8>,
+    /// Rendered-but-unsent response bytes.
+    outbox: Vec<u8>,
+    /// How much of `outbox` has reached the kernel.
+    sent: usize,
+    /// Requests admitted from this connection and not yet answered.
+    pub in_flight: usize,
+    /// Sheds charged to this connection (fairness accounting).
+    pub sheds: u64,
+    /// Set when the peer half-closed or errored: no more reads, flush
+    /// what's pending, then reap.
+    pub read_closed: bool,
+    /// Set when the server decided to drop the peer after the current
+    /// outbox flushes (oversized frame, shed-and-close policies).
+    pub close_after_flush: bool,
+    /// Whether the poller currently has writable interest registered.
+    pub writable_interest: bool,
+    /// Last moment bytes moved in either direction (idle tracking).
+    pub last_activity: Instant,
+    /// When the currently-buffered *incomplete* frame started pending —
+    /// the slowloris clock. `None` while the buffer holds no partial
+    /// frame.
+    pub partial_since: Option<Instant>,
+}
+
+impl Connection {
+    pub fn new(stream: TcpStream, now: Instant) -> Connection {
+        Connection {
+            stream,
+            buf: VecDeque::new(),
+            outbox: Vec::new(),
+            sent: 0,
+            in_flight: 0,
+            sheds: 0,
+            read_closed: false,
+            close_after_flush: false,
+            writable_interest: false,
+            last_activity: now,
+            partial_since: None,
+        }
+    }
+
+    /// Drains the socket into the reassembly buffer without blocking.
+    pub fn fill(&mut self, scratch: &mut [u8], max_frame: u32, now: Instant) -> FillOutcome {
+        let cap = read_buffer_cap(max_frame);
+        loop {
+            if self.buf.len() >= cap {
+                return FillOutcome::Progress;
+            }
+            match self.stream.read(scratch) {
+                Ok(0) => return FillOutcome::Eof,
+                Ok(n) => {
+                    self.buf.extend(&scratch[..n]);
+                    self.last_activity = now;
+                    // A fresh partial frame starts its slowloris clock at
+                    // first byte; progress on an existing one does not
+                    // reset it (that is the whole defense).
+                    if self.partial_since.is_none() {
+                        self.partial_since = Some(now);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return FillOutcome::Progress
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return FillOutcome::Broken,
+            }
+        }
+    }
+
+    /// Pops one complete frame off the reassembly buffer.
+    pub fn take_frame(&mut self, max_frame: u32, now: Instant) -> TakeFrame {
+        if self.buf.len() < 4 {
+            if self.buf.is_empty() {
+                self.partial_since = None;
+            }
+            return TakeFrame::Pending;
+        }
+        let mut prefix = [0u8; 4];
+        for (i, b) in self.buf.iter().take(4).enumerate() {
+            prefix[i] = *b;
+        }
+        let len = u32::from_be_bytes(prefix);
+        if len > max_frame {
+            return TakeFrame::Oversized(len);
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return TakeFrame::Pending;
+        }
+        self.buf.drain(..4);
+        let payload: Vec<u8> = self.buf.drain(..len as usize).collect();
+        // Frame completed: restart (or clear) the partial clock for
+        // whatever trails it.
+        self.partial_since = if self.buf.is_empty() { None } else { Some(now) };
+        TakeFrame::Frame(payload)
+    }
+
+    /// Whether unparsed bytes remain (complete or partial frames).
+    pub fn has_buffered_input(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Whether the buffer holds at least one complete frame ready to
+    /// parse (used to distinguish "pipelined backlog" from "slowloris
+    /// dribble" in the deadline sweep).
+    pub fn has_complete_frame(&self, max_frame: u32) -> bool {
+        if self.buf.len() < 4 {
+            return false;
+        }
+        let mut prefix = [0u8; 4];
+        for (i, b) in self.buf.iter().take(4).enumerate() {
+            prefix[i] = *b;
+        }
+        let len = u32::from_be_bytes(prefix);
+        len > max_frame || self.buf.len() >= 4 + len as usize
+    }
+
+    /// Queues one response frame (length prefix + payload) for writing.
+    pub fn push_response(&mut self, payload: &[u8]) {
+        let len = payload.len() as u32;
+        self.outbox.extend_from_slice(&len.to_be_bytes());
+        self.outbox.extend_from_slice(payload);
+    }
+
+    /// Flushes as much of the outbox as the socket accepts. `Ok(true)`
+    /// means fully drained; `Err` means the peer is gone.
+    pub fn flush(&mut self, now: Instant) -> std::io::Result<bool> {
+        while self.sent < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.sent..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.sent += n;
+                    self.last_activity = now;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.outbox.clear();
+        self.sent = 0;
+        Ok(true)
+    }
+
+    /// Whether every queued response byte has reached the kernel.
+    pub fn flushed(&self) -> bool {
+        self.sent == self.outbox.len()
+    }
+
+    /// A connection is reapable when its read side is finished, nothing
+    /// is owed to it, and nothing is waiting to be written.
+    pub fn reapable(&self) -> bool {
+        self.read_closed && self.in_flight == 0 && self.flushed() && !self.has_buffered_input()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    const MAX: u32 = 1 << 20;
+
+    fn pair() -> (Connection, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        (Connection::new(server_side, Instant::now()), peer)
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn reassembles_frames_split_at_every_boundary() {
+        let (mut conn, mut peer) = pair();
+        let wire = [frame(b"{\"type\":\"ping\"}"), frame(b"{}")].concat();
+        let mut scratch = vec![0u8; 4096];
+        // Dribble one byte at a time — worst-case fragmentation.
+        for b in &wire {
+            use std::io::Write;
+            peer.write_all(&[*b]).unwrap();
+            peer.flush().unwrap();
+            // Wait for the byte to land server-side.
+            let deadline = Instant::now() + std::time::Duration::from_secs(5);
+            let before = conn.buf.len();
+            while conn.buf.len() == before {
+                assert_eq!(conn.fill(&mut scratch, MAX, Instant::now()), FillOutcome::Progress);
+                assert!(Instant::now() < deadline, "byte never arrived");
+            }
+        }
+        let now = Instant::now();
+        assert_eq!(conn.take_frame(MAX, now), TakeFrame::Frame(b"{\"type\":\"ping\"}".to_vec()));
+        assert_eq!(conn.take_frame(MAX, now), TakeFrame::Frame(b"{}".to_vec()));
+        assert_eq!(conn.take_frame(MAX, now), TakeFrame::Pending);
+        assert!(conn.partial_since.is_none(), "empty buffer clears the partial clock");
+    }
+
+    #[test]
+    fn oversized_prefix_is_flagged_before_payload_arrives() {
+        let (mut conn, mut peer) = pair();
+        use std::io::Write;
+        peer.write_all(&(MAX + 1).to_be_bytes()).unwrap();
+        peer.flush().unwrap();
+        let mut scratch = vec![0u8; 4096];
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while conn.buf.len() < 4 {
+            conn.fill(&mut scratch, MAX, Instant::now());
+            assert!(Instant::now() < deadline);
+        }
+        assert_eq!(conn.take_frame(MAX, Instant::now()), TakeFrame::Oversized(MAX + 1));
+    }
+
+    #[test]
+    fn partial_clock_tracks_incomplete_frames_only() {
+        let (mut conn, mut peer) = pair();
+        use std::io::Write;
+        let mut scratch = vec![0u8; 4096];
+
+        // Half a frame: clock starts.
+        let full = frame(b"{\"type\":\"ping\"}");
+        peer.write_all(&full[..6]).unwrap();
+        peer.flush().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while conn.buf.len() < 6 {
+            conn.fill(&mut scratch, MAX, Instant::now());
+            assert!(Instant::now() < deadline);
+        }
+        assert_eq!(conn.take_frame(MAX, Instant::now()), TakeFrame::Pending);
+        let started = conn.partial_since.expect("partial frame starts the clock");
+
+        // More dribble does NOT reset the clock.
+        peer.write_all(&full[6..8]).unwrap();
+        peer.flush().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while conn.buf.len() < 8 {
+            conn.fill(&mut scratch, MAX, Instant::now());
+            assert!(Instant::now() < deadline);
+        }
+        assert_eq!(conn.partial_since, Some(started), "dribble must not reset the clock");
+
+        // Completing the frame clears it.
+        peer.write_all(&full[8..]).unwrap();
+        peer.flush().unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while conn.buf.len() < full.len() {
+            conn.fill(&mut scratch, MAX, Instant::now());
+            assert!(Instant::now() < deadline);
+        }
+        assert!(matches!(conn.take_frame(MAX, Instant::now()), TakeFrame::Frame(_)));
+        assert!(conn.partial_since.is_none());
+    }
+
+    #[test]
+    fn eof_and_reapability() {
+        let (mut conn, peer) = pair();
+        drop(peer);
+        let mut scratch = vec![0u8; 64];
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match conn.fill(&mut scratch, MAX, Instant::now()) {
+                FillOutcome::Eof | FillOutcome::Broken => break,
+                FillOutcome::Progress => assert!(Instant::now() < deadline, "EOF never seen"),
+            }
+        }
+        conn.read_closed = true;
+        assert!(conn.reapable());
+        conn.in_flight = 1;
+        assert!(!conn.reapable(), "owed responses keep the connection alive");
+    }
+
+    #[test]
+    fn outbox_buffers_and_flushes() {
+        let (mut conn, mut peer) = pair();
+        peer.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        conn.push_response(b"{\"type\":\"pong\"}");
+        conn.push_response(b"{\"type\":\"bye\"}");
+        assert!(!conn.flushed());
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while !conn.flush(Instant::now()).unwrap() {
+            assert!(Instant::now() < deadline);
+        }
+        assert!(conn.flushed());
+        use std::io::Read;
+        let mut got = Vec::new();
+        let expect = [frame(b"{\"type\":\"pong\"}"), frame(b"{\"type\":\"bye\"}")].concat();
+        let mut byte = [0u8; 256];
+        while got.len() < expect.len() {
+            let n = peer.read(&mut byte).unwrap();
+            assert!(n > 0);
+            got.extend_from_slice(&byte[..n]);
+        }
+        assert_eq!(got, expect);
+    }
+}

@@ -36,7 +36,17 @@
 //! occupying a worker). Responses mirror the request types (`ingested`,
 //! `evicted`, `candidates`, `updated`, `report`, `stats`, `pong`,
 //! `slept`, `bye`), plus `superseded` for epoch-conditional or cancelled
-//! queries and the two refusals `busy` (bounded queue full) and `error`.
+//! queries and three refusals:
+//!
+//! - `busy` — the bounded queue itself was full at enqueue time. Carries
+//!   the observed `queue_depth` and a monotone `shed_seq` so a client
+//!   (or a test) can order refusals and prove a retry-after-drain
+//!   succeeded.
+//! - `overloaded` — the admission controller refused *before* touching
+//!   the queue (queue-depth or in-flight thresholds exceeded). Carries
+//!   `queue_depth`, `in_flight`, `shed_seq` and a `retry_after_ms` hint.
+//! - `error` — parse or handler failure, with a `message`.
+//!
 //! All response rendering uses fixed field order, so responses to the
 //! same corpus state are byte-identical — the determinism tests compare
 //! raw frames across `--jobs` settings.
@@ -274,6 +284,14 @@ pub fn render_request(env: &RequestEnvelope) -> String {
 
 /// Server-side request/work counters included in `stats` responses and
 /// the exported metrics.
+///
+/// Everything here except `readiness_wakeups` is a pure function of the
+/// request history for a synchronous single-connection client, so the
+/// `stats` rendering below is part of the daemon's determinism key (the
+/// byte-identity tests compare raw stats frames across `--jobs`
+/// settings). `readiness_wakeups` counts poller returns — pure timing —
+/// and is therefore exported only through the wall-clock-tagged metrics
+/// artefact, never rendered into a response.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerCounters {
     /// Completed requests by type, in the fixed order of
@@ -287,6 +305,25 @@ pub struct ServerCounters {
     pub errors: u64,
     /// Highest queue depth observed.
     pub queue_depth_hwm: u64,
+    /// Currently open connections.
+    pub conns_open: u64,
+    /// Highest simultaneous connection count observed.
+    pub conns_open_hwm: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub conns_total: u64,
+    /// Complete frames reassembled from the byte stream.
+    pub frames_reassembled: u64,
+    /// Requests refused with `overloaded` by the admission controller.
+    pub sheds: u64,
+    /// Connections dropped by the read-deadline (slowloris) or idle
+    /// sweeps.
+    pub slow_closes: u64,
+    /// Poller wakeups that delivered at least one readiness event.
+    /// Timing-dependent: metrics artefact only, never in `stats`.
+    pub readiness_wakeups: u64,
+    /// Monotone sequence number shared by `busy` and `overloaded`
+    /// refusals (so interleaved refusals are totally ordered).
+    pub shed_seq: u64,
 }
 
 /// Wire request types in counter order.
@@ -316,11 +353,19 @@ pub enum Response {
     /// `report` is the pre-rendered `MergeReport::to_json` object (spliced
     /// verbatim; the pass serializer already emits deterministic JSON).
     Report { epoch: u64, report: String },
-    Stats { corpus: CorpusStats, server: ServerCounters },
+    /// Boxed: the two stat blocks dwarf every other variant, and
+    /// responses spend their life behind one match before rendering.
+    Stats { corpus: Box<CorpusStats>, server: Box<ServerCounters> },
     Pong,
     Slept { ms: u64 },
     Bye,
-    Busy,
+    /// The bounded queue was full (or closed during shutdown) when this
+    /// request reached it.
+    Busy { queue_depth: u64, shed_seq: u64 },
+    /// The admission controller refused before the queue was attempted:
+    /// queue-depth or in-flight thresholds exceeded, or this connection
+    /// has too many requests in flight.
+    Overloaded { queue_depth: u64, in_flight: u64, shed_seq: u64, retry_after_ms: u64 },
     Error { message: String },
 }
 
@@ -338,7 +383,8 @@ impl Response {
             Response::Pong => "pong",
             Response::Slept { .. } => "slept",
             Response::Bye => "bye",
-            Response::Busy => "busy",
+            Response::Busy { .. } => "busy",
+            Response::Overloaded { .. } => "overloaded",
             Response::Error { .. } => "error",
         }
     }
@@ -437,15 +483,35 @@ pub fn render_response(id: Option<u64>, resp: &Response) -> String {
             }
             out.push_str(&format!(
                 "}},\"rejects_busy\":{},\"rejects_deadline\":{},\"errors\":{},\
-                 \"queue_depth_hwm\":{}}}",
-                server.rejects_busy, server.rejects_deadline, server.errors, server.queue_depth_hwm
+                 \"queue_depth_hwm\":{},\"conns_open\":{},\"conns_open_hwm\":{},\
+                 \"conns_total\":{},\"frames_reassembled\":{},\"sheds\":{},\
+                 \"slow_closes\":{}}}",
+                server.rejects_busy,
+                server.rejects_deadline,
+                server.errors,
+                server.queue_depth_hwm,
+                server.conns_open,
+                server.conns_open_hwm,
+                server.conns_total,
+                server.frames_reassembled,
+                server.sheds,
+                server.slow_closes
             ));
         }
         Response::Slept { ms } => out.push_str(&format!(",\"ms\":{ms}")),
+        Response::Busy { queue_depth, shed_seq } => {
+            out.push_str(&format!(",\"queue_depth\":{queue_depth},\"shed_seq\":{shed_seq}"));
+        }
+        Response::Overloaded { queue_depth, in_flight, shed_seq, retry_after_ms } => {
+            out.push_str(&format!(
+                ",\"queue_depth\":{queue_depth},\"in_flight\":{in_flight},\
+                 \"shed_seq\":{shed_seq},\"retry_after_ms\":{retry_after_ms}"
+            ));
+        }
         Response::Error { message } => {
             out.push_str(&format!(",\"message\":\"{}\"", escape(message)));
         }
-        Response::Pong | Response::Bye | Response::Busy => {}
+        Response::Pong | Response::Bye => {}
     }
     out.push('}');
     out
@@ -572,7 +638,7 @@ mod tests {
             },
             Response::Report { epoch: 2, report: "{\"stats\":{},\"attempts\":[]}".into() },
             Response::Stats {
-                corpus: CorpusStats {
+                corpus: Box::new(CorpusStats {
                     epoch: 5,
                     modules_live: 2,
                     modules_total: 3,
@@ -585,13 +651,14 @@ mod tests {
                     memo_misses: 5,
                     funcs_invalidated: 3,
                     queries_superseded: 1,
-                },
-                server: ServerCounters { rejects_busy: 1, ..Default::default() },
+                }),
+                server: Box::new(ServerCounters { rejects_busy: 1, ..Default::default() }),
             },
             Response::Pong,
             Response::Slept { ms: 5 },
             Response::Bye,
-            Response::Busy,
+            Response::Busy { queue_depth: 7, shed_seq: 3 },
+            Response::Overloaded { queue_depth: 8, in_flight: 12, shed_seq: 4, retry_after_ms: 25 },
             Response::Error { message: "boom \"quoted\"".into() },
         ];
         for resp in &resps {
@@ -620,9 +687,31 @@ mod tests {
         let corpus = v.get("corpus").unwrap();
         assert_eq!(corpus.get("memo_hits").and_then(Json::as_u64), Some(11));
         assert_eq!(corpus.get("queries_superseded").and_then(Json::as_u64), Some(1));
-        let err = render_response(None, &resps[11]);
+        let err = render_response(None, &resps[12]);
         let v = parse_response(err.as_bytes()).unwrap();
         assert_eq!(v.get("message").and_then(Json::as_str), Some("boom \"quoted\""));
+        // Refusals carry their observability payloads.
+        let busy = render_response(None, &resps[10]);
+        let v = parse_response(busy.as_bytes()).unwrap();
+        assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("shed_seq").and_then(Json::as_u64), Some(3));
+        let over = render_response(None, &resps[11]);
+        let v = parse_response(over.as_bytes()).unwrap();
+        assert_eq!(v.get("in_flight").and_then(Json::as_u64), Some(12));
+        assert_eq!(v.get("retry_after_ms").and_then(Json::as_u64), Some(25));
+        // New server counters ride the stats response (deterministic
+        // subset only — readiness_wakeups is timing and must NOT leak).
+        let stats = render_response(None, &resps[6]);
+        for key in
+            ["conns_open", "conns_open_hwm", "conns_total", "frames_reassembled", "sheds",
+             "slow_closes"]
+        {
+            assert!(stats.contains(&format!("\"{key}\":")), "stats missing {key}: {stats}");
+        }
+        assert!(
+            !stats.contains("readiness_wakeups"),
+            "timing-dependent counter leaked into the deterministic stats response"
+        );
     }
 
     #[test]

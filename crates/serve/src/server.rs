@@ -1,39 +1,71 @@
-//! The daemon: accept loop, per-connection readers, worker pool, and
-//! graceful shutdown.
+//! The daemon: a readiness-driven event loop, admission control, a
+//! worker pool, and graceful shutdown.
 //!
 //! ## Threading model
 //!
-//! One acceptor thread (the caller of [`Server::run`]), one reader
-//! thread per live connection, and a fixed pool of `jobs` workers.
-//! Readers only parse frames and `try_push` onto the shared
-//! [`BoundedQueue`]; all corpus work happens on workers. Responses are
-//! written under a per-connection write mutex, so a reader answering
-//! `busy` never interleaves bytes with a worker answering an earlier
-//! request on the same socket.
+//! One event-loop thread (the caller of [`Server::run`]) owns the
+//! listener, every connection, and all socket I/O; a fixed pool of
+//! `jobs` workers owns all corpus work. Nothing else touches a socket:
+//!
+//! - the event loop accepts, reassembles length-prefixed frames from
+//!   non-blocking reads ([`crate::conn`]), parses requests, runs the
+//!   admission controller, and pushes accepted jobs onto the shared
+//!   [`BoundedQueue`];
+//! - workers pop, execute against the resident corpus, render the
+//!   response, and hand the bytes back through a completion list plus a
+//!   [`Waker`] nudge;
+//! - the event loop appends completions to the owed connection's write
+//!   buffer and flushes under writable readiness.
+//!
+//! Because exactly one thread writes any socket, responses never
+//! interleave bytes — no per-connection write mutex exists anymore.
+//!
+//! ## Fairness
+//!
+//! Connections are parsed round-robin with a per-turn frame budget
+//! ([`FRAMES_PER_TURN`]), so a client that pipelines thousands of frames
+//! advances at most a few requests per turn while others proceed. The
+//! per-connection in-flight cap converts the rest of the flood into
+//! `overloaded` sheds charged to the flooding connection.
+//!
+//! ## Admission control and refusals
+//!
+//! [`Admission`] decides before the queue is touched: queue-depth and
+//! global in-flight thresholds (off by default, on in the soak bench and
+//! the fairness tests) and the per-connection cap produce `overloaded`
+//! responses with a `retry_after_ms` hint; a literal queue-full produces
+//! `busy`. Both carry the queue depth and a shared monotone `shed_seq`.
+//!
+//! ## Deadlines
+//!
+//! The deadline sweep runs every poller tick: a connection dribbling an
+//! incomplete frame for longer than `read_deadline_ms` (slowloris) or
+//! sitting completely idle past `idle_timeout_ms` is dropped and counted
+//! in `slow_closes`. Per-request `deadline_ms` (queue wait) is enforced
+//! by workers exactly as before.
 //!
 //! ## Ordering and determinism
 //!
-//! The queue is FIFO, but with more than one worker, *pipelined*
-//! requests (several in flight on one connection) may complete out of
-//! order — use the request `id` to correlate. A synchronous client (one
-//! request in flight, as [`crate::client::Client`] does) observes fully
-//! deterministic behaviour: the same ingest sequence produces
-//! byte-identical `query` and `merge` responses at any `--jobs` setting,
-//! because corpus state transitions are then totally ordered and all
-//! response rendering is fixed-order (merge reports additionally have
-//! wall-clock fields zeroed).
+//! The queue is FIFO; with more than one worker, pipelined requests may
+//! complete out of order — correlate by `id`. A synchronous client
+//! observes fully deterministic behaviour: corpus transitions are
+//! totally ordered and response rendering is fixed-order, so the same
+//! request sequence is byte-identical at any `--jobs` setting and under
+//! either poller backend.
 //!
 //! ## Shutdown
 //!
-//! `shutdown` rides the queue like any request, so everything accepted
-//! before it still gets a response. Its handler closes the queue (late
-//! arrivals get `busy`), answers `bye`, and pokes the acceptor awake
-//! with a loopback connect. Workers drain the residue and exit;
-//! [`Server::run`] then flushes metrics/trace artefacts and returns
-//! `Ok(())` — process exit code 0.
+//! `shutdown` rides the queue like any request: its handler closes the
+//! queue (late arrivals get `busy`) and answers `bye`. Workers drain the
+//! residue and exit; the event loop keeps flushing until every accepted
+//! request's response has been written (bounded by
+//! [`DRAIN_FLUSH_DEADLINE`], after which stragglers count as
+//! `slow_closes`), then [`Server::run`] joins the workers, flushes
+//! metrics/trace artefacts, and returns `Ok(())`.
 
+use std::collections::HashMap;
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,11 +82,102 @@ use f3m_trace::metrics::MetricsRegistry;
 use f3m_trace::tracer::span_on;
 use f3m_trace::{write_with_dirs, Tracer};
 
+use crate::conn::{Connection, FillOutcome, TakeFrame};
+use crate::poll::{new_poller, PollEvent, Poller, PollerKind, Waker, WakerSource};
 use crate::protocol::{
-    parse_request, read_frame, render_response, write_frame, FrameError, Request, Response,
-    ServerCounters, REQUEST_TYPES,
+    parse_request, render_response, Request, Response, ServerCounters, MAX_FRAME, REQUEST_TYPES,
 };
 use crate::queue::{BoundedQueue, PushError};
+
+/// Admission-control thresholds. Zero means "disabled" for the two
+/// global thresholds; the per-connection cap always has a floor so a
+/// single flooding client cannot monopolize the queue.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Shed new work once the queue holds this many requests
+    /// (0 = disabled; the queue's own capacity then answers `busy`).
+    pub queue_shed_depth: usize,
+    /// Shed new work once this many requests are in flight across all
+    /// connections — queued plus executing (0 = disabled).
+    pub max_inflight_global: usize,
+    /// Shed a connection's new frames while it already has this many
+    /// requests in flight. This is the fairness backstop; it is never
+    /// disabled.
+    pub max_inflight_per_conn: usize,
+    /// Base of the `retry_after_ms` hint; the hint grows linearly with
+    /// the observed queue depth so deeper congestion advises longer
+    /// backoff.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_shed_depth: 0,
+            max_inflight_global: 0,
+            max_inflight_per_conn: 64,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// The load snapshot an admission decision is made against.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSnapshot {
+    pub queue_depth: usize,
+    pub global_inflight: usize,
+    pub conn_inflight: usize,
+}
+
+/// The admission controller: a pure, deterministic state machine
+/// (scripted directly by the regression gate) whose only state is the
+/// monotone shed sequence shared with `busy` refusals.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    shed_seq: u64,
+}
+
+impl Admission {
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission { cfg, shed_seq: 0 }
+    }
+
+    /// Sheds this request? `Some(overloaded response)` when a threshold
+    /// is exceeded, `None` to proceed to the queue.
+    pub fn admit(&mut self, load: LoadSnapshot) -> Option<Response> {
+        let per_conn = self.cfg.max_inflight_per_conn.max(1);
+        let shed = load.conn_inflight >= per_conn
+            || (self.cfg.queue_shed_depth > 0 && load.queue_depth >= self.cfg.queue_shed_depth)
+            || (self.cfg.max_inflight_global > 0
+                && load.global_inflight >= self.cfg.max_inflight_global);
+        if !shed {
+            return None;
+        }
+        self.shed_seq += 1;
+        Some(Response::Overloaded {
+            queue_depth: load.queue_depth as u64,
+            in_flight: load.global_inflight as u64,
+            shed_seq: self.shed_seq,
+            retry_after_ms: self.retry_after_hint(load.queue_depth),
+        })
+    }
+
+    /// The `busy` refusal for a queue that was full (or closed) at push
+    /// time; draws from the same monotone sequence as sheds.
+    pub fn busy(&mut self, queue_depth: usize) -> Response {
+        self.shed_seq += 1;
+        Response::Busy { queue_depth: queue_depth as u64, shed_seq: self.shed_seq }
+    }
+
+    /// Sheds issued so far (busy + overloaded).
+    pub fn shed_seq(&self) -> u64 {
+        self.shed_seq
+    }
+
+    fn retry_after_hint(&self, queue_depth: usize) -> u64 {
+        self.cfg.retry_after_ms.max(1) + queue_depth as u64
+    }
+}
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -70,6 +193,16 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Fingerprint family for the resident corpus.
     pub backend: BackendKind,
+    /// Readiness backend (`Auto` = epoll where available).
+    pub poller: PollerKind,
+    /// Admission-control thresholds.
+    pub admission: AdmissionConfig,
+    /// Drop a connection that has held an *incomplete* frame this long
+    /// (slowloris defense). 0 disables.
+    pub read_deadline_ms: u64,
+    /// Drop a connection with no traffic and nothing in flight after
+    /// this long. 0 disables.
+    pub idle_timeout_ms: u64,
     /// Index snapshot file: loaded at bind if present (so a restart is
     /// O(file size) instead of a re-ingest), saved on shutdown. A stale
     /// snapshot (entry stamps newer than its header epoch) falls back to
@@ -90,6 +223,10 @@ impl Default for ServeConfig {
             queue_cap: 64,
             shards: 8,
             backend: BackendKind::MinHash,
+            poller: PollerKind::Auto,
+            admission: AdmissionConfig::default(),
+            read_deadline_ms: 30_000,
+            idle_timeout_ms: 300_000,
             snapshot_path: None,
             metrics_path: None,
             trace_path: None,
@@ -110,26 +247,35 @@ struct SnapshotStatus {
     entries: u64,
 }
 
-/// One unit of accepted work.
+/// One unit of accepted work, owned by a worker between pop and
+/// completion.
 struct Job {
+    /// Event-loop token of the connection owed the response.
+    token: u64,
     id: Option<u64>,
     deadline_ms: Option<u64>,
     body: Request,
     enqueued: Instant,
-    out: Arc<Mutex<TcpStream>>,
 }
 
-/// State shared by acceptor, readers, and workers.
+/// A finished job's rendered response, traveling back to the event loop.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    /// This completion answered the `shutdown` request.
+    shutdown: bool,
+}
+
+/// State shared by the event loop and the workers.
 struct Shared {
     corpus: Corpus,
     queue: BoundedQueue<Job>,
     counters: Mutex<ServerCounters>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
     shutting_down: AtomicBool,
     tracer: Option<Tracer>,
     snapshot: SnapshotStatus,
-    /// The bound address, so the shutdown path can poke the acceptor
-    /// awake with a loopback connect.
-    listen_addr: SocketAddr,
 }
 
 /// A bound daemon, ready to [`run`](Server::run).
@@ -137,6 +283,8 @@ pub struct Server {
     cfg: ServeConfig,
     listener: TcpListener,
     shared: Arc<Shared>,
+    poller: Box<dyn Poller>,
+    waker_source: Option<WakerSource>,
 }
 
 impl Server {
@@ -144,22 +292,25 @@ impl Server {
     /// restored from `snapshot_path` when one is present.
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let corpus_cfg = CorpusConfig {
             params: MergeParams::static_default().with_backend(cfg.backend),
             shards: cfg.shards.max(1),
             jobs: cfg.jobs.max(1),
         };
         let (corpus, snapshot) = open_corpus(&cfg, corpus_cfg);
+        let (poller, waker, waker_source) = new_poller(cfg.poller);
         let shared = Arc::new(Shared {
             corpus,
             queue: BoundedQueue::new(cfg.queue_cap),
             counters: Mutex::new(ServerCounters::default()),
+            completions: Mutex::new(Vec::new()),
+            waker,
             shutting_down: AtomicBool::new(false),
             tracer: cfg.trace_path.as_ref().map(|_| Tracer::new()),
             snapshot,
-            listen_addr: listener.local_addr()?,
         });
-        Ok(Server { cfg, listener, shared })
+        Ok(Server { cfg, listener, shared, poller, waker_source })
     }
 
     /// The actually-bound address (resolves port 0).
@@ -167,57 +318,462 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The readiness backend actually in use (`epoll` or `fallback`).
+    pub fn poller_backend(&self) -> &'static str {
+        self.poller.backend_name()
+    }
+
     /// Serves until a `shutdown` request completes; returns after the
-    /// queue is drained, workers have joined, and artefacts are flushed.
+    /// queue is drained, responses are flushed, workers have joined, and
+    /// artefacts are flushed.
     pub fn run(self) -> std::io::Result<()> {
+        let Server { cfg, listener, shared, poller, waker_source } = self;
         let mut workers = Vec::new();
-        for _ in 0..self.cfg.jobs.max(1) {
-            let shared = Arc::clone(&self.shared);
+        for _ in 0..cfg.jobs.max(1) {
+            let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || worker_loop(&shared)));
         }
-        for conn in self.listener.incoming() {
-            if self.shared.shutting_down.load(Ordering::Acquire) {
-                break;
-            }
-            let Ok(stream) = conn else { continue };
-            // Responses are one small frame each; Nagle would add a
-            // delayed-ACK round trip to every synchronous request.
-            let _ = stream.set_nodelay(true);
-            let shared = Arc::clone(&self.shared);
-            // Readers are detached: one may stay blocked on `read` until
-            // its client hangs up, which must not stall shutdown.
-            std::thread::spawn(move || reader_loop(&shared, stream));
-        }
-        // `shutdown` already closed the queue; workers finish the residue.
+        let result = EventLoop::new(&cfg, &shared, listener, poller, waker_source).run();
+        // `shutdown` closed the queue; workers finish the residue.
         for w in workers {
             let _ = w.join();
         }
-        self.flush_artifacts();
+        flush_artifacts(&cfg, &shared);
+        result
+    }
+}
+
+/// The event-loop tick: upper bound on how long readiness `wait` may
+/// block before the deadline sweep runs again.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Fairness quantum: frames parsed per connection per loop turn.
+const FRAMES_PER_TURN: usize = 8;
+
+/// After shutdown's queue drain, how long stragglers get to accept their
+/// buffered responses before being dropped (and counted `slow_closes`).
+const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(3);
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+struct EventLoop<'a> {
+    cfg: &'a ServeConfig,
+    shared: &'a Arc<Shared>,
+    listener: TcpListener,
+    poller: Box<dyn Poller>,
+    waker_source: Option<WakerSource>,
+    conns: HashMap<u64, Connection>,
+    /// Round-robin parse order (tokens; stale entries skipped lazily).
+    rr: Vec<u64>,
+    rr_cursor: usize,
+    next_token: u64,
+    admission: Admission,
+    /// Requests admitted and not yet completed, across all connections.
+    global_inflight: usize,
+    accepting: bool,
+    /// Set when the shutdown completion has been delivered; starts the
+    /// drain-flush clock.
+    drain_started: Option<Instant>,
+    scratch: Vec<u8>,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(
+        cfg: &'a ServeConfig,
+        shared: &'a Arc<Shared>,
+        listener: TcpListener,
+        poller: Box<dyn Poller>,
+        waker_source: Option<WakerSource>,
+    ) -> EventLoop<'a> {
+        EventLoop {
+            cfg,
+            shared,
+            listener,
+            poller,
+            waker_source,
+            conns: HashMap::new(),
+            rr: Vec::new(),
+            rr_cursor: 0,
+            next_token: FIRST_CONN_TOKEN,
+            admission: Admission::new(cfg.admission),
+            global_inflight: 0,
+            accepting: true,
+            drain_started: None,
+            scratch: vec![0u8; 64 * 1024],
+        }
+    }
+
+    fn run(mut self) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            self.poller.register(self.listener.as_raw_fd(), LISTENER_TOKEN, false)?;
+            if let Some(src) = &self.waker_source {
+                self.poller.register(src.fd(), WAKER_TOKEN, false)?;
+            }
+        }
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            // Zero timeout while parsed-but-unprocessed input remains so
+            // the fairness quantum never adds latency.
+            let timeout = if self.has_parse_backlog() { Duration::ZERO } else { TICK };
+            self.poller.wait(&mut events, timeout)?;
+            if !events.is_empty() {
+                self.shared.counters.lock().unwrap().readiness_wakeups += 1;
+            }
+            let now = Instant::now();
+            for ev in events.drain(..) {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(now),
+                    WAKER_TOKEN => {
+                        if let Some(src) = &self.waker_source {
+                            src.drain();
+                        }
+                    }
+                    token => self.socket_ready(token, ev, now),
+                }
+            }
+            self.drain_completions(now);
+            self.parse_turn(now);
+            self.sweep_deadlines(now);
+            self.reap(now);
+            if self.shutdown_complete(now) {
+                break;
+            }
+        }
         Ok(())
     }
 
-    /// Saves the index snapshot and writes the metrics and trace
-    /// artefacts, if configured.
-    fn flush_artifacts(&self) {
-        let snapshot_saved = self.cfg.snapshot_path.as_ref().map(|path| {
-            match self.shared.corpus.save_snapshot(path) {
-                Ok(()) => true,
-                Err(e) => {
-                    eprintln!("f3m-serve: failed to save snapshot {}: {e}", path.display());
-                    false
+    /// Unparsed complete frames are waiting in some connection buffer.
+    fn has_parse_backlog(&self) -> bool {
+        self.conns.values().any(|c| c.has_complete_frame(MAX_FRAME))
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        while self.accepting {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses are one small frame each; Nagle would add
+                    // a delayed-ACK round trip to every synchronous
+                    // request.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    #[cfg(unix)]
+                    {
+                        use std::os::fd::AsRawFd;
+                        if self.poller.register(stream.as_raw_fd(), token, false).is_err() {
+                            continue;
+                        }
+                    }
+                    self.conns.insert(token, Connection::new(stream, now));
+                    self.rr.push(token);
+                    let mut c = self.shared.counters.lock().unwrap();
+                    c.conns_total += 1;
+                    c.conns_open = self.conns.len() as u64;
+                    c.conns_open_hwm = c.conns_open_hwm.max(c.conns_open);
                 }
-            }
-        });
-        if let Some(path) = &self.cfg.metrics_path {
-            let dump = render_metrics(&self.shared, &self.cfg, snapshot_saved);
-            if let Err(e) = write_with_dirs(path, &dump) {
-                eprintln!("f3m-serve: failed to write metrics {}: {e}", path.display());
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
             }
         }
-        if let (Some(path), Some(tracer)) = (&self.cfg.trace_path, &self.shared.tracer) {
-            if let Err(e) = write_with_dirs(path, &tracer.to_chrome_json()) {
-                eprintln!("f3m-serve: failed to write trace {}: {e}", path.display());
+    }
+
+    fn socket_ready(&mut self, token: u64, ev: PollEvent, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if ev.readable && !conn.read_closed {
+            match conn.fill(&mut self.scratch, MAX_FRAME, now) {
+                FillOutcome::Progress => {}
+                FillOutcome::Eof => conn.read_closed = true,
+                FillOutcome::Broken => {
+                    conn.read_closed = true;
+                    conn.close_after_flush = true;
+                }
             }
+        }
+        if ev.writable && conn.flush(now).is_err() {
+            self.drop_conn(token);
+        }
+    }
+
+    /// One fairness turn: round-robin over connections, at most
+    /// [`FRAMES_PER_TURN`] frames each.
+    fn parse_turn(&mut self, now: Instant) {
+        if self.rr.is_empty() {
+            return;
+        }
+        let turn_order: Vec<u64> = {
+            let n = self.rr.len();
+            let start = self.rr_cursor % n;
+            (0..n).map(|i| self.rr[(start + i) % n]).collect()
+        };
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        for token in turn_order {
+            for _ in 0..FRAMES_PER_TURN {
+                let Some(conn) = self.conns.get_mut(&token) else { break };
+                if conn.close_after_flush {
+                    break;
+                }
+                match conn.take_frame(MAX_FRAME, now) {
+                    TakeFrame::Pending => break,
+                    TakeFrame::Oversized(len) => {
+                        // The payload was never consumed, so the stream is
+                        // no longer at a frame boundary: answer, flush,
+                        // drop.
+                        let message = format!("frame length {len} exceeds maximum {MAX_FRAME}");
+                        self.respond_inline(token, None, &Response::Error { message }, now);
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.close_after_flush = true;
+                        }
+                        break;
+                    }
+                    TakeFrame::Frame(payload) => {
+                        self.shared.counters.lock().unwrap().frames_reassembled += 1;
+                        self.dispatch_frame(token, &payload, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses one frame and routes it: inline error, admission shed,
+    /// queue push, or `busy`.
+    fn dispatch_frame(&mut self, token: u64, payload: &[u8], now: Instant) {
+        let env = match parse_request(payload) {
+            Ok(env) => env,
+            Err(message) => {
+                self.respond_inline(token, None, &Response::Error { message }, now);
+                return;
+            }
+        };
+        let conn_inflight = self.conns.get(&token).map_or(0, |c| c.in_flight);
+        let load = LoadSnapshot {
+            queue_depth: self.shared.queue.len(),
+            global_inflight: self.global_inflight,
+            conn_inflight,
+        };
+        if let Some(shed) = self.admission.admit(load) {
+            let mut c = self.shared.counters.lock().unwrap();
+            c.sheds += 1;
+            c.shed_seq = self.admission.shed_seq();
+            drop(c);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.sheds += 1;
+            }
+            self.respond_inline(token, env.id, &shed, now);
+            return;
+        }
+        let job = Job {
+            token,
+            id: env.id,
+            deadline_ms: env.deadline_ms,
+            body: env.body,
+            enqueued: now,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.global_inflight += 1;
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.in_flight += 1;
+                }
+            }
+            Err(e) => {
+                let depth = self.shared.queue.len();
+                let busy = self.admission.busy(depth);
+                let mut c = self.shared.counters.lock().unwrap();
+                if e == PushError::Full {
+                    c.rejects_busy += 1;
+                }
+                c.shed_seq = self.admission.shed_seq();
+                drop(c);
+                self.respond_inline(token, env.id, &busy, now);
+            }
+        }
+    }
+
+    /// Renders and queues a response produced by the event loop itself
+    /// (parse errors, sheds, busy) and attempts an eager flush.
+    fn respond_inline(&mut self, token: u64, id: Option<u64>, resp: &Response, now: Instant) {
+        if matches!(resp, Response::Error { .. }) {
+            self.shared.counters.lock().unwrap().errors += 1;
+        }
+        let text = render_response(id, resp);
+        self.queue_bytes(token, text.as_bytes(), now);
+    }
+
+    fn queue_bytes(&mut self, token: u64, payload: &[u8], now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        conn.push_response(payload);
+        match conn.flush(now) {
+            Ok(true) => self.set_writable_interest(token, false),
+            Ok(false) => self.set_writable_interest(token, true),
+            Err(_) => self.drop_conn(token),
+        }
+    }
+
+    fn set_writable_interest(&mut self, token: u64, want: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.writable_interest == want {
+            return;
+        }
+        conn.writable_interest = want;
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poller.modify(fd, token, want);
+        }
+    }
+
+    /// Moves finished jobs' bytes into their connections' write buffers.
+    fn drain_completions(&mut self, now: Instant) {
+        let done: Vec<Completion> =
+            std::mem::take(&mut *self.shared.completions.lock().unwrap());
+        for completion in done {
+            self.global_inflight = self.global_inflight.saturating_sub(1);
+            if completion.shutdown {
+                self.begin_shutdown();
+                self.drain_started = Some(now);
+            }
+            if let Some(conn) = self.conns.get_mut(&completion.token) {
+                conn.in_flight = conn.in_flight.saturating_sub(1);
+                conn.push_response(&completion.bytes);
+            }
+            // Flush through queue_bytes' interest logic.
+            match self.conns.get_mut(&completion.token).map(|c| c.flush(now)) {
+                Some(Ok(true)) => self.set_writable_interest(completion.token, false),
+                Some(Ok(false)) => self.set_writable_interest(completion.token, true),
+                Some(Err(_)) => self.drop_conn(completion.token),
+                None => {} // client gone; response dropped
+            }
+        }
+    }
+
+    fn begin_shutdown(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        self.accepting = false;
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+        }
+    }
+
+    /// Slowloris and idle sweeps.
+    fn sweep_deadlines(&mut self, now: Instant) {
+        let read_deadline = Duration::from_millis(self.cfg.read_deadline_ms);
+        let idle_timeout = Duration::from_millis(self.cfg.idle_timeout_ms);
+        let mut victims = Vec::new();
+        for (&token, conn) in &self.conns {
+            if self.cfg.read_deadline_ms > 0 {
+                if let Some(since) = conn.partial_since {
+                    // A complete frame waiting its fairness turn is a
+                    // backlog, not a slowloris.
+                    if !conn.has_complete_frame(MAX_FRAME)
+                        && now.duration_since(since) >= read_deadline
+                    {
+                        victims.push(token);
+                        continue;
+                    }
+                }
+            }
+            if self.cfg.idle_timeout_ms > 0
+                && conn.in_flight == 0
+                && !conn.has_buffered_input()
+                && conn.flushed()
+                && now.duration_since(conn.last_activity) >= idle_timeout
+            {
+                victims.push(token);
+            }
+        }
+        for token in victims {
+            self.shared.counters.lock().unwrap().slow_closes += 1;
+            self.drop_conn(token);
+        }
+    }
+
+    /// Reaps connections that are finished (peer closed, nothing owed).
+    fn reap(&mut self, _now: Instant) {
+        let done: Vec<u64> =
+            self.conns.iter().filter(|(_, c)| c.reapable()).map(|(&t, _)| t).collect();
+        let flushed_closers: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.close_after_flush && c.flushed())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in done.into_iter().chain(flushed_closers) {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        // In-flight jobs for a dead client still run (corpus effects are
+        // real); their completions find no connection and are dropped.
+        self.global_inflight = self.global_inflight.saturating_sub(conn.in_flight);
+        self.rr.retain(|&t| t != token);
+        let mut c = self.shared.counters.lock().unwrap();
+        c.conns_open = self.conns.len() as u64;
+    }
+
+    /// After shutdown: queue drained, all completions applied, all
+    /// buffers flushed (or the drain deadline expired).
+    fn shutdown_complete(&mut self, now: Instant) -> bool {
+        let Some(started) = self.drain_started else { return false };
+        if self.global_inflight > 0 || self.has_parse_backlog() {
+            // Still owed responses (or have accepted frames to answer
+            // with `busy` against the closed queue).
+            if now.duration_since(started) < DRAIN_FLUSH_DEADLINE {
+                return false;
+            }
+        }
+        let all_flushed = self.conns.values().all(|c| c.flushed());
+        if all_flushed || now.duration_since(started) >= DRAIN_FLUSH_DEADLINE {
+            let stragglers = self.conns.values().filter(|c| !c.flushed()).count() as u64;
+            if stragglers > 0 {
+                self.shared.counters.lock().unwrap().slow_closes += stragglers;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Saves the index snapshot and writes the metrics and trace artefacts,
+/// if configured.
+fn flush_artifacts(cfg: &ServeConfig, shared: &Shared) {
+    let snapshot_saved = cfg.snapshot_path.as_ref().map(|path| {
+        match shared.corpus.save_snapshot(path) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("f3m-serve: failed to save snapshot {}: {e}", path.display());
+                false
+            }
+        }
+    });
+    if let Some(path) = &cfg.metrics_path {
+        let dump = render_metrics(shared, cfg, snapshot_saved);
+        if let Err(e) = write_with_dirs(path, &dump) {
+            eprintln!("f3m-serve: failed to write metrics {}: {e}", path.display());
+        }
+    }
+    if let (Some(path), Some(tracer)) = (&cfg.trace_path, &shared.tracer) {
+        if let Err(e) = write_with_dirs(path, &tracer.to_chrome_json()) {
+            eprintln!("f3m-serve: failed to write trace {}: {e}", path.display());
         }
     }
 }
@@ -277,9 +833,9 @@ fn open_corpus(cfg: &ServeConfig, corpus_cfg: CorpusConfig) -> (Corpus, Snapshot
     }
 }
 
-/// Renders the daemon's metrics registry: request counters, refusal
-/// counters, queue high-water mark, corpus epoch, snapshot lifecycle,
-/// and per-shard index occupancy.
+/// Renders the daemon's metrics registry: request counters, refusal and
+/// event-loop counters, queue high-water mark, corpus epoch, snapshot
+/// lifecycle, and per-shard index occupancy.
 fn render_metrics(shared: &Shared, cfg: &ServeConfig, snapshot_saved: Option<bool>) -> String {
     let counters = shared.counters.lock().unwrap().clone();
     let stats = shared.corpus.stats();
@@ -305,13 +861,21 @@ fn render_metrics(shared: &Shared, cfg: &ServeConfig, snapshot_saved: Option<boo
         reg.set(c, v);
     }
     // Timing- and environment-dependent: how full the queue got, what
-    // was refused, and the snapshot lifecycle (load time is wall-clock;
+    // was refused or shed, connection churn, the poller's wakeup count,
+    // and the snapshot lifecycle (load time is wall-clock;
     // loaded/rebuilt/entries depend on what was on disk at startup).
     let snap = &shared.snapshot;
-    let nondet_pairs: [(&str, u64); 8] = [
+    let nondet_pairs: [(&str, u64); 15] = [
         ("serve.rejects_busy", counters.rejects_busy),
         ("serve.rejects_deadline", counters.rejects_deadline),
         ("serve.queue_depth_hwm", counters.queue_depth_hwm),
+        ("serve.conns_open", counters.conns_open),
+        ("serve.conns_open_hwm", counters.conns_open_hwm),
+        ("serve.conns_total", counters.conns_total),
+        ("serve.frames_reassembled", counters.frames_reassembled),
+        ("serve.sheds", counters.sheds),
+        ("serve.slow_closes", counters.slow_closes),
+        ("serve.readiness_wakeups", counters.readiness_wakeups),
         ("serve.snapshot.load_ms", snap.load_ms),
         ("serve.snapshot.loaded", u64::from(snap.loaded)),
         ("serve.snapshot.rebuilt", u64::from(snap.rebuilt)),
@@ -342,71 +906,14 @@ fn render_metrics(shared: &Shared, cfg: &ServeConfig, snapshot_saved: Option<boo
     reg.to_json()
 }
 
-/// Writes one response frame on a connection, counting it. Write
-/// failures mean the client hung up; the response is dropped.
-fn respond(shared: &Shared, out: &Mutex<TcpStream>, id: Option<u64>, resp: &Response) {
-    {
-        let mut c = shared.counters.lock().unwrap();
-        if matches!(resp, Response::Error { .. }) {
-            c.errors += 1;
-        }
-    }
-    let text = render_response(id, resp);
-    let mut stream = out.lock().unwrap();
-    let _ = write_frame(&mut *stream, text.as_bytes());
-}
-
-/// Per-connection reader: parse frames, enqueue jobs, refuse overload.
-fn reader_loop(shared: &Shared, stream: TcpStream) {
-    let Ok(mut read_half) = stream.try_clone() else { return };
-    let out = Arc::new(Mutex::new(stream));
-    loop {
-        match read_frame(&mut read_half) {
-            Ok(None) => break,
-            Ok(Some(payload)) => match parse_request(&payload) {
-                Ok(env) => {
-                    let id = env.id;
-                    let job = Job {
-                        id,
-                        deadline_ms: env.deadline_ms,
-                        body: env.body,
-                        enqueued: Instant::now(),
-                        out: Arc::clone(&out),
-                    };
-                    if let Err(e) = shared.queue.try_push(job) {
-                        if e == PushError::Full {
-                            shared.counters.lock().unwrap().rejects_busy += 1;
-                        }
-                        respond(shared, &out, id, &Response::Busy);
-                    }
-                }
-                Err(message) => {
-                    respond(shared, &out, None, &Response::Error { message });
-                }
-            },
-            Err(FrameError::Oversized(n)) => {
-                // The payload was never read, so the stream is no longer
-                // at a frame boundary: answer, then drop the connection.
-                let message = format!(
-                    "frame length {n} exceeds maximum {}",
-                    crate::protocol::MAX_FRAME
-                );
-                respond(shared, &out, None, &Response::Error { message });
-                break;
-            }
-            Err(FrameError::Io(_)) => break,
-        }
-    }
-}
-
-/// Worker: pop, enforce the queue-wait deadline, dispatch, respond.
+/// Worker: pop, enforce the queue-wait deadline, dispatch, complete.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         if let Some(d) = job.deadline_ms {
             if job.enqueued.elapsed() >= Duration::from_millis(d) {
                 shared.counters.lock().unwrap().rejects_deadline += 1;
                 let message = format!("deadline of {d}ms expired while queued");
-                respond(shared, &job.out, job.id, &Response::Error { message });
+                complete(shared, job.token, job.id, &Response::Error { message }, false);
                 continue;
             }
         }
@@ -422,19 +929,22 @@ fn worker_loop(shared: &Shared) {
             c.count_request(type_name);
             c.queue_depth_hwm = c.queue_depth_hwm.max(shared.queue.high_water_mark() as u64);
         }
-        respond(shared, &job.out, job.id, &resp);
-        if matches!(job.body, Request::Shutdown) {
-            // Queue already closed in `handle`; wake the acceptor so the
-            // accept loop observes the flag and stops.
-            break_acceptor(shared);
-        }
+        complete(shared, job.token, job.id, &resp, matches!(job.body, Request::Shutdown));
     }
 }
 
-/// Wakes the acceptor (blocked in `accept`) with a throwaway loopback
-/// connection so it observes the shutdown flag.
-fn break_acceptor(shared: &Shared) {
-    let _ = TcpStream::connect_timeout(&shared.listen_addr, Duration::from_millis(200));
+/// Hands one rendered response back to the event loop and wakes it.
+fn complete(shared: &Shared, token: u64, id: Option<u64>, resp: &Response, shutdown: bool) {
+    if matches!(resp, Response::Error { .. }) {
+        shared.counters.lock().unwrap().errors += 1;
+    }
+    let text = render_response(id, resp);
+    shared
+        .completions
+        .lock()
+        .unwrap()
+        .push(Completion { token, bytes: text.into_bytes(), shutdown });
+    shared.waker.wake();
 }
 
 /// How many times a cancellable module query is restarted after being
@@ -536,7 +1046,7 @@ fn handle(shared: &Shared, req: &Request) -> Response {
             let mut server = shared.counters.lock().unwrap().clone();
             server.queue_depth_hwm =
                 server.queue_depth_hwm.max(shared.queue.high_water_mark() as u64);
-            Response::Stats { corpus: shared.corpus.stats(), server }
+            Response::Stats { corpus: Box::new(shared.corpus.stats()), server: Box::new(server) }
         }
         Request::Ping => Response::Pong,
         Request::Sleep { ms } => {
@@ -556,6 +1066,6 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<()> {
     let server = Server::bind(cfg)?;
     let addr = server.local_addr()?;
     let mut err = std::io::stderr();
-    let _ = writeln!(err, "f3m-serve: listening on {addr}");
+    let _ = writeln!(err, "f3m-serve: listening on {addr} ({})", server.poller_backend());
     server.run()
 }

@@ -1,0 +1,206 @@
+//! Chaos and disconnect tests: clients die mid-frame, mid-response, and
+//! mid-drain, and the daemon must shrug — no panics, no wedged event
+//! loop, no stuck threads, artefacts still flushed on shutdown.
+//!
+//! Every test ends with `join_within`, so a daemon that deadlocks fails
+//! the test instead of hanging the suite.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use f3m_serve::protocol::{render_request, Request, RequestEnvelope};
+use f3m_serve::{Client, PollerKind, ServeConfig, Server};
+
+fn start(cfg: ServeConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn quick() -> ServeConfig {
+    ServeConfig { jobs: 2, shards: 4, ..ServeConfig::default() }
+}
+
+/// Joins the daemon thread with a deadline — the "no stuck threads"
+/// oracle. Panics with a diagnostic if the daemon does not exit in time.
+fn join_within(h: JoinHandle<std::io::Result<()>>, deadline: Duration) {
+    let t0 = Instant::now();
+    while !h.is_finished() {
+        assert!(
+            t0.elapsed() < deadline,
+            "daemon did not shut down within {deadline:?} — stuck thread"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    h.join().expect("daemon thread must not panic").expect("daemon run() must return Ok");
+}
+
+fn shutdown(addr: SocketAddr) {
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    c.call_expect(Request::Shutdown, "bye").unwrap();
+}
+
+fn framed(body: Request) -> Vec<u8> {
+    let text = render_request(&RequestEnvelope::of(body));
+    let mut out = (text.len() as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Clients that vanish mid-frame (a few prefix bytes, half a payload)
+/// leave no residue: later clients are served normally.
+#[test]
+fn death_mid_frame_does_not_wedge_the_daemon() {
+    let (addr, h) = start(quick());
+    for cut in [1usize, 2, 3, 4, 9] {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let bytes = framed(Request::Stats);
+        s.write_all(&bytes[..cut.min(bytes.len() - 1)]).unwrap();
+        drop(s); // dead mid-frame
+    }
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    c.call_expect(Request::Ping, "pong").unwrap();
+    shutdown(addr);
+    join_within(h, Duration::from_secs(20));
+}
+
+/// A client that sends a request and dies before reading the response:
+/// the worker still runs the job, the completion finds the connection
+/// gone, and nothing leaks.
+#[test]
+fn death_mid_response_drops_the_answer_not_the_server() {
+    let (addr, h) = start(quick());
+    for _ in 0..5 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&framed(Request::Sleep { ms: 30 })).unwrap();
+        drop(s); // dead before the response exists
+    }
+    // Give the sleeps time to complete against dead sockets.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    let stats = c.call_expect(Request::Stats, "stats").unwrap();
+    let slept = stats
+        .get("server")
+        .and_then(|s| s.get("requests"))
+        .and_then(|r| r.get("sleep"))
+        .and_then(f3m_trace::Json::as_u64)
+        .unwrap();
+    assert_eq!(slept, 5, "jobs for dead clients still run to completion");
+    shutdown(addr);
+    join_within(h, Duration::from_secs(20));
+}
+
+/// Clients that are mid-pipeline when `shutdown` lands: accepted work
+/// drains, the shutdown client gets `bye`, and a client that dies during
+/// the drain doesn't stall it.
+#[test]
+fn death_mid_drain_does_not_stall_shutdown() {
+    let (addr, h) = start(ServeConfig { jobs: 1, ..quick() });
+    // A victim pipelines slow work and dies immediately.
+    let mut victim = TcpStream::connect(addr).unwrap();
+    for _ in 0..3 {
+        victim.write_all(&framed(Request::Sleep { ms: 50 })).unwrap();
+    }
+    drop(victim);
+    // A survivor pipelines a ping, then shutdown.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    c.send_frame(render_request(&RequestEnvelope::of(Request::Ping)).as_bytes()).unwrap();
+    c.send_frame(render_request(&RequestEnvelope::of(Request::Shutdown)).as_bytes()).unwrap();
+    let first = c.recv_frame().unwrap().expect("ping answered during drain");
+    assert!(String::from_utf8(first).unwrap().contains("\"pong\""));
+    let second = c.recv_frame().unwrap().expect("shutdown answered");
+    assert!(String::from_utf8(second).unwrap().contains("\"bye\""));
+    join_within(h, Duration::from_secs(30));
+}
+
+/// Graceful shutdown still flushes the metrics artefact when chaos
+/// clients died earlier in the daemon's life.
+#[test]
+fn artefacts_flush_after_chaos() {
+    let dir = std::env::temp_dir().join(format!("f3m_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("chaos_metrics.json");
+    let (addr, h) = start(ServeConfig {
+        metrics_path: Some(metrics_path.clone()),
+        ..quick()
+    });
+    let mut s = TcpStream::connect(addr).unwrap();
+    let bytes = framed(Request::Ping);
+    s.write_all(&bytes[..3]).unwrap();
+    drop(s);
+    shutdown(addr);
+    join_within(h, Duration::from_secs(20));
+    let dump = std::fs::read_to_string(&metrics_path).expect("metrics artefact written");
+    for key in ["serve.conns_total", "serve.frames_reassembled", "serve.readiness_wakeups"] {
+        assert!(dump.contains(key), "metrics artefact missing `{key}`:\n{dump}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A slowloris connection (incomplete frame, no progress) is reaped by
+/// the read-deadline sweep and counted in `slow_closes`, while a healthy
+/// connection on the same daemon is untouched.
+#[test]
+fn slowloris_is_reaped_and_counted() {
+    let (addr, h) = start(ServeConfig { read_deadline_ms: 150, ..quick() });
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    loris.write_all(&[0, 0]).unwrap(); // two bytes of prefix, forever
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    // Wait out the deadline; the healthy connection stays alive because
+    // idle_timeout is far longer.
+    std::thread::sleep(Duration::from_millis(400));
+    let stats = c.call_expect(Request::Stats, "stats").unwrap();
+    let slow = stats
+        .get("server")
+        .and_then(|s| s.get("slow_closes"))
+        .and_then(f3m_trace::Json::as_u64)
+        .unwrap();
+    assert!(slow >= 1, "slowloris connection should have been reaped (slow_closes={slow})");
+    // The loris socket is dead from the server side.
+    let mut buf = [0u8; 1];
+    use std::io::Read;
+    assert_eq!(loris.read(&mut buf).unwrap_or(0), 0, "server should have closed the loris");
+    shutdown(addr);
+    join_within(h, Duration::from_secs(20));
+}
+
+/// The portable fallback poller serves the same protocol (a smoke that
+/// non-Linux builds aren't broken by construction).
+#[test]
+fn fallback_poller_serves_requests() {
+    let (addr, h) = start(ServeConfig { poller: PollerKind::Fallback, ..quick() });
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    c.call_expect(Request::Ping, "pong").unwrap();
+    c.call_expect(Request::Stats, "stats").unwrap();
+    shutdown(addr);
+    join_within(h, Duration::from_secs(20));
+}
+
+/// EOF from a client with responses still buffered: the daemon flushes
+/// what it owes before reaping (half-close handling).
+#[test]
+fn half_close_still_receives_pipelined_responses() {
+    let (addr, h) = start(quick());
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    for _ in 0..4 {
+        c.send_frame(render_request(&RequestEnvelope::of(Request::Ping)).as_bytes()).unwrap();
+    }
+    c.shutdown_write().unwrap(); // EOF before reading anything
+    for i in 0..4 {
+        let frame = c.recv_frame().unwrap().unwrap_or_else(|| panic!("response {i} after EOF"));
+        assert!(String::from_utf8(frame).unwrap().contains("\"pong\""));
+    }
+    assert!(c.recv_frame().unwrap().is_none(), "clean close after the owed responses");
+    shutdown(addr);
+    join_within(h, Duration::from_secs(20));
+}

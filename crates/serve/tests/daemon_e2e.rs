@@ -279,10 +279,12 @@ fn responses_are_byte_identical_across_worker_counts() {
     }
 
     let serial = scenario(1);
-    let parallel = scenario(8);
-    assert_eq!(serial.len(), parallel.len());
-    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
-        assert_eq!(a, b, "response {i} differs between --jobs 1 and --jobs 8");
+    for jobs in [2, 8] {
+        let parallel = scenario(jobs);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a, b, "response {i} differs between --jobs 1 and --jobs {jobs}");
+        }
     }
 }
 

@@ -1,0 +1,253 @@
+//! Fairness, admission-control, and backpressure-observability tests:
+//! a flooding client must not starve a polite one, sheds must be
+//! charged to the flooder and carry usable context (queue depth, a
+//! monotone shed sequence), and a `busy` refusal must be retryable once
+//! the queue drains.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use f3m_serve::protocol::{render_request, Request, RequestEnvelope};
+use f3m_serve::{Admission, AdmissionConfig, Client, LoadSnapshot, Response, ServeConfig, Server};
+use f3m_trace::Json;
+
+fn start(cfg: ServeConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn join_within(h: JoinHandle<std::io::Result<()>>, deadline: Duration) {
+    let t0 = Instant::now();
+    while !h.is_finished() {
+        assert!(t0.elapsed() < deadline, "daemon did not shut down within {deadline:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    h.join().unwrap().unwrap();
+}
+
+fn shutdown(addr: SocketAddr) {
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    c.call_expect(Request::Shutdown, "bye").unwrap();
+}
+
+/// One flooding client pipelines far past its in-flight cap while a
+/// polite client does synchronous pings: the polite client's p99 stays
+/// bounded and every shed lands on the flooder.
+#[test]
+fn flooder_is_shed_and_polite_client_stays_fast() {
+    let (addr, h) = start(ServeConfig {
+        jobs: 1,
+        queue_cap: 64,
+        admission: AdmissionConfig { max_inflight_per_conn: 4, ..AdmissionConfig::default() },
+        ..ServeConfig::default()
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flooder_stop = Arc::clone(&stop);
+    let flooder = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        let frame = render_request(&RequestEnvelope::of(Request::Sleep { ms: 2 }));
+        let mut sent = 0usize;
+        let mut sheds = 0usize;
+        let mut answered = 0usize;
+        // Pipeline bursts of 32 against a cap of 4, then drain.
+        while !flooder_stop.load(Ordering::Relaxed) {
+            for _ in 0..32 {
+                if c.send_frame(frame.as_bytes()).is_err() {
+                    return (sent, answered, sheds);
+                }
+                sent += 1;
+            }
+            for _ in 0..32 {
+                match c.recv_frame() {
+                    Ok(Some(raw)) => {
+                        answered += 1;
+                        if String::from_utf8_lossy(&raw).contains("\"overloaded\"") {
+                            sheds += 1;
+                        }
+                    }
+                    _ => return (sent, answered, sheds),
+                }
+            }
+        }
+        (sent, answered, sheds)
+    });
+
+    // Polite client: synchronous pings, latency recorded.
+    let mut polite = Client::connect(addr).unwrap();
+    polite.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut lat = Vec::with_capacity(200);
+    for _ in 0..200 {
+        let t0 = Instant::now();
+        polite.call_expect(Request::Ping, "pong").expect("polite ping must never be refused");
+        lat.push(t0.elapsed());
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (sent, answered, flooder_sheds) = flooder.join().unwrap();
+    assert_eq!(sent, answered, "every pipelined frame got exactly one response");
+
+    lat.sort();
+    let p99 = lat[lat.len() * 99 / 100 - 1];
+    // Generous bound: each ping waits at most a handful of 2ms sleeps
+    // (flooder's in-flight cap), not the whole flood.
+    assert!(
+        p99 < Duration::from_millis(500),
+        "polite p99 {p99:?} unbounded — fairness broken (flooder sheds: {flooder_sheds})"
+    );
+    assert!(
+        flooder_sheds > 0,
+        "flooder pipelined 32-deep against a cap of 4 and was never shed"
+    );
+
+    // Sheds were charged to the flooder: the polite client saw zero
+    // (asserted by call_expect above) and the daemon counted them.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    let stats = c.call_expect(Request::Stats, "stats").unwrap();
+    let counted =
+        stats.get("server").and_then(|s| s.get("sheds")).and_then(Json::as_u64).unwrap();
+    assert_eq!(counted as usize, flooder_sheds, "daemon's shed count matches the flooder's");
+    shutdown(addr);
+    join_within(h, Duration::from_secs(30));
+}
+
+/// `overloaded` responses carry queue depth, in-flight, a monotone shed
+/// sequence, and a retry hint.
+#[test]
+fn overloaded_sheds_carry_context_and_monotone_sequence() {
+    let (addr, h) = start(ServeConfig {
+        jobs: 1,
+        queue_cap: 64,
+        admission: AdmissionConfig { max_inflight_per_conn: 1, ..AdmissionConfig::default() },
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // One slow job occupies the single in-flight slot; everything
+    // pipelined behind it is shed.
+    let slow = render_request(&RequestEnvelope::of(Request::Sleep { ms: 150 }));
+    let ping = render_request(&RequestEnvelope::of(Request::Ping));
+    c.send_frame(slow.as_bytes()).unwrap();
+    for _ in 0..3 {
+        c.send_frame(ping.as_bytes()).unwrap();
+    }
+    let mut shed_seqs = Vec::new();
+    let mut answered = 0;
+    for _ in 0..4 {
+        let raw = c.recv_frame().unwrap().expect("response");
+        let v = f3m_serve::protocol::parse_response(&raw).unwrap();
+        match v.get("type").and_then(Json::as_str).unwrap() {
+            "overloaded" => {
+                assert!(v.get("queue_depth").and_then(Json::as_u64).is_some());
+                assert!(v.get("in_flight").and_then(Json::as_u64).is_some());
+                let hint = v.get("retry_after_ms").and_then(Json::as_u64).unwrap();
+                assert!(hint >= 1, "retry hint must be positive");
+                shed_seqs.push(v.get("shed_seq").and_then(Json::as_u64).unwrap());
+            }
+            "slept" | "pong" => answered += 1,
+            other => panic!("unexpected response type `{other}`"),
+        }
+    }
+    // Sheds happen while the slow job holds the slot; the event loop
+    // parses the pipelined pings long before 150ms elapse.
+    assert!(!shed_seqs.is_empty(), "expected at least one shed");
+    assert!(answered >= 1, "the slow job itself is answered");
+    for w in shed_seqs.windows(2) {
+        assert!(w[1] > w[0], "shed_seq must be strictly monotone: {shed_seqs:?}");
+    }
+    shutdown(addr);
+    join_within(h, Duration::from_secs(30));
+}
+
+/// `busy` (queue literally full) carries queue depth and shed sequence,
+/// and the same request retried after the queue drains succeeds — the
+/// satellite's "deterministic and observable backpressure" contract.
+#[test]
+fn busy_carries_context_and_retry_after_drain_succeeds() {
+    let (addr, h) = start(ServeConfig {
+        jobs: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Fill: one executing sleep + one queued sleep, then a burst that
+    // must see `busy`.
+    let slow = render_request(&RequestEnvelope::of(Request::Sleep { ms: 120 }));
+    let ping = render_request(&RequestEnvelope::of(Request::Ping));
+    c.send_frame(slow.as_bytes()).unwrap();
+    c.send_frame(slow.as_bytes()).unwrap();
+    for _ in 0..6 {
+        c.send_frame(ping.as_bytes()).unwrap();
+    }
+    let mut busy_seen = 0;
+    let mut last_seq = 0;
+    for _ in 0..8 {
+        let raw = c.recv_frame().unwrap().expect("response");
+        let v = f3m_serve::protocol::parse_response(&raw).unwrap();
+        if v.get("type").and_then(Json::as_str) == Some("busy") {
+            busy_seen += 1;
+            let depth = v.get("queue_depth").and_then(Json::as_u64).unwrap();
+            assert!(depth >= 1, "busy with an empty queue makes no sense");
+            let seq = v.get("shed_seq").and_then(Json::as_u64).unwrap();
+            assert!(seq > last_seq, "shed_seq monotone across busy refusals");
+            last_seq = seq;
+        }
+    }
+    assert!(busy_seen >= 1, "queue_cap=1 with pipelined sleeps must produce busy");
+    // Retry after drain: the same ping now succeeds.
+    polite_retry(&mut c);
+    shutdown(addr);
+    join_within(h, Duration::from_secs(30));
+}
+
+fn polite_retry(c: &mut Client) {
+    // The two sleeps are done (they were answered above); the queue is
+    // empty, so a retry is admitted.
+    c.call_expect(Request::Ping, "pong").expect("retry after drain must succeed");
+}
+
+/// The admission controller is a pure function of the load snapshot —
+/// scripted directly, no sockets (this is also what the regression gate
+/// runs to pin shed behaviour).
+#[test]
+fn admission_decisions_are_deterministic() {
+    let cfg = AdmissionConfig {
+        queue_shed_depth: 4,
+        max_inflight_global: 8,
+        max_inflight_per_conn: 2,
+        retry_after_ms: 25,
+    };
+    let mut a = Admission::new(cfg);
+    let admit = LoadSnapshot { queue_depth: 0, global_inflight: 0, conn_inflight: 0 };
+    assert!(a.admit(admit).is_none());
+    let per_conn = LoadSnapshot { queue_depth: 0, global_inflight: 0, conn_inflight: 2 };
+    let Some(Response::Overloaded { shed_seq, retry_after_ms, .. }) = a.admit(per_conn) else {
+        panic!("per-conn cap must shed");
+    };
+    assert_eq!(shed_seq, 1);
+    assert_eq!(retry_after_ms, 25);
+    let deep_queue = LoadSnapshot { queue_depth: 4, global_inflight: 1, conn_inflight: 0 };
+    let Some(Response::Overloaded { shed_seq, queue_depth, retry_after_ms, .. }) =
+        a.admit(deep_queue)
+    else {
+        panic!("queue depth threshold must shed");
+    };
+    assert_eq!((shed_seq, queue_depth, retry_after_ms), (2, 4, 29));
+    let global = LoadSnapshot { queue_depth: 0, global_inflight: 8, conn_inflight: 0 };
+    assert!(a.admit(global).is_some(), "global in-flight threshold must shed");
+    // `busy` draws from the same sequence.
+    let Response::Busy { shed_seq, queue_depth } = a.busy(3) else { panic!("busy") };
+    assert_eq!((shed_seq, queue_depth), (4, 3));
+    assert_eq!(a.shed_seq(), 4);
+    // Disabled thresholds never shed below the per-conn cap.
+    let mut permissive = Admission::new(AdmissionConfig::default());
+    let heavy = LoadSnapshot { queue_depth: 10_000, global_inflight: 10_000, conn_inflight: 63 };
+    assert!(permissive.admit(heavy).is_none(), "defaults must be permissive");
+}

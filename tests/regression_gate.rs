@@ -40,7 +40,91 @@ fn collect_metrics() -> MetricsRegistry {
         report.export_metrics(&mut reg, prefix);
     }
     collect_incremental_metrics(&mut reg);
+    collect_serve_metrics(&mut reg);
     reg
+}
+
+/// Deterministic serving scenario: one daemon, one synchronous client,
+/// a fixed request sequence. The connection and frame counters the
+/// daemon reports for this sequence are pure work counts (exactly one
+/// connection, exactly these frames), so they gate like everything
+/// else — an event-loop change that starts double-counting frames or
+/// leaking connections trips the band. The admission controller is
+/// additionally scripted directly (no sockets) to pin shed behaviour.
+fn collect_serve_metrics(reg: &mut MetricsRegistry) {
+    use f3m::serve::{protocol::Request, Client, ServeConfig, Server};
+
+    let server =
+        Server::bind(ServeConfig { jobs: 1, shards: 4, ..ServeConfig::default() }).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(std::time::Duration::from_secs(60))).unwrap();
+
+    let mut spec = f3m::workloads::mini_suite()[0].clone();
+    spec.functions = 24;
+    spec.seed = 400;
+    let mut m = build_module(&spec);
+    m.name = "gate_serve".to_string();
+    c.call_expect(Request::Ping, "pong").unwrap();
+    c.call_expect(
+        Request::Ingest { name: None, ir: f3m::ir::printer::print_module(&m) },
+        "ingested",
+    )
+    .unwrap();
+    c.call_expect(
+        Request::Query { module: "gate_serve".into(), func: None, k: 4, if_epoch: None },
+        "candidates",
+    )
+    .unwrap();
+    let stats = c.call_expect(Request::Stats, "stats").unwrap();
+    let server_counter = |key: &str| -> u64 {
+        stats
+            .get("server")
+            .and_then(|s| s.get(key))
+            .and_then(f3m::trace::Json::as_u64)
+            .unwrap_or_else(|| panic!("stats response carries `{key}`"))
+    };
+    for (name, v) in [
+        ("serve.conns_open", server_counter("conns_open")),
+        ("serve.conns_total", server_counter("conns_total")),
+        ("serve.frames_reassembled", server_counter("frames_reassembled")),
+        ("serve.sheds", server_counter("sheds")),
+    ] {
+        let counter = reg.counter(name, "count", true);
+        reg.set(counter, v);
+    }
+    c.call_expect(Request::Shutdown, "bye").unwrap();
+    handle.join().unwrap().expect("clean shutdown");
+
+    // Scripted admission: a fixed load trajectory through the pure
+    // controller. The decision sequence (and therefore the shed count)
+    // is deterministic; a threshold-semantics change moves it.
+    use f3m::serve::{Admission, AdmissionConfig, LoadSnapshot};
+    let mut admission = Admission::new(AdmissionConfig {
+        queue_shed_depth: 8,
+        max_inflight_global: 12,
+        max_inflight_per_conn: 4,
+        retry_after_ms: 25,
+    });
+    let mut admitted = 0u64;
+    for step in 0..32u64 {
+        let load = LoadSnapshot {
+            queue_depth: (step % 11) as usize,
+            global_inflight: (step % 14) as usize,
+            conn_inflight: (step % 5) as usize,
+        };
+        if admission.admit(load).is_none() {
+            admitted += 1;
+        }
+    }
+    for (name, v) in [
+        ("serve.admission.admitted", admitted),
+        ("serve.admission.sheds", admission.shed_seq()),
+    ] {
+        let counter = reg.counter(name, "count", true);
+        reg.set(counter, v);
+    }
 }
 
 /// Deterministic incremental-recompute scenario: two resident modules,
@@ -152,6 +236,13 @@ fn tolerance_for(name: &str) -> Tolerance {
         // is a banded quantity (a granularity regression blows well past
         // 15 %); hit/miss totals for the fixed sweep sequence likewise.
         "memo_hits" | "memo_misses" | "funcs_invalidated" => Tolerance { rel: 0.15, abs: 8.0 },
+        // Serving counters for the fixed one-client scenario and the
+        // scripted admission trajectory are exact work counts: one
+        // connection, a known frame sequence, a deterministic decision
+        // sequence. Any drift is a semantic change, not noise.
+        "conns_open" | "conns_total" | "frames_reassembled" | "sheds" | "admitted" => {
+            Tolerance::exact()
+        }
         // Everything else (pairs, merges, waves, cache counters, rejects).
         _ => Tolerance { rel: 0.10, abs: 4.0 },
     }
