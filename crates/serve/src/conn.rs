@@ -78,6 +78,10 @@ pub struct Connection {
     /// Set when the server decided to drop the peer after the current
     /// outbox flushes (oversized frame, shed-and-close policies).
     pub close_after_flush: bool,
+    /// When `close_after_flush` was first requested — bounds how long a
+    /// peer that refuses to read its final response can keep the
+    /// connection alive.
+    pub closing_since: Option<Instant>,
     /// Whether the poller currently has writable interest registered.
     pub writable_interest: bool,
     /// Last moment bytes moved in either direction (idle tracking).
@@ -99,9 +103,19 @@ impl Connection {
             sheds: 0,
             read_closed: false,
             close_after_flush: false,
+            closing_since: None,
             writable_interest: false,
             last_activity: now,
             partial_since: None,
+        }
+    }
+
+    /// Marks the connection for drop-after-flush and starts the clock
+    /// that bounds how long the final flush may take.
+    pub fn request_close(&mut self, now: Instant) {
+        self.close_after_flush = true;
+        if self.closing_since.is_none() {
+            self.closing_since = Some(now);
         }
     }
 

@@ -334,7 +334,12 @@ impl Server {
             workers.push(std::thread::spawn(move || worker_loop(&shared)));
         }
         let result = EventLoop::new(&cfg, &shared, listener, poller, waker_source).run();
-        // `shutdown` closed the queue; workers finish the residue.
+        // Normally `shutdown` already closed the queue; if the event
+        // loop died early (poller failure) close it here so workers
+        // blocked in `pop` drain the residue and exit instead of
+        // hanging the join below. `close` is idempotent.
+        shared.shutting_down.store(true, Ordering::Release);
+        shared.queue.close();
         for w in workers {
             let _ = w.join();
         }
@@ -447,8 +452,11 @@ impl<'a> EventLoop<'a> {
     }
 
     /// Unparsed complete frames are waiting in some connection buffer.
+    /// Connections already marked close-after-flush never parse again,
+    /// so their residue is not a backlog (counting it would pin the
+    /// poller at zero-timeout waits forever).
     fn has_parse_backlog(&self) -> bool {
-        self.conns.values().any(|c| c.has_complete_frame(MAX_FRAME))
+        self.conns.values().any(|c| !c.close_after_flush && c.has_complete_frame(MAX_FRAME))
     }
 
     fn accept_ready(&mut self, now: Instant) {
@@ -493,12 +501,19 @@ impl<'a> EventLoop<'a> {
                 FillOutcome::Eof => conn.read_closed = true,
                 FillOutcome::Broken => {
                     conn.read_closed = true;
-                    conn.close_after_flush = true;
+                    conn.request_close(now);
                 }
             }
         }
-        if ev.writable && conn.flush(now).is_err() {
-            self.drop_conn(token);
+        if ev.writable {
+            // A full drain must drop writable interest, or a
+            // level-triggered poller reports this socket writable on
+            // every wait and the loop busy-spins.
+            match conn.flush(now) {
+                Ok(true) => self.set_writable_interest(token, false),
+                Ok(false) => {}
+                Err(_) => self.drop_conn(token),
+            }
         }
     }
 
@@ -529,7 +544,7 @@ impl<'a> EventLoop<'a> {
                         let message = format!("frame length {len} exceeds maximum {MAX_FRAME}");
                         self.respond_inline(token, None, &Response::Error { message }, now);
                         if let Some(conn) = self.conns.get_mut(&token) {
-                            conn.close_after_flush = true;
+                            conn.request_close(now);
                         }
                         break;
                     }
@@ -636,12 +651,16 @@ impl<'a> EventLoop<'a> {
         let done: Vec<Completion> =
             std::mem::take(&mut *self.shared.completions.lock().unwrap());
         for completion in done {
-            self.global_inflight = self.global_inflight.saturating_sub(1);
             if completion.shutdown {
                 self.begin_shutdown();
                 self.drain_started = Some(now);
             }
             if let Some(conn) = self.conns.get_mut(&completion.token) {
+                // Orphaned jobs (connection already dropped) were given
+                // back to `global_inflight` wholesale in `drop_conn`;
+                // decrementing them again here would undercount and
+                // weaken `max_inflight_global` admission.
+                self.global_inflight = self.global_inflight.saturating_sub(1);
                 conn.in_flight = conn.in_flight.saturating_sub(1);
                 conn.push_response(&completion.bytes);
             }
@@ -673,6 +692,18 @@ impl<'a> EventLoop<'a> {
         let idle_timeout = Duration::from_millis(self.cfg.idle_timeout_ms);
         let mut victims = Vec::new();
         for (&token, conn) in &self.conns {
+            // A connection we already decided to drop gets a bounded
+            // window to accept its final response; a peer that stops
+            // reading cannot pin it (it is exempt from the idle and
+            // slowloris sweeps below and never parses again).
+            if conn.close_after_flush {
+                if let Some(since) = conn.closing_since {
+                    if now.duration_since(since) >= DRAIN_FLUSH_DEADLINE {
+                        victims.push(token);
+                        continue;
+                    }
+                }
+            }
             if self.cfg.read_deadline_ms > 0 {
                 if let Some(since) = conn.partial_since {
                     // A complete frame waiting its fairness turn is a

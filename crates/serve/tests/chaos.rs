@@ -172,6 +172,58 @@ fn slowloris_is_reaped_and_counted() {
     join_within(h, Duration::from_secs(20));
 }
 
+/// A client that floods pipelined requests, tails them with an oversized
+/// frame, and then never reads: the close-after-flush connection must be
+/// resolved within a bounded window (reaped once its outbox flushes, or
+/// dropped by the flush deadline if the peer's refusal to read leaves it
+/// unflushable) — it must not pin the event loop or survive shutdown.
+#[test]
+fn oversized_nonreader_is_resolved_within_deadline() {
+    let (addr, h) = start(quick());
+    let mut loris = TcpStream::connect(addr).unwrap();
+    // Enough responses (pongs, sheds, busys) to plausibly overrun the
+    // socket buffers of a peer that never reads.
+    let ping = framed(Request::Ping);
+    let mut burst = Vec::with_capacity(ping.len() * 40_000);
+    for _ in 0..40_000 {
+        burst.extend_from_slice(&ping);
+    }
+    loris.write_all(&burst).unwrap();
+    // Oversized length prefix: the server answers with an error and
+    // marks the connection close-after-flush.
+    loris.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    // The loris never reads. Within the flush-deadline window the server
+    // must have resolved the connection: either it flushed and was
+    // reaped (conns drop) or the deadline sweep charged a slow close.
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let resolved = loop {
+        // The flood may answer `busy` while the queue is saturated;
+        // only a well-formed stats response advances the check.
+        let reply = c.call(Request::Stats).unwrap();
+        if reply.get("type").and_then(f3m_trace::Json::as_str) == Some("stats") {
+            let server = reply.get("server").unwrap();
+            let slow = server.get("slow_closes").and_then(f3m_trace::Json::as_u64).unwrap();
+            let open = server.get("conns_open").and_then(f3m_trace::Json::as_u64).unwrap();
+            // Two live conns are the loris and this stats client.
+            if slow >= 1 || open <= 1 {
+                break true;
+            }
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(resolved, "oversized non-reading connection was never resolved");
+    // The daemon stayed responsive throughout and shuts down cleanly.
+    c.call_expect(Request::Ping, "pong").unwrap();
+    drop(loris);
+    shutdown(addr);
+    join_within(h, Duration::from_secs(20));
+}
+
 /// The portable fallback poller serves the same protocol (a smoke that
 /// non-Linux builds aren't broken by construction).
 #[test]
