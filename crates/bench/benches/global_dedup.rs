@@ -1,0 +1,238 @@
+//! `global_dedup`: cross-module vs per-module merging economics.
+//!
+//! Builds two corpora and merges each both ways:
+//!
+//! - **per-module baseline** — every module runs the ordinary F3M pass
+//!   (`run_pass`, `PassConfig::f3m()`) in isolation; savings are summed,
+//! - **global** — the same pristine modules are ingested into a resident
+//!   corpus and merged by the two-phase [`GlobalMergePlanner`], which can
+//!   additionally fold twins that live in *different* modules.
+//!
+//! Workloads:
+//!
+//! - **multi-module** — several mini-suite modules where a subset shares
+//!   the generator seed, so function families are twinned across module
+//!   boundaries. Per-module merging is structurally blind to those twins,
+//!   so the bench *asserts* the global plan saves strictly more bytes.
+//! - **chrome-scale** — the Table I `chrome-scale` spec scaled down
+//!   (the verification phase runs interpreter differentials per merge,
+//!   so the 120k-function original is out of reach) and split into three
+//!   translation-unit-like modules, two twinned and one fresh.
+//!
+//! Results go to `results/BENCH_global.json`; `--smoke` shrinks both
+//! workloads for CI, `--full` grows them.
+
+use std::time::Instant;
+
+use f3m_core::corpus::{Corpus, CorpusConfig};
+use f3m_core::{run_pass, GlobalMergePlanner, GlobalPlanConfig, PassConfig};
+use f3m_ir::module::Module;
+use f3m_workloads::WorkloadSpec;
+
+fn module_from(spec: &WorkloadSpec, name: &str, seed: u64) -> Module {
+    let mut spec = spec.clone();
+    spec.seed = seed;
+    let mut m = f3m_workloads::build_module(&spec);
+    m.name = name.to_string();
+    m
+}
+
+/// One workload's worth of modules: `modules` instances of `spec`, the
+/// first `twinned` sharing the base seed (cross-module clone families),
+/// the rest seeded fresh (intra-module families only).
+fn module_set(spec: &WorkloadSpec, prefix: &str, modules: usize, twinned: usize) -> Vec<Module> {
+    (0..modules)
+        .map(|i| {
+            let seed = if i < twinned { spec.seed } else { spec.seed + 1000 + i as u64 };
+            module_from(spec, &format!("{prefix}{i}"), seed)
+        })
+        .collect()
+}
+
+struct Outcome {
+    modules: usize,
+    functions: u64,
+    per_module_saved: u64,
+    per_module_size_before: u64,
+    per_module_size_after: u64,
+    per_module_ns: u128,
+    global_saved: u64,
+    global_size_before: u64,
+    global_size_after: u64,
+    global_ns: u128,
+    cross_module_pairs: u64,
+    verified_merges: u64,
+    rolled_back: u64,
+    rounds: u64,
+}
+
+impl Outcome {
+    fn per_module_dedup(&self) -> f64 {
+        self.per_module_saved as f64 / self.per_module_size_before.max(1) as f64
+    }
+    fn global_dedup(&self) -> f64 {
+        self.global_saved as f64 / self.global_size_before.max(1) as f64
+    }
+    fn json(&self, name: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"modules\":{},\"functions\":{},\
+             \"per_module\":{{\"bytes_saved\":{},\"size_before\":{},\"size_after\":{},\
+             \"dedup_rate\":{:.6},\"elapsed_ns\":{}}},\
+             \"global\":{{\"bytes_saved\":{},\"size_before\":{},\"size_after\":{},\
+             \"dedup_rate\":{:.6},\"elapsed_ns\":{},\"cross_module_pairs\":{},\
+             \"verified_merges\":{},\"rolled_back\":{},\"rounds\":{}}},\
+             \"advantage_bytes\":{}}}",
+            self.modules,
+            self.functions,
+            self.per_module_saved,
+            self.per_module_size_before,
+            self.per_module_size_after,
+            self.per_module_dedup(),
+            self.per_module_ns,
+            self.global_saved,
+            self.global_size_before,
+            self.global_size_after,
+            self.global_dedup(),
+            self.global_ns,
+            self.cross_module_pairs,
+            self.verified_merges,
+            self.rolled_back,
+            self.rounds,
+            self.global_saved as i64 - self.per_module_saved as i64,
+        )
+    }
+}
+
+/// Merges `mods` per-module and globally, from the same pristine inputs.
+///
+/// `k` is the global planner's per-function candidate draw. It must
+/// scale with the module count: each resident function competes for
+/// slots against both its in-module clone family and its cross-module
+/// twins, and a draw sized for one module undersamples the other.
+fn run_workload(mods: &[Module], jobs: usize, k: usize) -> Outcome {
+    // Per-module baseline: the ordinary pass, one module at a time.
+    let t0 = Instant::now();
+    let (mut saved, mut before, mut after) = (0u64, 0u64, 0u64);
+    for m in mods {
+        let mut copy = m.clone();
+        let report = run_pass(&mut copy, &PassConfig::f3m());
+        f3m_ir::verify::verify_module(&copy).expect("per-module merged module verifies");
+        saved += report.stats.size_before.saturating_sub(report.stats.size_after);
+        before += report.stats.size_before;
+        after += report.stats.size_after;
+    }
+    let per_module_ns = t0.elapsed().as_nanos();
+
+    // Global: resident corpus over the same pristine modules.
+    let corpus = Corpus::new(CorpusConfig { shards: 4, jobs: 2, ..CorpusConfig::default() });
+    let mut functions = 0u64;
+    for m in mods {
+        functions += corpus.ingest(m.clone()).expect("ingest").functions as u64;
+    }
+    let t0 = Instant::now();
+    let mut cfg = GlobalPlanConfig::default().with_jobs(jobs);
+    cfg.k = k;
+    let planner = GlobalMergePlanner::new(&corpus, cfg);
+    let (report, merged, _epoch) = planner.run().expect("global plan");
+    let global_ns = t0.elapsed().as_nanos();
+    f3m_ir::verify::verify_module(&merged).expect("global merged module verifies");
+
+    let s = &report.stats;
+    Outcome {
+        modules: mods.len(),
+        functions,
+        per_module_saved: saved,
+        per_module_size_before: before,
+        per_module_size_after: after,
+        per_module_ns,
+        global_saved: s.size_before.saturating_sub(s.size_after),
+        global_size_before: s.size_before,
+        global_size_after: s.size_after,
+        global_ns,
+        cross_module_pairs: s.cross_module_pairs,
+        verified_merges: s.verified_merges,
+        rolled_back: s.rolled_back,
+        rounds: s.rounds,
+    }
+}
+
+fn print_outcome(name: &str, o: &Outcome) {
+    println!(
+        "global_dedup/{name}: modules={} functions={}  \
+         per-module {} bytes ({:.1}%) in {:>7.2} ms  \
+         global {} bytes ({:.1}%) in {:>7.2} ms  \
+         cross-module pairs {}  advantage {:+} bytes",
+        o.modules,
+        o.functions,
+        o.per_module_saved,
+        100.0 * o.per_module_dedup(),
+        o.per_module_ns as f64 / 1e6,
+        o.global_saved,
+        100.0 * o.global_dedup(),
+        o.global_ns as f64 / 1e6,
+        o.cross_module_pairs,
+        o.global_saved as i64 - o.per_module_saved as i64,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = std::env::args().any(|a| a == "--full");
+    // (multi-module: modules, twinned, functions; chrome: scale factor)
+    let (mm_modules, mm_twinned, mm_functions, chrome_factor) = if smoke {
+        (3, 2, 12, 0.0002)
+    } else if full {
+        (6, 4, 48, 0.002)
+    } else {
+        (4, 3, 24, 0.0005)
+    };
+    let jobs = 2;
+
+    // Multi-module: mini-suite spec, most modules seed-twinned.
+    let mut mm_spec = f3m_workloads::mini_suite()[0].clone();
+    mm_spec.functions = mm_functions;
+    mm_spec.seed = 4321;
+    let mm_mods = module_set(&mm_spec, "mm", mm_modules, mm_twinned);
+    let mm = run_workload(&mm_mods, jobs, 4 + 2 * mm_modules);
+    print_outcome("multi-module", &mm);
+
+    // The acceptance bar: per-module merging cannot see the twins that
+    // live in different modules, so the global plan must save strictly
+    // more bytes — not merely tie — on this workload.
+    assert!(mm.cross_module_pairs > 0, "multi-module workload must offer cross-module pairs");
+    assert!(
+        mm.global_saved > mm.per_module_saved,
+        "global merging must beat per-module merging on the twinned workload: \
+         global {} <= per-module {}",
+        mm.global_saved,
+        mm.per_module_saved
+    );
+
+    // Chrome-scale (scaled down), split into 3 TU-like modules, 2 twinned.
+    let chrome_spec = f3m_workloads::table1()
+        .into_iter()
+        .find(|s| s.name == "chrome-scale")
+        .expect("chrome-scale spec exists")
+        .scaled(chrome_factor);
+    let chrome_mods = module_set(&chrome_spec, "chrome", 3, 2);
+    let chrome = run_workload(&chrome_mods, jobs, 10);
+    print_outcome("chrome-scale", &chrome);
+    assert!(
+        chrome.global_saved >= chrome.per_module_saved,
+        "global merging must never lose to per-module merging: global {} < per-module {}",
+        chrome.global_saved,
+        chrome.per_module_saved
+    );
+
+    let json = format!(
+        "{{\"smoke\":{smoke},\"workloads\":[{},{}]}}",
+        mm.json("multi-module"),
+        chrome.json("chrome-scale"),
+    );
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join("BENCH_global.json");
+    f3m_trace::write_with_dirs(&out_path, &json).expect("write BENCH_global.json");
+    println!("global_dedup: wrote {}", out_path.display());
+}

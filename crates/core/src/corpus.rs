@@ -177,6 +177,21 @@ pub struct QueryResult {
     pub candidates: Vec<RankedCandidate>,
 }
 
+/// A corpus-global candidate pair drawn from the sharded index, endpoints
+/// in canonical (lexicographic) order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalPair {
+    /// Lexicographically smaller qualified endpoint.
+    pub a: String,
+    /// Lexicographically larger qualified endpoint.
+    pub b: String,
+    /// Estimated similarity (symmetric, so either endpoint's ranking
+    /// reports the same value).
+    pub similarity: f64,
+    /// Whether the endpoints live in different resident modules.
+    pub cross_module: bool,
+}
+
 /// A point-in-time corpus/index snapshot for `stats` responses.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CorpusStats {
@@ -778,6 +793,65 @@ impl Corpus {
             .iter()
             .find(|r| r.live && r.name == name)
             .ok_or_else(|| format!("module `{name}` is not resident"))
+    }
+
+    /// Corpus-global candidate pairs: every live function's top-`k`
+    /// ranked candidates through the memoized [`QueryCache`] path,
+    /// symmetrized, deduped and ordered by similarity descending then
+    /// qualified names ascending. The resulting list is a pure function
+    /// of the live functions and the merge parameters — identical for
+    /// any shard count and across from-scratch rebuilds — which is what
+    /// makes the global merge plan deterministic. Because the rankings
+    /// run through the memo, a repeat call after a mutation recomputes
+    /// only the invalidated band-collision neighborhoods (observable via
+    /// `memo_hits`/`memo_misses` in [`CorpusStats`]).
+    ///
+    /// Returns the pinned epoch alongside the pairs; the whole scan runs
+    /// under one table read lock, so the list is a consistent snapshot at
+    /// that epoch.
+    pub fn global_candidates(&self, k: usize) -> Result<(u64, Vec<GlobalPair>), String> {
+        let epoch = self.index.epoch();
+        let t = self.table.read().unwrap();
+        let mut module_of: HashMap<&str, usize> = HashMap::new();
+        for (mi, rec) in t.modules.iter().enumerate() {
+            if rec.live {
+                for &id in &rec.entry_ids {
+                    module_of.insert(t.entries[id].qualified.as_str(), mi);
+                }
+            }
+        }
+        let mut sims = SimCache::new();
+        let mut best: HashMap<(String, String), (f64, bool)> = HashMap::new();
+        for rec in t.modules.iter().filter(|r| r.live) {
+            for &id in &rec.entry_ids {
+                let res = self.ranked(&t, id, epoch, k, &mut sims);
+                for cand in &res.candidates {
+                    let (a, b) = if res.func <= cand.func {
+                        (res.func.clone(), cand.func.clone())
+                    } else {
+                        (cand.func.clone(), res.func.clone())
+                    };
+                    let cross = module_of.get(a.as_str()) != module_of.get(b.as_str());
+                    best.entry((a, b)).or_insert((cand.similarity, cross));
+                }
+            }
+        }
+        let mut pairs: Vec<GlobalPair> = best
+            .into_iter()
+            .map(|((a, b), (similarity, cross_module))| GlobalPair {
+                a,
+                b,
+                similarity,
+                cross_module,
+            })
+            .collect();
+        pairs.sort_by(|x, y| {
+            y.similarity
+                .total_cmp(&x.similarity)
+                .then_with(|| x.a.cmp(&y.a))
+                .then_with(|| x.b.cmp(&y.b))
+        });
+        Ok((epoch, pairs))
     }
 
     /// Revision stamp of a resident function's fingerprint — the epoch

@@ -1,0 +1,844 @@
+//! Cross-module global merging: the optimistic two-phase engine over the
+//! resident corpus.
+//!
+//! Per-module merging (the classic pass) can only deduplicate functions
+//! that happen to live in the same translation unit. At fleet scale the
+//! big wins sit *across* modules — N build targets each carrying their
+//! own copy of the same helper — which is exactly the shape the corpus's
+//! sharded LSH index already sees globally. Following the optimistic
+//! global function merging recipe, [`GlobalMergePlanner`] runs two
+//! phases:
+//!
+//! 1. **Optimistic phase** — draw candidate pairs from the corpus-global
+//!    index ([`Corpus::global_candidates`]), speculatively align every
+//!    pair in parallel against the pristine combined module, then commit
+//!    greedily in pair-priority order through the same
+//!    [`Committer`] seam the per-module pass uses. Everything the pass
+//!    guarantees (serial commit walk, jobs-count byte-identity) carries
+//!    over.
+//! 2. **Verification phase** — re-check every speculative merge
+//!    globally: a profitability floor over all referencing modules (the
+//!    committed saving already prices call-site rewrites and thunk
+//!    retention corpus-wide), the module verifier, a print→parse
+//!    fixpoint, and an interpreter differential probing each merge's
+//!    thunks and direct callers against the pristine corpus. Losers are
+//!    **rolled back by transactional replay**: they join an excluded-pair
+//!    set and the optimistic phase re-runs from a pristine combined
+//!    module, so an undone merge leaves no ghost state — the final
+//!    corpus is byte-identical to a run that excluded the losers up
+//!    front. The excluded set grows monotonically, so the replay loop
+//!    terminates.
+//!
+//! All [`GlobalStats`] counters are deterministic (no wall clock), so
+//! [`GlobalMergeReport::to_json`] doubles as the determinism key for the
+//! daemon's `global_merge` verb and the regression gate.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use f3m_fingerprint::par::par_map_indexed_with;
+use f3m_interp::oracle::observe;
+use f3m_interp::{Limits, Val};
+use f3m_ir::ids::FuncId;
+use f3m_ir::inst::Opcode;
+use f3m_ir::module::Module;
+use f3m_ir::size::module_size;
+use f3m_ir::types::TypeKind;
+use f3m_ir::value::ValueKind;
+use f3m_trace::MetricsRegistry;
+
+use crate::align::AlignScratch;
+use crate::block_pairing::{plan_blocks_with, BlockPartsCache, PairPlan};
+use crate::codegen::MergeConfig;
+use crate::commit::{fixed_overhead, Committer};
+use crate::corpus::{Corpus, GlobalPair};
+use crate::report::json_f64;
+
+/// Deterministic integer salts for the differential probes. Each probe
+/// calls an entry point with per-parameter values derived from one salt,
+/// in both the pristine and the merged corpus, and compares the folded
+/// [`Observation`](f3m_interp::oracle::Observation)s.
+const PROBE_SALTS: [i64; 3] = [0, 7, -9];
+
+/// Configuration of a [`GlobalMergePlanner`] run.
+#[derive(Clone, Debug)]
+pub struct GlobalPlanConfig {
+    /// Code-generation options forwarded to the committer.
+    pub merge: MergeConfig,
+    /// Worker threads for the speculative alignment fan-out. Any value
+    /// produces the same merged module and report.
+    pub jobs: usize,
+    /// Candidates drawn per resident function from the global index.
+    pub k: usize,
+    /// Verification-phase profitability floor: a surviving merge must
+    /// save at least this many bytes across all referencing modules.
+    pub min_profit: i64,
+    /// Execution limits for the differential probes.
+    pub limits: Limits,
+    /// Replay-round safety bound (the excluded set grows every round, so
+    /// the loop converges long before this in practice).
+    pub max_rounds: usize,
+    /// Pairs (qualified names, either order) excluded before the first
+    /// optimistic round — the rollback-soundness test replays a run with
+    /// its losers pre-excluded through this.
+    pub excluded: Vec<(String, String)>,
+}
+
+impl Default for GlobalPlanConfig {
+    fn default() -> GlobalPlanConfig {
+        GlobalPlanConfig {
+            merge: MergeConfig::default(),
+            jobs: 1,
+            k: 4,
+            min_profit: 1,
+            limits: Limits::default(),
+            max_rounds: 16,
+            excluded: Vec::new(),
+        }
+    }
+}
+
+impl GlobalPlanConfig {
+    /// Sets the speculative-phase worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> GlobalPlanConfig {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Deterministic counters of one global merge. Every field is a pure
+/// function of the resident corpus and the [`GlobalPlanConfig`] — no
+/// wall clock, no job-count dependence — so the rendered JSON is the
+/// determinism key.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GlobalStats {
+    /// Live resident functions when candidates were drawn.
+    pub functions: u64,
+    /// Live resident modules.
+    pub modules: u64,
+    /// Candidate pairs drawn from the global index (after symmetric
+    /// dedup, before exclusion).
+    pub pairs_considered: u64,
+    /// Candidate pairs whose endpoints live in different modules.
+    pub cross_module_pairs: u64,
+    /// Merges committed by the *first* optimistic round — before any
+    /// verification verdicts.
+    pub optimistic_merges: u64,
+    /// Merges surviving the final verification round.
+    pub verified_merges: u64,
+    /// Optimistic merges rolled back across all replay rounds.
+    pub rolled_back: u64,
+    /// Optimistic+verification rounds executed (1 = no rollback).
+    pub rounds: u64,
+    /// Differential probe comparisons performed.
+    pub differential_probes: u64,
+    /// Probes skipped because either side hit a resource limit.
+    pub differential_skips: u64,
+    /// Bytes saved by the surviving merges, summed corpus-wide.
+    pub global_profit_bytes: u64,
+    /// Combined-module size before any merging.
+    pub size_before: u64,
+    /// Combined-module size after the surviving merges.
+    pub size_after: u64,
+}
+
+/// Exact top-level key set (and order) of [`GlobalStats::to_json`]. The
+/// regression gate and the CI smoke greps consume these names; adding a
+/// counter means extending this list and the exact-key-set test together.
+pub const GLOBAL_STATS_JSON_KEYS: &[&str] = &[
+    "functions",
+    "modules",
+    "pairs_considered",
+    "cross_module_pairs",
+    "optimistic_merges",
+    "verified_merges",
+    "rolled_back",
+    "rounds",
+    "differential_probes",
+    "differential_skips",
+    "global_profit_bytes",
+    "size_before",
+    "size_after",
+    "size_reduction",
+];
+
+impl GlobalStats {
+    /// Fraction of the combined size removed by the surviving merges.
+    pub fn size_reduction(&self) -> f64 {
+        if self.size_before == 0 {
+            0.0
+        } else {
+            1.0 - self.size_after as f64 / self.size_before as f64
+        }
+    }
+
+    /// Renders the stats as a JSON object with exactly
+    /// [`GLOBAL_STATS_JSON_KEYS`] in order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        out.push_str(&format!("\"functions\":{},", self.functions));
+        out.push_str(&format!("\"modules\":{},", self.modules));
+        out.push_str(&format!("\"pairs_considered\":{},", self.pairs_considered));
+        out.push_str(&format!("\"cross_module_pairs\":{},", self.cross_module_pairs));
+        out.push_str(&format!("\"optimistic_merges\":{},", self.optimistic_merges));
+        out.push_str(&format!("\"verified_merges\":{},", self.verified_merges));
+        out.push_str(&format!("\"rolled_back\":{},", self.rolled_back));
+        out.push_str(&format!("\"rounds\":{},", self.rounds));
+        out.push_str(&format!("\"differential_probes\":{},", self.differential_probes));
+        out.push_str(&format!("\"differential_skips\":{},", self.differential_skips));
+        out.push_str(&format!("\"global_profit_bytes\":{},", self.global_profit_bytes));
+        out.push_str(&format!("\"size_before\":{},", self.size_before));
+        out.push_str(&format!("\"size_after\":{},", self.size_after));
+        out.push_str(&format!("\"size_reduction\":{}", json_f64(self.size_reduction())));
+        out.push('}');
+        out
+    }
+
+    /// Registers every counter as a deterministic gauge under
+    /// `<prefix>.` for the perf-regression gate.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let det = |reg: &mut MetricsRegistry, name: &str, unit, v: u64| {
+            let id = reg.counter(&format!("{prefix}.{name}"), unit, true);
+            reg.set(id, v);
+        };
+        det(reg, "functions", "functions", self.functions);
+        det(reg, "modules", "modules", self.modules);
+        det(reg, "pairs_considered", "pairs", self.pairs_considered);
+        det(reg, "cross_module_pairs", "pairs", self.cross_module_pairs);
+        det(reg, "optimistic_merges", "merges", self.optimistic_merges);
+        det(reg, "verified_merges", "merges", self.verified_merges);
+        det(reg, "rolled_back", "merges", self.rolled_back);
+        det(reg, "rounds", "rounds", self.rounds);
+        det(reg, "differential_probes", "probes", self.differential_probes);
+        det(reg, "differential_skips", "probes", self.differential_skips);
+        det(reg, "global_profit_bytes", "bytes", self.global_profit_bytes);
+        det(reg, "size_before", "bytes", self.size_before);
+        det(reg, "size_after", "bytes", self.size_after);
+    }
+}
+
+/// One surviving merge: the two qualified originals and the bytes the
+/// commit saved corpus-wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalMergeRecord {
+    /// Lexicographically smaller qualified endpoint.
+    pub a: String,
+    /// Lexicographically larger qualified endpoint.
+    pub b: String,
+    /// Bytes saved by this commit (merged body + surviving thunks vs the
+    /// two originals, with every call site already rewritten).
+    pub saved: i64,
+    /// Whether the endpoints live in different resident modules.
+    pub cross_module: bool,
+}
+
+/// The result of a [`GlobalMergePlanner`] run.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalMergeReport {
+    /// Deterministic counters.
+    pub stats: GlobalStats,
+    /// Surviving merges, in commit order of the final round.
+    pub merges: Vec<GlobalMergeRecord>,
+    /// Pairs rolled back by verification, in rollback order across
+    /// rounds. Feeding these into [`GlobalPlanConfig::excluded`] and
+    /// re-running reproduces the final module byte-for-byte.
+    pub rolled_back_pairs: Vec<(String, String)>,
+}
+
+impl GlobalMergeReport {
+    /// Renders the report as one JSON object: `stats` (exactly
+    /// [`GLOBAL_STATS_JSON_KEYS`]), `merges`, and `rolled_back`. Every
+    /// field is deterministic, so this string is the `global_merge`
+    /// determinism key. Qualified names contain only `[A-Za-z0-9_.]`
+    /// (enforced at ingest), so no JSON escaping is needed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.merges.len() * 96);
+        out.push_str("{\"stats\":");
+        out.push_str(&self.stats.to_json());
+        out.push_str(",\"merges\":[");
+        for (n, rec) in self.merges.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"a\":\"{}\",\"b\":\"{}\",\"saved\":{},\"cross_module\":{}}}",
+                rec.a, rec.b, rec.saved, rec.cross_module
+            ));
+        }
+        out.push_str("],\"rolled_back\":[");
+        for (n, (a, b)) in self.rolled_back_pairs.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[\"{a}\",\"{b}\"]"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Registers the stats counters under `<prefix>.`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.stats.export_metrics(reg, prefix);
+    }
+}
+
+/// A merge committed by one optimistic round, before verification.
+struct Speculative {
+    key: (String, String),
+    saved: i64,
+    cross_module: bool,
+    /// The pair's `FuncId`s in the pristine combined module.
+    f1: FuncId,
+    f2: FuncId,
+}
+
+/// The two-phase cross-module merge engine. See the module docs for the
+/// phase structure and the rollback rule.
+pub struct GlobalMergePlanner<'c> {
+    corpus: &'c Corpus,
+    cfg: GlobalPlanConfig,
+}
+
+impl<'c> GlobalMergePlanner<'c> {
+    pub fn new(corpus: &'c Corpus, cfg: GlobalPlanConfig) -> GlobalMergePlanner<'c> {
+        GlobalMergePlanner { corpus, cfg }
+    }
+
+    /// Runs both phases to fixpoint and returns the report, the merged
+    /// combined module, and the epoch the candidate pairs were drawn at.
+    /// The resident corpus is never mutated — callers decide what to do
+    /// with the merged module (and whether a raced epoch supersedes it).
+    pub fn run(&self) -> Result<(GlobalMergeReport, Module, u64), String> {
+        let (epoch, pairs) = self.corpus.global_candidates(self.cfg.k)?;
+        let snapshot = self.corpus.stats();
+
+        let mut report = GlobalMergeReport::default();
+        report.stats.functions = snapshot.functions_live as u64;
+        report.stats.modules = snapshot.modules_live as u64;
+        report.stats.pairs_considered = pairs.len() as u64;
+        report.stats.cross_module_pairs =
+            pairs.iter().filter(|p| p.cross_module).count() as u64;
+
+        let pristine = self.corpus.combined_module()?;
+        report.stats.size_before = module_size(&pristine) as u64;
+
+        let mut excluded: HashSet<(String, String)> =
+            self.cfg.excluded.iter().map(|(a, b)| pair_key(a, b)).collect();
+
+        loop {
+            report.stats.rounds += 1;
+            if report.stats.rounds > self.cfg.max_rounds as u64 {
+                return Err(format!(
+                    "global merge failed to converge after {} rounds",
+                    self.cfg.max_rounds
+                ));
+            }
+            let mut m = pristine.clone();
+            let committed = self.optimistic_phase(&mut m, &pairs, &excluded)?;
+            if report.stats.rounds == 1 {
+                report.stats.optimistic_merges = committed.len() as u64;
+            }
+            let losers = self.verification_phase(&pristine, &m, &committed, &mut report.stats);
+            if losers.is_empty() {
+                report.stats.verified_merges = committed.len() as u64;
+                report.stats.global_profit_bytes =
+                    committed.iter().map(|s| s.saved.max(0) as u64).sum();
+                report.stats.size_after = module_size(&m) as u64;
+                report.merges = committed
+                    .into_iter()
+                    .map(|s| GlobalMergeRecord {
+                        a: s.key.0,
+                        b: s.key.1,
+                        saved: s.saved,
+                        cross_module: s.cross_module,
+                    })
+                    .collect();
+                return Ok((report, m, epoch));
+            }
+            report.stats.rolled_back += losers.len() as u64;
+            for key in losers {
+                excluded.insert(key.clone());
+                report.rolled_back_pairs.push(key);
+            }
+        }
+    }
+
+    /// One optimistic round: speculative parallel alignment of every
+    /// non-excluded pair against the pristine `m`, then a serial commit
+    /// walk in pair-priority order. Mirrors the per-module pass's
+    /// speculate/commit split, so the merged module and the returned
+    /// commit list are byte-identical for every `jobs` value.
+    fn optimistic_phase(
+        &self,
+        m: &mut Module,
+        pairs: &[GlobalPair],
+        excluded: &HashSet<(String, String)>,
+    ) -> Result<Vec<Speculative>, String> {
+        let jobs = self.cfg.jobs.max(1);
+        let funcs: Vec<FuncId> = m
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| m.function(f).num_linked_insts() > 0)
+            .collect();
+        let index_of: HashMap<&str, usize> =
+            funcs.iter().enumerate().map(|(i, &f)| (m.function(f).name.as_str(), i)).collect();
+
+        // Resolve pairs to function indexes, dropping excluded pairs and
+        // any endpoint that is no longer merge-eligible in the combined
+        // module (e.g. raced away — the caller re-checks the epoch).
+        let work: Vec<(usize, usize, (String, String), bool)> = pairs
+            .iter()
+            .filter(|p| !excluded.contains(&(p.a.clone(), p.b.clone())))
+            .filter_map(|p| {
+                let i = *index_of.get(p.a.as_str())?;
+                let j = *index_of.get(p.b.as_str())?;
+                Some((i, j, (p.a.clone(), p.b.clone()), p.cross_module))
+            })
+            .collect();
+
+        let parts_cache = BlockPartsCache::build(m, &funcs, jobs);
+        let m_ro: &Module = m;
+        let funcs_ro = &funcs;
+        let work_ro = &work;
+        let parts_ro = &parts_cache;
+        // Speculative phase: plan every pair against the pristine module
+        // on the worker pool. Read-only, so job count changes wall-clock
+        // time only.
+        let plans: Vec<(PairPlan, usize)> = par_map_indexed_with(
+            work.len(),
+            jobs,
+            AlignScratch::new,
+            |scratch, wi| {
+                let (i, j, _, _) = work_ro[wi];
+                let parts1 = parts_ro.get(i).expect("pristine cache is fully populated");
+                let parts2 = parts_ro.get(j).expect("pristine cache is fully populated");
+                let plan =
+                    plan_blocks_with(m_ro, funcs_ro[i], funcs_ro[j], parts1, parts2, scratch);
+                let matched = plan.matched_insts();
+                (plan, matched)
+            },
+        );
+
+        // Serial commit walk in pair-priority order: the only mutation
+        // point, identical for every job count.
+        let mut committer = Committer::build(m, jobs);
+        let mut available = vec![true; funcs.len()];
+        let mut committed = Vec::new();
+        for ((i, j, key, cross_module), (plan, matched)) in work.into_iter().zip(plans) {
+            if !available[i] || !available[j] {
+                continue; // an earlier commit consumed an endpoint
+            }
+            let (f1, f2) = (funcs[i], funcs[j]);
+            let fixed = fixed_overhead(committer.droppable(m, f1), committer.droppable(m, f2));
+            if matched == 0 || plan.estimated_savings(fixed) <= 0 {
+                continue;
+            }
+            if let Some(saved) = committer.try_commit(m, f1, f2, &plan, self.cfg.merge) {
+                available[i] = false;
+                available[j] = false;
+                committed.push(Speculative { key, saved, cross_module, f1, f2 });
+            }
+        }
+        Ok(committed)
+    }
+
+    /// The verification phase over one optimistic round: returns the pair
+    /// keys to roll back (empty = the round stands).
+    ///
+    /// Checks, in order:
+    /// 1. profitability — a merge must save at least `min_profit` bytes
+    ///    corpus-wide (the committed delta already prices every rewritten
+    ///    call site and retained thunk),
+    /// 2. the module verifier plus a print→parse fixpoint over the whole
+    ///    merged corpus,
+    /// 3. an interpreter differential: each merge's endpoints (through
+    ///    their thunks, when retained) and every pristine direct caller
+    ///    of an endpoint are probed with [`PROBE_SALTS`] in the pristine
+    ///    and merged corpus, and the folded observations must agree.
+    ///
+    /// A failing probe rolls back every merge it can implicate: the
+    /// merges whose endpoints the probed function calls directly (or is).
+    /// A whole-module failure (verifier, fixpoint) implicates the entire
+    /// round — conservative, sound, and still convergent.
+    fn verification_phase(
+        &self,
+        pristine: &Module,
+        merged: &Module,
+        committed: &[Speculative],
+        stats: &mut GlobalStats,
+    ) -> Vec<(String, String)> {
+        if committed.is_empty() {
+            return Vec::new();
+        }
+        let mut losers: BTreeSet<(String, String)> = BTreeSet::new();
+
+        // 1. Global profitability floor.
+        for s in committed {
+            if s.saved < self.cfg.min_profit {
+                losers.insert(s.key.clone());
+            }
+        }
+
+        // 2. Whole-module verifier + print→parse fixpoint. `try_commit`
+        // verifies each merged function already, so a failure here means
+        // a cross-merge interaction — attribute it to the whole round.
+        let all_keys = || committed.iter().map(|s| s.key.clone()).collect::<Vec<_>>();
+        if f3m_ir::verify::verify_module(merged).is_err() {
+            return all_keys();
+        }
+        let printed = f3m_ir::printer::print_module(merged);
+        match f3m_ir::parser::parse_module(&printed) {
+            Ok(reparsed) => {
+                if f3m_ir::printer::print_module(&reparsed) != printed {
+                    return all_keys();
+                }
+            }
+            Err(_) => return all_keys(),
+        }
+
+        // 3. Interpreter differential. Probe entry points: each merge's
+        // endpoints plus their pristine direct callers — the functions
+        // whose behaviour the commit could have changed. `blame` maps an
+        // entry point back to the merges it can implicate.
+        let callers = direct_callers(pristine);
+        let endpoint_of: HashMap<&str, usize> = committed
+            .iter()
+            .enumerate()
+            .flat_map(|(n, s)| [(s.key.0.as_str(), n), (s.key.1.as_str(), n)])
+            .collect();
+        let mut blame: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+        for (n, s) in committed.iter().enumerate() {
+            for &f in &[s.f1, s.f2] {
+                let name = &pristine.function(f).name;
+                blame.entry(name.clone()).or_default().insert(n);
+                for caller in callers.get(&f).into_iter().flatten() {
+                    let caller_name = pristine.function(*caller).name.clone();
+                    let mut implicated: BTreeSet<usize> = BTreeSet::new();
+                    implicated.insert(n);
+                    // The caller may reach endpoints of other merges too.
+                    if let Some(&other) = endpoint_of.get(caller_name.as_str()) {
+                        implicated.insert(other);
+                    }
+                    blame.entry(caller_name).or_default().extend(implicated);
+                }
+            }
+        }
+
+        for (entry, implicated) in &blame {
+            if implicated.iter().all(|&n| losers.contains(&committed[n].key)) {
+                continue; // every implicated merge is already rolled back
+            }
+            let Some(pf) = pristine.lookup_function(entry) else { continue };
+            // Dropped originals become declarations in the merged module;
+            // their behaviour is covered through their callers.
+            let defined_in_merged = merged
+                .lookup_function(entry)
+                .is_some_and(|f| !merged.function(f).is_declaration);
+            if !defined_in_merged {
+                continue;
+            }
+            for salt in PROBE_SALTS {
+                let args = probe_args(pristine, pf, salt);
+                let base = observe(pristine, entry, &args, self.cfg.limits);
+                let obs = observe(merged, entry, &args, self.cfg.limits);
+                if base.is_resource_limit() || obs.is_resource_limit() {
+                    stats.differential_skips += 1;
+                    continue;
+                }
+                stats.differential_probes += 1;
+                if base != obs {
+                    for &n in implicated {
+                        losers.insert(committed[n].key.clone());
+                    }
+                    break;
+                }
+            }
+        }
+
+        losers.into_iter().collect()
+    }
+}
+
+/// Normalizes a pair to its canonical `(min, max)` name order.
+pub fn pair_key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+/// Deterministic per-parameter probe values for one salt.
+fn probe_args(m: &Module, f: FuncId, salt: i64) -> Vec<Val> {
+    m.function(f)
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, &ty)| match m.types.kind(ty) {
+            TypeKind::Int(_) => Val::Int(salt.wrapping_add(i as i64)).normalize(&m.types, ty),
+            TypeKind::F32 | TypeKind::F64 => Val::Float(salt as f64 * 0.5 + i as f64),
+            TypeKind::Ptr => Val::Ptr(0),
+            _ => Val::Undef,
+        })
+        .collect()
+}
+
+/// Map from callee to the defined functions that call it directly (the
+/// same callee-position scan the commit index performs).
+fn direct_callers(m: &Module) -> HashMap<FuncId, Vec<FuncId>> {
+    let mut callers: HashMap<FuncId, Vec<FuncId>> = HashMap::new();
+    for (owner, f) in m.functions() {
+        if f.is_declaration {
+            continue;
+        }
+        let mut seen: HashSet<FuncId> = HashSet::new();
+        for (_, inst) in f.linked_insts() {
+            if !matches!(inst.op, Opcode::Call | Opcode::Invoke) {
+                continue;
+            }
+            if let Some(&op) = inst.operands.first() {
+                if let ValueKind::FuncRef(target) = f.value(op).kind {
+                    if seen.insert(target) {
+                        callers.entry(target).or_default().push(owner);
+                    }
+                }
+            }
+        }
+    }
+    callers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn workload(name: &str, seed: u64, functions: usize) -> Module {
+        let mut spec = f3m_workloads::mini_suite()[0].clone();
+        spec.functions = functions;
+        spec.seed = seed;
+        let mut m = f3m_workloads::build_module(&spec);
+        m.name = name.to_string();
+        m
+    }
+
+    fn corpus_of(mods: &[Module]) -> Corpus {
+        let c = Corpus::new(CorpusConfig { shards: 4, jobs: 2, ..CorpusConfig::default() });
+        for m in mods {
+            c.ingest(m.clone()).unwrap();
+        }
+        c
+    }
+
+    /// Two modules generated from the same seed are function-for-function
+    /// twins across the module boundary: global merging must find
+    /// cross-module pairs and commit verified merges.
+    #[test]
+    fn global_merge_finds_cross_module_twins() {
+        let mods = [workload("m0", 41, 18), workload("m1", 41, 18)];
+        let c = corpus_of(&mods);
+        let planner = GlobalMergePlanner::new(&c, GlobalPlanConfig::default());
+        let (report, merged, _) = planner.run().unwrap();
+        assert!(report.stats.cross_module_pairs > 0, "twins must collide in the index");
+        assert!(report.stats.verified_merges > 0, "twins must merge");
+        assert!(
+            report.merges.iter().any(|r| r.cross_module),
+            "at least one surviving merge must cross the module boundary"
+        );
+        assert!(report.stats.size_after < report.stats.size_before);
+        f3m_ir::verify::verify_module(&merged).unwrap();
+        assert_eq!(
+            report.stats.global_profit_bytes,
+            report.merges.iter().map(|r| r.saved.max(0) as u64).sum::<u64>()
+        );
+    }
+
+    /// The merged module and the full report are byte-identical for any
+    /// jobs value (the speculative phase is read-only; commits are a
+    /// serial walk).
+    #[test]
+    fn global_merge_is_jobs_invariant() {
+        let mods = [workload("m0", 51, 16), workload("m1", 51, 16), workload("m2", 77, 12)];
+        let c = corpus_of(&mods);
+        let mut renders = Vec::new();
+        for jobs in [1, 2, 8] {
+            let cfg = GlobalPlanConfig::default().with_jobs(jobs);
+            let (report, merged, _) = GlobalMergePlanner::new(&c, cfg).run().unwrap();
+            renders.push((report.to_json(), f3m_ir::printer::print_module(&merged)));
+        }
+        assert_eq!(renders[0], renders[1], "jobs 1 vs 2");
+        assert_eq!(renders[0], renders[2], "jobs 1 vs 8");
+    }
+
+    /// Candidate ordering and the full global merge plan are identical
+    /// across shard counts 1..=5: exact similarity ties (multiples of
+    /// `1/k`) break on the rebuild-stable qualified name everywhere, so
+    /// how entries were routed to shards can never leak into the plan.
+    #[test]
+    fn global_merge_is_shard_count_invariant() {
+        let mods = [workload("m0", 41, 16), workload("m1", 41, 16), workload("m2", 90, 12)];
+        let mut renders = Vec::new();
+        for shards in 1..=5 {
+            let c = Corpus::new(CorpusConfig { shards, jobs: 2, ..CorpusConfig::default() });
+            for m in &mods {
+                c.ingest(m.clone()).unwrap();
+            }
+            let (_, pairs) = c.global_candidates(4).unwrap();
+            let (report, merged, _) =
+                GlobalMergePlanner::new(&c, GlobalPlanConfig::default()).run().unwrap();
+            renders.push((pairs, report.to_json(), f3m_ir::printer::print_module(&merged)));
+        }
+        for (n, r) in renders.iter().enumerate().skip(1) {
+            assert_eq!(renders[0].0, r.0, "candidate pairs, shards=1 vs shards={}", n + 1);
+            assert_eq!(renders[0].1, r.1, "report, shards=1 vs shards={}", n + 1);
+            assert_eq!(renders[0].2, r.2, "merged module, shards=1 vs shards={}", n + 1);
+        }
+    }
+
+    /// Re-running on the same corpus is deterministic end to end.
+    #[test]
+    fn global_merge_is_deterministic_across_runs() {
+        let mods = [workload("m0", 63, 14), workload("m1", 63, 14)];
+        let c = corpus_of(&mods);
+        let run = || {
+            let (report, merged, _) =
+                GlobalMergePlanner::new(&c, GlobalPlanConfig::default()).run().unwrap();
+            (report.to_json(), f3m_ir::printer::print_module(&merged))
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// An unreachable profitability floor rolls everything back and the
+    /// replay converges to the pristine module.
+    #[test]
+    fn verification_floor_rolls_back_to_pristine() {
+        let mods = [workload("m0", 41, 14), workload("m1", 41, 14)];
+        let c = corpus_of(&mods);
+        let cfg = GlobalPlanConfig { min_profit: i64::MAX, ..GlobalPlanConfig::default() };
+        let (report, merged, _) = GlobalMergePlanner::new(&c, cfg).run().unwrap();
+        assert_eq!(report.stats.verified_merges, 0);
+        assert!(report.stats.rolled_back > 0, "the optimistic merges must be rolled back");
+        assert!(report.stats.rounds > 1);
+        let pristine = c.combined_module().unwrap();
+        assert_eq!(
+            f3m_ir::printer::print_module(&merged),
+            f3m_ir::printer::print_module(&pristine),
+            "full rollback must leave no ghost state"
+        );
+        assert_eq!(report.stats.size_before, report.stats.size_after);
+    }
+
+    /// Verification-phase rollback is sound: replaying the run with the
+    /// rolled-back pairs excluded up front converges in one round to the
+    /// byte-identical merged module — the losers leave no ghost state.
+    #[test]
+    fn rollback_replay_matches_upfront_exclusion() {
+        let mods = [workload("m0", 41, 16), workload("m1", 41, 16)];
+        let c = corpus_of(&mods);
+        // Probe the profit distribution, then set the floor at its top
+        // so some merges survive verification and the rest roll back.
+        let (probe, _, _) =
+            GlobalMergePlanner::new(&c, GlobalPlanConfig::default()).run().unwrap();
+        let max = probe.merges.iter().map(|r| r.saved).max().expect("twins must merge");
+        let min = probe.merges.iter().map(|r| r.saved).min().unwrap();
+        assert!(min < max, "workload must produce a profit spread");
+        let cfg = GlobalPlanConfig { min_profit: max, ..GlobalPlanConfig::default() };
+        let (a, merged_a, _) = GlobalMergePlanner::new(&c, cfg.clone()).run().unwrap();
+        assert!(a.stats.verified_merges > 0, "the floor must keep the top merges");
+        assert!(a.stats.rolled_back > 0, "the floor must roll back the rest");
+        assert!(a.stats.rounds > 1);
+
+        let replay = GlobalPlanConfig { excluded: a.rolled_back_pairs.clone(), ..cfg };
+        let (b, merged_b, _) = GlobalMergePlanner::new(&c, replay).run().unwrap();
+        assert_eq!(b.stats.rolled_back, 0, "pre-excluded losers cannot roll back again");
+        assert_eq!(b.stats.rounds, 1, "upfront exclusion must converge immediately");
+        assert_eq!(a.merges, b.merges, "surviving merges must be identical");
+        assert_eq!(
+            f3m_ir::printer::print_module(&merged_a),
+            f3m_ir::printer::print_module(&merged_b),
+            "rollback must be equivalent to never having tried the losers"
+        );
+    }
+
+    /// The corpus-global candidate pull feeding the planner is memoized:
+    /// a warm pull recomputes nothing, and after `update_function` only
+    /// the dirtied band-collision neighborhood is re-ranked — a
+    /// subsequent global merge re-verifies only plans whose candidate
+    /// neighborhoods intersect the dirty set.
+    #[test]
+    fn global_candidates_recompute_only_the_dirty_neighborhood_after_update() {
+        let mods = [workload("m0", 41, 14), workload("m1", 41, 14)];
+        let c = corpus_of(&mods);
+        let (_, cold) = c.global_candidates(4).unwrap();
+        let miss_warmed = c.stats().memo_misses;
+        let (_, warm) = c.global_candidates(4).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(c.stats().memo_misses, miss_warmed, "warm global pull recomputes nothing");
+
+        // Touch one function: semantically a no-op, but it dirties its
+        // band-collision neighborhood.
+        let touched = mods[0]
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| mods[0].function(f).num_linked_insts() > 0)
+            .map(|f| mods[0].function(f).name.clone())
+            .find(|n| n != "__driver")
+            .unwrap();
+        let up = c.update_function("m0", &touched, None).unwrap();
+        let miss_before = c.stats().memo_misses;
+        let (epoch, after) = c.global_candidates(4).unwrap();
+        assert_eq!(epoch, up.epoch);
+        assert_eq!(after, warm, "a touch must not change the candidate plan");
+        let recomputed = c.stats().memo_misses - miss_before;
+        assert_eq!(
+            recomputed, up.funcs_invalidated,
+            "only the dirty neighborhood is re-ranked"
+        );
+        assert!(
+            recomputed < c.stats().functions_live as u64,
+            "a touch must not flush the whole memo"
+        );
+
+        // The post-update plan is exactly what a cold corpus over the
+        // same modules produces — memo reuse can't perturb the merge.
+        let (report, merged, _) =
+            GlobalMergePlanner::new(&c, GlobalPlanConfig::default()).run().unwrap();
+        let fresh = corpus_of(&mods);
+        let (fresh_report, fresh_merged, _) =
+            GlobalMergePlanner::new(&fresh, GlobalPlanConfig::default()).run().unwrap();
+        assert_eq!(report.to_json(), fresh_report.to_json());
+        assert_eq!(
+            f3m_ir::printer::print_module(&merged),
+            f3m_ir::printer::print_module(&fresh_merged)
+        );
+    }
+
+    /// `GlobalStats::to_json` emits exactly the documented key set, in
+    /// order (mirrors the `MergeStats` contract test).
+    #[test]
+    fn global_stats_json_emits_exactly_the_documented_key_set() {
+        let stats = GlobalStats::default();
+        let json = stats.to_json();
+        let mut keys = Vec::new();
+        let bytes = json.as_bytes();
+        let mut depth = 0usize;
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => depth -= 1,
+                b'"' if depth == 1 => {
+                    let start = i + 1;
+                    let end = start + json[start..].find('"').unwrap();
+                    if bytes.get(end + 1) == Some(&b':') {
+                        keys.push(&json[start..end]);
+                    }
+                    i = end;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        assert_eq!(keys, GLOBAL_STATS_JSON_KEYS);
+    }
+}

@@ -70,13 +70,17 @@ pub mod codegen;
 pub mod commit;
 pub mod corpus;
 pub mod dce;
+pub mod global;
 pub mod pass;
 pub mod profile;
 pub mod rank;
 pub mod report;
 
 pub use codegen::{MergeConfig, MergeError, RepairMode};
-pub use corpus::{combine_modules, Corpus, CorpusConfig, CorpusStats, QueryResult};
+pub use corpus::{combine_modules, Corpus, CorpusConfig, CorpusStats, GlobalPair, QueryResult};
+pub use global::{
+    GlobalMergePlanner, GlobalMergeReport, GlobalPlanConfig, GlobalStats, GLOBAL_STATS_JSON_KEYS,
+};
 pub use pass::{run_pass, run_pass_traced, MergeReport, MergeStats, PassConfig, Strategy};
 pub use profile::Profile;
 pub use rank::{

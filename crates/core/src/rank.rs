@@ -123,10 +123,15 @@ pub trait CandidateSearch {
 
     /// The top-`k` available candidates for function `i`, as
     /// `(index, similarity)` pairs sorted by similarity descending with
-    /// index ascending as the tie-break. Unlike [`Self::best_candidates`]
+    /// function *name* ascending as the tie-break (index ascending as the
+    /// final fallback — unreachable while names are unique, which the IR
+    /// verifier enforces per module). Unlike [`Self::best_candidates`]
     /// this exposes the full ranking (not just the near-tie head), which
     /// is what corpus-level `query` requests serve; the tie-break rule is
-    /// part of the wire contract, so both implementations share it.
+    /// part of the wire contract, so both implementations share it. Names
+    /// survive a from-scratch rebuild where indexes do not, so rankings —
+    /// and everything planned from them, like the global merge order —
+    /// are identical across shard counts and rebuilds.
     fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)>;
 
     /// Describes the current search structure for observability exports.
@@ -137,9 +142,27 @@ pub trait CandidateSearch {
 }
 
 /// The shared ordering rule behind [`CandidateSearch::ranked_candidates`]:
-/// similarity descending, then function index ascending.
-fn sort_ranked(ranked: &mut [(usize, f64)]) {
-    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+/// similarity descending, then function name ascending, then index
+/// ascending as the (unreachable while names are unique) final fallback.
+/// Index-based tie-breaks are *not* rebuild-stable — a from-scratch
+/// rebuild that assigns ids differently would reorder exact-tie
+/// candidates, and similarities are multiples of `1/k`, so exact ties are
+/// common. Every `ranked_candidates` implementation must sort through
+/// this helper so the corpus, the daemon and the global merge planner
+/// agree on one rebuild-stable order.
+fn sort_ranked(ranked: &mut [(usize, f64)], names: &[String]) {
+    ranked.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then_with(|| names[a.0].cmp(&names[b.0]))
+            .then(a.0.cmp(&b.0))
+    });
+}
+
+/// Snapshots the (unqualified within one module, qualified in a combined
+/// corpus module) function names backing a search structure, for the
+/// rebuild-stable tie-break in [`sort_ranked`].
+fn capture_names(m: &Module, funcs: &[FuncId]) -> Vec<String> {
+    funcs.iter().map(|&f| m.function(f).name.clone()).collect()
 }
 
 /// Builds the search structure for `strategy` over `funcs`, fanning the
@@ -274,6 +297,7 @@ impl<S: CandidateSearch> CandidateSearch for MemoizedSearch<S> {
 /// nearest-neighbour ranking.
 pub struct ExhaustiveOpcodeSearch {
     fps: Vec<OpcodeFingerprint>,
+    names: Vec<String>,
 }
 
 impl ExhaustiveOpcodeSearch {
@@ -282,7 +306,7 @@ impl ExhaustiveOpcodeSearch {
         let fps = par_map_indexed(funcs.len(), jobs, |i| {
             OpcodeFingerprint::of(m.function(funcs[i]))
         });
-        ExhaustiveOpcodeSearch { fps }
+        ExhaustiveOpcodeSearch { fps, names: capture_names(m, funcs) }
     }
 }
 
@@ -323,7 +347,7 @@ impl CandidateSearch for ExhaustiveOpcodeSearch {
             .filter(|&(j, av)| *av && j != i)
             .map(|(j, _)| (j, self.fps[i].similarity(&self.fps[j])))
             .collect();
-        sort_ranked(&mut ranked);
+        sort_ranked(&mut ranked, &self.names);
         ranked.truncate(k);
         ranked
     }
@@ -337,6 +361,7 @@ impl CandidateSearch for ExhaustiveOpcodeSearch {
 pub struct LshBackendSearch {
     params: MergeParams,
     store: PackedFingerprintStore,
+    names: Vec<String>,
     index: LshIndex<usize>,
     /// Scratch for the serial `ranked_candidates` path (`best_candidates`
     /// uses the caller's per-worker scratch instead; this lock is never
@@ -368,7 +393,13 @@ impl LshBackendSearch {
             index.insert_with_keys(i, &keys);
             store.push_with_keys(&sig, &keys);
         }
-        LshBackendSearch { params, store, index, ranked_scratch: Mutex::new(QueryScratch::new()) }
+        LshBackendSearch {
+            params,
+            store,
+            names: capture_names(m, funcs),
+            index,
+            ranked_scratch: Mutex::new(QueryScratch::new()),
+        }
     }
 
     /// Estimated similarity of functions `i` and `j` under the backend.
@@ -431,7 +462,7 @@ impl CandidateSearch for LshBackendSearch {
             .map(|&j| (j, self.similarity(i, j)))
             .filter(|&(_, sim)| sim >= self.params.threshold)
             .collect();
-        sort_ranked(&mut ranked);
+        sort_ranked(&mut ranked, &self.names);
         ranked.truncate(k);
         ranked
     }

@@ -370,7 +370,7 @@ impl MergeReport {
 }
 
 /// JSON has no NaN/Infinity literals; clamp them to null-free sentinels.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {

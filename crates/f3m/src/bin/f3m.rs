@@ -17,19 +17,23 @@
 //!           [--bucket-cap <c>] [--jobs <n>] [--report json]
 //!           [--repair phi|stack|legacy] [--dce]
 //!           [--trace chrome:<path>] [--metrics <path>]
+//! f3m merge --global <a.ir> <b.ir> ... [-o <out.ir>] [--jobs <n>] [-k <k>]
+//!           [--min-profit <bytes>] [--shards <s>] [--report json]
+//!           [--metrics <path>]
 //! f3m stats <input.ir>
 //! f3m run   <input.ir> <function> [int args...]
 //! f3m run   [--workload <name>] [--scale <f>] [--strategy s] [--jobs <n>]
 //!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m gen   <workload> [-o <out.ir>] [--scale <f>]
 //! f3m fuzz  [--iterations <n>] [--seed <s>] [--corpus <dir>]
-//!           [--protocol [--cases <n>]]
+//!           [--protocol [--cases <n>]] [--global]
 //!           [--trace chrome:<path>] [--metrics <path>]
 //! f3m serve [--addr <host:port>] [--jobs <n>] [--queue-cap <c>]
 //!           [--shards <s>] [--shed-depth <d>] [--max-inflight <n>]
 //!           [--read-deadline-ms <t>] [--idle-timeout-ms <t>]
 //!           [--trace chrome:<path>] [--metrics <path>]
-//! f3m client [--addr <host:port>] <ingest|evict|query|update|merge|stats|ping|shutdown> ...
+//! f3m client [--addr <host:port>]
+//!            <ingest|evict|query|update|merge|global-merge|stats|ping|shutdown> ...
 //! f3m list
 //! ```
 //!
@@ -63,13 +67,15 @@ fn main() -> ExitCode {
                  \x20      [--threshold t] [--bands b] [--rows r] [-k k] [--bucket-cap c]\n\
                  \x20      [--jobs n] [--report json] [--repair phi|stack|legacy] [--dce]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
+                 merge --global <a.ir> <b.ir> ... [-o out.ir] [--jobs n] [-k k]\n\
+                 \x20      [--min-profit bytes] [--shards s] [--report json] [--metrics path]\n\
                  stats <input.ir>\n\
                  run   <input.ir> <function> [int args...]\n\
                  run   [--workload name] [--scale f] [--strategy s] [--jobs n]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
                  gen   <workload> [-o out.ir] [--scale f]\n\
                  fuzz  [--iterations n] [--seed s] [--corpus dir]\n\
-                 \x20      [--protocol [--cases n]]\n\
+                 \x20      [--protocol [--cases n]] [--global]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
                  serve [--addr host:port] [--jobs n] [--queue-cap c] [--shards s]\n\
                  \x20      [--backend minhash|simhash|tlsh] [--snapshot path]\n\
@@ -81,6 +87,7 @@ fn main() -> ExitCode {
                  client [--addr host:port] query <module> [--func f] [-k n] [--if-epoch e]\n\
                  client [--addr host:port] update <module> <func> [patch.ir]\n\
                  client [--addr host:port] merge [--strategy hyfm|f3m|f3m-adaptive] [--jobs n]\n\
+                 client [--addr host:port] global-merge [--jobs n] [--if-epoch e]\n\
                  client [--addr host:port] stats|ping|shutdown\n\
                  snapshot <file>\n\
                  list"
@@ -158,6 +165,9 @@ impl Observability {
 }
 
 fn cmd_merge(args: &[String]) -> CliResult {
+    if args.iter().any(|a| a == "--global") {
+        return cmd_merge_global(args);
+    }
     let input = args.first().ok_or("merge needs an input file")?;
     let mut m = load(input)?;
     let before = f3m::ir::size::module_size(&m);
@@ -270,6 +280,103 @@ fn cmd_merge(args: &[String]) -> CliResult {
     report.export_metrics(&mut registry, "pass");
     obs.write(tracer.as_ref(), &registry)?;
     let text = f3m::ir::printer::print_module(&m);
+    match flag_value(args, "-o") {
+        Some(path) => std::fs::write(path, text)?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `merge --global`: ingest every input module into a fresh resident
+/// corpus and run the two-phase cross-module planner — optimistic merges
+/// from the corpus-global index, then global verification with rollback.
+fn cmd_merge_global(args: &[String]) -> CliResult {
+    let value_flags = ["-o", "--jobs", "-k", "--min-profit", "--shards", "--report", "--metrics"];
+    let mut inputs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--global" {
+            i += 1;
+        } else if value_flags.contains(&a) {
+            i += 2;
+        } else if a.starts_with('-') {
+            return Err(format!("unknown flag `{a}` for merge --global").into());
+        } else {
+            inputs.push(a);
+            i += 1;
+        }
+    }
+    if inputs.is_empty() {
+        return Err("merge --global needs at least one input file".into());
+    }
+    let jobs: usize = flag_value(args, "--jobs").map(str::parse).transpose()?.unwrap_or(1);
+    let shards: usize = flag_value(args, "--shards").map(str::parse).transpose()?.unwrap_or(4);
+    if jobs == 0 || shards == 0 {
+        return Err("--jobs and --shards must be positive".into());
+    }
+    let json_report = match flag_value(args, "--report") {
+        None => false,
+        Some("json") => {
+            if flag_value(args, "-o").is_none() {
+                return Err("--report json requires -o (the JSON report goes to stdout)".into());
+            }
+            true
+        }
+        Some(other) => return Err(format!("unknown report format `{other}`").into()),
+    };
+
+    let corpus = f3m::core::Corpus::new(f3m::core::CorpusConfig {
+        shards,
+        jobs,
+        ..Default::default()
+    });
+    for path in &inputs {
+        let m = load(path)?;
+        corpus.ingest(m).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    let mut cfg = f3m::core::GlobalPlanConfig::default().with_jobs(jobs);
+    if let Some(k) = flag_value(args, "-k") {
+        cfg.k = k.parse()?;
+    }
+    if let Some(p) = flag_value(args, "--min-profit") {
+        cfg.min_profit = p.parse()?;
+    }
+    let t0 = std::time::Instant::now();
+    let (report, merged, _epoch) = f3m::core::GlobalMergePlanner::new(&corpus, cfg).run()?;
+    let elapsed = t0.elapsed();
+    f3m::ir::verify::verify_module(&merged)
+        .map_err(|e| format!("verification failed: {}", e[0]))?;
+
+    let s = &report.stats;
+    eprintln!(
+        "global merge over {} modules ({} functions): {} optimistic, {} verified, \
+         {} rolled back in {} round(s), {:.1} ms; {} of {} pairs cross-module; \
+         size {} -> {} bytes ({:.2}% reduction)",
+        s.modules,
+        s.functions,
+        s.optimistic_merges,
+        s.verified_merges,
+        s.rolled_back,
+        s.rounds,
+        elapsed.as_secs_f64() * 1e3,
+        s.cross_module_pairs,
+        s.pairs_considered,
+        s.size_before,
+        s.size_after,
+        s.size_reduction() * 100.0
+    );
+    if json_report {
+        println!("{}", report.to_json());
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        let mut registry = MetricsRegistry::new();
+        report.export_metrics(&mut registry, "global");
+        f3m::trace::write_with_dirs(std::path::Path::new(path), &registry.to_json())?;
+        eprintln!("metrics: wrote {} metrics to {path}", registry.len());
+    }
+    let text = f3m::ir::printer::print_module(&merged);
     match flag_value(args, "-o") {
         Some(path) => std::fs::write(path, text)?,
         None => print!("{text}"),
@@ -403,6 +510,28 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         None => 0xF3F3,
     };
     let corpus_dir = flag_value(args, "--corpus").map(std::path::PathBuf::from);
+    if args.iter().any(|a| a == "--global") {
+        // Global mode fuzzes the two-phase cross-module planner: several
+        // mutated modules per iteration, jobs byte-identity, and a
+        // cross-module driver differential.
+        let mut cfg = f3m::fuzz::GlobalCampaignConfig { seed, corpus_dir, ..Default::default() };
+        // The shared 500-iteration default is sized for the single-module
+        // campaign; only override the global default when asked.
+        if flag_value(args, "--iterations").is_some() {
+            cfg.iterations = iterations;
+        }
+        let obs = Observability::parse(args)?;
+        let summary = f3m::fuzz::run_global_campaign(&cfg);
+        println!("{}", summary.to_json());
+        let mut registry = MetricsRegistry::new();
+        summary.export_metrics(&mut registry, "fuzz.global");
+        obs.write(None, &registry)?;
+        return if summary.failures.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} global oracle failure(s) found", summary.failures.len()).into())
+        };
+    }
     if args.iter().any(|a| a == "--protocol") {
         // Protocol mode fuzzes a live in-process daemon over TCP instead
         // of the merge pipeline; --iterations/--cases count scenarios.
@@ -535,6 +664,10 @@ fn cmd_client(args: &[String]) -> CliResult {
         "merge" => Request::Merge {
             strategy: flag_value(args, "--strategy").unwrap_or("f3m").to_string(),
             jobs: flag_value(args, "--jobs").map(str::parse).transpose()?,
+        },
+        "global-merge" => Request::GlobalMerge {
+            jobs: flag_value(args, "--jobs").map(str::parse).transpose()?,
+            if_epoch: flag_value(args, "--if-epoch").map(str::parse).transpose()?,
         },
         "stats" => Request::Stats,
         "ping" => Request::Ping,

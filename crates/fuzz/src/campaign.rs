@@ -109,7 +109,7 @@ pub struct CampaignSummary {
     pub failures: Vec<FailureRecord>,
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

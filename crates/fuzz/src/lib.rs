@@ -12,6 +12,7 @@
 //! seed in, JSON summary out. Surfaced on the command line as `f3m fuzz`.
 
 pub mod campaign;
+pub mod global;
 pub mod mutate;
 pub mod oracle;
 pub mod protocol;
@@ -20,6 +21,10 @@ pub mod reduce;
 pub use campaign::{
     iteration_seed, run_campaign, run_campaign_traced, run_campaign_with, CampaignConfig,
     CampaignSummary, FailureRecord,
+};
+pub use global::{
+    build_module_set, check_module_set, replay_global_case, run_global_campaign,
+    GlobalCampaignConfig, GlobalCampaignSummary, GlobalFailure,
 };
 pub use mutate::{apply_random, Mutator, MUTATORS};
 pub use protocol::{

@@ -18,6 +18,7 @@
 //! {"type":"query","module":"m","func":"f0_0","k":3,"if_epoch":7}
 //! {"type":"update","module":"m","func":"f0_0","ir":"module \"p\" { ... }"}
 //! {"type":"merge","strategy":"f3m","jobs":2}
+//! {"type":"global_merge","jobs":2,"if_epoch":7}
 //! {"type":"stats"}  {"type":"ping"}  {"type":"shutdown"}
 //! {"type":"sleep","ms":100}
 //! ```
@@ -29,6 +30,12 @@
 //! `query` carrying `"if_epoch"` is answered with `superseded` instead
 //! of candidates when the corpus epoch has moved past that value — the
 //! incremental client's cheap way to notice its snapshot is stale.
+//! `global_merge` runs the two-phase cross-module
+//! [`GlobalMergePlanner`](f3m_core::GlobalMergePlanner) over the whole
+//! resident corpus; it honours `"if_epoch"` with the same `superseded`
+//! semantics as `query` (both before planning and after — a mutation
+//! that lands while the planner runs supersedes the stale plan rather
+//! than publishing it).
 //!
 //! Any request may carry `"id"` (an opaque integer echoed in the
 //! response, for correlating pipelined requests) and `"deadline_ms"`
@@ -128,6 +135,11 @@ pub enum Request {
     Update { module: String, func: String, ir: Option<String> },
     /// Run the full pass over the combined resident corpus.
     Merge { strategy: String, jobs: Option<usize> },
+    /// Run the two-phase cross-module global merge planner over the
+    /// resident corpus. With `if_epoch` set, answered `superseded` when
+    /// the corpus epoch no longer matches (checked both before planning
+    /// and again before publishing the result).
+    GlobalMerge { jobs: Option<usize>, if_epoch: Option<u64> },
     Stats,
     Ping,
     /// Hold a worker for `ms` milliseconds (testing aid for backpressure
@@ -146,6 +158,7 @@ impl Request {
             Request::Query { .. } => "query",
             Request::Update { .. } => "update",
             Request::Merge { .. } => "merge",
+            Request::GlobalMerge { .. } => "global_merge",
             Request::Stats => "stats",
             Request::Ping => "ping",
             Request::Sleep { .. } => "sleep",
@@ -220,6 +233,10 @@ pub fn parse_request(payload: &[u8]) -> Result<RequestEnvelope, String> {
             strategy: opt_str("strategy").unwrap_or_else(|| "f3m".to_string()),
             jobs: opt_u64("jobs")?.map(|j| j as usize),
         },
+        "global_merge" => Request::GlobalMerge {
+            jobs: opt_u64("jobs")?.map(|j| j as usize),
+            if_epoch: opt_u64("if_epoch")?,
+        },
         "stats" => Request::Stats,
         "ping" => Request::Ping,
         "sleep" => Request::Sleep {
@@ -275,6 +292,14 @@ pub fn render_request(env: &RequestEnvelope) -> String {
                 out.push_str(&format!(",\"jobs\":{j}"));
             }
         }
+        Request::GlobalMerge { jobs, if_epoch } => {
+            if let Some(j) = jobs {
+                out.push_str(&format!(",\"jobs\":{j}"));
+            }
+            if let Some(e) = if_epoch {
+                out.push_str(&format!(",\"if_epoch\":{e}"));
+            }
+        }
         Request::Sleep { ms } => out.push_str(&format!(",\"ms\":{ms}")),
         Request::Stats | Request::Ping | Request::Shutdown => {}
     }
@@ -327,8 +352,18 @@ pub struct ServerCounters {
 }
 
 /// Wire request types in counter order.
-pub const REQUEST_TYPES: &[&str] =
-    &["ingest", "evict", "query", "update", "merge", "stats", "ping", "sleep", "shutdown"];
+pub const REQUEST_TYPES: &[&str] = &[
+    "ingest",
+    "evict",
+    "query",
+    "update",
+    "merge",
+    "global_merge",
+    "stats",
+    "ping",
+    "sleep",
+    "shutdown",
+];
 
 impl ServerCounters {
     /// Bumps the per-type completion counter.
@@ -565,6 +600,8 @@ mod tests {
             RequestEnvelope::of(Request::Update { module: "m".into(), func: "f".into(), ir: None }),
             RequestEnvelope::of(Request::Merge { strategy: "f3m".into(), jobs: Some(2) }),
             RequestEnvelope::of(Request::Merge { strategy: "hyfm".into(), jobs: None }),
+            RequestEnvelope::of(Request::GlobalMerge { jobs: Some(2), if_epoch: Some(9) }),
+            RequestEnvelope::of(Request::GlobalMerge { jobs: None, if_epoch: None }),
             RequestEnvelope::of(Request::Stats),
             RequestEnvelope::of(Request::Ping),
             RequestEnvelope::of(Request::Sleep { ms: 12 }),

@@ -74,6 +74,7 @@ use std::time::{Duration, Instant};
 
 use f3m_core::corpus::{Corpus, CorpusConfig, QueryOutcome};
 use f3m_core::pass::PassConfig;
+use f3m_core::{GlobalMergePlanner, GlobalPlanConfig};
 use f3m_fingerprint::adaptive::MergeParams;
 use f3m_fingerprint::backend::BackendKind;
 use f3m_fingerprint::snapshot::SnapshotError;
@@ -1069,6 +1070,40 @@ fn handle(shared: &Shared, req: &Request) -> Response {
                     // response is a pure function of corpus state.
                     report.strip_wall_clock();
                     Response::Report { epoch: shared.corpus.epoch(), report: report.to_json() }
+                }
+                Err(message) => Response::Error { message },
+            }
+        }
+        Request::GlobalMerge { jobs, if_epoch } => {
+            // Epoch precondition, mirroring `query`: a stale pin is
+            // answered `superseded` before any planning work, counted
+            // through the corpus like every other supersession.
+            if let Some(want) = if_epoch {
+                if shared.corpus.epoch() != *want {
+                    if let QueryOutcome::Superseded { started, epoch } =
+                        shared.corpus.superseded(*want)
+                    {
+                        return Response::Superseded { started, epoch };
+                    }
+                }
+            }
+            let mut cfg = GlobalPlanConfig::default();
+            if let Some(j) = jobs {
+                cfg = cfg.with_jobs(*j);
+            }
+            let planner = GlobalMergePlanner::new(&shared.corpus, cfg);
+            match planner.run() {
+                Ok((report, _merged, pinned)) => {
+                    // A mutation that landed while the planner ran makes
+                    // the plan stale; supersede it rather than publish.
+                    if shared.corpus.epoch() != pinned {
+                        if let QueryOutcome::Superseded { started, epoch } =
+                            shared.corpus.superseded(pinned)
+                        {
+                            return Response::Superseded { started, epoch };
+                        }
+                    }
+                    Response::Report { epoch: pinned, report: report.to_json() }
                 }
                 Err(message) => Response::Error { message },
             }

@@ -41,7 +41,35 @@ fn collect_metrics() -> MetricsRegistry {
     }
     collect_incremental_metrics(&mut reg);
     collect_serve_metrics(&mut reg);
+    collect_global_metrics(&mut reg);
     reg
+}
+
+/// Deterministic global-merge scenario: three small resident modules,
+/// two seed-twinned (cross-module clone families) and one fresh, planned
+/// by the two-phase engine. Every [`GlobalStats`] counter is a pure
+/// function of this corpus and the plan config — no wall clock, no
+/// job-count dependence — so the candidate-pair, rollback and
+/// differential-probe counts gate exactly like the pass metrics: a
+/// planner change that silently doubles the probe fan-out trips the band.
+fn collect_global_metrics(reg: &mut MetricsRegistry) {
+    use f3m::core::corpus::{Corpus, CorpusConfig};
+    use f3m::core::{GlobalMergePlanner, GlobalPlanConfig};
+
+    let corpus = Corpus::new(CorpusConfig { shards: 4, jobs: 2, ..CorpusConfig::default() });
+    for (name, seed) in [("glob_a", 500u64), ("glob_b", 500), ("glob_c", 777)] {
+        let mut spec = f3m::workloads::mini_suite()[0].clone();
+        spec.functions = 16;
+        spec.seed = seed;
+        let mut m = build_module(&spec);
+        m.name = name.to_string();
+        corpus.ingest(m).expect("gate corpus ingest");
+    }
+    let planner = GlobalMergePlanner::new(&corpus, GlobalPlanConfig::default().with_jobs(2));
+    let (report, merged, _epoch) = planner.run().expect("gate global plan");
+    f3m::ir::verify::verify_module(&merged).expect("gate global module verifies");
+    assert!(report.stats.cross_module_pairs > 0, "gate scenario offers cross-module pairs");
+    report.export_metrics(reg, "global");
 }
 
 /// Deterministic serving scenario: one daemon, one synchronous client,
@@ -232,6 +260,12 @@ fn tolerance_for(name: &str) -> Tolerance {
         | "lsh_bucket_occupancy" | "probe_collisions" | "lsh_allocs_saved" => {
             Tolerance { rel: 0.15, abs: 16.0 }
         }
+        // Global-merge work counts: candidate draw and verification
+        // fan-out for the fixed three-module scenario. Banded like the
+        // other work counts — a planner change that doubles the probe
+        // count is a complexity regression, not noise.
+        "pairs_considered" | "cross_module_pairs" | "differential_probes"
+        | "differential_skips" => Tolerance { rel: 0.15, abs: 16.0 },
         // Incremental-recompute work counts: how much one update dirties
         // is a banded quantity (a granularity regression blows well past
         // 15 %); hit/miss totals for the fixed sweep sequence likewise.
