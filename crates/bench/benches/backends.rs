@@ -19,18 +19,26 @@
 //!   corpus is built the slow way (parse + fingerprint + index), saved,
 //!   and reopened via `Corpus::load_snapshot`. Full mode asserts restore
 //!   is >= 10x faster than the rebuild it replaces.
+//! - **bulk vs mmap-resident restore**: the same snapshot reopened in a
+//!   bulk-read child and in a budgeted `Corpus::load_snapshot_resident`
+//!   child, each serving the same query workload. Answers must hash
+//!   identically in every mode; full mode additionally asserts the
+//!   budgeted restore peaks strictly below the bulk baseline's RSS.
 //!
 //! Results go to `results/BENCH_backends.json`; `--smoke` shrinks every
-//! axis for CI and skips the chrome-full point and the 10x assertion.
+//! axis for CI and skips the chrome-full point and the full-mode-only
+//! assertions.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::time::Instant;
 
 use f3m_core::corpus::{Corpus, CorpusConfig};
 use f3m_fingerprint::lsh::band_keys_for;
+use f3m_fingerprint::resident::TARGET_SHARD_BYTES;
 use f3m_fingerprint::{
-    backend_for, BackendKind, MergeParams, PackedFingerprintStore, QueryScratch,
-    ShardedLshIndex,
+    backend_for, probe_keys_for, BackendKind, MergeParams, PackedFingerprintStore, PagerKind,
+    QueryScratch, ShardedLshIndex,
 };
 use f3m_workloads::stream::{chrome_full, FunctionStream};
 use f3m_workloads::WorkloadSpec;
@@ -39,6 +47,13 @@ use f3m_workloads::WorkloadSpec;
 /// replaces (asserted in full mode only; smoke corpora are too small for
 /// the ratio to be stable).
 const SNAPSHOT_SPEEDUP_TARGET: f64 = 10.0;
+
+/// Multi-probe budget for the extra embed Pareto point.
+const PROBE_POINT: usize = 16;
+
+/// Residency budget for the budgeted restore child: a handful of hot
+/// shards, far below the full pool size at either scale.
+const RESTORE_BUDGET: u64 = (4 * TARGET_SHARD_BYTES) as u64;
 
 fn peak_rss_kb() -> u64 {
     let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
@@ -59,14 +74,15 @@ fn chrome_scale_spec(functions: usize) -> WorkloadSpec {
 }
 
 /// Child: build one backend's index over a streamed workload, probe a
-/// sample of planted-family members, print one `RESULT {json}` line.
-fn child_index(backend: BackendKind, workload: &str, functions: usize, queries: usize) {
+/// sample of planted-family members (widened by `probes` extra
+/// multi-probe keys when nonzero), print one `RESULT {json}` line.
+fn child_index(backend: BackendKind, workload: &str, functions: usize, queries: usize, probes: usize) {
     let spec = if workload == "chrome-full" {
         chrome_full()
     } else {
         chrome_scale_spec(functions)
     };
-    let params = MergeParams::adaptive(spec.functions).with_backend(backend);
+    let params = MergeParams::adaptive(spec.functions).with_backend(backend).with_probes(probes);
     let be = backend_for(backend, params.k);
     let shards = 4;
     let index: ShardedLshIndex<u32> = ShardedLshIndex::new(params.lsh, shards);
@@ -122,7 +138,12 @@ fn child_index(backend: BackendKind, workload: &str, functions: usize, queries: 
     let mut examined = 0usize;
     let t_q = Instant::now();
     for &id in &sample {
-        let stats = index.probe_keys_into(store.keys(id as usize), id, &mut scratch);
+        let stats = if probes > 0 {
+            let widened = probe_keys_for(params.lsh, store.sig(id as usize), probes);
+            index.probe_keys_into(&widened, id, &mut scratch)
+        } else {
+            index.probe_keys_into(store.keys(id as usize), id, &mut scratch)
+        };
         probe_collisions += stats.collisions;
         examined += stats.examined;
         let fam = family_of[id as usize];
@@ -136,7 +157,7 @@ fn child_index(backend: BackendKind, workload: &str, functions: usize, queries: 
 
     println!(
         "RESULT {{\"backend\":\"{}\",\"workload\":\"{}\",\"functions\":{},\
-         \"k\":{},\"bands\":{},\"build_ms\":{},\"fingerprint_ms\":{},\"index_ms\":{},\
+         \"k\":{},\"bands\":{},\"probes\":{},\"build_ms\":{},\"fingerprint_ms\":{},\"index_ms\":{},\
          \"queries\":{},\"query_us_mean\":{:.3},\"recall\":{:.4},\
          \"probe_collisions\":{},\"candidates_examined\":{},\
          \"bytes_per_fn\":{},\"soa_bytes\":{},\"index_buckets\":{},\
@@ -146,6 +167,7 @@ fn child_index(backend: BackendKind, workload: &str, functions: usize, queries: 
         store.len(),
         params.k,
         params.lsh.bands,
+        probes,
         build_ms,
         fingerprint_ns / 1_000_000,
         index_ns / 1_000_000,
@@ -163,9 +185,10 @@ fn child_index(backend: BackendKind, workload: &str, functions: usize, queries: 
 
 /// Child: daemon-restart economics. Builds a corpus the slow way (the
 /// serve fallback path: parse every module source, fingerprint, index),
-/// saves a snapshot, reopens it, and checks the reopened corpus answers
-/// queries identically.
-fn child_snapshot(functions: usize, modules: usize) {
+/// saves a snapshot to `keep_path` (left behind for the restore-mode
+/// children), reopens it, and checks the reopened corpus answers queries
+/// identically.
+fn child_snapshot(functions: usize, modules: usize, keep_path: &Path) {
     let per_module = (functions / modules).max(8);
     let sources: Vec<(String, String)> = (0..modules)
         .map(|i| {
@@ -189,18 +212,15 @@ fn child_snapshot(functions: usize, modules: usize) {
     }
     let rebuild_ms = t.elapsed().as_millis();
 
-    let dir = std::env::temp_dir().join(format!("f3m_bench_snap_{}", std::process::id()));
-    let path = dir.join("corpus.f3msnap");
     let t = Instant::now();
-    corpus.save_snapshot(&path).expect("save snapshot");
+    corpus.save_snapshot(keep_path).expect("save snapshot");
     let save_ms = t.elapsed().as_millis();
-    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let snapshot_bytes = std::fs::metadata(keep_path).map(|m| m.len()).unwrap_or(0);
 
     // Restart path: open the snapshot.
     let t = Instant::now();
-    let restored = Corpus::load_snapshot(&path, cfg()).expect("load snapshot");
+    let restored = Corpus::load_snapshot(keep_path, cfg()).expect("load snapshot");
     let load_ms = t.elapsed().as_millis();
-    let _ = std::fs::remove_dir_all(&dir);
 
     // The restored corpus must be indistinguishable to a client.
     let (_, a) = corpus.query_module("chrome_part0", 3).expect("query original");
@@ -218,6 +238,39 @@ fn child_snapshot(functions: usize, modules: usize) {
         load_ms,
         snapshot_bytes,
         speedup,
+        peak_rss_kb(),
+    );
+}
+
+/// Child: reopen an existing snapshot in one restore mode (`bulk` reads
+/// the whole file; `resident` maps it under `budget` pool bytes) and
+/// serve the same fixed query workload. Peak RSS is attributable to the
+/// restore + first answers alone — the expensive build happened in the
+/// sibling child that wrote the snapshot.
+fn child_restore(path: &Path, mode: &str, budget: u64) {
+    let cfg = CorpusConfig { jobs: 1, ..CorpusConfig::default() };
+    let t = Instant::now();
+    let corpus = match mode {
+        "bulk" => Corpus::load_snapshot(path, cfg).expect("bulk load"),
+        "resident" => Corpus::load_snapshot_resident(path, cfg, PagerKind::Auto, budget)
+            .expect("resident load"),
+        other => panic!("unknown restore mode `{other}`"),
+    };
+    let load_ms = t.elapsed().as_millis();
+    // Restart-to-first-answer: one module's candidates. The parent
+    // compares the hash across modes, so the budgeted mapped store must
+    // answer byte-identically to the fully-resident baseline.
+    let (epoch, results) = corpus.query_module("chrome_part0", 3).expect("query restored");
+    let rendered = format!("{epoch}:{results:?}");
+    let answers_hash = f3m_fingerprint::fnv::fnv1a(rendered.as_bytes());
+    let (pager, rc) = corpus.residency().unwrap_or(("none", Default::default()));
+    println!(
+        "RESULT {{\"mode\":\"{mode}\",\"budget\":{budget},\"load_ms\":{load_ms},\
+         \"answers_hash\":\"{answers_hash:016x}\",\"pager\":\"{pager}\",\
+         \"resident_bytes\":{},\"shard_faults\":{},\"shard_spills\":{},\"peak_rss_kb\":{}}}",
+        rc.resident_bytes,
+        rc.shard_faults,
+        rc.shard_spills,
         peak_rss_kb(),
     );
 }
@@ -249,21 +302,38 @@ fn json_num(json: &str, key: &str) -> f64 {
     rest[..end].trim().parse().expect("numeric field")
 }
 
+/// Pulls a string field out of a flat JSON object.
+fn json_str(json: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":\"");
+    let start = json.find(&pat).map(|i| i + pat.len()).expect("field present");
+    let rest = &json[start..];
+    let end = rest.find('"').expect("closing quote");
+    rest[..end].to_string()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    // Child dispatch: `--child-index <backend> <workload> <functions> <queries>`
-    // or `--child-snapshot <functions> <modules>`.
+    // Child dispatch:
+    //   --child-index <backend> <workload> <functions> <queries> <probes>
+    //   --child-snapshot <functions> <modules> <path>
+    //   --child-restore <path> <bulk|resident> <budget>
     if let Some(i) = args.iter().position(|a| a == "--child-index") {
         let backend = BackendKind::parse(&args[i + 1]).expect("backend name");
         let functions: usize = args[i + 3].parse().unwrap();
         let queries: usize = args[i + 4].parse().unwrap();
-        child_index(backend, &args[i + 2], functions, queries);
+        let probes: usize = args[i + 5].parse().unwrap();
+        child_index(backend, &args[i + 2], functions, queries, probes);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--child-snapshot") {
         let functions: usize = args[i + 1].parse().unwrap();
         let modules: usize = args[i + 2].parse().unwrap();
-        child_snapshot(functions, modules);
+        child_snapshot(functions, modules, Path::new(&args[i + 3]));
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--child-restore") {
+        let budget: u64 = args[i + 3].parse().unwrap();
+        child_restore(Path::new(&args[i + 1]), &args[i + 2], budget);
         return;
     }
 
@@ -272,19 +342,29 @@ fn main() {
         if smoke { (6_000, 400, false, 2_000, 4) } else { (120_000, 2_000, true, 120_000, 8) };
 
     let mut per_backend = Vec::new();
-    for backend in BackendKind::ALL {
-        eprintln!("backends: indexing chrome-scale ({scale_fns} fns) with {}", backend.name());
+    // One point per backend, plus a multi-probe point for the embed
+    // backend — probes trade query time for recall on the same index.
+    let mut points: Vec<(BackendKind, usize)> =
+        BackendKind::ALL.iter().map(|&b| (b, 0)).collect();
+    points.push((BackendKind::Embed, PROBE_POINT));
+    for (backend, probes) in points {
+        eprintln!(
+            "backends: indexing chrome-scale ({scale_fns} fns) with {} (probes {probes})",
+            backend.name()
+        );
         let row = run_child(&[
             "--child-index".into(),
             backend.name().into(),
             "chrome-scale".into(),
             scale_fns.to_string(),
             queries.to_string(),
+            probes.to_string(),
         ]);
         println!(
-            "backends/{:<8} build {:>8.0} ms  query {:>7.1} us  recall {:.3}  \
+            "backends/{:<8} probes {:>3}  build {:>8.0} ms  query {:>7.1} us  recall {:.3}  \
              {:>4.0} B/fn  peak {:>7.0} kB",
             backend.name(),
+            probes,
             json_num(&row, "build_ms"),
             json_num(&row, "query_us_mean"),
             json_num(&row, "recall"),
@@ -303,6 +383,7 @@ fn main() {
             "chrome-full".into(),
             spec.functions.to_string(),
             queries.to_string(),
+            "0".into(),
         ]);
         println!(
             "backends/chrome-full build {:.0} ms ({} fns)  query {:.1} us  recall {:.3}  \
@@ -319,10 +400,14 @@ fn main() {
     };
 
     eprintln!("backends: snapshot restore vs rebuild ({snap_fns} fns, {snap_modules} modules)");
+    let dir = std::env::temp_dir().join(format!("f3m_bench_snap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let snap_path = dir.join("corpus.f3msnap");
     let snap = run_child(&[
         "--child-snapshot".into(),
         snap_fns.to_string(),
         snap_modules.to_string(),
+        snap_path.display().to_string(),
     ]);
     let speedup = json_num(&snap, "speedup");
     println!(
@@ -340,12 +425,63 @@ fn main() {
         );
     }
 
+    // Bulk vs budgeted mmap-resident restore of that same snapshot, each
+    // in its own child so VmHWM isolates the restore path.
+    eprintln!("backends: restore modes (budget {RESTORE_BUDGET} B)");
+    let bulk = run_child(&[
+        "--child-restore".into(),
+        snap_path.display().to_string(),
+        "bulk".into(),
+        "0".into(),
+    ]);
+    let resident = run_child(&[
+        "--child-restore".into(),
+        snap_path.display().to_string(),
+        "resident".into(),
+        RESTORE_BUDGET.to_string(),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "backends/restore bulk     load {:>6.0} ms  peak {:>7.0} kB",
+        json_num(&bulk, "load_ms"),
+        json_num(&bulk, "peak_rss_kb"),
+    );
+    println!(
+        "backends/restore resident load {:>6.0} ms  peak {:>7.0} kB  \
+         ({} pager, {:.0} B hot, {:.0} faults, {:.0} spills)",
+        json_num(&resident, "load_ms"),
+        json_num(&resident, "peak_rss_kb"),
+        json_str(&resident, "pager"),
+        json_num(&resident, "resident_bytes"),
+        json_num(&resident, "shard_faults"),
+        json_num(&resident, "shard_spills"),
+    );
+    // Byte-identical answers are non-negotiable in every mode.
+    assert_eq!(
+        json_str(&bulk, "answers_hash"),
+        json_str(&resident, "answers_hash"),
+        "budgeted mmap-resident restore must answer queries byte-identically \
+         to the bulk baseline"
+    );
+    if !smoke {
+        let bulk_rss = json_num(&bulk, "peak_rss_kb");
+        let resident_rss = json_num(&resident, "peak_rss_kb");
+        assert!(
+            resident_rss < bulk_rss,
+            "budgeted chrome-scale restore must peak strictly below the bulk \
+             baseline: resident {resident_rss:.0} kB vs bulk {bulk_rss:.0} kB"
+        );
+    }
+
     let json = format!(
         "{{\"smoke\":{smoke},\"snapshot_speedup_target\":{SNAPSHOT_SPEEDUP_TARGET},\
-         \"per_backend\":[{}],\"chrome_full\":{},\"snapshot\":{}}}",
+         \"per_backend\":[{}],\"chrome_full\":{},\"snapshot\":{},\
+         \"restore\":{{\"budget\":{RESTORE_BUDGET},\"bulk\":{},\"resident\":{}}}}}",
         per_backend.join(","),
         chrome_full_row.as_deref().unwrap_or("null"),
         snap,
+        bulk,
+        resident,
     );
     let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -77,8 +77,10 @@ use std::path::Path;
 use f3m_fingerprint::adaptive::MergeParams;
 use f3m_fingerprint::backend::{backend_for, signature_similarity, FingerprintBackend};
 use f3m_fingerprint::encode::encode_function;
-use f3m_fingerprint::lsh::{band_keys_for, BandKey};
+use f3m_fingerprint::lsh::{band_keys_for, probe_keys_for, BandKey};
+use f3m_fingerprint::pager::PagerKind;
 use f3m_fingerprint::par::par_map_indexed;
+use f3m_fingerprint::resident::{ResidencyCounters, ResidentStore, RowRef};
 use f3m_fingerprint::sharded::{ShardStats, ShardedLshIndex};
 use f3m_fingerprint::snapshot::{self, SnapshotError, SnapshotHeader};
 use f3m_fingerprint::store::PackedFingerprintStore;
@@ -219,6 +221,53 @@ pub struct CorpusStats {
     pub funcs_invalidated: u64,
     /// Cancellable queries aborted because a newer epoch superseded them.
     pub queries_superseded: u64,
+    /// Pager backend of the resident fingerprint store (`None` when the
+    /// corpus owns its fingerprints: fresh, or bulk-loaded).
+    pub resident_pager: Option<&'static str>,
+    /// Logical pool bytes currently resident in the mmap-backed store.
+    pub resident_bytes: u64,
+    /// Shards faulted in by the residency manager since load.
+    pub shard_faults: u64,
+    /// Shards spilled by the residency manager to enforce its budget.
+    pub shard_spills: u64,
+}
+
+/// Where one entry's fingerprint lives.
+///
+/// Fresh ingests and bulk snapshot loads own their signature and band
+/// keys on the heap; a corpus restored via
+/// [`Corpus::load_snapshot_resident`] leaves them in the snapshot file
+/// and records only the row, so restore cost is O(touched rows), not
+/// O(corpus). Any mutation of a resident entry (an update or a touch)
+/// recomputes the fingerprint and converts it back to `Owned` — the
+/// snapshot file is immutable while mapped.
+enum Fingerprint {
+    Owned { sig: Vec<u64>, keys: Vec<BandKey> },
+    Resident { row: u32 },
+}
+
+/// Borrowed view of one entry's fingerprint: either the owned vectors or
+/// a pinned row of the resident store (which keeps the backing shard
+/// buffer alive for the lifetime of the view).
+enum FpRef<'a> {
+    Owned { sig: &'a [u64], keys: &'a [BandKey] },
+    Resident(RowRef<'a>),
+}
+
+impl FpRef<'_> {
+    fn sig(&self) -> &[u64] {
+        match self {
+            FpRef::Owned { sig, .. } => sig,
+            FpRef::Resident(r) => r.sig(),
+        }
+    }
+
+    fn keys(&self) -> &[BandKey] {
+        match self {
+            FpRef::Owned { keys, .. } => keys,
+            FpRef::Resident(r) => r.keys(),
+        }
+    }
 }
 
 struct Entry {
@@ -226,9 +275,9 @@ struct Entry {
     func: String,
     /// `<module>.<func>`, the corpus-wide identity.
     qualified: String,
-    /// Backend signature (`k` slots; see [`signature_similarity`]).
-    sig: Vec<u64>,
-    keys: Vec<BandKey>,
+    /// Backend signature + band keys (see [`signature_similarity`]),
+    /// owned or resident in a mapped snapshot.
+    fp: Fingerprint,
     /// First epoch at which this entry is visible.
     added: u64,
     /// First epoch at which it is no longer visible (`u64::MAX` = live).
@@ -348,6 +397,9 @@ pub struct Corpus {
     table: RwLock<Table>,
     cache: QueryCache,
     counters: MemoCounters,
+    /// Backing store for [`Fingerprint::Resident`] entries; `None` for
+    /// fresh and bulk-loaded corpora.
+    resident: Option<ResidentStore>,
     /// Serializes ingest/evict/update so epoch intervals never interleave.
     mutate: Mutex<()>,
 }
@@ -370,12 +422,37 @@ impl Corpus {
             table: RwLock::new(Table::default()),
             cache: RwLock::new(HashMap::new()),
             counters: MemoCounters::default(),
+            resident: None,
             mutate: Mutex::new(()),
         }
     }
 
     pub fn config(&self) -> &CorpusConfig {
         &self.cfg
+    }
+
+    /// One entry's fingerprint, wherever it lives. Faults the owning
+    /// shard of a resident row in (and may spill a cold shard under the
+    /// budget) as a side effect.
+    fn fp<'t>(&'t self, e: &'t Entry) -> FpRef<'t> {
+        match &e.fp {
+            Fingerprint::Owned { sig, keys } => FpRef::Owned { sig, keys },
+            Fingerprint::Resident { row } => {
+                let store = self.resident.as_ref().expect("resident entry has a resident store");
+                FpRef::Resident(store.row(*row as usize))
+            }
+        }
+    }
+
+    /// Owned copy of one entry's band keys (the delta-removal paths need
+    /// keys that outlive the table borrow).
+    fn keys_owned(&self, e: &Entry) -> Vec<BandKey> {
+        self.fp(e).keys().to_vec()
+    }
+
+    /// Residency counters of the backing resident store, if any.
+    pub fn residency(&self) -> Option<(&'static str, ResidencyCounters)> {
+        self.resident.as_ref().map(|s| (s.pager_name(), s.counters()))
     }
 
     /// The epoch currently visible to readers.
@@ -434,8 +511,7 @@ impl Corpus {
                 t.entries.push(Entry {
                     qualified: format!("{name}.{func}"),
                     func,
-                    sig,
-                    keys: keys.clone(),
+                    fp: Fingerprint::Owned { sig, keys: keys.clone() },
                     added: next_epoch,
                     evicted: u64::MAX,
                     rev: next_epoch,
@@ -474,9 +550,8 @@ impl Corpus {
             let ids = t.modules[mi].entry_ids.clone();
             ids.iter()
                 .map(|&id| {
-                    let e = &mut t.entries[id];
-                    e.evicted = next_epoch;
-                    (id, e.keys.clone())
+                    t.entries[id].evicted = next_epoch;
+                    (id, self.keys_owned(&t.entries[id]))
                 })
                 .collect()
         };
@@ -523,7 +598,7 @@ impl Corpus {
                 ));
             };
             let fid = rec.module.get().lookup_function(func).expect("entry function exists");
-            (mi, id, t.entries[id].keys.clone(), print_function(rec.module.get(), fid))
+            (mi, id, self.keys_owned(&t.entries[id]), print_function(rec.module.get(), fid))
         };
 
         let (new_module, changed) = match replacement_ir {
@@ -578,8 +653,7 @@ impl Corpus {
                 t.modules[mi].module.set(m2);
             }
             let e = &mut t.entries[entry_id];
-            e.sig = sig;
-            e.keys = new_keys.clone();
+            e.fp = Fingerprint::Owned { sig, keys: new_keys.clone() };
             e.rev = next_epoch;
         }
         let dirty = self.index.apply_delta(&[(entry_id, old_keys)], &[(entry_id, new_keys)]);
@@ -657,8 +731,7 @@ impl Corpus {
             t.entries.push(Entry {
                 func: func.to_string(),
                 qualified: format!("{module}.{func}"),
-                sig,
-                keys: keys.clone(),
+                fp: Fingerprint::Owned { sig, keys: keys.clone() },
                 added: next_epoch,
                 evicted: u64::MAX,
                 rev: next_epoch,
@@ -885,7 +958,15 @@ impl Corpus {
             }
         }
         self.counters.memo_misses.fetch_add(1, Ordering::Relaxed);
-        let (cands, _) = self.index.candidates_counted(&ent.keys, i);
+        let fp = self.fp(ent);
+        // Multi-probe widens the probed key list with perturbed band
+        // keys; `probes == 0` is exactly the classic single-probe query.
+        let (cands, _) = if self.cfg.params.probes > 0 {
+            let probed = probe_keys_for(self.cfg.params.lsh, fp.sig(), self.cfg.params.probes);
+            self.index.candidates_counted(&probed, i)
+        } else {
+            self.index.candidates_counted(fp.keys(), i)
+        };
         let mut ranked: Vec<(usize, f64)> = cands
             .into_iter()
             .filter(|&j| {
@@ -896,7 +977,9 @@ impl Corpus {
                 let key = (i.min(j), i.max(j));
                 let sim = *sims
                     .entry(key)
-                    .or_insert_with(|| signature_similarity(&ent.sig, &t.entries[j].sig));
+                    .or_insert_with(|| {
+                        signature_similarity(fp.sig(), self.fp(&t.entries[j]).sig())
+                    });
                 (j, sim)
             })
             .filter(|&(_, sim)| sim >= self.cfg.params.threshold)
@@ -935,7 +1018,13 @@ impl Corpus {
     pub fn stats(&self) -> CorpusStats {
         let epoch = self.index.epoch();
         let t = self.table.read().unwrap();
+        let residency = self.residency();
+        let rc = residency.map(|(_, c)| c).unwrap_or_default();
         CorpusStats {
+            resident_pager: residency.map(|(name, _)| name),
+            resident_bytes: rc.resident_bytes,
+            shard_faults: rc.shard_faults,
+            shard_spills: rc.shard_spills,
             epoch,
             modules_live: t.modules.iter().filter(|r| r.live).count(),
             modules_total: t.modules.len(),
@@ -1016,7 +1105,8 @@ impl Corpus {
             live.len(),
         );
         for &id in &live {
-            store.push_with_keys(&t.entries[id].sig, &t.entries[id].keys);
+            let fp = self.fp(&t.entries[id]);
+            store.push_with_keys(fp.sig(), fp.keys());
         }
 
         // Bucket directory across all shards. Band keys are globally
@@ -1094,11 +1184,46 @@ impl Corpus {
     /// re-ingesting [`Corpus::snapshot_sources`].
     pub fn load_snapshot(path: &Path, cfg: CorpusConfig) -> Result<Corpus, SnapshotError> {
         let snap = snapshot::open_snapshot(path)?;
-        let h = snap.header;
-        if h.backend != cfg.params.backend
-            || h.k != cfg.params.k
-            || h.lsh != cfg.params.lsh
-            || h.threshold.to_bits() != cfg.params.threshold.to_bits()
+        Self::check_snapshot_params(&snap.header, &cfg.params)?;
+        let store = snap.store;
+        Self::restore(cfg, snap.header, snap.buckets, &snap.payload, None, |row| {
+            Fingerprint::Owned { sig: store.sig(row).to_vec(), keys: store.keys(row).to_vec() }
+        })
+    }
+
+    /// Restores a snapshot *without* reading the fingerprint pools:
+    /// validates and decodes only the meta prefix (header, bucket
+    /// directory, payload), maps the pools through a [`ResidentStore`],
+    /// and leaves every entry's fingerprint resident in the file. Rows
+    /// fault in shard-by-shard as queries touch them, and
+    /// `resident_budget` (0 = unlimited) caps how many pool bytes stay
+    /// hot at once — restart cost becomes O(touched), not O(corpus).
+    ///
+    /// Answers are byte-identical to [`Corpus::load_snapshot`] under any
+    /// budget and any pager backend; only the residency counters (and
+    /// RSS) differ. Rejects the same mismatch/stale conditions.
+    pub fn load_snapshot_resident(
+        path: &Path,
+        cfg: CorpusConfig,
+        pager: PagerKind,
+        resident_budget: u64,
+    ) -> Result<Corpus, SnapshotError> {
+        let (meta, store) = ResidentStore::open(path, pager, resident_budget)?;
+        Self::check_snapshot_params(&meta.header, &cfg.params)?;
+        Self::restore(cfg, meta.header, meta.buckets, &meta.payload, Some(store), |row| {
+            Fingerprint::Resident { row: row as u32 }
+        })
+    }
+
+    /// `cfg.params` must match the snapshot header exactly — resident
+    /// fingerprints are only valid under the parameters they were
+    /// computed with. `probes` is deliberately not compared: it is a
+    /// query-time knob, never part of the stored state.
+    fn check_snapshot_params(h: &SnapshotHeader, params: &MergeParams) -> Result<(), SnapshotError> {
+        if h.backend != params.backend
+            || h.k != params.k
+            || h.lsh != params.lsh
+            || h.threshold.to_bits() != params.threshold.to_bits()
         {
             return Err(SnapshotError::Mismatch(format!(
                 "snapshot was written under backend={} k={} bands={} rows={} threshold={}; \
@@ -1108,25 +1233,41 @@ impl Corpus {
                 h.lsh.bands,
                 h.lsh.rows,
                 h.threshold,
-                cfg.params.backend.name(),
-                cfg.params.k,
-                cfg.params.lsh.bands,
-                cfg.params.lsh.rows,
-                cfg.params.threshold,
+                params.backend.name(),
+                params.k,
+                params.lsh.bands,
+                params.lsh.rows,
+                params.threshold,
             )));
         }
-        let payload = decode_corpus_payload(&snap.payload, h.entries)?;
+        Ok(())
+    }
+
+    /// Shared tail of the two snapshot loaders: decode the payload,
+    /// reject stale epochs, build the table (fingerprints supplied per
+    /// row by `fp_for_row`), restore the bucket directory and resume the
+    /// epoch.
+    fn restore(
+        cfg: CorpusConfig,
+        header: SnapshotHeader,
+        buckets: Vec<(BandKey, Vec<u32>)>,
+        payload: &[u8],
+        resident: Option<ResidentStore>,
+        fp_for_row: impl Fn(usize) -> Fingerprint,
+    ) -> Result<Corpus, SnapshotError> {
+        let payload = decode_corpus_payload(payload, header.entries)?;
         let newest_entry = payload
             .entries
             .iter()
             .map(|e| e.added.max(e.rev).max(e.dirty_rev))
             .max()
             .unwrap_or(0);
-        if newest_entry > h.epoch {
-            return Err(SnapshotError::StaleEpoch { snapshot: h.epoch, newest_entry });
+        if newest_entry > header.epoch {
+            return Err(SnapshotError::StaleEpoch { snapshot: header.epoch, newest_entry });
         }
 
-        let corpus = Corpus::new(cfg);
+        let mut corpus = Corpus::new(cfg);
+        corpus.resident = resident;
         {
             let mut t = corpus.table.write().unwrap();
             let mut entry_ids: Vec<Vec<usize>> = vec![Vec::new(); payload.modules.len()];
@@ -1139,8 +1280,7 @@ impl Corpus {
                 t.entries.push(Entry {
                     qualified: format!("{}.{}", payload.modules[mi].0, meta.func),
                     func: meta.func.clone(),
-                    sig: snap.store.sig(row).to_vec(),
-                    keys: snap.store.keys(row).to_vec(),
+                    fp: fp_for_row(row),
                     added: meta.added,
                     evicted: u64::MAX,
                     rev: meta.rev,
@@ -1159,10 +1299,10 @@ impl Corpus {
                 });
             }
         }
-        for (key, rows) in snap.buckets {
+        for (key, rows) in buckets {
             corpus.index.restore_bucket(key, rows.into_iter().map(|r| r as usize).collect());
         }
-        corpus.index.set_epoch(h.epoch);
+        corpus.index.set_epoch(header.epoch);
         Ok(corpus)
     }
 
@@ -1238,7 +1378,10 @@ fn decode_corpus_payload(bytes: &[u8], entries: usize) -> Result<CorpusPayload, 
         let src = cur.str()?;
         modules.push((name, src));
     }
-    let mut out = Vec::with_capacity(entries);
+    // A hostile header can claim any entry count; each record is at
+    // least 32 bytes, so cap the preallocation by what could possibly
+    // still be encoded (the loop then fails with a clean truncation).
+    let mut out = Vec::with_capacity(entries.min(bytes.len() / 32 + 1));
     for _ in 0..entries {
         let module_idx = cur.u32()?;
         let func = cur.str()?;

@@ -23,7 +23,7 @@ use std::sync::{Mutex, RwLock};
 use f3m_fingerprint::adaptive::MergeParams;
 use f3m_fingerprint::backend::{backend_for, signature_similarity};
 use f3m_fingerprint::encode::encode_function;
-use f3m_fingerprint::lsh::{band_keys_for, LshIndex, QueryScratch};
+use f3m_fingerprint::lsh::{band_keys_for, probe_keys_for, BandKey, LshIndex, QueryScratch};
 use f3m_fingerprint::opcode_freq::OpcodeFingerprint;
 use f3m_fingerprint::par::par_map_indexed;
 use f3m_fingerprint::store::PackedFingerprintStore;
@@ -406,6 +406,14 @@ impl LshBackendSearch {
     fn similarity(&self, i: usize, j: usize) -> f64 {
         signature_similarity(self.store.sig(i), self.store.sig(j))
     }
+
+    /// The widened multi-probe key list for row `i`, or `None` under
+    /// classic single-probe (`params.probes == 0`), where the stored
+    /// band keys are probed directly without allocating.
+    fn probe_widened(&self, i: usize) -> Option<Vec<BandKey>> {
+        (self.params.probes > 0)
+            .then(|| probe_keys_for(self.params.lsh, self.store.sig(i), self.params.probes))
+    }
 }
 
 impl CandidateSearch for LshBackendSearch {
@@ -420,7 +428,10 @@ impl CandidateSearch for LshBackendSearch {
         counters: &mut QueryCounters,
         scratch: &mut SearchScratch,
     ) -> CandidateSet {
-        let qstats = self.index.probe_keys_into(self.store.keys(i), i, &mut scratch.query);
+        let qstats = match self.probe_widened(i) {
+            Some(keys) => self.index.probe_keys_into(&keys, i, &mut scratch.query),
+            None => self.index.probe_keys_into(self.store.keys(i), i, &mut scratch.query),
+        };
         counters.examined += qstats.examined as u64;
         counters.evicted += qstats.evicted as u64;
         counters.collisions += qstats.collisions as u64;
@@ -454,7 +465,10 @@ impl CandidateSearch for LshBackendSearch {
 
     fn ranked_candidates(&self, i: usize, available: &[bool], k: usize) -> Vec<(usize, f64)> {
         let mut scratch = self.ranked_scratch.lock().unwrap();
-        self.index.probe_keys_into(self.store.keys(i), i, &mut scratch);
+        match self.probe_widened(i) {
+            Some(keys) => self.index.probe_keys_into(&keys, i, &mut scratch),
+            None => self.index.probe_keys_into(self.store.keys(i), i, &mut scratch),
+        };
         let mut ranked: Vec<(usize, f64)> = scratch
             .out
             .iter()

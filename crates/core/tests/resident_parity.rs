@@ -1,0 +1,245 @@
+//! Equivalence of the mmap-resident restore path with the bulk restore
+//! path, and monotonicity of multi-probe widening.
+//!
+//! A corpus restored through [`Corpus::load_snapshot_resident`] under any
+//! budget is a pure paging change: query answers, epochs and subsequent
+//! mutations must be byte-identical to a bulk [`Corpus::load_snapshot`]
+//! of the same file, at every shard count and jobs level, whichever
+//! pager backend serves the rows. Multi-probe widening may only ever
+//! *add* candidates: the probe sequence is prefix-stable, so the
+//! candidate set at probe budget `p1` is a subset of the set at
+//! `p2 > p1`, and probing composes with residency without changing
+//! answers.
+
+use std::path::PathBuf;
+
+use f3m_core::corpus::{Corpus, CorpusConfig};
+use f3m_fingerprint::encode::encode_function;
+use f3m_fingerprint::lsh::{band_keys_for, probe_keys_for};
+use f3m_fingerprint::pager::PagerKind;
+use f3m_fingerprint::resident::TARGET_SHARD_BYTES;
+use f3m_fingerprint::{backend_for, MergeParams, ShardedLshIndex};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("f3m_resident_parity_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("corpus.f3msnap")
+}
+
+fn populated_corpus(cfg: CorpusConfig, modules: usize) -> Corpus {
+    let corpus = Corpus::new(cfg);
+    for i in 0..modules {
+        let mut spec = f3m_workloads::mini_suite()[0].clone();
+        spec.functions = 48;
+        spec.seed = 1200 + i as u64;
+        let mut m = f3m_workloads::build_module(&spec);
+        m.name = format!("par_m{i}");
+        corpus.ingest(m).expect("ingest");
+    }
+    corpus
+}
+
+fn query_dump(c: &Corpus, modules: usize) -> Vec<(u64, String)> {
+    (0..modules)
+        .map(|i| {
+            let (epoch, rs) = c.query_module(&format!("par_m{i}"), 4).expect("query");
+            (epoch, format!("{rs:?}"))
+        })
+        .collect()
+}
+
+/// A one-shard budget forces the sweep through fault/spill traffic; the
+/// answers must not notice.
+const TINY_BUDGET: u64 = TARGET_SHARD_BYTES as u64;
+
+/// Budgeted resident restore answers byte-identically to bulk restore at
+/// every shard count and jobs level.
+#[test]
+fn resident_restore_matches_bulk_across_shards_and_jobs() {
+    for shards in 1..=5usize {
+        for jobs in [1usize, 2, 8] {
+            let cfg =
+                || CorpusConfig { shards, jobs, ..CorpusConfig::default() };
+            let corpus = populated_corpus(cfg(), 3);
+            let path = tmp(&format!("grid_s{shards}_j{jobs}"));
+            corpus.save_snapshot(&path).expect("save");
+
+            let bulk = Corpus::load_snapshot(&path, cfg()).expect("bulk load");
+            let resident =
+                Corpus::load_snapshot_resident(&path, cfg(), PagerKind::Auto, TINY_BUDGET)
+                    .expect("resident load");
+            assert_eq!(resident.epoch(), bulk.epoch(), "s{shards} j{jobs}: epoch");
+            assert_eq!(
+                query_dump(&resident, 3),
+                query_dump(&bulk, 3),
+                "s{shards} j{jobs}: answers"
+            );
+            let (_, counters) = resident.residency().expect("resident counters");
+            assert!(counters.resident_bytes <= TINY_BUDGET, "budget holds");
+            assert!(bulk.residency().is_none(), "bulk restore has no residency");
+            let _ = std::fs::remove_dir_all(path.parent().unwrap());
+        }
+    }
+}
+
+/// The residency counters record logical paging decisions, so the mmap
+/// pager and the portable read-at fallback report the same numbers for
+/// the same access pattern — and of course the same answers.
+#[test]
+fn pager_backends_agree_on_answers_and_counters() {
+    let cfg = || CorpusConfig { jobs: 1, ..CorpusConfig::default() };
+    let corpus = populated_corpus(cfg(), 3);
+    let path = tmp("pagers");
+    corpus.save_snapshot(&path).expect("save");
+
+    let run = |kind: PagerKind| {
+        let c = Corpus::load_snapshot_resident(&path, cfg(), kind, TINY_BUDGET);
+        let c = match c {
+            Ok(c) => c,
+            Err(e) => panic!("resident load: {e:?}"),
+        };
+        let dump = query_dump(&c, 3);
+        let (name, counters) = c.residency().expect("counters");
+        (dump, name, counters)
+    };
+    let (dump_a, name_a, ca) = run(PagerKind::File);
+    let (dump_b, name_b, cb) = run(PagerKind::Auto);
+    assert_eq!(name_a, "file");
+    assert_eq!(dump_a, dump_b, "pagers {name_a} vs {name_b}: answers");
+    assert_eq!(ca.resident_bytes, cb.resident_bytes);
+    assert_eq!(ca.shard_faults, cb.shard_faults);
+    assert_eq!(ca.shard_spills, cb.shard_spills);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+/// A resident corpus is not read-only: ingest, update and evict convert
+/// rows to owned storage as needed and stay in lockstep with the same
+/// mutations applied to a bulk-restored twin.
+#[test]
+fn resident_corpus_mutations_match_bulk_twin() {
+    let cfg = || CorpusConfig { jobs: 1, ..CorpusConfig::default() };
+    let corpus = populated_corpus(cfg(), 2);
+    let path = tmp("mutations");
+    corpus.save_snapshot(&path).expect("save");
+
+    let bulk = Corpus::load_snapshot(&path, cfg()).expect("bulk load");
+    let resident = Corpus::load_snapshot_resident(&path, cfg(), PagerKind::Auto, TINY_BUDGET)
+        .expect("resident load");
+
+    let mutate = |c: &Corpus| {
+        // Ingest a fresh module, body-swap one function of a resident
+        // module via update_function, then evict the other module.
+        let mut spec = f3m_workloads::mini_suite()[0].clone();
+        spec.functions = 24;
+        spec.seed = 4242;
+        let mut m = f3m_workloads::build_module(&spec);
+        m.name = "par_new".into();
+        c.ingest(m).expect("ingest into restored corpus");
+
+        let src = c.module_source("par_m0").expect("source");
+        let m = f3m_ir::parser::parse_module(&src).expect("parse");
+        let name = m
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| m.function(f).num_linked_insts() > 0)
+            .map(|f| m.function(f).name.clone())
+            .next()
+            .expect("module has a merge-eligible function");
+        c.update_function("par_m0", &name, None).expect("touch resident function");
+        c.evict("par_m1").expect("evict resident module");
+    };
+    mutate(&bulk);
+    mutate(&resident);
+
+    assert_eq!(resident.epoch(), bulk.epoch(), "epochs advance in lockstep");
+    let dump = |c: &Corpus| {
+        ["par_m0", "par_new"]
+            .map(|n| format!("{:?}", c.query_module(n, 4).expect("query")))
+    };
+    assert_eq!(dump(&resident), dump(&bulk), "post-mutation answers");
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+/// Probe sequences are prefix-stable, so candidate sets grow
+/// monotonically with the probe budget and always contain the unprobed
+/// set.
+#[test]
+fn multi_probe_candidates_grow_monotonically()  {
+    let mut spec = f3m_workloads::mini_suite()[1].clone();
+    spec.functions = 72;
+    spec.seed = 5150;
+    let m = f3m_workloads::build_module(&spec);
+    let params = MergeParams::static_default();
+    let backend = backend_for(params.backend, params.k);
+    let sigs: Vec<Vec<u64>> = m
+        .defined_functions()
+        .into_iter()
+        .map(|f| backend.signature(&encode_function(&m.types, m.function(f))))
+        .collect();
+
+    let index: ShardedLshIndex<usize> = ShardedLshIndex::new(params.lsh, 3);
+    for (i, sig) in sigs.iter().enumerate() {
+        index.insert_with_keys(i, &band_keys_for(params.lsh, sig));
+    }
+
+    for (i, sig) in sigs.iter().enumerate() {
+        let base_keys = band_keys_for(params.lsh, sig);
+        let (base, _) = index.candidates_counted(&base_keys, i);
+        let mut prev: Vec<usize> = base;
+        for probes in [4usize, 16, 64] {
+            let keys = probe_keys_for(params.lsh, sig, probes);
+            assert_eq!(&keys[..base_keys.len()], &base_keys[..], "prefix-stable probes");
+            let (cands, _) = index.candidates_counted(&keys, i);
+            assert!(
+                prev.iter().all(|c| cands.contains(c)),
+                "fn {i}: probes={probes} dropped a candidate"
+            );
+            assert!(cands.len() >= prev.len(), "fn {i}: candidate count shrank");
+            prev = cands;
+        }
+    }
+
+    // Probing must genuinely *recall* a near-miss, not just re-collect
+    // the base buckets. Plant a neighbor one low-bit flip away in every
+    // band: it shares no exact band with the query (invisible to the
+    // unprobed lookup), but probe 0 perturbs band 0 slot 0 bit 0 —
+    // exactly the neighbor's band-0 bucket.
+    let query = sigs[0].clone();
+    let r = params.lsh.rows;
+    let mut neighbor = query.clone();
+    for j in 0..params.lsh.bands {
+        neighbor[j * r] ^= 1;
+    }
+    let nid = sigs.len();
+    index.insert_with_keys(nid, &band_keys_for(params.lsh, &neighbor));
+    let (unprobed, _) = index.candidates_counted(&band_keys_for(params.lsh, &query), 0);
+    assert!(!unprobed.contains(&nid), "neighbor shares no exact band");
+    let (probed, _) = index.candidates_counted(&probe_keys_for(params.lsh, &query, 1), 0);
+    assert!(probed.contains(&nid), "one probe recalls the adjacent bucket");
+}
+
+/// Probing composes with residency: a probed corpus restored bulk and
+/// restored resident answer identically.
+#[test]
+fn probed_queries_match_across_restore_modes() {
+    let cfg = || CorpusConfig {
+        jobs: 1,
+        params: MergeParams::static_default().with_probes(16),
+        ..CorpusConfig::default()
+    };
+    let corpus = populated_corpus(cfg(), 3);
+    let path = tmp("probed");
+    corpus.save_snapshot(&path).expect("save");
+
+    let bulk = Corpus::load_snapshot(&path, cfg()).expect("bulk load");
+    let resident = Corpus::load_snapshot_resident(&path, cfg(), PagerKind::Auto, TINY_BUDGET)
+        .expect("resident load");
+    assert_eq!(query_dump(&resident, 3), query_dump(&bulk, 3), "probed answers");
+
+    // The probe budget is a query-time knob: a snapshot written with
+    // probes=16 loads fine under probes=0 and vice versa.
+    let unprobed = CorpusConfig { jobs: 1, ..CorpusConfig::default() };
+    Corpus::load_snapshot(&path, unprobed).expect("probes are not a snapshot parameter");
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}

@@ -63,7 +63,7 @@ fn main() -> ExitCode {
                 "usage: f3m <merge|stats|run|gen|list> ...\n\
                  \n\
                  merge <input.ir> [-o out.ir] [--strategy hyfm|f3m|adaptive]\n\
-                 \x20      [--backend minhash|simhash|tlsh]\n\
+                 \x20      [--backend minhash|simhash|tlsh|embed] [--probes n]\n\
                  \x20      [--threshold t] [--bands b] [--rows r] [-k k] [--bucket-cap c]\n\
                  \x20      [--jobs n] [--report json] [--repair phi|stack|legacy] [--dce]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
@@ -78,7 +78,8 @@ fn main() -> ExitCode {
                  \x20      [--protocol [--cases n]] [--global]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
                  serve [--addr host:port] [--jobs n] [--queue-cap c] [--shards s]\n\
-                 \x20      [--backend minhash|simhash|tlsh] [--snapshot path]\n\
+                 \x20      [--backend minhash|simhash|tlsh|embed] [--snapshot path]\n\
+                 \x20      [--probes n] [--resident-budget bytes]\n\
                  \x20      [--shed-depth d] [--max-inflight n] [--max-inflight-per-conn n]\n\
                  \x20      [--read-deadline-ms t] [--idle-timeout-ms t]\n\
                  \x20      [--trace chrome:path] [--metrics path]\n\
@@ -89,7 +90,7 @@ fn main() -> ExitCode {
                  client [--addr host:port] merge [--strategy hyfm|f3m|f3m-adaptive] [--jobs n]\n\
                  client [--addr host:port] global-merge [--jobs n] [--if-epoch e]\n\
                  client [--addr host:port] stats|ping|shutdown\n\
-                 snapshot <file>\n\
+                 snapshot [describe] <file>\n\
                  list"
             );
             return ExitCode::from(2);
@@ -188,13 +189,21 @@ fn cmd_merge(args: &[String]) -> CliResult {
     }
     if let Some(name) = flag_value(args, "--backend") {
         let backend = BackendKind::parse(name)
-            .ok_or_else(|| format!("unknown backend `{name}` (minhash, simhash, tlsh)"))?;
+            .ok_or_else(|| format!("unknown backend `{name}` (minhash, simhash, tlsh, embed)"))?;
         if let Strategy::F3m(params) = &mut config.strategy {
             params.backend = backend;
         } else {
             return Err("--backend only applies to --strategy f3m (adaptive derives \
                         its parameters per module; hyfm has no fingerprint index)"
                 .into());
+        }
+    }
+    if let Some(n) = flag_value(args, "--probes") {
+        let probes: usize = n.parse()?;
+        if let Strategy::F3m(params) = &mut config.strategy {
+            params.probes = probes;
+        } else {
+            return Err("--probes only applies to --strategy f3m".into());
         }
     }
     let lsh_knobs = ["--bands", "--rows", "--bucket-cap", "-k"];
@@ -581,7 +590,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let backend = match flag_value(args, "--backend") {
         None => BackendKind::MinHash,
         Some(name) => BackendKind::parse(name)
-            .ok_or_else(|| format!("unknown backend `{name}` (minhash, simhash, tlsh)"))?,
+            .ok_or_else(|| format!("unknown backend `{name}` (minhash, simhash, tlsh, embed)"))?,
     };
     let mut admission = f3m::serve::AdmissionConfig::default();
     if let Some(v) = flag_value(args, "--shed-depth") {
@@ -599,6 +608,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
         queue_cap: flag_value(args, "--queue-cap").map(str::parse).transpose()?.unwrap_or(64),
         shards: flag_value(args, "--shards").map(str::parse).transpose()?.unwrap_or(8),
         backend,
+        probes: flag_value(args, "--probes").map(str::parse).transpose()?.unwrap_or(0),
+        resident_budget: flag_value(args, "--resident-budget").map(str::parse).transpose()?,
         admission,
         snapshot_path: flag_value(args, "--snapshot").map(PathBuf::from),
         metrics_path: obs.metrics_path,
@@ -691,16 +702,34 @@ fn cmd_client(args: &[String]) -> CliResult {
     }
 }
 
-/// `f3m snapshot <file>` — open and fully validate an index snapshot
-/// (checksum, structure, corpus payload) and print its vitals. Exit code
+/// `f3m snapshot [describe] <file>` — open and fully validate an index
+/// snapshot (checksum, structure, corpus payload) and print its vitals:
+/// header parameters, per-pool byte layout, bucket-directory occupancy,
+/// and what the mmap-resident loader would do with it. Exit code
 /// reflects validity, so CI can gate on a restored artefact.
 fn cmd_snapshot(args: &[String]) -> CliResult {
-    let path = args.first().ok_or("snapshot needs a file to verify")?;
-    let snap = f3m::fingerprint::snapshot::open_snapshot(std::path::Path::new(path))
+    // `describe` is an optional verb; with or without it the snapshot is
+    // fully validated (including the pool checksum).
+    let rest = match args.first().map(String::as_str) {
+        Some("describe") => &args[1..],
+        _ => args,
+    };
+    let path = rest.first().ok_or("snapshot needs a file to verify")?;
+    let p = std::path::Path::new(path);
+    let snap =
+        f3m::fingerprint::snapshot::open_snapshot(p).map_err(|e| format!("{path}: {e}"))?;
+    let meta = f3m::fingerprint::snapshot::open_snapshot_meta(p)
         .map_err(|e| format!("{path}: {e}"))?;
     let h = &snap.header;
-    let modules = f3m::core::Corpus::snapshot_sources(std::path::Path::new(path))
+    let modules = f3m::core::Corpus::snapshot_sources(p)
         .map_err(|e| format!("{path}: corpus payload: {e}"))?;
+    let l = &meta.layout;
+    let bucket_members: usize = snap.buckets.iter().map(|(_, m)| m.len()).sum();
+    let max_bucket = snap.buckets.iter().map(|(_, m)| m.len()).max().unwrap_or(0);
+    let bytes_per_fn = snap.store.bytes_per_fn();
+    let rows_per_shard =
+        (f3m::fingerprint::resident::TARGET_SHARD_BYTES / bytes_per_fn.max(1)).max(1);
+    let resident_shards = h.entries.div_ceil(rows_per_shard);
     println!(
         "{path}: valid snapshot\n\
          \x20 backend:    {}\n\
@@ -708,9 +737,15 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
          \x20 threshold:  {}\n\
          \x20 epoch:      {}\n\
          \x20 entries:    {} functions ({} bytes/fn packed)\n\
-         \x20 buckets:    {}\n\
+         \x20 buckets:    {} ({} members, max bucket {})\n\
          \x20 modules:    {}\n\
-         \x20 shards:     {} (at save; loaders re-route freely)",
+         \x20 shards:     {} (at save; loaders re-route freely)\n\
+         \x20 layout:     file {} B = meta {} B (directory {} B, payload {} B) \
+         + pools {} B\n\
+         \x20 pools:      signatures {} B + band keys {} B at offset {} \
+         (8-byte aligned: {})\n\
+         \x20 residency:  {} shard(s) of <= {} rows each; \
+         serve with --resident-budget to cap hot bytes",
         h.backend.name(),
         h.k,
         h.lsh.bands,
@@ -719,10 +754,23 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
         h.threshold,
         h.epoch,
         h.entries,
-        snap.store.bytes_per_fn(),
+        bytes_per_fn,
         snap.buckets.len(),
+        bucket_members,
+        max_bucket,
         modules.len(),
         h.shards,
+        l.file_len,
+        l.meta_end,
+        l.dir_len,
+        l.payload_len,
+        l.file_len - l.meta_end,
+        l.sig_pool_bytes,
+        l.key_pool_bytes,
+        l.pool_start,
+        l.pool_start % 8 == 0,
+        resident_shards,
+        rows_per_shard,
     );
     Ok(())
 }

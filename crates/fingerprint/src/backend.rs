@@ -22,6 +22,12 @@
 //!   codes. Quartile coding makes the digest depend on the *shape* of the
 //!   body distribution rather than raw counts, so it tolerates function
 //!   length differences better than raw frequency vectors.
+//! - [`BackendKind::Embed`] — a KEENHash-style function-aware embedding:
+//!   a namespaced feature vector (opcode unigrams, opcode bigrams,
+//!   instruction shape, length bucket) is projected through the SimHash
+//!   hyperplane machinery into uniform slots, 8 sign bits per slot.
+//!   Bigrams see instruction *order* and shape features see structure,
+//!   which plain opcode histograms are blind to.
 //!
 //! Uniform signatures mean uniform plumbing: band keys always come from
 //! [`band_keys_for`](crate::lsh::band_keys_for), similarity from
@@ -42,12 +48,15 @@ pub enum BackendKind {
     SimHash,
     /// TLSH-style quartile-coded bucket counts, 4 codes per slot.
     Tlsh,
+    /// Function-aware feature embedding (unigrams/bigrams/shape/length)
+    /// with SimHash projection, 8 sign bits per slot.
+    Embed,
 }
 
 impl BackendKind {
     /// All backends, in CLI/bench presentation order.
-    pub const ALL: [BackendKind; 3] =
-        [BackendKind::MinHash, BackendKind::SimHash, BackendKind::Tlsh];
+    pub const ALL: [BackendKind; 4] =
+        [BackendKind::MinHash, BackendKind::SimHash, BackendKind::Tlsh, BackendKind::Embed];
 
     /// The CLI name (`--backend <name>`).
     pub fn name(self) -> &'static str {
@@ -55,6 +64,7 @@ impl BackendKind {
             BackendKind::MinHash => "minhash",
             BackendKind::SimHash => "simhash",
             BackendKind::Tlsh => "tlsh",
+            BackendKind::Embed => "embed",
         }
     }
 
@@ -69,6 +79,7 @@ impl BackendKind {
             BackendKind::MinHash => 0,
             BackendKind::SimHash => 1,
             BackendKind::Tlsh => 2,
+            BackendKind::Embed => 3,
         }
     }
 
@@ -106,6 +117,7 @@ pub fn backend_for(kind: BackendKind, k: usize) -> Box<dyn FingerprintBackend> {
         BackendKind::MinHash => Box::new(MinHashBackend::new(k)),
         BackendKind::SimHash => Box::new(SimHashBackend::new(k)),
         BackendKind::Tlsh => Box::new(TlshBackend::new(k)),
+        BackendKind::Embed => Box::new(EmbedBackend::new(k)),
     }
 }
 
@@ -287,6 +299,93 @@ impl FingerprintBackend for TlshBackend {
     }
 }
 
+/// KEENHash-style function embedding. The function is summarized as a
+/// sparse feature vector in four namespaces over the [encoded
+/// word](crate::encode) (opcode 31–24, operand count 23–20, result type
+/// 19–14):
+///
+/// - `0x01`: opcode unigrams, weighted by occurrence count;
+/// - `0x02`: consecutive-opcode bigrams — a cheap stand-in for local
+///   control/data-flow structure that frequency vectors cannot see;
+/// - `0x03`: instruction shape `(operand count, result type)`;
+/// - `0x04`: one log2 length-bucket feature, so very different-sized
+///   functions separate even when their opcode mix agrees.
+///
+/// The vector is then projected exactly like SimHash
+/// ([`projection_bits`]), packing [`SIMHASH_BITS_PER_SLOT`] sign bits
+/// per slot — so banding, similarity, storage and multi-probe key
+/// perturbation all work unchanged. Accumulation over a hash map is
+/// order-independent because signed addition commutes.
+pub struct EmbedBackend {
+    k: usize,
+}
+
+/// Weight of the singleton length-bucket feature: strong enough to
+/// separate size classes, weak enough not to drown the content features
+/// of small functions.
+const EMBED_LEN_WEIGHT: i64 = 4;
+
+impl EmbedBackend {
+    pub fn new(k: usize) -> EmbedBackend {
+        EmbedBackend { k }
+    }
+}
+
+impl FingerprintBackend for EmbedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Embed
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn signature(&self, encoded: &[u32]) -> Vec<u64> {
+        let bits = self.k * SIMHASH_BITS_PER_SLOT;
+        let mut features: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        let mut prev_op: Option<u64> = None;
+        for &w in encoded {
+            let op = (w >> 24) as u64;
+            let nops = ((w >> 20) & 0xF) as u64;
+            let rty = ((w >> 14) & 0x3F) as u64;
+            *features.entry(0x01 << 56 | op).or_insert(0) += 1;
+            if let Some(p) = prev_op {
+                *features.entry(0x02 << 56 | p << 8 | op).or_insert(0) += 1;
+            }
+            prev_op = Some(op);
+            *features.entry(0x03 << 56 | nops << 6 | rty).or_insert(0) += 1;
+        }
+        let len_bucket = (usize::BITS - encoded.len().leading_zeros()) as u64;
+        *features.entry(0x04 << 56 | len_bucket).or_insert(0) += EMBED_LEN_WEIGHT;
+
+        let mut acc = vec![0i64; bits];
+        for (&feat, &w) in &features {
+            for chunk in 0..bits.div_ceil(64) {
+                let row = projection_bits(feat, chunk as u64);
+                let lo = chunk * 64;
+                for (i, a) in acc[lo..(lo + 64).min(bits)].iter_mut().enumerate() {
+                    if row >> i & 1 == 1 {
+                        *a += w;
+                    } else {
+                        *a -= w;
+                    }
+                }
+            }
+        }
+        (0..self.k)
+            .map(|s| {
+                let mut slot = 0u64;
+                for b in 0..SIMHASH_BITS_PER_SLOT {
+                    if acc[s * SIMHASH_BITS_PER_SLOT + b] >= 0 {
+                        slot |= 1 << b;
+                    }
+                }
+                slot
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,7 +487,7 @@ mod tests {
         // a varied corpus — the reason SimHash packs 8 bits per slot
         // instead of one sign bit per slot.
         let p = LshParams { rows: 2, bands: 16, bucket_cap: 100 };
-        for kind in [BackendKind::SimHash, BackendKind::Tlsh] {
+        for kind in [BackendKind::SimHash, BackendKind::Tlsh, BackendKind::Embed] {
             let backend = backend_for(kind, 32);
             let mut keys = std::collections::HashSet::new();
             for f in 0..40u32 {
@@ -402,6 +501,25 @@ mod tests {
                 keys.len()
             );
         }
+    }
+
+    #[test]
+    fn embed_sees_instruction_order() {
+        // Same multiset of instructions, different order: the opcode
+        // histogram backends cannot tell these apart, the bigram
+        // features can.
+        let a = stream(100, 1);
+        let mut b = a.clone();
+        b.reverse();
+        let embed = backend_for(BackendKind::Embed, 64);
+        let sim = signature_similarity(&embed.signature(&a), &embed.signature(&b));
+        assert!(sim < 1.0, "reversal must perturb the embedding (got {sim})");
+        let simhash = backend_for(BackendKind::SimHash, 64);
+        assert_eq!(
+            signature_similarity(&simhash.signature(&a), &simhash.signature(&b)),
+            1.0,
+            "frequency-only backend is order-blind by construction"
+        );
     }
 
     #[test]

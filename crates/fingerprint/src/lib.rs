@@ -21,16 +21,20 @@ pub mod fnv;
 pub mod lsh;
 pub mod minhash;
 pub mod opcode_freq;
+pub mod pager;
 pub mod par;
+pub mod resident;
 pub mod sharded;
 pub mod snapshot;
 pub mod store;
 
 pub use adaptive::MergeParams;
 pub use backend::{backend_for, signature_similarity, BackendKind, FingerprintBackend};
-pub use lsh::{BandKey, LshIndex, LshParams, QueryScratch};
+pub use lsh::{probe_keys_for, BandKey, LshIndex, LshParams, QueryScratch};
+pub use pager::{new_pager, Pager, PagerKind};
+pub use resident::{ResidencyCounters, ResidentStore, RowRef};
 pub use sharded::{ShardStats, ShardedLshIndex};
 pub use minhash::MinHashFingerprint;
 pub use opcode_freq::OpcodeFingerprint;
-pub use snapshot::{SnapshotError, SnapshotFile, SnapshotHeader};
+pub use snapshot::{SnapshotError, SnapshotFile, SnapshotHeader, SnapshotLayout, SnapshotMeta};
 pub use store::PackedFingerprintStore;

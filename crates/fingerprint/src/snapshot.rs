@@ -4,38 +4,57 @@
 //! functions, "time" is minutes of re-fingerprinting and re-bucketing.
 //! The snapshot captures the whole candidate-search state in one
 //! contiguous, mmap-friendly file, so a restart is a bulk load instead of
-//! a rebuild.
+//! a rebuild — or, via [`open_snapshot_meta`] + the
+//! [`resident`](crate::resident) layer, no pool read at all: the SoA
+//! pools are mapped lazily and faulted in per shard as queries touch
+//! them.
 //!
-//! ## Wire layout (all integers little-endian)
+//! ## Wire layout, version 2 (all integers little-endian)
 //!
 //! ```text
-//! ┌──────────────────────────────────────────────────────────────┐
-//! │ magic        "F3MSNAP1"                              8 bytes │
-//! │ version      u32 (= 1)                                       │
-//! │ backend      u8 tag (BackendKind::tag)                       │
-//! │ k            u32   signature slots per function              │
-//! │ rows         u32   LSH rows per band                         │
-//! │ bands        u32   LSH bands (= band keys per function)      │
-//! │ bucket_cap   u64   (usize::MAX stored as u64::MAX)           │
-//! │ threshold    f64   (IEEE-754 bits)                           │
-//! │ shards       u32   shard count at save time                  │
-//! │ epoch        u64   index epoch at save time                  │
-//! │ entries      u64   n = number of function rows               │
-//! │ payload_len  u64   opaque caller section length              │
-//! ├──────────────────────────────────────────────────────────────┤
-//! │ sig pool     n × k u64        (SoA, row-major by fn id)      │
-//! │ key pool     n × bands u32    (SoA, row-major by fn id)      │
-//! ├──────────────────────────────────────────────────────────────┤
-//! │ bucket directory:  num_buckets u64, then per bucket          │
-//! │   key u32 · len u32 · members len × u32   (keys ascending,   │
-//! │   members ascending fn ids)                                  │
-//! ├──────────────────────────────────────────────────────────────┤
-//! │ payload      payload_len bytes (opaque to this layer; the    │
-//! │   corpus stores module sources + per-entry metadata here)    │
-//! ├──────────────────────────────────────────────────────────────┤
-//! │ checksum     u64 FNV-1a over every preceding byte            │
-//! └──────────────────────────────────────────────────────────────┘
+//! off  size
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │   0   8  magic        "F3MSNAP1"                                 │
+//! │   8   4  version      u32 (= 2)                                  │
+//! │  12   1  backend      u8 tag (BackendKind::tag)                  │
+//! │  13   4  k            u32  signature slots per function          │
+//! │  17   4  rows         u32  LSH rows per band                     │
+//! │  21   4  bands        u32  LSH bands (= band keys per function)  │
+//! │  25   8  bucket_cap   u64  (usize::MAX stored as u64::MAX)       │
+//! │  33   8  threshold    f64  (IEEE-754 bits)                       │
+//! │  41   4  shards       u32  shard count at save time              │
+//! │  45   8  epoch        u64  index epoch at save time              │
+//! │  53   8  entries      u64  n = number of function rows           │
+//! │  61   8  payload_len  u64  opaque caller section length          │
+//! │  69   8  dir_len      u64  bucket directory length in bytes      │
+//! │  77   8  meta_fnv     u64  FNV-1a over [0,77) ++ [85,meta_end)   │
+//! │  85   8  pool_fnv     u64  FNV-1a over [meta_end,file_len)       │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │  93      bucket directory:  num_buckets u64, then per bucket     │
+//! │            key u32 · len u32 · members len × u32  (keys          │
+//! │            ascending, members ascending fn ids)                  │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │          payload  payload_len bytes (opaque to this layer; the   │
+//! │            corpus stores module sources + entry metadata here)   │
+//! │          …zero padding to pool_start = align8(meta_end)…         │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │          sig pool   n × k u64      (SoA, row-major by fn id)     │
+//! │          key pool   n × bands u32  (SoA, row-major by fn id)     │
+//! └──────────────────────────────────────────────────────────────────┘
+//! meta_end = 93 + dir_len + payload_len
 //! ```
+//!
+//! Version 2 moves the pools to the *end* of the file, 8-byte aligned,
+//! and splits the v1 whole-file checksum in two. `meta_fnv` seals the
+//! header, directory and payload (everything except its own field) and
+//! is verified on every open; `pool_fnv` seals the padding + pools and
+//! is only verified by the bulk [`decode_snapshot`] path. That split is
+//! what makes lazy residency possible: a pager can map the pools
+//! without reading a single pool byte, because validating the prefix no
+//! longer requires streaming the (multi-GiB at chrome scale) pools
+//! through a hash. Since an `mmap` base address is page-aligned, the
+//! 8-aligned `pool_start` file offset also gives correctly aligned
+//! in-memory `&[u64]` views of the signature pool.
 //!
 //! The pools are verbatim copies of a
 //! [`PackedFingerprintStore`](crate::store::PackedFingerprintStore)'s
@@ -46,20 +65,31 @@
 //! shard counts.
 //!
 //! Every decode failure is a typed [`SnapshotError`] — a truncated or
-//! garbled file must degrade to a rebuild, never a panic.
+//! garbled file must degrade to a rebuild, never a panic. Headers are
+//! untrusted: every pre-allocation is capped by the bytes actually
+//! present, so a hostile `entries`/bucket count cannot force a huge
+//! allocation.
 
 use std::fmt;
 use std::path::Path;
 
 use crate::backend::BackendKind;
-use crate::fnv::fnv1a;
+use crate::fnv::{fnv1a, fnv1a_seeded};
 use crate::lsh::{BandKey, LshParams};
 use crate::store::PackedFingerprintStore;
 
-/// File magic: "F3MSNAP1".
+/// File magic: "F3MSNAP1" (the trailing `1` is part of the magic, not
+/// the format version — that lives in the `version` field).
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"F3MSNAP1";
 /// Current format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Fixed-size header length in bytes (magic through `pool_fnv`).
+pub const SNAPSHOT_HEADER_LEN: usize = 93;
+/// Offset of the `meta_fnv` field.
+const META_FNV_OFF: usize = 77;
+/// Offset of the `pool_fnv` field.
+const POOL_FNV_OFF: usize = 85;
 
 /// Why a snapshot could not be written or read back.
 #[derive(Debug)]
@@ -72,7 +102,7 @@ pub enum SnapshotError {
     BadVersion(u32),
     /// The file ends before the structure it promises.
     Truncated,
-    /// The trailing FNV-1a checksum does not match the contents.
+    /// An FNV-1a checksum (meta or pool) does not match the contents.
     ChecksumMismatch,
     /// Structurally invalid contents (the message names the field).
     Corrupt(&'static str),
@@ -137,6 +167,52 @@ pub struct SnapshotHeader {
     pub entries: usize,
 }
 
+/// Byte geometry of a snapshot file: where each region lives. Derived
+/// entirely from the (checksummed) header, so a prefix read suffices to
+/// compute it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotLayout {
+    /// Bucket directory length in bytes (starts at [`SNAPSHOT_HEADER_LEN`]).
+    pub dir_len: usize,
+    /// Opaque payload length in bytes (follows the directory).
+    pub payload_len: usize,
+    /// End of the meta region: header + directory + payload.
+    pub meta_end: usize,
+    /// Start of the signature pool: `meta_end` rounded up to 8 bytes.
+    pub pool_start: usize,
+    /// Signature pool size in bytes (`entries × k × 8`).
+    pub sig_pool_bytes: usize,
+    /// Band-key pool size in bytes (`entries × bands × 4`).
+    pub key_pool_bytes: usize,
+    /// Total file size implied by the header.
+    pub file_len: usize,
+}
+
+impl SnapshotLayout {
+    /// Bytes the pools occupy (padding + sig pool + key pool) — the part
+    /// of the file a resident open does *not* read eagerly.
+    pub fn pool_bytes(&self) -> usize {
+        self.file_len - self.meta_end
+    }
+}
+
+/// Everything except the pools: the validated meta prefix of a snapshot.
+/// This is what a lazy/resident open materializes — the pools stay on
+/// disk behind the [`SnapshotLayout`] geometry.
+#[derive(Debug)]
+pub struct SnapshotMeta {
+    pub header: SnapshotHeader,
+    /// Byte geometry of the whole file.
+    pub layout: SnapshotLayout,
+    /// Bucket directory across all shards: `(key, ascending fn ids)`,
+    /// ascending by key.
+    pub buckets: Vec<(BandKey, Vec<u32>)>,
+    /// The caller's opaque section (corpus metadata).
+    pub payload: Vec<u8>,
+    /// Stored pool checksum (verified only by the bulk decode path).
+    pub pool_fnv: u64,
+}
+
 /// A fully decoded snapshot.
 #[derive(Debug)]
 pub struct SnapshotFile {
@@ -181,19 +257,23 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
     fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
-/// Serializes a snapshot to bytes (header, pools, directory, payload,
-/// checksum).
+fn align8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+/// Serializes a snapshot to bytes (header, directory, payload, padding,
+/// pools) with both checksums sealed.
 ///
 /// # Panics
 ///
@@ -209,7 +289,23 @@ pub fn encode_snapshot(
     assert_eq!(store.k(), header.k, "store width disagrees with header");
     assert_eq!(store.bands(), header.lsh.bands, "store bands disagree with header");
     assert_eq!(store.len(), header.entries, "store rows disagree with header");
-    let mut w = Writer { buf: Vec::with_capacity(64 + store.total_bytes() + payload.len()) };
+
+    let mut dir = Writer { buf: Vec::new() };
+    dir.u64(buckets.len() as u64);
+    for (key, members) in buckets {
+        dir.u32(*key);
+        dir.u32(members.len() as u32);
+        for &m in members {
+            dir.u32(m);
+        }
+    }
+    let dir_len = dir.buf.len();
+
+    let mut w = Writer {
+        buf: Vec::with_capacity(
+            SNAPSHOT_HEADER_LEN + dir_len + payload.len() + store.total_bytes() + 8,
+        ),
+    };
     w.buf.extend_from_slice(SNAPSHOT_MAGIC);
     w.u32(SNAPSHOT_VERSION);
     w.u8(header.backend.tag());
@@ -222,60 +318,95 @@ pub fn encode_snapshot(
     w.u64(header.epoch);
     w.u64(header.entries as u64);
     w.u64(payload.len() as u64);
+    w.u64(dir_len as u64);
+    w.u64(0); // meta_fnv, patched below
+    w.u64(0); // pool_fnv, patched below
+    assert_eq!(w.buf.len(), SNAPSHOT_HEADER_LEN, "header layout drifted");
+
+    w.buf.extend_from_slice(&dir.buf);
+    w.buf.extend_from_slice(payload);
+    let meta_end = w.buf.len();
+    w.buf.resize(align8(meta_end), 0);
     for &s in store.sig_pool() {
         w.u64(s);
     }
     for &k in store.key_pool() {
         w.u32(k);
     }
-    w.u64(buckets.len() as u64);
-    for (key, members) in buckets {
-        w.u32(*key);
-        w.u32(members.len() as u32);
-        for &m in members {
-            w.u32(m);
-        }
-    }
-    w.buf.extend_from_slice(payload);
-    let checksum = fnv1a(&w.buf);
-    w.u64(checksum);
+
+    // pool_fnv first: meta_fnv covers the sealed pool_fnv field bytes.
+    let pool_fnv = fnv1a(&w.buf[meta_end..]);
+    w.buf[POOL_FNV_OFF..POOL_FNV_OFF + 8].copy_from_slice(&pool_fnv.to_le_bytes());
+    let meta_fnv = fnv1a_seeded(fnv1a(&w.buf[..META_FNV_OFF]), &w.buf[POOL_FNV_OFF..meta_end]);
+    w.buf[META_FNV_OFF..META_FNV_OFF + 8].copy_from_slice(&meta_fnv.to_le_bytes());
     w.buf
 }
 
-/// Decodes and validates snapshot bytes. Inverse of [`encode_snapshot`];
-/// every malformation maps to a typed [`SnapshotError`].
-pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotFile, SnapshotError> {
-    // Checksum first: it covers everything, so any later structural check
-    // only fires on files that were *written* malformed.
-    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+fn read_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+fn read_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Parses and validates the meta region of a snapshot from `buf`, which
+/// must hold at least the first `meta_end` bytes of the file;
+/// `file_len` is the true on-disk length (used to validate the implied
+/// pool geometry without reading the pools).
+///
+/// Validation order matters for error typing: magic → version →
+/// meta-region bounds → meta checksum → structural checks. Structural
+/// `Corrupt` errors therefore only fire on files that were *written*
+/// malformed, never on bit rot (that's a `ChecksumMismatch`) or short
+/// files (`Truncated`).
+pub fn decode_snapshot_meta(buf: &[u8], file_len: u64) -> Result<SnapshotMeta, SnapshotError> {
+    if buf.len() < SNAPSHOT_MAGIC.len() + 8 {
         return Err(SnapshotError::Truncated);
     }
-    let (body, tail) = bytes.split_at(bytes.len() - 8);
-    if !body.starts_with(SNAPSHOT_MAGIC) {
+    if !buf.starts_with(SNAPSHOT_MAGIC) {
         return Err(SnapshotError::BadMagic);
     }
-    let stored = u64::from_le_bytes(tail.try_into().unwrap());
-    if fnv1a(body) != stored {
-        return Err(SnapshotError::ChecksumMismatch);
-    }
-
-    let mut r = Reader { buf: body, pos: SNAPSHOT_MAGIC.len() };
-    let version = r.u32()?;
+    // Version before checksum: a future format may checksum differently,
+    // so hashing its bytes under v2 rules would mislabel it as corrupt.
+    let version = read_u32(buf, 8);
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::BadVersion(version));
     }
+    if buf.len() < SNAPSHOT_HEADER_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+
+    let payload_len64 = read_u64(buf, 61);
+    let dir_len64 = read_u64(buf, 69);
+    let meta_fnv = read_u64(buf, META_FNV_OFF);
+    let pool_fnv = read_u64(buf, POOL_FNV_OFF);
+    let meta_end64 = (SNAPSHOT_HEADER_LEN as u64)
+        .checked_add(dir_len64)
+        .and_then(|v| v.checked_add(payload_len64))
+        .ok_or(SnapshotError::Truncated)?;
+    if meta_end64 > file_len || meta_end64 > buf.len() as u64 {
+        return Err(SnapshotError::Truncated);
+    }
+    let meta_end = meta_end64 as usize;
+    let got = fnv1a_seeded(fnv1a(&buf[..META_FNV_OFF]), &buf[POOL_FNV_OFF..meta_end]);
+    if got != meta_fnv {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    // From here on the meta region is exactly what was written; any
+    // structural failure means the writer lied.
     let backend =
-        BackendKind::from_tag(r.u8()?).ok_or(SnapshotError::Corrupt("unknown backend tag"))?;
-    let k = r.u32()? as usize;
-    let rows = r.u32()? as usize;
-    let bands = r.u32()? as usize;
-    let bucket_cap = usize::try_from(r.u64()?).unwrap_or(usize::MAX);
-    let threshold = f64::from_bits(r.u64()?);
-    let shards = r.u32()? as usize;
-    let epoch = r.u64()?;
-    let entries = usize::try_from(r.u64()?).map_err(|_| SnapshotError::Corrupt("entry count"))?;
-    let payload_len =
-        usize::try_from(r.u64()?).map_err(|_| SnapshotError::Corrupt("payload length"))?;
+        BackendKind::from_tag(buf[12]).ok_or(SnapshotError::Corrupt("unknown backend tag"))?;
+    let k = read_u32(buf, 13) as usize;
+    let rows = read_u32(buf, 17) as usize;
+    let bands = read_u32(buf, 21) as usize;
+    let bucket_cap = usize::try_from(read_u64(buf, 25)).unwrap_or(usize::MAX);
+    let threshold = f64::from_bits(read_u64(buf, 33));
+    let shards = read_u32(buf, 41) as usize;
+    let epoch = read_u64(buf, 45);
+    let entries =
+        usize::try_from(read_u64(buf, 53)).map_err(|_| SnapshotError::Corrupt("entry count"))?;
     if k == 0 || rows == 0 || bands == 0 {
         return Err(SnapshotError::Corrupt("zero row width"));
     }
@@ -289,39 +420,95 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotFile, SnapshotError> {
         return Err(SnapshotError::Corrupt("non-finite threshold"));
     }
 
-    let n_sig = entries.checked_mul(k).ok_or(SnapshotError::Corrupt("sig pool size"))?;
-    let n_key = entries.checked_mul(bands).ok_or(SnapshotError::Corrupt("key pool size"))?;
-    let sigs: Vec<u64> = r
-        .take(n_sig.checked_mul(8).ok_or(SnapshotError::Corrupt("sig pool size"))?)?
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
-    let keys: Vec<BandKey> = r
-        .take(n_key.checked_mul(4).ok_or(SnapshotError::Corrupt("key pool size"))?)?
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
-    let store = PackedFingerprintStore::from_pools(k, bands, sigs, keys)
-        .ok_or(SnapshotError::Corrupt("inconsistent pools"))?;
+    // Pool geometry implied by the header; validated against the true
+    // file length so a hostile `entries` cannot force an allocation —
+    // the check fails before any pool byte is touched.
+    let sig_pool_bytes = entries
+        .checked_mul(k)
+        .and_then(|v| v.checked_mul(8))
+        .ok_or(SnapshotError::Corrupt("sig pool size"))?;
+    let key_pool_bytes = entries
+        .checked_mul(bands)
+        .and_then(|v| v.checked_mul(4))
+        .ok_or(SnapshotError::Corrupt("key pool size"))?;
+    let pool_start = align8(meta_end);
+    let expected_len = (pool_start as u64)
+        .checked_add(sig_pool_bytes as u64)
+        .and_then(|v| v.checked_add(key_pool_bytes as u64))
+        .ok_or(SnapshotError::Corrupt("file size overflow"))?;
+    if file_len < expected_len {
+        return Err(SnapshotError::Truncated);
+    }
+    if file_len > expected_len {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
 
-    let num_buckets =
-        usize::try_from(r.u64()?).map_err(|_| SnapshotError::Corrupt("bucket count"))?;
-    let mut buckets: Vec<(BandKey, Vec<u32>)> = Vec::with_capacity(num_buckets.min(1 << 20));
+    let dir_len = dir_len64 as usize;
+    let mut r = Reader { buf: &buf[SNAPSHOT_HEADER_LEN..SNAPSHOT_HEADER_LEN + dir_len], pos: 0 };
+    let buckets = parse_directory(&mut r, entries)?;
+    if r.pos != dir_len {
+        return Err(SnapshotError::Corrupt("bucket directory trailing bytes"));
+    }
+    let payload = buf[SNAPSHOT_HEADER_LEN + dir_len..meta_end].to_vec();
+
+    Ok(SnapshotMeta {
+        header: SnapshotHeader {
+            backend,
+            k,
+            lsh: LshParams { rows, bands, bucket_cap },
+            threshold,
+            shards,
+            epoch,
+            entries,
+        },
+        layout: SnapshotLayout {
+            dir_len,
+            payload_len: payload_len64 as usize,
+            meta_end,
+            pool_start,
+            sig_pool_bytes,
+            key_pool_bytes,
+            file_len: expected_len as usize,
+        },
+        buckets,
+        payload,
+        pool_fnv,
+    })
+}
+
+/// Parses the bucket directory. The region is checksum-verified before
+/// this runs, so running off its end means the directory lies about
+/// itself — `Corrupt`, not `Truncated`.
+fn parse_directory(
+    r: &mut Reader<'_>,
+    entries: usize,
+) -> Result<Vec<(BandKey, Vec<u32>)>, SnapshotError> {
+    let truncated = |e| match e {
+        SnapshotError::Truncated => SnapshotError::Corrupt("bucket directory truncated"),
+        other => other,
+    };
+    let num_buckets = usize::try_from(r.u64().map_err(truncated)?)
+        .map_err(|_| SnapshotError::Corrupt("bucket count"))?;
+    // Untrusted count: each bucket needs ≥ 12 bytes (key + len + one
+    // member), so cap the pre-allocation by what is physically present.
+    let mut buckets: Vec<(BandKey, Vec<u32>)> =
+        Vec::with_capacity(num_buckets.min(r.remaining() / 12));
     let mut last_key: Option<BandKey> = None;
     for _ in 0..num_buckets {
-        let key = r.u32()?;
+        let key = r.u32().map_err(truncated)?;
         if let Some(prev) = last_key {
             if key <= prev {
                 return Err(SnapshotError::Corrupt("bucket keys not ascending"));
             }
         }
         last_key = Some(key);
-        let len = r.u32()? as usize;
+        let len = r.u32().map_err(truncated)? as usize;
         if len == 0 {
             return Err(SnapshotError::Corrupt("empty bucket"));
         }
         let members: Vec<u32> = r
-            .take(len.checked_mul(4).ok_or(SnapshotError::Corrupt("bucket size"))?)?
+            .take(len.checked_mul(4).ok_or(SnapshotError::Corrupt("bucket size"))?)
+            .map_err(truncated)?
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
@@ -333,26 +520,29 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotFile, SnapshotError> {
         }
         buckets.push((key, members));
     }
+    Ok(buckets)
+}
 
-    let payload = r.take(payload_len)?.to_vec();
-    if r.pos != body.len() {
-        return Err(SnapshotError::Corrupt("trailing bytes"));
+/// Decodes and validates snapshot bytes, pools included. Inverse of
+/// [`encode_snapshot`]; every malformation maps to a typed
+/// [`SnapshotError`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotFile, SnapshotError> {
+    let meta = decode_snapshot_meta(bytes, bytes.len() as u64)?;
+    let l = meta.layout;
+    if fnv1a(&bytes[l.meta_end..]) != meta.pool_fnv {
+        return Err(SnapshotError::ChecksumMismatch);
     }
-
-    Ok(SnapshotFile {
-        header: SnapshotHeader {
-            backend,
-            k,
-            lsh: LshParams { rows, bands, bucket_cap },
-            threshold,
-            shards,
-            epoch,
-            entries,
-        },
-        store,
-        buckets,
-        payload,
-    })
+    let sigs: Vec<u64> = bytes[l.pool_start..l.pool_start + l.sig_pool_bytes]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let keys: Vec<BandKey> = bytes[l.pool_start + l.sig_pool_bytes..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let store = PackedFingerprintStore::from_pools(meta.header.k, meta.header.lsh.bands, sigs, keys)
+        .ok_or(SnapshotError::Corrupt("inconsistent pools"))?;
+    Ok(SnapshotFile { header: meta.header, store, buckets: meta.buckets, payload: meta.payload })
 }
 
 /// Writes a snapshot file atomically (temp file + rename), so a crash
@@ -379,10 +569,51 @@ pub fn save_snapshot(
 
 /// Reads and validates a snapshot file — the whole file in one bulk read
 /// (the layout is contiguous precisely so this is a single sequential
-/// I/O), then a zero-rebuild decode.
+/// I/O), then a zero-rebuild decode. Verifies both checksums.
 pub fn open_snapshot(path: &Path) -> Result<SnapshotFile, SnapshotError> {
     let bytes = std::fs::read(path)?;
     decode_snapshot(&bytes)
+}
+
+/// Reads and validates only the meta prefix of a snapshot file — header,
+/// bucket directory and payload — leaving the pools untouched on disk.
+/// This is the O(meta) entry point for resident opens: at chrome scale
+/// the meta region is a few MiB while the pools are GiBs.
+///
+/// The pool checksum is *not* verified here (that would require reading
+/// the pools); the returned [`SnapshotMeta::pool_fnv`] lets a caller do
+/// so later if it wants the full-integrity path.
+pub fn open_snapshot_meta(path: &Path) -> Result<SnapshotMeta, SnapshotError> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)?;
+    let file_len = f.metadata()?.len();
+    let mut buf = Vec::new();
+    (&mut f).take(SNAPSHOT_HEADER_LEN as u64).read_to_end(&mut buf)?;
+    if buf.len() < SNAPSHOT_MAGIC.len() + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    if !buf.starts_with(SNAPSHOT_MAGIC) {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = read_u32(&buf, 8);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    if buf.len() < SNAPSHOT_HEADER_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    let meta_end = (SNAPSHOT_HEADER_LEN as u64)
+        .checked_add(read_u64(&buf, 69))
+        .and_then(|v| v.checked_add(read_u64(&buf, 61)))
+        .ok_or(SnapshotError::Truncated)?;
+    if meta_end > file_len {
+        return Err(SnapshotError::Truncated);
+    }
+    (&mut f).take(meta_end - SNAPSHOT_HEADER_LEN as u64).read_to_end(&mut buf)?;
+    if (buf.len() as u64) < meta_end {
+        return Err(SnapshotError::Truncated);
+    }
+    decode_snapshot_meta(&buf, file_len)
 }
 
 #[cfg(test)]
@@ -418,6 +649,17 @@ mod tests {
         (header, store, index.export_buckets())
     }
 
+    /// Re-seals the meta checksum after a test mutates the meta region,
+    /// so structural/version checks can be exercised behind a valid
+    /// checksum.
+    fn reseal_meta(bytes: &mut [u8]) {
+        let payload_len = read_u64(bytes, 61) as usize;
+        let dir_len = read_u64(bytes, 69) as usize;
+        let meta_end = SNAPSHOT_HEADER_LEN + dir_len + payload_len;
+        let sum = fnv1a_seeded(fnv1a(&bytes[..META_FNV_OFF]), &bytes[POOL_FNV_OFF..meta_end]);
+        bytes[META_FNV_OFF..META_FNV_OFF + 8].copy_from_slice(&sum.to_le_bytes());
+    }
+
     #[test]
     fn encode_decode_is_a_fixpoint() {
         let (header, store, buckets) = build_fixture(12);
@@ -433,6 +675,26 @@ mod tests {
             encode_snapshot(&snap.header, &snap.store, &snap.buckets, &snap.payload),
             bytes
         );
+    }
+
+    #[test]
+    fn sig_pool_is_eight_byte_aligned() {
+        // The whole point of the v2 layout: a page-aligned mapping of the
+        // file yields a correctly aligned &[u64] view of the sig pool.
+        for n in [0u32, 1, 6, 12] {
+            for payload in [&b""[..], b"x", b"seven b", b"unaligned payload!"] {
+                let (mut header, store, buckets) = build_fixture(n);
+                header.entries = store.len();
+                let bytes = encode_snapshot(&header, &store, &buckets, payload);
+                let meta = decode_snapshot_meta(&bytes, bytes.len() as u64).expect("meta decodes");
+                assert_eq!(meta.layout.pool_start % 8, 0, "n={n} payload={payload:?}");
+                assert_eq!(meta.layout.file_len, bytes.len());
+                // Padding is zeroed.
+                assert!(bytes[meta.layout.meta_end..meta.layout.pool_start]
+                    .iter()
+                    .all(|&b| b == 0));
+            }
+        }
     }
 
     #[test]
@@ -466,6 +728,12 @@ mod tests {
         assert_eq!(snap.store, store);
         assert_eq!(snap.buckets, buckets);
         assert_eq!(snap.payload, b"p");
+        // The meta-only open agrees with the bulk open without reading
+        // the pools.
+        let meta = open_snapshot_meta(&path).expect("open meta");
+        assert_eq!(meta.header, header);
+        assert_eq!(meta.buckets, snap.buckets);
+        assert_eq!(meta.payload, snap.payload);
         std::fs::remove_file(&path).ok();
     }
 
@@ -488,6 +756,45 @@ mod tests {
     }
 
     #[test]
+    fn truncated_pools_are_truncated_not_corrupt() {
+        // Cuts that land inside the pool region specifically must read as
+        // Truncated: the meta prefix is intact, so the header's implied
+        // file length is the only thing that can catch it.
+        let (header, store, buckets) = build_fixture(6);
+        let bytes = encode_snapshot(&header, &store, &buckets, b"payload");
+        let meta = decode_snapshot_meta(&bytes, bytes.len() as u64).expect("meta");
+        for cut in [meta.layout.meta_end, meta.layout.pool_start + 1, bytes.len() - 1] {
+            assert!(
+                matches!(decode_snapshot(&bytes[..cut]), Err(SnapshotError::Truncated)),
+                "cut at {cut} inside pools must be Truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_pool_corruption_is_a_checksum_mismatch() {
+        // A bit flip inside the pools leaves the meta prefix valid — the
+        // meta-only open accepts it (by design: it never reads pools),
+        // but the full decode must flag the pool checksum.
+        let (header, store, buckets) = build_fixture(6);
+        let clean = encode_snapshot(&header, &store, &buckets, b"payload");
+        let meta = decode_snapshot_meta(&clean, clean.len() as u64).expect("meta");
+        let l = meta.layout;
+        for pos in [l.meta_end, l.pool_start, (l.pool_start + l.file_len) / 2, l.file_len - 1] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x5A;
+            assert!(
+                matches!(decode_snapshot(&bad), Err(SnapshotError::ChecksumMismatch)),
+                "pool flip at {pos} must be ChecksumMismatch"
+            );
+            assert!(
+                decode_snapshot_meta(&bad, bad.len() as u64).is_ok(),
+                "meta-only decode does not read pools (flip at {pos})"
+            );
+        }
+    }
+
+    #[test]
     fn garbled_bytes_are_rejected() {
         let (header, store, buckets) = build_fixture(6);
         let clean = encode_snapshot(&header, &store, &buckets, b"payload");
@@ -504,10 +811,38 @@ mod tests {
         // A checksum-valid file with an unsupported version is BadVersion.
         let mut future = clean.clone();
         future[8..12].copy_from_slice(&99u32.to_le_bytes());
-        let len = future.len();
-        let sum = fnv1a(&future[..len - 8]);
-        future[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        reseal_meta(&mut future);
         assert!(matches!(decode_snapshot(&future), Err(SnapshotError::BadVersion(99))));
+    }
+
+    #[test]
+    fn hostile_header_cannot_force_a_huge_allocation() {
+        // An attacker-controlled entry count must fail the implied-length
+        // check before any pool allocation happens.
+        let (header, store, buckets) = build_fixture(6);
+        let mut bytes = encode_snapshot(&header, &store, &buckets, b"payload");
+        bytes[53..61].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        reseal_meta(&mut bytes);
+        assert!(matches!(decode_snapshot(&bytes), Err(SnapshotError::Truncated)));
+        // An entry count whose pool size overflows entirely is Corrupt.
+        let (header, store, buckets) = build_fixture(6);
+        let mut bytes = encode_snapshot(&header, &store, &buckets, b"payload");
+        bytes[53..61].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal_meta(&mut bytes);
+        assert!(matches!(decode_snapshot(&bytes), Err(SnapshotError::Corrupt(_))));
+
+        // Same for a hostile bucket count: the directory region is tiny,
+        // so the capped pre-allocation stays tiny and the parse fails as
+        // a typed Corrupt.
+        let (header, store, buckets) = build_fixture(6);
+        let mut bytes = encode_snapshot(&header, &store, &buckets, b"payload");
+        bytes[SNAPSHOT_HEADER_LEN..SNAPSHOT_HEADER_LEN + 8]
+            .copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        reseal_meta(&mut bytes);
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(SnapshotError::Corrupt("bucket directory truncated"))
+        ));
     }
 
     #[test]
@@ -538,5 +873,8 @@ mod tests {
         let err = open_snapshot(Path::new("/nonexistent/f3m.snap")).expect_err("missing file");
         assert!(matches!(err, SnapshotError::Io(_)));
         assert!(err.to_string().contains("io error"));
+        let err =
+            open_snapshot_meta(Path::new("/nonexistent/f3m.snap")).expect_err("missing file");
+        assert!(matches!(err, SnapshotError::Io(_)));
     }
 }

@@ -487,7 +487,9 @@ pub fn render_response(id: Option<u64>, resp: &Response) -> String {
                 ",\"corpus\":{{\"epoch\":{},\"modules_live\":{},\"modules_total\":{},\
                  \"functions_live\":{},\"entries_total\":{},\"index_buckets\":{},\
                  \"index_max_bucket\":{},\"memo_hits\":{},\"memo_misses\":{},\
-                 \"funcs_invalidated\":{},\"queries_superseded\":{},\"shards\":[",
+                 \"funcs_invalidated\":{},\"queries_superseded\":{},\
+                 \"resident_pager\":{},\"resident_bytes\":{},\"shard_faults\":{},\
+                 \"shard_spills\":{},\"shards\":[",
                 corpus.epoch,
                 corpus.modules_live,
                 corpus.modules_total,
@@ -498,7 +500,14 @@ pub fn render_response(id: Option<u64>, resp: &Response) -> String {
                 corpus.memo_hits,
                 corpus.memo_misses,
                 corpus.funcs_invalidated,
-                corpus.queries_superseded
+                corpus.queries_superseded,
+                match corpus.resident_pager {
+                    Some(p) => format!("\"{p}\""),
+                    None => "null".to_string(),
+                },
+                corpus.resident_bytes,
+                corpus.shard_faults,
+                corpus.shard_spills
             ));
             for (i, s) in corpus.shards.iter().enumerate() {
                 if i > 0 {
@@ -688,6 +697,10 @@ mod tests {
                     memo_misses: 5,
                     funcs_invalidated: 3,
                     queries_superseded: 1,
+                    resident_pager: Some("mmap"),
+                    resident_bytes: 4096,
+                    shard_faults: 2,
+                    shard_spills: 1,
                 }),
                 server: Box::new(ServerCounters { rejects_busy: 1, ..Default::default() }),
             },
@@ -724,6 +737,10 @@ mod tests {
         let corpus = v.get("corpus").unwrap();
         assert_eq!(corpus.get("memo_hits").and_then(Json::as_u64), Some(11));
         assert_eq!(corpus.get("queries_superseded").and_then(Json::as_u64), Some(1));
+        assert_eq!(corpus.get("resident_pager").and_then(Json::as_str), Some("mmap"));
+        assert_eq!(corpus.get("resident_bytes").and_then(Json::as_u64), Some(4096));
+        assert_eq!(corpus.get("shard_faults").and_then(Json::as_u64), Some(2));
+        assert_eq!(corpus.get("shard_spills").and_then(Json::as_u64), Some(1));
         let err = render_response(None, &resps[12]);
         let v = parse_response(err.as_bytes()).unwrap();
         assert_eq!(v.get("message").and_then(Json::as_str), Some("boom \"quoted\""));

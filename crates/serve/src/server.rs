@@ -77,6 +77,7 @@ use f3m_core::pass::PassConfig;
 use f3m_core::{GlobalMergePlanner, GlobalPlanConfig};
 use f3m_fingerprint::adaptive::MergeParams;
 use f3m_fingerprint::backend::BackendKind;
+use f3m_fingerprint::pager::PagerKind;
 use f3m_fingerprint::snapshot::SnapshotError;
 use f3m_ir::parser::parse_module;
 use f3m_trace::metrics::MetricsRegistry;
@@ -194,6 +195,14 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Fingerprint family for the resident corpus.
     pub backend: BackendKind,
+    /// Extra multi-probe LSH perturbations per candidate query
+    /// (0 = classic single-probe).
+    pub probes: usize,
+    /// `Some(bytes)` restores the snapshot through the mmap-resident
+    /// fingerprint store instead of a bulk read, keeping at most this
+    /// many pool bytes hot (0 = map everything, spill nothing). `None`
+    /// keeps the bulk O(file) restore.
+    pub resident_budget: Option<u64>,
     /// Readiness backend (`Auto` = epoll where available).
     pub poller: PollerKind,
     /// Admission-control thresholds.
@@ -224,6 +233,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             shards: 8,
             backend: BackendKind::MinHash,
+            probes: 0,
+            resident_budget: None,
             poller: PollerKind::Auto,
             admission: AdmissionConfig::default(),
             read_deadline_ms: 30_000,
@@ -295,7 +306,9 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let corpus_cfg = CorpusConfig {
-            params: MergeParams::static_default().with_backend(cfg.backend),
+            params: MergeParams::static_default()
+                .with_backend(cfg.backend)
+                .with_probes(cfg.probes),
             shards: cfg.shards.max(1),
             jobs: cfg.jobs.max(1),
         };
@@ -811,21 +824,33 @@ fn flush_artifacts(cfg: &ServeConfig, shared: &Shared) {
 }
 
 /// Builds the resident corpus: restored from the configured snapshot
-/// when one is present and trustworthy, rebuilt from the snapshot's
-/// module sources when its index is stale, empty otherwise.
+/// when one is present and trustworthy (through the mmap-resident store
+/// when `resident_budget` is set, a bulk read otherwise), rebuilt from
+/// the snapshot's module sources when its index is stale, empty
+/// otherwise.
 fn open_corpus(cfg: &ServeConfig, corpus_cfg: CorpusConfig) -> (Corpus, SnapshotStatus) {
     let mut status = SnapshotStatus::default();
     let Some(path) = cfg.snapshot_path.as_ref().filter(|p| p.exists()) else {
         return (Corpus::new(corpus_cfg), status);
     };
     let t0 = Instant::now();
-    match Corpus::load_snapshot(path, corpus_cfg.clone()) {
+    let loaded = match cfg.resident_budget {
+        Some(budget) => {
+            Corpus::load_snapshot_resident(path, corpus_cfg.clone(), PagerKind::Auto, budget)
+        }
+        None => Corpus::load_snapshot(path, corpus_cfg.clone()),
+    };
+    match loaded {
         Ok(corpus) => {
             status.load_ms = t0.elapsed().as_millis() as u64;
             status.loaded = true;
             status.entries = corpus.stats().functions_live as u64;
+            let pager = corpus
+                .residency()
+                .map(|(name, _)| format!(" (resident, pager={name})"))
+                .unwrap_or_default();
             eprintln!(
-                "f3m-serve: restored {} functions at epoch {} from {} in {}ms",
+                "f3m-serve: restored {} functions at epoch {} from {} in {}ms{pager}",
                 status.entries,
                 corpus.epoch(),
                 path.display(),
@@ -897,7 +922,15 @@ fn render_metrics(shared: &Shared, cfg: &ServeConfig, snapshot_saved: Option<boo
     // and the snapshot lifecycle (load time is wall-clock;
     // loaded/rebuilt/entries depend on what was on disk at startup).
     let snap = &shared.snapshot;
-    let nondet_pairs: [(&str, u64); 15] = [
+    // Residency counters ride along here too: fault/spill totals depend
+    // on worker interleaving when `jobs > 1`, so they are observability,
+    // not determinism, surface (the regression gate collects its own
+    // single-threaded residency scenario).
+    let nondet_pairs: [(&str, u64); 19] = [
+        ("serve.resident.active", u64::from(stats.resident_pager.is_some())),
+        ("serve.resident.bytes", stats.resident_bytes),
+        ("serve.resident.faults", stats.shard_faults),
+        ("serve.resident.spills", stats.shard_spills),
         ("serve.rejects_busy", counters.rejects_busy),
         ("serve.rejects_deadline", counters.rejects_deadline),
         ("serve.queue_depth_hwm", counters.queue_depth_hwm),

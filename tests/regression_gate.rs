@@ -42,7 +42,58 @@ fn collect_metrics() -> MetricsRegistry {
     collect_incremental_metrics(&mut reg);
     collect_serve_metrics(&mut reg);
     collect_global_metrics(&mut reg);
+    collect_residency_metrics(&mut reg);
     reg
+}
+
+/// Deterministic residency scenario: one module snapshotted to disk,
+/// restored through the mmap-resident store under a budget smaller than
+/// the pool, then swept with a fixed single-threaded query sequence.
+/// The residency counters record *logical* fault/spill decisions — the
+/// same numbers whichever pager backend `Auto` picks — so they gate like
+/// work counts: a shard-sizing or LRU change that doubles the thrash for
+/// this access pattern trips the band.
+fn collect_residency_metrics(reg: &mut MetricsRegistry) {
+    use f3m::core::corpus::{Corpus, CorpusConfig};
+    use f3m::fingerprint::pager::PagerKind;
+    use f3m::fingerprint::resident::TARGET_SHARD_BYTES;
+
+    let cfg = CorpusConfig { jobs: 1, shards: 2, ..CorpusConfig::default() };
+    let corpus = Corpus::new(cfg.clone());
+    // ~400 rows at ~2 kB/row spans several 256 kB shards, so a one-shard
+    // budget makes the sweep below genuinely fault and spill.
+    let mut spec = f3m::workloads::mini_suite()[0].clone();
+    spec.functions = 400;
+    spec.seed = 500;
+    let mut m = build_module(&spec);
+    m.name = "res_gate".to_string();
+    corpus.ingest(m).expect("gate corpus ingest");
+
+    let dir = std::env::temp_dir().join(format!("f3m_gate_res_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("gate temp dir");
+    let path = dir.join("res_gate.f3msnap");
+    corpus.save_snapshot(&path).expect("gate snapshot save");
+
+    // Budget of one shard forces real spill traffic on the sweep below.
+    let budget = TARGET_SHARD_BYTES as u64;
+    let restored = Corpus::load_snapshot_resident(&path, cfg, PagerKind::Auto, budget)
+        .expect("gate resident restore");
+    for _ in 0..2 {
+        restored.query_module("res_gate", 5).expect("gate resident query");
+    }
+    let (_, counters) =
+        restored.residency().expect("resident restore reports residency counters");
+    drop(restored);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (name, unit, v) in [
+        ("residency.resident_bytes", "bytes", counters.resident_bytes),
+        ("residency.shard_faults", "count", counters.shard_faults),
+        ("residency.shard_spills", "count", counters.shard_spills),
+    ] {
+        let c = reg.counter(name, unit, true);
+        reg.set(c, v);
+    }
 }
 
 /// Deterministic global-merge scenario: three small resident modules,
@@ -270,6 +321,13 @@ fn tolerance_for(name: &str) -> Tolerance {
         // is a banded quantity (a granularity regression blows well past
         // 15 %); hit/miss totals for the fixed sweep sequence likewise.
         "memo_hits" | "memo_misses" | "funcs_invalidated" => Tolerance { rel: 0.15, abs: 8.0 },
+        // Residency thrash for the fixed single-budget sweep: fault and
+        // spill totals are logical decisions (pager-independent); a
+        // shard-sizing or LRU-policy change that doubles them is a
+        // regression. Resident bytes track shard geometry, so a benign
+        // row-layout tweak moves them a little, not a lot.
+        "shard_faults" | "shard_spills" => Tolerance { rel: 0.15, abs: 16.0 },
+        "resident_bytes" => Tolerance { rel: 0.15, abs: 4096.0 },
         // Serving counters for the fixed one-client scenario and the
         // scripted admission trajectory are exact work counts: one
         // connection, a known frame sequence, a deterministic decision
